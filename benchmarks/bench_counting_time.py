@@ -1,0 +1,112 @@
+"""Experiment E5 — counting performance (paper Section 3.2).
+
+"Computing the counts for operators takes linear time on the size of the
+MEMO, as each operator has to be visited exactly once.  In practice, the
+time needed for counting never exceeded 1 second even for large queries."
+
+We count plan spaces for growing synthetic queries (chains and cliques up
+to 8 relations, cross products allowed for the worst case) and for the
+TPC-H Table 1 queries, asserting the one-second bound and recording
+operators-per-second to exhibit the linear scaling.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.counting import annotate_counts
+from repro.planspace.links import materialize_links
+from repro.workloads.synthetic import chain_query, clique_query
+from repro.workloads.tpch_queries import tpch_query
+
+_SCALING_ROWS: list[tuple[str, int, int, float]] = []
+
+
+def _space_for(workload_or_sql, catalog=None, allow_cross=True):
+    if catalog is None:
+        workload = workload_or_sql
+        catalog, sql = workload.catalog, workload.sql
+    else:
+        sql = workload_or_sql
+    result = Optimizer(
+        catalog, OptimizerOptions(allow_cross_products=allow_cross)
+    ).optimize_sql(sql)
+    return materialize_links(result.memo, root_required=result.root_order)
+
+
+@pytest.mark.parametrize("n_tables", [2, 3, 4, 5, 6, 7, 8])
+def test_counting_chain(benchmark, n_tables):
+    space = _space_for(chain_query(n_tables, rows=10))
+
+    def count():
+        for node in space.operators.values():
+            node.count = None
+        return annotate_counts(space)
+
+    # One explicitly timed pass for the scaling report, then the
+    # benchmark's own statistics.
+    started = time.perf_counter()
+    total = count()
+    elapsed = time.perf_counter() - started
+    benchmark(count)
+    _SCALING_ROWS.append(
+        (f"chain{n_tables}", len(space.operators), total, elapsed)
+    )
+    assert total > 0
+    assert elapsed < 1.0, "Section 3.2: counting never exceeded 1 second"
+
+
+@pytest.mark.parametrize("n_tables", [3, 4, 5, 6])
+def test_counting_clique(benchmark, n_tables):
+    space = _space_for(clique_query(n_tables, rows=10))
+
+    def count():
+        for node in space.operators.values():
+            node.count = None
+        return annotate_counts(space)
+
+    total = benchmark(count)
+    assert total > 0
+
+
+@pytest.mark.parametrize("name", ["Q5", "Q7", "Q8", "Q9"])
+@pytest.mark.parametrize("cross", [False, True])
+def test_counting_tpch_under_one_second(benchmark, catalog, name, cross):
+    """The paper's headline bound: counting a production-size query's
+    space stays under a second."""
+    space = _space_for(tpch_query(name).sql, catalog, allow_cross=cross)
+
+    def count():
+        for node in space.operators.values():
+            node.count = None
+        return annotate_counts(space)
+
+    started = time.perf_counter()
+    total = count()
+    single_run = time.perf_counter() - started
+    benchmark.pedantic(count, rounds=3, iterations=1)
+    assert total > 0
+    assert single_run < 1.0, (
+        f"counting {name} (cross={cross}) took {single_run:.3f}s, "
+        "paper reports < 1s"
+    )
+
+
+def test_counting_scaling_report(benchmark):
+    def noop():
+        return len(_SCALING_ROWS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "Counting scaling (Section 3.2: linear in memo size, < 1 s):",
+        f"{'query':>8}  {'operators':>9}  {'plans':>24}  {'seconds':>9}",
+    ]
+    for name, operators, total, elapsed in _SCALING_ROWS:
+        lines.append(
+            f"{name:>8}  {operators:>9}  {total:>24,}  {elapsed:>9.5f}"
+        )
+    write_report("counting_scaling.txt", "\n".join(lines))

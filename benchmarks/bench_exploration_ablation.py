@@ -1,0 +1,113 @@
+"""Experiment E9 (ablation) — rule-based vs bottom-up exploration.
+
+The paper notes its technique is agnostic to how the memo is populated
+(transformation rules a la Volcano, or bottom-up enumeration a la
+Starburst).  We check the two strategies produce *identical plan spaces*
+on the TPC-H queries and compare their exploration cost, plus the effect
+of restricted rule sets (commutativity only, no exchange).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.optimizer.explorer import RuleSet
+from repro.optimizer.optimizer import (
+    ExplorationStrategy,
+    Optimizer,
+    OptimizerOptions,
+)
+from repro.planspace.space import PlanSpace
+from repro.workloads.tpch_queries import tpch_query
+
+_ROWS = []
+
+
+def _optimize(catalog, name, strategy, rules=None):
+    options = OptimizerOptions(
+        allow_cross_products=False,
+        exploration=strategy,
+        rules=rules if rules is not None else RuleSet(),
+    )
+    return Optimizer(catalog, options).optimize_sql(tpch_query(name).sql)
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q5", "Q9"])
+def test_enumeration_strategy(benchmark, catalog, name):
+    result = benchmark.pedantic(
+        _optimize,
+        args=(catalog, name, ExplorationStrategy.ENUMERATION),
+        rounds=2,
+        iterations=1,
+    )
+    count = PlanSpace.from_result(result).count()
+    _ROWS.append((name, "enumeration", count, result.timings["explore"]))
+    assert count > 0
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q5", "Q9"])
+def test_transformation_strategy(benchmark, catalog, name):
+    result = benchmark.pedantic(
+        _optimize,
+        args=(catalog, name, ExplorationStrategy.TRANSFORMATION),
+        rounds=2,
+        iterations=1,
+    )
+    count = PlanSpace.from_result(result).count()
+    _ROWS.append((name, "transformation", count, result.timings["explore"]))
+    assert count > 0
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q5"])
+def test_strategies_produce_identical_spaces(benchmark, catalog, name):
+    def compare():
+        enum_result = _optimize(catalog, name, ExplorationStrategy.ENUMERATION)
+        rule_result = _optimize(catalog, name, ExplorationStrategy.TRANSFORMATION)
+        return (
+            PlanSpace.from_result(enum_result).count(),
+            PlanSpace.from_result(rule_result).count(),
+            enum_result.best_cost,
+            rule_result.best_cost,
+        )
+
+    enum_count, rule_count, enum_cost, rule_cost = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    assert enum_count == rule_count
+    assert abs(enum_cost - rule_cost) < 1e-9 * max(enum_cost, 1.0)
+
+
+def test_restricted_rule_sets(benchmark, catalog):
+    """Commutativity alone explores only mirrored left-deep trees."""
+
+    def run():
+        full = _optimize(catalog, "Q3", ExplorationStrategy.TRANSFORMATION)
+        commute_only = _optimize(
+            catalog,
+            "Q3",
+            ExplorationStrategy.TRANSFORMATION,
+            rules=RuleSet(True, False, False, False),
+        )
+        return (
+            PlanSpace.from_result(full).count(),
+            PlanSpace.from_result(commute_only).count(),
+        )
+
+    full_count, commute_count = benchmark.pedantic(run, rounds=1, iterations=1)
+    _ROWS.append(("Q3", "commute-only", commute_count, 0.0))
+    assert commute_count < full_count
+
+
+def test_exploration_report(benchmark):
+    def noop():
+        return len(_ROWS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "Exploration ablation (E9): strategy vs space size",
+        f"{'query':>6}  {'strategy':>16}  {'plans':>22}  {'explore s':>10}",
+    ]
+    for name, strategy, count, seconds in _ROWS:
+        lines.append(f"{name:>6}  {strategy:>16}  {count:>22,}  {seconds:>10.4f}")
+    write_report("exploration_ablation.txt", "\n".join(lines))

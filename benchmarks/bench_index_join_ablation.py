@@ -1,0 +1,64 @@
+"""Experiment E12 (ablation) — index-lookup joins widen the plan space.
+
+The paper lists "index utilization" among the dimensions that make the
+real plan space irregular.  This ablation enables the
+IndexNestedLoopJoin implementation rule and measures how the counted
+space grows per query, and whether the optimizer's best cost improves
+(it can: index seeks beat full scans for selective outers).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.optimizer.implementation import ImplementationConfig
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.space import PlanSpace
+from repro.workloads.tpch_queries import tpch_query
+
+_ROWS = []
+
+
+def _space(catalog, name, enable):
+    options = OptimizerOptions(
+        allow_cross_products=False,
+        implementation=ImplementationConfig(enable_index_nl_join=enable),
+    )
+    result = Optimizer(catalog, options).optimize_sql(tpch_query(name).sql)
+    return PlanSpace.from_result(result).count(), result.best_cost
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q5", "Q9"])
+def test_index_join_growth(benchmark, catalog, name):
+    def run():
+        baseline_count, baseline_best = _space(catalog, name, enable=False)
+        inlj_count, inlj_best = _space(catalog, name, enable=True)
+        return baseline_count, baseline_best, inlj_count, inlj_best
+
+    baseline_count, baseline_best, inlj_count, inlj_best = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    _ROWS.append((name, baseline_count, inlj_count, baseline_best, inlj_best))
+    assert inlj_count > baseline_count
+    # Extra implementations can only improve (or match) the optimum.
+    assert inlj_best <= baseline_best * (1 + 1e-9)
+
+
+def test_index_join_report(benchmark):
+    def noop():
+        return len(_ROWS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "Index-join ablation (E12): space growth and best-cost effect",
+        f"{'query':>6}  {'plans (scans only)':>20}  {'plans (+index join)':>20}  "
+        f"{'growth':>7}  {'best cost delta':>15}",
+    ]
+    for name, base, inlj, base_best, inlj_best in _ROWS:
+        growth = inlj / base
+        delta = (inlj_best - base_best) / base_best
+        lines.append(
+            f"{name:>6}  {base:>20,}  {inlj:>20,}  {growth:>6.1f}x  {delta:>14.2%}"
+        )
+    write_report("index_join_ablation.txt", "\n".join(lines))

@@ -1,0 +1,59 @@
+"""Supporting benchmark — optimizer pipeline phase costs.
+
+Not a paper table, but context for E5/E6: where the time goes between
+parsing and a ready-to-sample plan space for each Table 1 query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.space import PlanSpace
+from repro.workloads.tpch_queries import tpch_query
+
+_ROWS = []
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q5", "Q7", "Q8", "Q9"])
+@pytest.mark.parametrize("cross", [False, True])
+def test_optimize_pipeline(benchmark, catalog, name, cross):
+    options = OptimizerOptions(allow_cross_products=cross)
+
+    def run():
+        return Optimizer(catalog, options).optimize_sql(tpch_query(name).sql)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    space = PlanSpace.from_result(result)
+    _ROWS.append(
+        (
+            name,
+            cross,
+            len(result.memo.groups),
+            result.memo.physical_expression_count(),
+            space.count(),
+            dict(result.timings),
+        )
+    )
+    assert result.best_cost > 0
+
+
+def test_pipeline_report(benchmark):
+    def noop():
+        return len(_ROWS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "Optimizer pipeline phases (seconds) and memo sizes:",
+        f"{'query':>6} {'cross':>6} {'groups':>7} {'phys ops':>9} "
+        f"{'plans':>22} {'explore':>8} {'implement':>9} {'bestplan':>9}",
+    ]
+    for name, cross, groups, ops, plans, timings in _ROWS:
+        lines.append(
+            f"{name:>6} {str(cross):>6} {groups:>7} {ops:>9} {plans:>22,} "
+            f"{timings.get('explore', 0):>8.4f} "
+            f"{timings.get('implement', 0):>9.4f} "
+            f"{timings.get('bestplan', 0):>9.4f}"
+        )
+    write_report("optimizer_pipeline.txt", "\n".join(lines))

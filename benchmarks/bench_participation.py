@@ -1,0 +1,94 @@
+"""Experiment E13 (extension) — exact operator participation.
+
+For every physical operator of TPC-H Q5's memo, compute the *exact*
+number of plans containing it (top-down context counting, the dual of the
+paper's bottom-up N(v)), and cross-validate the uniform sampler: sampled
+containment frequencies must match the exact fractions.  This is both a
+testing tool (finding never-exercised implementations) and an independent
+verification of sampling uniformity on an astronomically large space.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from benchmarks.conftest import write_report
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.participation import participation_counts
+from repro.planspace.space import PlanSpace
+from repro.workloads.tpch_queries import tpch_query
+
+
+def _q5_space(catalog):
+    result = Optimizer(
+        catalog, OptimizerOptions(allow_cross_products=False)
+    ).optimize_sql(tpch_query("Q5").sql)
+    return PlanSpace.from_result(result)
+
+
+def test_exact_participation_q5(benchmark, catalog):
+    space = _q5_space(catalog)
+    counts = benchmark(lambda: participation_counts(space.linked))
+    total = space.count()
+    assert all(0 <= c <= total for c in counts.values())
+    # Fully implemented memo: no dead operators.
+    assert all(c > 0 for c in counts.values())
+
+
+def test_sampler_cross_validation_q5(benchmark, catalog):
+    space = _q5_space(catalog)
+    exact = participation_counts(space.linked)
+    total = space.count()
+    sample_size = 2_000
+
+    def sampled_frequencies():
+        contained: Counter = Counter()
+        for plan in space.sample(sample_size, seed=0):
+            for node in plan.iter_nodes():
+                contained[node.expr_id] += 1
+        return contained
+
+    contained = benchmark.pedantic(sampled_frequencies, rounds=1, iterations=1)
+
+    rows = []
+    worst = 0.0
+    for op_id, count in sorted(exact.items(), key=lambda kv: kv[1], reverse=True)[:12]:
+        expected = count / total
+        observed = contained.get(op_id, 0) / sample_size
+        stderr = max((expected * (1 - expected) / sample_size) ** 0.5, 1e-9)
+        deviation = abs(observed - expected) / stderr
+        worst = max(worst, deviation)
+        node = space.linked.operators[tuple(int(x) for x in op_id.split("."))]
+        rows.append(
+            f"  {op_id:>7} {node.expr.op.name:<18} exact {expected:>7.2%}  "
+            f"sampled {observed:>7.2%}  ({deviation:.1f} sigma)"
+        )
+    report = [
+        "Exact participation vs sampled containment, TPC-H Q5 "
+        f"({total:,} plans, {sample_size} samples):",
+        *rows,
+        f"\nworst deviation: {worst:.1f} standard errors",
+    ]
+    write_report("participation_q5.txt", "\n".join(report))
+    assert worst < 6.0
+
+
+def test_rarest_operators_report(benchmark, catalog):
+    space = _q5_space(catalog)
+
+    def rarest():
+        counts = participation_counts(space.linked)
+        return sorted(counts.items(), key=lambda kv: kv[1])[:10]
+
+    bottom = benchmark.pedantic(rarest, rounds=1, iterations=1)
+    total = space.count()
+    lines = [
+        "Rarest operators of Q5's space (targets for USEPLAN testing):",
+    ]
+    for op_id, count in bottom:
+        node = space.linked.operators[tuple(int(x) for x in op_id.split("."))]
+        lines.append(
+            f"  {op_id:>7} {node.expr.op.name:<18} "
+            f"in {count:,} plans ({count / total:.3%})"
+        )
+    write_report("participation_rarest.txt", "\n".join(lines))

@@ -1,0 +1,89 @@
+"""Experiment E6 — unranking performance (paper Section 3.3).
+
+"Unranking is in O(m), m being the number of operators in the tree ...
+unranking takes only a small fraction of the time needed for counting and
+is thus negligible."
+
+We measure single-plan unranking against the one-time counting cost on
+the TPC-H spaces and assert the "small fraction" claim.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.counting import annotate_counts
+from repro.planspace.links import materialize_links
+from repro.planspace.unranking import Unranker
+from repro.util.rng import make_rng
+from repro.workloads.tpch_queries import tpch_query
+
+_ROWS: list[tuple[str, float, float, float]] = []
+
+
+def _prepared_space(catalog, name, cross):
+    result = Optimizer(
+        catalog, OptimizerOptions(allow_cross_products=cross)
+    ).optimize_sql(tpch_query(name).sql)
+    space = materialize_links(result.memo, root_required=result.root_order)
+    started = time.perf_counter()
+    annotate_counts(space)
+    counting_seconds = time.perf_counter() - started
+    return space, counting_seconds
+
+
+@pytest.mark.parametrize("name", ["Q5", "Q7", "Q8", "Q9"])
+def test_unranking_single_plan(benchmark, catalog, name):
+    space, counting_seconds = _prepared_space(catalog, name, cross=False)
+    unranker = Unranker(space)
+    rng = make_rng(0)
+    total = unranker.total
+
+    result = benchmark(lambda: unranker.unrank(rng.randrange(total)))
+    assert result.size() > 5
+
+    # Compare one unrank call against the full counting pass.
+    started = time.perf_counter()
+    for _ in range(100):
+        unranker.unrank(rng.randrange(total))
+    per_unrank = (time.perf_counter() - started) / 100
+    _ROWS.append((name, counting_seconds, per_unrank, per_unrank / counting_seconds))
+    assert per_unrank < counting_seconds, (
+        "a single unranking should be cheaper than the one-time counting pass"
+    )
+
+
+def test_unranking_throughput_q5(benchmark, catalog):
+    """Plans per second when drawing a full uniform sample (Section 5 uses
+    10,000 plans per query)."""
+    space, _ = _prepared_space(catalog, "Q5", cross=False)
+    unranker = Unranker(space)
+    rng = make_rng(1)
+    total = unranker.total
+
+    def draw_batch():
+        for _ in range(100):
+            unranker.unrank(rng.randrange(total))
+        return 100
+
+    benchmark(draw_batch)
+
+
+def test_unranking_report(benchmark):
+    def noop():
+        return len(_ROWS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "Unranking vs counting (Section 3.3: 'only a small fraction'):",
+        f"{'query':>6}  {'counting s':>11}  {'unrank s':>10}  {'fraction':>9}",
+    ]
+    for name, counting, unrank, fraction in _ROWS:
+        lines.append(
+            f"{name:>6}  {counting:>11.5f}  {unrank:>10.6f}  {fraction:>9.4f}"
+        )
+    write_report("unranking_vs_counting.txt", "\n".join(lines))

@@ -1,0 +1,71 @@
+"""Experiment E7 — USEPLAN validation throughput (paper Section 4).
+
+The paper's testing methodology executes many plans per query.  This
+benchmark measures the end-to-end validation rate (plans executed and
+compared per second) on the micro TPC-H database, exhaustively for small
+spaces and by uniform sampling for large ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.testing.harness import PlanValidator
+from repro.workloads.tpch_queries import tpch_query
+
+TWO_TABLE = (
+    "SELECT n.n_name, r.r_name FROM nation n, region r "
+    "WHERE n.n_regionkey = r.r_regionkey"
+)
+
+_REPORTS = []
+
+
+def test_exhaustive_validation_two_table(benchmark, micro_db):
+    validator = PlanValidator(
+        micro_db, OptimizerOptions(allow_cross_products=False)
+    )
+
+    def run():
+        return validator.validate_sql(TWO_TABLE, max_exhaustive=100_000)
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.exhaustive and report.all_equal
+    _REPORTS.append(("2-table exhaustive", report))
+
+
+@pytest.mark.parametrize("name", ["Q3", "Q10", "Q5"])
+def test_sampled_validation(benchmark, micro_db, name):
+    validator = PlanValidator(
+        micro_db, OptimizerOptions(allow_cross_products=False)
+    )
+
+    def run():
+        return validator.validate_sql(
+            tpch_query(name).sql, max_exhaustive=0, sample_size=30, seed=0
+        )
+
+    report = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert report.all_equal, report.render()
+    _REPORTS.append((f"{name} sampled(30)", report))
+
+
+def test_validation_report(benchmark):
+    def noop():
+        return len(_REPORTS)
+
+    benchmark.pedantic(noop, rounds=1, iterations=1)
+    lines = [
+        "Section 4 validation throughput (micro TPC-H database):",
+        f"{'scenario':>22}  {'plans':>7}  {'space size':>16}  {'sec':>7}  {'plans/s':>8}",
+    ]
+    for label, report in _REPORTS:
+        rate = report.executed_plans / max(report.elapsed_seconds, 1e-9)
+        lines.append(
+            f"{label:>22}  {report.executed_plans:>7}  "
+            f"{report.total_plans:>16,}  {report.elapsed_seconds:>7.3f}  "
+            f"{rate:>8.1f}"
+        )
+    write_report("validation_throughput.txt", "\n".join(lines))

@@ -1,0 +1,51 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index).  Rendered artifacts — the measured Table 1,
+the Figure 4 histograms, the unranking trace — are written to
+``benchmarks/output/`` and echoed to stdout, so that
+``pytest benchmarks/ --benchmark-only`` leaves both timing data and the
+reproduced tables/figures behind.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SAMPLES`` — cost-distribution sample size (default 2000;
+  the paper used 10000 — set ``REPRO_BENCH_SAMPLES=10000`` for the full
+  run, it just takes proportionally longer).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.catalog.tpch import tpch_catalog
+from repro.storage.datagen import generate_tpch
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def sample_size() -> int:
+    return int(os.environ.get("REPRO_BENCH_SAMPLES", "2000"))
+
+
+def write_report(name: str, content: str) -> pathlib.Path:
+    """Persist a rendered artifact and echo it."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(content + "\n")
+    print(f"\n=== {name} ===")
+    print(content)
+    return path
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return tpch_catalog(scale_factor=1.0)
+
+
+@pytest.fixture(scope="session")
+def micro_db():
+    return generate_tpch(seed=0)

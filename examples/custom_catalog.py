@@ -1,0 +1,159 @@
+"""Using the library on your own schema and data.
+
+Builds a small movie-rental schema from scratch (catalog, statistics,
+indexes, rows), then runs the complete pipeline: SQL over the custom
+catalog, plan-space counting, uniform sampling, USEPLAN execution, and a
+plan-equivalence validation sweep.
+
+Run:  python examples/custom_catalog.py
+"""
+
+import random
+
+from repro import Catalog, Database, Session
+from repro.catalog import Column, ColumnStats, ColumnType, Index, TableSchema, TableStats
+from repro.optimizer import OptimizerOptions
+from repro.storage import DataTable
+from repro.testing import PlanValidator
+
+INT = ColumnType.INTEGER
+STR = ColumnType.STRING
+FLT = ColumnType.FLOAT
+
+
+def build_database() -> Database:
+    catalog = Catalog()
+
+    films = TableSchema(
+        name="films",
+        columns=(
+            Column("film_id", INT),
+            Column("title", STR),
+            Column("genre", STR),
+            Column("rental_rate", FLT),
+        ),
+        primary_key=("film_id",),
+        indexes=(
+            Index("films_pk", "films", ("film_id",), unique=True, clustered=True),
+        ),
+    )
+    stores = TableSchema(
+        name="stores",
+        columns=(Column("store_id", INT), Column("city", STR)),
+        primary_key=("store_id",),
+        indexes=(
+            Index("stores_pk", "stores", ("store_id",), unique=True, clustered=True),
+        ),
+    )
+    rentals = TableSchema(
+        name="rentals",
+        columns=(
+            Column("rental_id", INT),
+            Column("film_id", INT),
+            Column("store_id", INT),
+            Column("amount", FLT),
+        ),
+        primary_key=("rental_id",),
+        indexes=(
+            Index("rentals_pk", "rentals", ("rental_id",), unique=True, clustered=True),
+            Index("rentals_film", "rentals", ("film_id",)),
+            Index("rentals_store", "rentals", ("store_id",)),
+        ),
+    )
+
+    n_films, n_stores, n_rentals = 40, 6, 400
+    catalog.add_table(
+        films,
+        TableStats(
+            row_count=n_films,
+            columns={
+                "film_id": ColumnStats(distinct=n_films, lo=1, hi=n_films),
+                "genre": ColumnStats(distinct=5),
+            },
+        ),
+    )
+    catalog.add_table(
+        stores,
+        TableStats(
+            row_count=n_stores,
+            columns={"store_id": ColumnStats(distinct=n_stores, lo=1, hi=n_stores)},
+        ),
+    )
+    catalog.add_table(
+        rentals,
+        TableStats(
+            row_count=n_rentals,
+            columns={
+                "rental_id": ColumnStats(distinct=n_rentals, lo=1, hi=n_rentals),
+                "film_id": ColumnStats(distinct=n_films, lo=1, hi=n_films),
+                "store_id": ColumnStats(distinct=n_stores, lo=1, hi=n_stores),
+            },
+        ),
+    )
+
+    rng = random.Random(7)
+    genres = ["action", "comedy", "drama", "horror", "sci-fi"]
+    database = Database(catalog=catalog)
+    database.add_table(
+        DataTable(
+            films,
+            [
+                (i, f"Film {i}", rng.choice(genres), round(rng.uniform(0.99, 4.99), 2))
+                for i in range(1, n_films + 1)
+            ],
+        )
+    )
+    database.add_table(
+        DataTable(
+            stores,
+            [(i, f"City {i}") for i in range(1, n_stores + 1)],
+        )
+    )
+    database.add_table(
+        DataTable(
+            rentals,
+            [
+                (
+                    i,
+                    rng.randint(1, n_films),
+                    rng.randint(1, n_stores),
+                    round(rng.uniform(0.99, 9.99), 2),
+                )
+                for i in range(1, n_rentals + 1)
+            ],
+        )
+    )
+    return database
+
+
+def main() -> None:
+    database = build_database()
+    session = Session(database, OptimizerOptions(allow_cross_products=False))
+
+    sql = """
+    SELECT s.city, SUM(r.amount) AS revenue
+    FROM rentals r, films f, stores s
+    WHERE r.film_id = f.film_id
+      AND r.store_id = s.store_id
+      AND f.genre = 'sci-fi'
+    GROUP BY s.city
+    """
+    print("Query:\n", sql)
+
+    space = session.plan_space(sql)
+    print(f"plan space: {space.count():,} plans")
+    print("\noptimizer's plan:")
+    print(session.explain(sql))
+
+    print("\nexecution via OPTION (USEPLAN 100):")
+    result = session.execute(sql.strip() + " OPTION (USEPLAN 100)")
+    print(result.render())
+
+    print("\nvalidating 80 uniformly sampled plans...")
+    validator = PlanValidator(database, session.options)
+    report = validator.validate_sql(sql, max_exhaustive=200, sample_size=80)
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+Kept alongside pyproject.toml so that ``pip install -e .`` works in
+offline environments whose setuptools/pip lack the ``wheel`` package
+needed for PEP 517 editable installs (pip falls back to
+``setup.py develop`` with ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

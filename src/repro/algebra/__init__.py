@@ -1,0 +1,97 @@
+"""Relational algebra: scalar expressions, logical/physical operators,
+physical properties (system S5).
+
+Logical operators describe *what* to compute (the relational algebra of the
+bound query); physical operators describe *how* (hash join vs. merge join
+vs. nested loops, table scan vs. index scan, ...).  Only physical operators
+may appear in an executable plan — exactly the distinction drawn in
+Section 2 of the paper.
+"""
+
+from repro.algebra.expressions import (
+    AggFunc,
+    AggregateCall,
+    Arithmetic,
+    BoolExpr,
+    BoolOp,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Scalar,
+    UnaryMinus,
+    make_conjunction,
+    split_conjuncts,
+)
+from repro.algebra.properties import (
+    NO_ORDER,
+    PhysicalProps,
+    order_satisfies,
+)
+from repro.algebra.logical import (
+    LogicalAggregate,
+    LogicalGet,
+    LogicalJoin,
+    LogicalOperator,
+    LogicalProject,
+    LogicalSelect,
+)
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalOperator,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+
+__all__ = [
+    "AggFunc",
+    "AggregateCall",
+    "Arithmetic",
+    "BoolExpr",
+    "BoolOp",
+    "ColumnId",
+    "ColumnRef",
+    "Comparison",
+    "CompOp",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "Scalar",
+    "UnaryMinus",
+    "make_conjunction",
+    "split_conjuncts",
+    "NO_ORDER",
+    "PhysicalProps",
+    "order_satisfies",
+    "LogicalAggregate",
+    "LogicalGet",
+    "LogicalJoin",
+    "LogicalOperator",
+    "LogicalProject",
+    "LogicalSelect",
+    "HashAggregate",
+    "HashJoin",
+    "IndexNestedLoopJoin",
+    "IndexScan",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "PhysicalFilter",
+    "PhysicalOperator",
+    "PhysicalProject",
+    "Sort",
+    "StreamAggregate",
+    "TableScan",
+]

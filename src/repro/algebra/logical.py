@@ -1,0 +1,184 @@
+"""Logical operators: the relational algebra of a bound query.
+
+Logical operators live in MEMO groups and are the input of both kinds of
+optimizer rules: *exploration* rules derive more logical operators (join
+reordering) and *implementation* rules derive physical operators from
+logical ones.  Children are not stored here — inside the memo, a group
+expression pairs an operator with child *group* references (Section 2 of
+the paper, Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import (
+    AggregateCall,
+    ColumnId,
+    Scalar,
+)
+from repro.errors import AlgebraError
+
+__all__ = [
+    "LogicalOperator",
+    "LogicalGet",
+    "LogicalJoin",
+    "LogicalSelect",
+    "LogicalProject",
+    "LogicalAggregate",
+]
+
+
+class LogicalOperator:
+    """Base class for logical operators."""
+
+    #: number of children the operator takes
+    arity: int = 0
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    def key(self) -> tuple:
+        """Canonical hashable identity used for MEMO duplicate detection."""
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _predicate_fp(predicate: Scalar | None) -> tuple | None:
+    return None if predicate is None else predicate.fingerprint()
+
+
+def _predicate_str(predicate: Scalar | None) -> str:
+    return "" if predicate is None else f" [{predicate.render()}]"
+
+
+@dataclass(frozen=True)
+class LogicalGet(LogicalOperator):
+    """Read one base table under a range-variable alias.
+
+    Single-table filter conjuncts are pushed down into the Get during
+    binding (standard predicate pushdown), so the join search operates on
+    filtered relations, as real optimizers do.
+    """
+
+    table: str
+    alias: str
+    predicate: Scalar | None = None
+
+    arity = 0
+
+    def key(self) -> tuple:
+        return ("get", self.table, self.alias, _predicate_fp(self.predicate))
+
+    def render(self) -> str:
+        return f"Get({self.table} AS {self.alias}){_predicate_str(self.predicate)}"
+
+
+@dataclass(frozen=True)
+class LogicalJoin(LogicalOperator):
+    """Inner join of two children on ``predicate``.
+
+    ``predicate is None`` is a Cartesian product — only generated when the
+    search space is configured to allow cross products (the distinction
+    behind the two halves of the paper's Table 1).
+    """
+
+    predicate: Scalar | None = None
+
+    arity = 2
+
+    def key(self) -> tuple:
+        return ("join", _predicate_fp(self.predicate))
+
+    def render(self) -> str:
+        return f"Join{_predicate_str(self.predicate)}"
+
+    def is_cross_product(self) -> bool:
+        return self.predicate is None
+
+
+@dataclass(frozen=True)
+class LogicalSelect(LogicalOperator):
+    """A residual filter over one child.
+
+    Holds predicates that could not be pushed into a Get or attached to a
+    join (e.g. a disjunction spanning three tables).
+    """
+
+    predicate: Scalar
+
+    arity = 1
+
+    def __post_init__(self) -> None:
+        if self.predicate is None:
+            raise AlgebraError("LogicalSelect requires a predicate")
+
+    def key(self) -> tuple:
+        return ("select", _predicate_fp(self.predicate))
+
+    def render(self) -> str:
+        return f"Select{_predicate_str(self.predicate)}"
+
+
+@dataclass(frozen=True)
+class LogicalProject(LogicalOperator):
+    """Compute named output expressions over one child."""
+
+    outputs: tuple[tuple[str, Scalar], ...]
+
+    arity = 1
+
+    def __post_init__(self) -> None:
+        if not self.outputs:
+            raise AlgebraError("LogicalProject requires at least one output")
+        names = [name for name, _ in self.outputs]
+        if len(set(names)) != len(names):
+            raise AlgebraError("duplicate output names in projection")
+
+    def key(self) -> tuple:
+        return (
+            "project",
+            tuple((name, expr.fingerprint()) for name, expr in self.outputs),
+        )
+
+    def render(self) -> str:
+        cols = ", ".join(f"{expr.render()} AS {name}" for name, expr in self.outputs)
+        return f"Project({cols})"
+
+
+@dataclass(frozen=True)
+class LogicalAggregate(LogicalOperator):
+    """Group by ``group_by`` columns and compute named aggregates.
+
+    An empty ``group_by`` is a scalar aggregate producing exactly one row.
+    """
+
+    group_by: tuple[ColumnId, ...]
+    aggregates: tuple[tuple[str, AggregateCall], ...]
+
+    arity = 1
+
+    def __post_init__(self) -> None:
+        names = [name for name, _ in self.aggregates]
+        if len(set(names)) != len(names):
+            raise AlgebraError("duplicate aggregate output names")
+
+    def key(self) -> tuple:
+        return (
+            "aggregate",
+            tuple((c.alias, c.column) for c in self.group_by),
+            tuple((name, call.fingerprint()) for name, call in self.aggregates),
+        )
+
+    def render(self) -> str:
+        keys = ", ".join(c.render() for c in self.group_by) or "()"
+        aggs = ", ".join(
+            f"{call.render()} AS {name}" for name, call in self.aggregates
+        )
+        return f"Aggregate(by {keys}; {aggs})"

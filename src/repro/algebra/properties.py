@@ -1,0 +1,65 @@
+"""Physical properties: sort order.
+
+The paper's Section 3.1 observes that operators in the same group may
+differ in physical properties — one scan delivers a sort order, another
+does not — and that a parent requiring a property may only link to the
+child alternatives that satisfy it.  We model the single most important
+physical property, *sort order*, the one SQL Server's merge join and
+stream aggregate depend on.
+
+An order is a tuple of :class:`~repro.algebra.expressions.ColumnId`
+(ascending; descending orders are out of scope, as in most of the
+optimizer literature's property examples).  A delivered order *satisfies*
+a required order when the requirement is a prefix of the delivery:
+rows sorted on ``(a, b)`` are certainly sorted on ``(a,)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import ColumnId
+
+__all__ = ["SortOrder", "NO_ORDER", "order_satisfies", "PhysicalProps"]
+
+SortOrder = tuple[ColumnId, ...]
+
+#: The empty requirement / delivery: no particular order.
+NO_ORDER: SortOrder = ()
+
+
+def order_satisfies(delivered: SortOrder, required: SortOrder) -> bool:
+    """True if rows in ``delivered`` order are also in ``required`` order."""
+    if len(required) > len(delivered):
+        return False
+    return delivered[: len(required)] == required
+
+
+@dataclass(frozen=True)
+class PhysicalProps:
+    """The physical properties of an operator's output.
+
+    Currently just the sort order; wrapped in a dataclass so additional
+    properties (partitioning for parallel plans, for example) can be added
+    without touching call sites.
+    """
+
+    order: SortOrder = NO_ORDER
+
+    def satisfies(self, required: "PhysicalProps") -> bool:
+        return order_satisfies(self.order, required.order)
+
+    def is_trivial(self) -> bool:
+        """True when this property imposes no requirement at all."""
+        return not self.order
+
+    def render(self) -> str:
+        if not self.order:
+            return "(any)"
+        return "order by " + ", ".join(c.render() for c in self.order)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+ANY_PROPS = PhysicalProps()

@@ -1,0 +1,140 @@
+"""The Session facade: the closest thing to a database connection.
+
+Wraps a database + optimizer and executes SQL end-to-end, honouring the
+paper's ``OPTION (USEPLAN n)`` extension::
+
+    session = Session.tpch(seed=0)
+    session.execute("SELECT ... OPTION (USEPLAN 8)")   # forces plan 8
+    session.execute("SELECT ...")                      # optimizer's choice
+
+"Using scripting primitives, any given query can be extended easily with
+the OPTION clause and a loop construct that iterates over a
+deterministically or randomly selected set of possible plans."
+(Section 4.)  :meth:`Session.iterate_plans` is that loop construct.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import PlanSpaceError
+from repro.executor.executor import PlanExecutor, QueryResult
+from repro.optimizer.optimizer import (
+    OptimizationResult,
+    Optimizer,
+    OptimizerOptions,
+)
+from repro.planspace.space import PlanSpace
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.storage.database import Database
+from repro.storage.datagen import generate_tpch
+
+__all__ = ["Session", "ExecutedQuery"]
+
+
+@dataclass
+class ExecutedQuery:
+    """The result of one statement plus how it was produced."""
+
+    result: QueryResult
+    optimization: OptimizationResult
+    used_rank: int | None  # None = optimizer's own plan
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return self.result.columns
+
+
+class Session:
+    """A connection-like object: parse, optimize, execute."""
+
+    def __init__(
+        self,
+        database: Database,
+        options: OptimizerOptions | None = None,
+        check_orders: bool = False,
+    ):
+        self.database = database
+        self.catalog = database.catalog
+        self.options = options if options is not None else OptimizerOptions()
+        self.executor = PlanExecutor(database, check_orders=check_orders)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def tpch(
+        cls,
+        seed: int = 0,
+        options: OptimizerOptions | None = None,
+        rows: dict[str, int] | None = None,
+    ) -> "Session":
+        """A session over the micro TPC-H instance with SF=1 statistics."""
+        return cls(generate_tpch(seed=seed, rows=rows), options=options)
+
+    # ------------------------------------------------------------------
+    def optimize(self, sql: str) -> OptimizationResult:
+        return Optimizer(self.catalog, self.options).optimize_sql(sql)
+
+    def plan_space(self, sql: str) -> PlanSpace:
+        """The plan space of a query (counting/sampling entry point)."""
+        return PlanSpace.from_result(self.optimize(sql))
+
+    def explain(self, sql: str) -> str:
+        return self.optimize(sql).explain()
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> QueryResult:
+        """Execute a statement (honours ``OPTION (USEPLAN n)``)."""
+        return self.execute_detailed(sql).result
+
+    def execute_detailed(self, sql: str) -> ExecutedQuery:
+        statement = parse(sql)
+        bound = Binder(self.catalog).bind(statement)
+        optimization = Optimizer(self.catalog, self.options).optimize(bound)
+
+        useplan = bound.options.useplan
+        if useplan is None:
+            plan = optimization.best_plan
+        else:
+            space = PlanSpace.from_result(optimization)
+            total = space.count()
+            if useplan >= total:
+                raise PlanSpaceError(
+                    f"USEPLAN {useplan} out of range: the space holds "
+                    f"{total} plans (0..{total - 1})"
+                )
+            plan = space.unrank(useplan)
+        result = self.executor.execute(plan)
+        return ExecutedQuery(
+            result=result, optimization=optimization, used_rank=useplan
+        )
+
+    # ------------------------------------------------------------------
+    def iterate_plans(
+        self,
+        sql: str,
+        ranks: list[int] | None = None,
+        sample: int | None = None,
+        seed: int = 0,
+    ) -> Iterator[tuple[int, QueryResult]]:
+        """Execute one query under many plans (the Section 4 test loop).
+
+        ``ranks`` runs exactly those plan numbers; ``sample`` draws a
+        uniform sample instead; giving neither enumerates the whole space.
+        Yields ``(rank, result)`` pairs.
+        """
+        optimization = self.optimize(sql)
+        space = PlanSpace.from_result(optimization)
+        if ranks is None:
+            if sample is not None:
+                ranks = space.sample_ranks(sample, seed=seed)
+            else:
+                ranks = range(space.count())  # type: ignore[assignment]
+        for rank in ranks:
+            plan = space.unrank(rank)
+            yield rank, self.executor.execute(plan)

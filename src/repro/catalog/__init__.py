@@ -1,0 +1,22 @@
+"""Catalog: schema objects and optimizer statistics (system S1).
+
+The catalog plays the role of SQL Server's system catalog in the paper: it
+tells the binder which tables/columns exist, tells the optimizer which
+indexes are available (and therefore which scan alternatives to generate),
+and carries the statistics the cardinality estimator consumes.
+"""
+
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Index, TableSchema
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.catalog.catalog import Catalog
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "ColumnStats",
+    "ColumnType",
+    "ForeignKey",
+    "Index",
+    "TableSchema",
+    "TableStats",
+]

@@ -1,0 +1,65 @@
+"""The catalog: named tables with schemas and statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Index, TableSchema
+from repro.catalog.statistics import TableStats
+from repro.errors import CatalogError
+
+__all__ = ["Catalog"]
+
+
+@dataclass
+class Catalog:
+    """A collection of table schemas plus their optimizer statistics.
+
+    The binder resolves names against it; the optimizer asks it for
+    indexes and statistics.  Table names are case-insensitive, mirroring
+    common SQL behaviour.
+    """
+
+    tables: dict[str, TableSchema] = field(default_factory=dict)
+    stats: dict[str, TableStats] = field(default_factory=dict)
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.lower()
+
+    def add_table(self, schema: TableSchema, stats: TableStats | None = None) -> None:
+        key = self._key(schema.name)
+        if key in self.tables:
+            raise CatalogError(f"table {schema.name!r} already exists")
+        self.tables[key] = schema
+        self.stats[key] = stats if stats is not None else TableStats(row_count=0)
+
+    def has_table(self, name: str) -> bool:
+        return self._key(name) in self.tables
+
+    def table(self, name: str) -> TableSchema:
+        try:
+            return self.tables[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def table_stats(self, name: str) -> TableStats:
+        try:
+            return self.stats[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"unknown table {name!r}") from None
+
+    def set_stats(self, name: str, stats: TableStats) -> None:
+        key = self._key(name)
+        if key not in self.tables:
+            raise CatalogError(f"unknown table {name!r}")
+        self.stats[key] = stats
+
+    def indexes(self, name: str) -> tuple[Index, ...]:
+        return self.table(name).indexes
+
+    def table_names(self) -> list[str]:
+        return [schema.name for schema in self.tables.values()]
+
+    def __contains__(self, name: str) -> bool:  # pragma: no cover - convenience
+        return self.has_table(name)

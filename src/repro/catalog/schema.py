@@ -1,0 +1,150 @@
+"""Schema objects: tables, columns, indexes, foreign keys.
+
+These are deliberately plain, immutable dataclasses.  The optimizer and
+binder only ever *read* the schema; mutation happens through
+:class:`repro.catalog.catalog.Catalog` construction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+__all__ = ["ColumnType", "Column", "Index", "ForeignKey", "TableSchema"]
+
+
+class ColumnType(enum.Enum):
+    """Logical column types supported by the engine.
+
+    ``DATE`` values are stored as ISO-8601 strings, which makes comparison
+    operators coincide with lexicographic string comparison and keeps the
+    storage engine trivial.
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    DATE = "date"
+
+    def python_type(self) -> type:
+        return {
+            ColumnType.INTEGER: int,
+            ColumnType.FLOAT: float,
+            ColumnType.STRING: str,
+            ColumnType.DATE: str,
+        }[self]
+
+    def is_numeric(self) -> bool:
+        return self in (ColumnType.INTEGER, ColumnType.FLOAT)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column of a base table."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("column name must be non-empty")
+
+
+@dataclass(frozen=True)
+class Index:
+    """A sorted index over ``key`` columns of one table.
+
+    An index gives the optimizer one extra scan alternative
+    (:class:`~repro.algebra.physical.IndexScan`) that *delivers* a sort
+    order on the key columns — the physical-property mechanism the paper's
+    Section 3.1 link-materialization must respect.
+    """
+
+    name: str
+    table: str
+    key: tuple[str, ...]
+    unique: bool = False
+    clustered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise CatalogError(f"index {self.name!r} must have at least one key column")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge used by the synthetic data generator.
+
+    ``columns`` in ``table`` reference ``ref_columns`` in ``ref_table``.
+    """
+
+    table: str
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(self.ref_columns):
+            raise CatalogError(
+                f"foreign key {self.table}->{self.ref_table} has mismatched column lists"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """A base table: columns plus primary key and indexes."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...] = ()
+    indexes: tuple[Index, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = ()
+    _column_index: dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise CatalogError("table name must be non-empty")
+        seen: dict[str, int] = {}
+        for i, col in enumerate(self.columns):
+            if col.name in seen:
+                raise CatalogError(f"duplicate column {col.name!r} in table {self.name!r}")
+            seen[col.name] = i
+        object.__setattr__(self, "_column_index", seen)
+        for key_col in self.primary_key:
+            if key_col not in seen:
+                raise CatalogError(
+                    f"primary key column {key_col!r} not in table {self.name!r}"
+                )
+        for index in self.indexes:
+            if index.table != self.name:
+                raise CatalogError(
+                    f"index {index.name!r} belongs to {index.table!r}, not {self.name!r}"
+                )
+            for key_col in index.key:
+                if key_col not in seen:
+                    raise CatalogError(
+                        f"index column {key_col!r} not in table {self.name!r}"
+                    )
+
+    def has_column(self, name: str) -> bool:
+        return name in self._column_index
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self._column_index[name]]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._column_index[name]
+        except KeyError:
+            raise CatalogError(f"table {self.name!r} has no column {name!r}") from None
+
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)

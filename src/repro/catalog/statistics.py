@@ -1,0 +1,96 @@
+"""Optimizer statistics: row counts, distinct counts, value ranges.
+
+The cardinality estimator (:mod:`repro.optimizer.cardinality`) consumes
+these.  Statistics can be *declared* (the TPC-H SF=1 catalog hard-codes the
+benchmark's published cardinalities, like the paper optimizing against a
+full-size database) or *collected* from an in-memory table (used by tests
+running on the micro data set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError
+
+__all__ = ["ColumnStats", "TableStats"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column.
+
+    ``distinct`` is the number of distinct values (NDV); ``lo``/``hi`` are
+    the min/max for numeric or date columns and ``None`` otherwise.
+    """
+
+    distinct: int
+    lo: float | str | None = None
+    hi: float | str | None = None
+    null_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.distinct < 0:
+            raise CatalogError("distinct count must be non-negative")
+        if not 0.0 <= self.null_fraction <= 1.0:
+            raise CatalogError("null_fraction must be in [0, 1]")
+
+    def range_width(self) -> float | None:
+        """Width of the value range, if both bounds are numeric."""
+        if isinstance(self.lo, (int, float)) and isinstance(self.hi, (int, float)):
+            width = float(self.hi) - float(self.lo)
+            return width if width > 0 else None
+        return None
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table: row count plus per-column stats."""
+
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.row_count < 0:
+            raise CatalogError("row count must be non-negative")
+
+    def column(self, name: str) -> ColumnStats:
+        """Stats for ``name``; a conservative default if never collected."""
+        stats = self.columns.get(name)
+        if stats is not None:
+            return stats
+        # Unknown column: assume every row is distinct, which yields the
+        # most conservative (largest) join cardinalities.
+        return ColumnStats(distinct=max(self.row_count, 1))
+
+    def distinct(self, name: str) -> int:
+        return max(1, min(self.column(name).distinct, max(self.row_count, 1)))
+
+    @classmethod
+    def collect(cls, rows: list[tuple], column_names: tuple[str, ...]) -> "TableStats":
+        """Compute exact statistics from in-memory rows.
+
+        Used by tests and examples that optimize directly against the micro
+        data set instead of the declared SF=1 statistics.
+        """
+        stats = cls(row_count=len(rows))
+        for position, name in enumerate(column_names):
+            values = [row[position] for row in rows if row[position] is not None]
+            nulls = len(rows) - len(values)
+            distinct = len(set(values))
+            lo: float | str | None = None
+            hi: float | str | None = None
+            if values:
+                comparable = all(isinstance(v, (int, float)) for v in values) or all(
+                    isinstance(v, str) for v in values
+                )
+                if comparable:
+                    lo = min(values)
+                    hi = max(values)
+            stats.columns[name] = ColumnStats(
+                distinct=max(distinct, 1),
+                lo=lo,
+                hi=hi,
+                null_fraction=(nulls / len(rows)) if rows else 0.0,
+            )
+        return stats

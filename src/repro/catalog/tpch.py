@@ -1,0 +1,340 @@
+"""TPC-H schema and statistics (system S2).
+
+The paper's experiments (Table 1, Figure 4) run the join-intensive TPC-H
+queries Q5, Q7, Q8, Q9 against a full benchmark database.  We reproduce the
+*catalog view* of that database: the eight-table schema with primary keys,
+the index set a realistic installation would carry (clustered primary-key
+indexes plus secondary indexes on foreign-key columns), and the published
+scale-factor-1 cardinalities and distinct counts the optimizer needs.
+
+The optimizer sees these declared statistics — the actual rows (for plan
+*execution*) come from :mod:`repro.storage.datagen`, which generates a tiny
+but referentially intact instance.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Index, TableSchema
+from repro.catalog.statistics import ColumnStats, TableStats
+
+__all__ = ["tpch_catalog", "TPCH_TABLE_ROWS"]
+
+_INT = ColumnType.INTEGER
+_FLT = ColumnType.FLOAT
+_STR = ColumnType.STRING
+_DATE = ColumnType.DATE
+
+#: Base (scale factor 1) row counts from the TPC-H specification.
+TPCH_TABLE_ROWS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 10_000,
+    "customer": 150_000,
+    "part": 200_000,
+    "partsupp": 800_000,
+    "orders": 1_500_000,
+    "lineitem": 6_001_215,
+}
+
+#: Tables whose cardinality does not grow with the scale factor.
+_FIXED_SIZE_TABLES = {"region", "nation"}
+
+_DATE_LO = "1992-01-01"
+_DATE_HI = "1998-12-31"
+
+
+def _scaled(base: int, scale_factor: float, fixed: bool = False) -> int:
+    if fixed:
+        return base
+    return max(1, int(round(base * scale_factor)))
+
+
+def _schema() -> list[TableSchema]:
+    """The eight TPC-H tables with keys and a realistic index set."""
+    return [
+        TableSchema(
+            name="region",
+            columns=(
+                Column("r_regionkey", _INT),
+                Column("r_name", _STR),
+                Column("r_comment", _STR),
+            ),
+            primary_key=("r_regionkey",),
+            indexes=(
+                Index("region_pk", "region", ("r_regionkey",), unique=True, clustered=True),
+            ),
+        ),
+        TableSchema(
+            name="nation",
+            columns=(
+                Column("n_nationkey", _INT),
+                Column("n_name", _STR),
+                Column("n_regionkey", _INT),
+                Column("n_comment", _STR),
+            ),
+            primary_key=("n_nationkey",),
+            indexes=(
+                Index("nation_pk", "nation", ("n_nationkey",), unique=True, clustered=True),
+                Index("nation_regionkey", "nation", ("n_regionkey",)),
+            ),
+            foreign_keys=(
+                ForeignKey("nation", ("n_regionkey",), "region", ("r_regionkey",)),
+            ),
+        ),
+        TableSchema(
+            name="supplier",
+            columns=(
+                Column("s_suppkey", _INT),
+                Column("s_name", _STR),
+                Column("s_address", _STR),
+                Column("s_nationkey", _INT),
+                Column("s_phone", _STR),
+                Column("s_acctbal", _FLT),
+                Column("s_comment", _STR),
+            ),
+            primary_key=("s_suppkey",),
+            indexes=(
+                Index("supplier_pk", "supplier", ("s_suppkey",), unique=True, clustered=True),
+                Index("supplier_nationkey", "supplier", ("s_nationkey",)),
+            ),
+            foreign_keys=(
+                ForeignKey("supplier", ("s_nationkey",), "nation", ("n_nationkey",)),
+            ),
+        ),
+        TableSchema(
+            name="customer",
+            columns=(
+                Column("c_custkey", _INT),
+                Column("c_name", _STR),
+                Column("c_address", _STR),
+                Column("c_nationkey", _INT),
+                Column("c_phone", _STR),
+                Column("c_acctbal", _FLT),
+                Column("c_mktsegment", _STR),
+                Column("c_comment", _STR),
+            ),
+            primary_key=("c_custkey",),
+            indexes=(
+                Index("customer_pk", "customer", ("c_custkey",), unique=True, clustered=True),
+                Index("customer_nationkey", "customer", ("c_nationkey",)),
+            ),
+            foreign_keys=(
+                ForeignKey("customer", ("c_nationkey",), "nation", ("n_nationkey",)),
+            ),
+        ),
+        TableSchema(
+            name="part",
+            columns=(
+                Column("p_partkey", _INT),
+                Column("p_name", _STR),
+                Column("p_mfgr", _STR),
+                Column("p_brand", _STR),
+                Column("p_type", _STR),
+                Column("p_size", _INT),
+                Column("p_container", _STR),
+                Column("p_retailprice", _FLT),
+                Column("p_comment", _STR),
+            ),
+            primary_key=("p_partkey",),
+            indexes=(
+                Index("part_pk", "part", ("p_partkey",), unique=True, clustered=True),
+            ),
+        ),
+        TableSchema(
+            name="partsupp",
+            columns=(
+                Column("ps_partkey", _INT),
+                Column("ps_suppkey", _INT),
+                Column("ps_availqty", _INT),
+                Column("ps_supplycost", _FLT),
+                Column("ps_comment", _STR),
+            ),
+            primary_key=("ps_partkey", "ps_suppkey"),
+            indexes=(
+                Index(
+                    "partsupp_pk",
+                    "partsupp",
+                    ("ps_partkey", "ps_suppkey"),
+                    unique=True,
+                    clustered=True,
+                ),
+                Index("partsupp_suppkey", "partsupp", ("ps_suppkey",)),
+            ),
+            foreign_keys=(
+                ForeignKey("partsupp", ("ps_partkey",), "part", ("p_partkey",)),
+                ForeignKey("partsupp", ("ps_suppkey",), "supplier", ("s_suppkey",)),
+            ),
+        ),
+        TableSchema(
+            name="orders",
+            columns=(
+                Column("o_orderkey", _INT),
+                Column("o_custkey", _INT),
+                Column("o_orderstatus", _STR),
+                Column("o_totalprice", _FLT),
+                Column("o_orderdate", _DATE),
+                Column("o_orderpriority", _STR),
+                Column("o_clerk", _STR),
+                Column("o_shippriority", _INT),
+                Column("o_comment", _STR),
+            ),
+            primary_key=("o_orderkey",),
+            indexes=(
+                Index("orders_pk", "orders", ("o_orderkey",), unique=True, clustered=True),
+                Index("orders_custkey", "orders", ("o_custkey",)),
+                Index("orders_orderdate", "orders", ("o_orderdate",)),
+            ),
+            foreign_keys=(
+                ForeignKey("orders", ("o_custkey",), "customer", ("c_custkey",)),
+            ),
+        ),
+        TableSchema(
+            name="lineitem",
+            columns=(
+                Column("l_orderkey", _INT),
+                Column("l_partkey", _INT),
+                Column("l_suppkey", _INT),
+                Column("l_linenumber", _INT),
+                Column("l_quantity", _FLT),
+                Column("l_extendedprice", _FLT),
+                Column("l_discount", _FLT),
+                Column("l_tax", _FLT),
+                Column("l_returnflag", _STR),
+                Column("l_linestatus", _STR),
+                Column("l_shipdate", _DATE),
+                Column("l_commitdate", _DATE),
+                Column("l_receiptdate", _DATE),
+                Column("l_shipinstruct", _STR),
+                Column("l_shipmode", _STR),
+                Column("l_comment", _STR),
+            ),
+            primary_key=("l_orderkey", "l_linenumber"),
+            indexes=(
+                Index(
+                    "lineitem_pk",
+                    "lineitem",
+                    ("l_orderkey", "l_linenumber"),
+                    unique=True,
+                    clustered=True,
+                ),
+                Index("lineitem_partkey", "lineitem", ("l_partkey",)),
+                Index("lineitem_suppkey", "lineitem", ("l_suppkey",)),
+                Index("lineitem_shipdate", "lineitem", ("l_shipdate",)),
+            ),
+            foreign_keys=(
+                ForeignKey("lineitem", ("l_orderkey",), "orders", ("o_orderkey",)),
+                ForeignKey("lineitem", ("l_partkey",), "part", ("p_partkey",)),
+                ForeignKey("lineitem", ("l_suppkey",), "supplier", ("s_suppkey",)),
+            ),
+        ),
+    ]
+
+
+def _stats_for(table: str, rows: int, scale_factor: float) -> TableStats:
+    """Declared statistics per table, following the TPC-H data distributions."""
+
+    def key(n: int) -> ColumnStats:
+        return ColumnStats(distinct=n, lo=1, hi=n)
+
+    n = rows
+    if table == "region":
+        cols = {
+            "r_regionkey": ColumnStats(distinct=5, lo=0, hi=4),
+            "r_name": ColumnStats(distinct=5),
+        }
+    elif table == "nation":
+        cols = {
+            "n_nationkey": ColumnStats(distinct=25, lo=0, hi=24),
+            "n_name": ColumnStats(distinct=25),
+            "n_regionkey": ColumnStats(distinct=5, lo=0, hi=4),
+        }
+    elif table == "supplier":
+        cols = {
+            "s_suppkey": key(n),
+            "s_nationkey": ColumnStats(distinct=25, lo=0, hi=24),
+            "s_acctbal": ColumnStats(distinct=min(n, 100_000), lo=-999.99, hi=9999.99),
+        }
+    elif table == "customer":
+        cols = {
+            "c_custkey": key(n),
+            "c_nationkey": ColumnStats(distinct=25, lo=0, hi=24),
+            "c_mktsegment": ColumnStats(distinct=5),
+            "c_acctbal": ColumnStats(distinct=min(n, 100_000), lo=-999.99, hi=9999.99),
+        }
+    elif table == "part":
+        cols = {
+            "p_partkey": key(n),
+            "p_name": ColumnStats(distinct=n),
+            "p_mfgr": ColumnStats(distinct=5),
+            "p_brand": ColumnStats(distinct=25),
+            "p_type": ColumnStats(distinct=150),
+            "p_size": ColumnStats(distinct=50, lo=1, hi=50),
+            "p_container": ColumnStats(distinct=40),
+        }
+    elif table == "partsupp":
+        part_rows = _scaled(TPCH_TABLE_ROWS["part"], scale_factor)
+        supp_rows = _scaled(TPCH_TABLE_ROWS["supplier"], scale_factor)
+        cols = {
+            "ps_partkey": ColumnStats(distinct=part_rows, lo=1, hi=part_rows),
+            "ps_suppkey": ColumnStats(distinct=supp_rows, lo=1, hi=supp_rows),
+            "ps_availqty": ColumnStats(distinct=9999, lo=1, hi=9999),
+            "ps_supplycost": ColumnStats(distinct=min(n, 100_000), lo=1.0, hi=1000.0),
+        }
+    elif table == "orders":
+        cust_rows = _scaled(TPCH_TABLE_ROWS["customer"], scale_factor)
+        cols = {
+            "o_orderkey": key(n),
+            # Only 2/3 of customers have orders in TPC-H.
+            "o_custkey": ColumnStats(
+                distinct=max(1, cust_rows * 2 // 3), lo=1, hi=cust_rows
+            ),
+            "o_orderstatus": ColumnStats(distinct=3),
+            "o_orderdate": ColumnStats(distinct=2_406, lo=_DATE_LO, hi="1998-08-02"),
+            "o_orderpriority": ColumnStats(distinct=5),
+            "o_shippriority": ColumnStats(distinct=1, lo=0, hi=0),
+            "o_totalprice": ColumnStats(distinct=min(n, 1_000_000), lo=800.0, hi=600_000.0),
+        }
+    elif table == "lineitem":
+        order_rows = _scaled(TPCH_TABLE_ROWS["orders"], scale_factor)
+        part_rows = _scaled(TPCH_TABLE_ROWS["part"], scale_factor)
+        supp_rows = _scaled(TPCH_TABLE_ROWS["supplier"], scale_factor)
+        cols = {
+            "l_orderkey": ColumnStats(distinct=order_rows, lo=1, hi=order_rows * 4),
+            "l_partkey": ColumnStats(distinct=part_rows, lo=1, hi=part_rows),
+            "l_suppkey": ColumnStats(distinct=supp_rows, lo=1, hi=supp_rows),
+            "l_linenumber": ColumnStats(distinct=7, lo=1, hi=7),
+            "l_quantity": ColumnStats(distinct=50, lo=1.0, hi=50.0),
+            "l_extendedprice": ColumnStats(
+                distinct=min(n, 1_000_000), lo=900.0, hi=105_000.0
+            ),
+            "l_discount": ColumnStats(distinct=11, lo=0.0, hi=0.10),
+            "l_tax": ColumnStats(distinct=9, lo=0.0, hi=0.08),
+            "l_returnflag": ColumnStats(distinct=3),
+            "l_linestatus": ColumnStats(distinct=2),
+            "l_shipdate": ColumnStats(distinct=2_526, lo=_DATE_LO, hi="1998-12-01"),
+            "l_commitdate": ColumnStats(distinct=2_466, lo=_DATE_LO, hi=_DATE_HI),
+            "l_receiptdate": ColumnStats(distinct=2_554, lo=_DATE_LO, hi=_DATE_HI),
+            "l_shipinstruct": ColumnStats(distinct=4),
+            "l_shipmode": ColumnStats(distinct=7),
+        }
+    else:  # pragma: no cover - defensive
+        cols = {}
+    return TableStats(row_count=rows, columns=cols)
+
+
+def tpch_catalog(scale_factor: float = 1.0) -> Catalog:
+    """Build the TPC-H catalog with statistics for ``scale_factor``.
+
+    ``scale_factor=1.0`` reproduces the cardinalities the paper's optimizer
+    would have seen; smaller factors are useful for tests.
+    """
+    catalog = Catalog()
+    for schema in _schema():
+        rows = _scaled(
+            TPCH_TABLE_ROWS[schema.name],
+            scale_factor,
+            fixed=schema.name in _FIXED_SIZE_TABLES,
+        )
+        catalog.add_table(schema, _stats_for(schema.name, rows, scale_factor))
+    return catalog

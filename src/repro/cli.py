@@ -1,0 +1,353 @@
+"""Command-line interface.
+
+Exposes the paper's primitives over the bundled TPC-H micro database::
+
+    python -m repro count Q5 --cross-products
+    python -m repro explain "SELECT ... FROM ..."
+    python -m repro unrank Q3 13
+    python -m repro sample Q5 -n 10 --analyze
+    python -m repro execute "SELECT ... OPTION (USEPLAN 8)"
+    python -m repro validate Q3 --sample 100
+    python -m repro table1 --samples 2000 --queries Q5,Q9
+
+Query arguments accept either a named TPC-H query (``Q3``, ``Q5``, ...)
+or literal SQL.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.api import Session
+from repro.errors import ReproError
+from repro.experiments.analysis import analyze_plans
+from repro.experiments.distributions import distribution_from_result
+from repro.experiments.figure4 import figure4_histogram
+from repro.experiments.table1 import render_table1
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.planspace.space import PlanSpace
+from repro.testing.harness import PlanValidator
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+__all__ = ["main", "build_parser"]
+
+
+def _resolve_sql(query: str) -> str:
+    named = TPCH_QUERIES.get(query.upper())
+    if named is not None:
+        return named.sql
+    if "select" not in query.lower():
+        known = ", ".join(sorted(TPCH_QUERIES))
+        raise ReproError(
+            f"{query!r} is neither a known TPC-H query ({known}) nor SQL"
+        )
+    return query
+
+
+def _session(args) -> Session:
+    options = OptimizerOptions(allow_cross_products=args.cross_products)
+    return Session.tpch(seed=args.data_seed, options=options)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Counting, enumerating, and sampling of execution plans "
+        "(Waas & Galindo-Legaria, SIGMOD 2000).",
+    )
+    parser.add_argument(
+        "--cross-products",
+        action="store_true",
+        help="allow Cartesian products in the search space",
+    )
+    parser.add_argument(
+        "--data-seed", type=int, default=0, help="micro database seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    count = sub.add_parser("count", help="count the plan space of a query")
+    count.add_argument("query", help="TPC-H query name or SQL")
+
+    explain = sub.add_parser("explain", help="show the optimizer's plan")
+    explain.add_argument("query")
+    explain.add_argument(
+        "--verbose",
+        action="store_true",
+        help="include per-operator cardinalities and costs",
+    )
+
+    unrank = sub.add_parser("unrank", help="print plan number RANK")
+    unrank.add_argument("query")
+    unrank.add_argument("rank", type=int)
+    unrank.add_argument(
+        "--trace", action="store_true", help="show the R/s recurrence trace"
+    )
+
+    sample = sub.add_parser("sample", help="uniformly sample plans")
+    sample.add_argument("query")
+    sample.add_argument("-n", type=int, default=10, help="sample size")
+    sample.add_argument("--seed", type=int, default=0)
+    sample.add_argument(
+        "--analyze", action="store_true", help="aggregate shape/operator stats"
+    )
+
+    execute = sub.add_parser(
+        "execute", help="run a query (honours OPTION (USEPLAN n))"
+    )
+    execute.add_argument("query")
+    execute.add_argument("--limit", type=int, default=20, help="rows to print")
+
+    validate = sub.add_parser(
+        "validate", help="execute many plans, verify identical results"
+    )
+    validate.add_argument("query")
+    validate.add_argument("--sample", type=int, default=100)
+    validate.add_argument("--exhaustive-limit", type=int, default=200)
+    validate.add_argument("--seed", type=int, default=0)
+
+    table1 = sub.add_parser("table1", help="reproduce the paper's Table 1")
+    table1.add_argument("--samples", type=int, default=1000)
+    table1.add_argument(
+        "--queries", default="Q5,Q7,Q8,Q9", help="comma-separated query names"
+    )
+
+    figure4 = sub.add_parser("figure4", help="reproduce a Figure 4 panel")
+    figure4.add_argument("query")
+    figure4.add_argument("--samples", type=int, default=1000)
+
+    participation = sub.add_parser(
+        "participation",
+        help="exact per-operator participation counts (plans containing v)",
+    )
+    participation.add_argument("query")
+
+    diff = sub.add_parser(
+        "diff", help="diff the plan space against a configuration variant"
+    )
+    diff.add_argument("query")
+    diff.add_argument("--no-merge-join", action="store_true")
+    diff.add_argument("--no-hash-join", action="store_true")
+    diff.add_argument("--no-index-scans", action="store_true")
+    diff.add_argument("--index-joins", action="store_true")
+
+    corpus_build = sub.add_parser(
+        "corpus-build", help="record golden plan digests to a JSON file"
+    )
+    corpus_build.add_argument("path")
+    corpus_build.add_argument(
+        "--queries", default="Q3", help="comma-separated query names or SQL"
+    )
+    corpus_build.add_argument("--plans", type=int, default=20)
+    corpus_build.add_argument("--seed", type=int, default=0)
+
+    corpus_verify = sub.add_parser(
+        "corpus-verify", help="replay a golden corpus against this engine"
+    )
+    corpus_verify.add_argument("path")
+    return parser
+
+
+def _cmd_count(args, out) -> int:
+    session = _session(args)
+    result = session.optimize(_resolve_sql(args.query))
+    space = PlanSpace.from_result(result)
+    memo = result.memo
+    out.write(
+        f"groups: {len(memo.groups)}\n"
+        f"logical operators: {memo.logical_expression_count()}\n"
+        f"physical operators: {memo.physical_expression_count()}\n"
+        f"plans: {space.count():,}\n"
+    )
+    return 0
+
+
+def _cmd_explain(args, out) -> int:
+    session = _session(args)
+    if args.verbose:
+        from repro.optimizer.explain import explain_plan
+
+        result = session.optimize(_resolve_sql(args.query))
+        out.write(explain_plan(result.best_plan, result.cost_model) + "\n")
+        return 0
+    out.write(session.explain(_resolve_sql(args.query)) + "\n")
+    return 0
+
+
+def _cmd_unrank(args, out) -> int:
+    session = _session(args)
+    space = session.plan_space(_resolve_sql(args.query))
+    if args.trace:
+        plan, trace = space.unrank_with_trace(args.rank)
+        out.write(trace.render() + "\n\n")
+    else:
+        plan = space.unrank(args.rank)
+    out.write(plan.render() + "\n")
+    return 0
+
+
+def _cmd_sample(args, out) -> int:
+    session = _session(args)
+    result = session.optimize(_resolve_sql(args.query))
+    space = PlanSpace.from_result(result)
+    ranks = space.sample_ranks(args.n, seed=args.seed)
+    plans = [space.unrank(rank) for rank in ranks]
+    out.write(f"space: {space.count():,} plans; sampled {args.n}\n")
+    for rank, plan in zip(ranks, plans):
+        cost = result.cost_model.plan_cost(plan)
+        scaled = cost / result.best_cost
+        shape = " -> ".join(node.op.name for node in plan.iter_nodes())
+        out.write(f"  #{rank}  cost {scaled:,.1f}x optimum  [{shape}]\n")
+    if args.analyze:
+        out.write("\n" + analyze_plans(plans).render() + "\n")
+    return 0
+
+
+def _cmd_execute(args, out) -> int:
+    session = _session(args)
+    result = session.execute(_resolve_sql(args.query))
+    out.write(result.render(limit=args.limit) + "\n")
+    return 0
+
+
+def _cmd_validate(args, out) -> int:
+    session = _session(args)
+    validator = PlanValidator(session.database, session.options)
+    report = validator.validate_sql(
+        _resolve_sql(args.query),
+        max_exhaustive=args.exhaustive_limit,
+        sample_size=args.sample,
+        seed=args.seed,
+    )
+    out.write(report.render() + "\n")
+    return 0 if report.all_equal else 1
+
+
+def _cmd_table1(args, out) -> int:
+    session = _session(args)
+    distributions = []
+    for cross in (False, True):
+        for name in args.queries.split(","):
+            options = OptimizerOptions(allow_cross_products=cross)
+            sql = _resolve_sql(name.strip())
+            from repro.optimizer.optimizer import Optimizer
+
+            result = Optimizer(session.catalog, options).optimize_sql(sql)
+            distributions.append(
+                distribution_from_result(
+                    result, name.strip().upper(), sample_size=args.samples
+                )
+            )
+    out.write(render_table1(distributions) + "\n")
+    return 0
+
+
+def _cmd_figure4(args, out) -> int:
+    session = _session(args)
+    result = session.optimize(_resolve_sql(args.query))
+    dist = distribution_from_result(
+        result, args.query.upper(), sample_size=args.samples
+    )
+    out.write(figure4_histogram(dist).render() + "\n")
+    shape = dist.gamma_shape()
+    if shape is not None:
+        out.write(f"gamma shape: {shape:.3f}\n")
+    return 0
+
+
+def _cmd_participation(args, out) -> int:
+    from repro.planspace.participation import participation_report
+
+    session = _session(args)
+    space = session.plan_space(_resolve_sql(args.query))
+    out.write(participation_report(space.linked) + "\n")
+    return 0
+
+
+def _cmd_diff(args, out) -> int:
+    from repro.optimizer.implementation import ImplementationConfig
+    from repro.optimizer.optimizer import Optimizer
+    from repro.planspace.diff import diff_spaces
+    from repro.planspace.links import materialize_links
+
+    session = _session(args)
+    sql = _resolve_sql(args.query)
+
+    def build(config: ImplementationConfig):
+        options = OptimizerOptions(
+            allow_cross_products=args.cross_products, implementation=config
+        )
+        result = Optimizer(session.catalog, options).optimize_sql(sql)
+        return materialize_links(result.memo, root_required=result.root_order)
+
+    baseline = build(ImplementationConfig())
+    candidate = build(
+        ImplementationConfig(
+            enable_merge_join=not args.no_merge_join,
+            enable_hash_join=not args.no_hash_join,
+            enable_index_scans=not args.no_index_scans,
+            enable_index_nl_join=args.index_joins,
+        )
+    )
+    out.write(diff_spaces(baseline, candidate).render() + "\n")
+    return 0
+
+
+def _cmd_corpus_build(args, out) -> int:
+    from repro.testing.corpus import build_corpus
+
+    session = _session(args)
+    # Raw SQL contains commas of its own; only a list of names is split.
+    if "select" in args.queries.lower():
+        queries = [args.queries]
+    else:
+        queries = [_resolve_sql(q.strip()) for q in args.queries.split(",")]
+    corpus = build_corpus(
+        session, queries, plans_per_query=args.plans, seed=args.seed
+    )
+    corpus.save(args.path)
+    out.write(f"recorded {len(corpus.records)} golden plans to {args.path}\n")
+    return 0
+
+
+def _cmd_corpus_verify(args, out) -> int:
+    from repro.testing.corpus import PlanCorpus, verify_corpus
+
+    session = _session(args)
+    corpus = PlanCorpus.load(args.path)
+    verification = verify_corpus(session, corpus)
+    out.write(verification.render() + "\n")
+    return 0 if verification.passed else 1
+
+
+_COMMANDS = {
+    "count": _cmd_count,
+    "explain": _cmd_explain,
+    "unrank": _cmd_unrank,
+    "sample": _cmd_sample,
+    "execute": _cmd_execute,
+    "validate": _cmd_validate,
+    "table1": _cmd_table1,
+    "figure4": _cmd_figure4,
+    "participation": _cmd_participation,
+    "diff": _cmd_diff,
+    "corpus-build": _cmd_corpus_build,
+    "corpus-verify": _cmd_corpus_verify,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    if out is None:
+        out = sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args, out)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

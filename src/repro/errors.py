@@ -1,0 +1,76 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class CatalogError(ReproError):
+    """Schema or statistics problem (unknown table, duplicate column, ...)."""
+
+
+class StorageError(ReproError):
+    """In-memory storage engine problem (arity mismatch, unknown table)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class LexerError(SqlError):
+    """Invalid token in the SQL input."""
+
+
+class ParseError(SqlError):
+    """SQL input does not conform to the grammar."""
+
+
+class BindError(SqlError):
+    """Name resolution failure (unknown table/column, ambiguous column)."""
+
+
+class AlgebraError(ReproError):
+    """Malformed operator tree or scalar expression."""
+
+
+class MemoError(ReproError):
+    """MEMO structure invariant violation."""
+
+
+class OptimizerError(ReproError):
+    """Optimization failed (no implementation satisfies the requirement...)."""
+
+
+class PlanSpaceError(ReproError):
+    """Plan-space construction, counting, or unranking failure."""
+
+
+class RankOutOfRangeError(PlanSpaceError):
+    """Requested rank is outside ``0..N-1``."""
+
+    def __init__(self, rank: int, count: int):
+        self.rank = rank
+        self.count = count
+        super().__init__(f"rank {rank} out of range for a space of {count} plans")
+
+
+class ExecutionError(ReproError):
+    """Runtime failure while executing a physical plan."""
+
+
+class ValidationError(ReproError):
+    """The validation harness detected mismatching plan results."""

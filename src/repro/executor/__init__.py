@@ -1,0 +1,21 @@
+"""The execution engine (system S9).
+
+Executes physical plans against an in-memory :class:`~repro.storage.Database`.
+Every physical operator the optimizer can emit has an implementation here;
+the paper's verification methodology (Section 4) depends on *all* plans of
+a query being executable, not just the optimizer's favourite.
+"""
+
+from repro.executor.scalar import compile_scalar, like_matcher
+from repro.executor.schema import output_schema, schema_positions
+from repro.executor.executor import PlanExecutor, QueryResult, execute_plan
+
+__all__ = [
+    "compile_scalar",
+    "like_matcher",
+    "output_schema",
+    "schema_positions",
+    "PlanExecutor",
+    "QueryResult",
+    "execute_plan",
+]

@@ -1,0 +1,372 @@
+"""Plan execution.
+
+A straightforward materializing executor: each operator consumes its
+children's row lists and produces its own.  At the micro data scale used
+for validation, materialization is simpler and just as fast as a pull
+iterator pipeline, and it keeps the merge-join and aggregate logic easy
+to audit — which matters, since the validation harness's whole point is
+that independent implementations cross-check each other.
+
+``PlanExecutor`` can optionally *verify* the sort-order contracts of
+merge join and stream aggregate at runtime (``check_orders=True``): if
+the optimizer ever wires an unsorted child below an order-requiring
+operator, execution fails loudly instead of silently producing wrong
+results.  This is the kind of defect the paper's methodology is designed
+to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import AggFunc, AggregateCall, ColumnId
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.errors import ExecutionError
+from repro.executor.scalar import compile_predicate, compile_scalar
+from repro.executor.schema import RowSchema, output_schema
+from repro.optimizer.plan import PlanNode
+from repro.storage.database import Database
+
+__all__ = ["QueryResult", "PlanExecutor", "execute_plan"]
+
+
+@dataclass
+class QueryResult:
+    """Rows plus column names, as a client would see them."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def sorted_rows(self) -> list[tuple]:
+        """Rows in a canonical order (for order-insensitive comparison)."""
+        return sorted(self.rows, key=repr)
+
+    def render(self, limit: int = 20) -> str:
+        header = " | ".join(self.columns)
+        lines = [header, "-" * len(header)]
+        for row in self.rows[:limit]:
+            lines.append(" | ".join(str(v) for v in row))
+        if len(self.rows) > limit:
+            lines.append(f"... ({len(self.rows)} rows total)")
+        return "\n".join(lines)
+
+
+def _column_label(column: ColumnId) -> str:
+    return column.column if not column.alias else f"{column.alias}.{column.column}"
+
+
+class _Accumulator:
+    """State for one aggregate call within one group."""
+
+    __slots__ = ("func", "count", "total", "minimum", "maximum")
+
+    def __init__(self, func: AggFunc):
+        self.func = func
+        self.count = 0
+        self.total = 0.0
+        self.minimum = None
+        self.maximum = None
+
+    def add(self, value) -> None:
+        if value is None:
+            return
+        self.count += 1
+        if self.func in (AggFunc.SUM, AggFunc.AVG):
+            self.total += value
+        elif self.func is AggFunc.MIN:
+            if self.minimum is None or value < self.minimum:
+                self.minimum = value
+        elif self.func is AggFunc.MAX:
+            if self.maximum is None or value > self.maximum:
+                self.maximum = value
+
+    def result(self):
+        if self.func is AggFunc.COUNT:
+            return self.count
+        if self.count == 0:
+            return None
+        if self.func is AggFunc.SUM:
+            return self.total
+        if self.func is AggFunc.AVG:
+            return self.total / self.count
+        if self.func is AggFunc.MIN:
+            return self.minimum
+        return self.maximum
+
+
+class PlanExecutor:
+    """Executes physical plans against a database."""
+
+    def __init__(self, database: Database, check_orders: bool = False):
+        self.database = database
+        self.catalog = database.catalog
+        self.check_orders = check_orders
+
+    # ------------------------------------------------------------------
+    def execute(self, plan: PlanNode) -> QueryResult:
+        schema, rows = self._run(plan)
+        return QueryResult(
+            columns=[_column_label(c) for c in schema], rows=rows
+        )
+
+    # ------------------------------------------------------------------
+    def _run(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        op = plan.op
+        if isinstance(op, (TableScan, IndexScan)):
+            return self._run_scan(plan)
+        if isinstance(op, PhysicalFilter):
+            return self._run_filter(plan)
+        if isinstance(op, NestedLoopJoin):
+            return self._run_nested_loop(plan)
+        if isinstance(op, HashJoin):
+            return self._run_hash_join(plan)
+        if isinstance(op, MergeJoin):
+            return self._run_merge_join(plan)
+        if isinstance(op, IndexNestedLoopJoin):
+            return self._run_index_nl_join(plan)
+        if isinstance(op, Sort):
+            return self._run_sort(plan)
+        if isinstance(op, (HashAggregate, StreamAggregate)):
+            return self._run_aggregate(plan)
+        if isinstance(op, PhysicalProject):
+            return self._run_project(plan)
+        raise ExecutionError(f"no executor for operator {op.name}")
+
+    # ------------------------------------------------------------------
+    def _run_scan(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        op = plan.op
+        table = self.database.table(op.table)
+        if isinstance(op, IndexScan):
+            rows = table.index_scan(op.index_name)
+        else:
+            rows = table.scan()
+        schema = output_schema(plan, self.catalog)
+        predicate = compile_predicate(op.predicate, schema)
+        return schema, [row for row in rows if predicate(row)]
+
+    def _run_filter(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        schema, rows = self._run(plan.children[0])
+        predicate = compile_predicate(plan.op.predicate, schema)
+        return schema, [row for row in rows if predicate(row)]
+
+    def _run_nested_loop(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        left_schema, left_rows = self._run(plan.children[0])
+        right_schema, right_rows = self._run(plan.children[1])
+        schema = left_schema + right_schema
+        predicate = compile_predicate(plan.op.predicate, schema)
+        out = []
+        for left in left_rows:
+            for right in right_rows:
+                row = left + right
+                if predicate(row):
+                    out.append(row)
+        return schema, out
+
+    def _run_hash_join(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        op = plan.op
+        left_schema, left_rows = self._run(plan.children[0])
+        right_schema, right_rows = self._run(plan.children[1])
+        schema = left_schema + right_schema
+
+        left_key = self._key_fn(op.left_keys, left_schema)
+        right_key = self._key_fn(op.right_keys, right_schema)
+        residual = compile_predicate(op.residual, schema)
+
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in right_rows:
+            buckets.setdefault(right_key(row), []).append(row)
+        out = []
+        for left in left_rows:
+            for right in buckets.get(left_key(left), ()):
+                row = left + right
+                if residual(row):
+                    out.append(row)
+        return schema, out
+
+    def _run_merge_join(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        op = plan.op
+        left_schema, left_rows = self._run(plan.children[0])
+        right_schema, right_rows = self._run(plan.children[1])
+        schema = left_schema + right_schema
+
+        left_key = self._key_fn(op.left_keys, left_schema)
+        right_key = self._key_fn(op.right_keys, right_schema)
+        residual = compile_predicate(op.residual, schema)
+
+        if self.check_orders:
+            self._assert_sorted(left_rows, left_key, "merge join left input")
+            self._assert_sorted(right_rows, right_key, "merge join right input")
+
+        out = []
+        li = ri = 0
+        n_left, n_right = len(left_rows), len(right_rows)
+        while li < n_left and ri < n_right:
+            lk = left_key(left_rows[li])
+            rk = right_key(right_rows[ri])
+            if lk < rk:
+                li += 1
+            elif lk > rk:
+                ri += 1
+            else:
+                lj = li
+                while lj < n_left and left_key(left_rows[lj]) == lk:
+                    lj += 1
+                rj = ri
+                while rj < n_right and right_key(right_rows[rj]) == rk:
+                    rj += 1
+                for left in left_rows[li:lj]:
+                    for right in right_rows[ri:rj]:
+                        row = left + right
+                        if residual(row):
+                            out.append(row)
+                li, ri = lj, rj
+        return schema, out
+
+    def _run_index_nl_join(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        op = plan.op
+        outer_schema, outer_rows = self._run(plan.children[0])
+        inner_table = self.database.table(op.inner_table)
+        inner_catalog = self.catalog.table(op.inner_table)
+        inner_schema = tuple(
+            ColumnId(op.inner_alias, col.name) for col in inner_catalog.columns
+        )
+        schema = outer_schema + inner_schema
+
+        inner_filter = compile_predicate(op.inner_predicate, inner_schema)
+        # Simulate index seeks: the sorted index view bucketed by the
+        # matched key prefix gives O(1) lookups per outer row.
+        key_positions = tuple(
+            inner_catalog.column_position(c.column) for c in op.inner_keys
+        )
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in inner_table.index_scan(op.index_name):
+            if not inner_filter(row):
+                continue
+            buckets.setdefault(
+                tuple(row[p] for p in key_positions), []
+            ).append(row)
+
+        outer_key = self._key_fn(op.outer_keys, outer_schema)
+        residual = compile_predicate(op.residual, schema)
+        out = []
+        for outer in outer_rows:
+            for inner in buckets.get(outer_key(outer), ()):
+                row = outer + inner
+                if residual(row):
+                    out.append(row)
+        return schema, out
+
+    def _run_sort(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        schema, rows = self._run(plan.children[0])
+        key = self._key_fn(plan.op.order, schema)
+        return schema, sorted(rows, key=key)
+
+    def _run_aggregate(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        op = plan.op
+        child_schema, rows = self._run(plan.children[0])
+        schema = output_schema(plan, self.catalog)
+
+        group_key = self._key_fn(op.group_by, child_schema)
+        calls: list[tuple[AggregateCall, object]] = []
+        for _, call in op.aggregates:
+            arg_fn = (
+                None if call.arg is None else compile_scalar(call.arg, child_schema)
+            )
+            calls.append((call, arg_fn))
+
+        if isinstance(op, StreamAggregate) and self.check_orders and op.group_by:
+            self._assert_sorted(rows, group_key, "stream aggregate input")
+
+        def new_accumulators() -> list[_Accumulator]:
+            return [_Accumulator(call.func) for call, _ in calls]
+
+        def feed(accs: list[_Accumulator], row: tuple) -> None:
+            for (call, arg_fn), acc in zip(calls, accs):
+                if call.arg is None:
+                    acc.count += 1  # COUNT(*)
+                else:
+                    acc.add(arg_fn(row))
+
+        out: list[tuple] = []
+        if not op.group_by:
+            accs = new_accumulators()
+            for row in rows:
+                feed(accs, row)
+            out.append(tuple(acc.result() for acc in accs))
+            return schema, out
+
+        if isinstance(op, StreamAggregate):
+            current_key: tuple | None = None
+            accs: list[_Accumulator] | None = None
+            for row in rows:
+                key = group_key(row)
+                if key != current_key:
+                    if accs is not None:
+                        out.append(current_key + tuple(a.result() for a in accs))
+                    current_key = key
+                    accs = new_accumulators()
+                feed(accs, row)
+            if accs is not None:
+                out.append(current_key + tuple(a.result() for a in accs))
+            return schema, out
+
+        groups: dict[tuple, list[_Accumulator]] = {}
+        order: list[tuple] = []
+        for row in rows:
+            key = group_key(row)
+            accs = groups.get(key)
+            if accs is None:
+                accs = new_accumulators()
+                groups[key] = accs
+                order.append(key)
+            feed(accs, row)
+        for key in order:
+            out.append(key + tuple(a.result() for a in groups[key]))
+        return schema, out
+
+    def _run_project(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        child_schema, rows = self._run(plan.children[0])
+        schema = output_schema(plan, self.catalog)
+        fns = [compile_scalar(expr, child_schema) for _, expr in plan.op.outputs]
+        return schema, [tuple(fn(row) for fn in fns) for row in rows]
+
+    # ------------------------------------------------------------------
+    def _key_fn(self, columns: tuple[ColumnId, ...], schema: RowSchema):
+        positions = []
+        index = {column: i for i, column in enumerate(schema)}
+        for column in columns:
+            try:
+                positions.append(index[column])
+            except KeyError:
+                raise ExecutionError(
+                    f"key column {column.render()!r} not in input schema"
+                ) from None
+        return lambda row: tuple(row[p] for p in positions)
+
+    @staticmethod
+    def _assert_sorted(rows: list[tuple], key, what: str) -> None:
+        for i in range(1, len(rows)):
+            if key(rows[i - 1]) > key(rows[i]):
+                raise ExecutionError(f"{what} is not sorted as required")
+
+
+def execute_plan(
+    plan: PlanNode, database: Database, check_orders: bool = False
+) -> QueryResult:
+    """Convenience wrapper: execute ``plan`` against ``database``."""
+    return PlanExecutor(database, check_orders=check_orders).execute(plan)

@@ -1,0 +1,64 @@
+"""Row schemas: which columns a plan node's output rows carry, in order."""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColumnId
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.catalog.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.optimizer.plan import PlanNode
+
+__all__ = ["output_schema", "schema_positions"]
+
+RowSchema = tuple[ColumnId, ...]
+
+
+def output_schema(plan: PlanNode, catalog: Catalog) -> RowSchema:
+    """The ordered column ids of ``plan``'s output rows."""
+    op = plan.op
+
+    if isinstance(op, (TableScan, IndexScan)):
+        schema = catalog.table(op.table)
+        return tuple(ColumnId(op.alias, col.name) for col in schema.columns)
+
+    if isinstance(op, (PhysicalFilter, Sort)):
+        return output_schema(plan.children[0], catalog)
+
+    if isinstance(op, (NestedLoopJoin, HashJoin, MergeJoin)):
+        left = output_schema(plan.children[0], catalog)
+        right = output_schema(plan.children[1], catalog)
+        return left + right
+
+    if isinstance(op, IndexNestedLoopJoin):
+        outer = output_schema(plan.children[0], catalog)
+        inner_schema = catalog.table(op.inner_table)
+        inner = tuple(
+            ColumnId(op.inner_alias, col.name) for col in inner_schema.columns
+        )
+        return outer + inner
+
+    if isinstance(op, (HashAggregate, StreamAggregate)):
+        return tuple(op.group_by) + tuple(
+            ColumnId("", name) for name, _ in op.aggregates
+        )
+
+    if isinstance(op, PhysicalProject):
+        return tuple(ColumnId("", name) for name, _ in op.outputs)
+
+    raise ExecutionError(f"no output schema rule for operator {op.name}")
+
+
+def schema_positions(schema: RowSchema) -> dict[ColumnId, int]:
+    return {column: i for i, column in enumerate(schema)}

@@ -1,0 +1,36 @@
+"""The paper's Section 5 experiments (system S11): cost distributions of
+uniformly sampled plans, the Table 1 search-space parameters, and the
+Figure 4 histograms."""
+
+from repro.experiments.distributions import (
+    CostDistribution,
+    sample_cost_distribution,
+)
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    Table1Row,
+    reproduce_table1,
+    render_table1,
+)
+from repro.experiments.figure4 import figure4_histogram, render_figure4
+from repro.experiments.analysis import (
+    PlanSampleAnalysis,
+    analyze_plans,
+    classify_join_shape,
+    operator_mix,
+)
+
+__all__ = [
+    "PlanSampleAnalysis",
+    "analyze_plans",
+    "classify_join_shape",
+    "operator_mix",
+    "CostDistribution",
+    "sample_cost_distribution",
+    "PAPER_TABLE1",
+    "Table1Row",
+    "reproduce_table1",
+    "render_table1",
+    "figure4_histogram",
+    "render_figure4",
+]

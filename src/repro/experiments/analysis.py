@@ -1,0 +1,150 @@
+"""Plan-space analysis: what do the sampled plans look like?
+
+Section 4 of the paper argues that enumerating/sampling "helps check and
+analyze optimizer principles".  This module provides the analyses we
+found most useful when studying the spaces: which operators appear how
+often in a uniform sample, the join-tree shape mix (left-deep vs bushy),
+and per-operator usage frequencies (is some implementation dead?).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.algebra.physical import (
+    HashJoin,
+    IndexNestedLoopJoin,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalOperator,
+)
+from repro.optimizer.plan import PlanNode
+
+__all__ = [
+    "classify_join_shape",
+    "operator_mix",
+    "PlanSampleAnalysis",
+    "analyze_plans",
+]
+
+_JOIN_TYPES = (HashJoin, MergeJoin, NestedLoopJoin, IndexNestedLoopJoin)
+
+
+def _is_join(op: PhysicalOperator) -> bool:
+    return isinstance(op, _JOIN_TYPES)
+
+
+def _contains_join(plan: PlanNode) -> bool:
+    return any(_is_join(node.op) for node in plan.iter_nodes())
+
+
+def classify_join_shape(plan: PlanNode) -> str:
+    """The join-tree shape of a plan.
+
+    * ``left-deep`` — every binary join's right input is join-free;
+    * ``right-deep`` — every binary join's left input is join-free;
+    * ``linear``    — every join has at least one join-free input, mixing
+      left and right (a zig-zag tree);
+    * ``bushy``     — some join joins two join results;
+    * ``no-join``   — the plan has at most one base relation.
+
+    Index-lookup joins are unary (the inner side is owned by the
+    operator) and count as a join with a join-free right input.
+    """
+    joins = [node for node in plan.iter_nodes() if _is_join(node.op)]
+    if len(joins) <= 1:
+        return "no-join" if not joins else "left-deep"
+    all_left = True
+    all_right = True
+    for node in joins:
+        if isinstance(node.op, IndexNestedLoopJoin):
+            # outer = children[0], inner is embedded (join-free).
+            left_has = _contains_join(node.children[0])
+            right_has = False
+        else:
+            left_has = _contains_join(node.children[0])
+            right_has = _contains_join(node.children[1])
+        if left_has and right_has:
+            return "bushy"
+        if right_has:
+            all_left = False
+        if left_has:
+            all_right = False
+    if all_left:
+        return "left-deep"
+    if all_right:
+        return "right-deep"
+    return "linear"
+
+
+def operator_mix(plans: list[PlanNode]) -> Counter:
+    """Total operator occurrences across ``plans`` by operator name."""
+    counts: Counter = Counter()
+    for plan in plans:
+        for node in plan.iter_nodes():
+            counts[node.op.name] += 1
+    return counts
+
+
+@dataclass
+class PlanSampleAnalysis:
+    """Aggregate statistics over a sample of plans."""
+
+    sample_size: int
+    shape_counts: Counter = field(default_factory=Counter)
+    operator_counts: Counter = field(default_factory=Counter)
+    plans_containing: Counter = field(default_factory=Counter)
+    mean_plan_size: float = 0.0
+    mean_plan_depth: float = 0.0
+
+    def shape_fraction(self, shape: str) -> float:
+        if not self.sample_size:
+            return 0.0
+        return self.shape_counts.get(shape, 0) / self.sample_size
+
+    def containment_fraction(self, operator_name: str) -> float:
+        """Fraction of plans containing at least one such operator."""
+        if not self.sample_size:
+            return 0.0
+        return self.plans_containing.get(operator_name, 0) / self.sample_size
+
+    def render(self) -> str:
+        lines = [
+            f"analysis of {self.sample_size} plans "
+            f"(mean size {self.mean_plan_size:.1f} operators, "
+            f"mean depth {self.mean_plan_depth:.1f}):",
+            "  join-tree shapes:",
+        ]
+        for shape, count in self.shape_counts.most_common():
+            lines.append(
+                f"    {shape:>10}: {count:>6} ({count / self.sample_size:.1%})"
+            )
+        lines.append("  operator containment (fraction of plans using it):")
+        for name, count in self.plans_containing.most_common():
+            lines.append(
+                f"    {name:>20}: {count / self.sample_size:>7.1%}"
+            )
+        return "\n".join(lines)
+
+
+def analyze_plans(plans: list[PlanNode]) -> PlanSampleAnalysis:
+    """Compute shape/operator statistics for a plan sample."""
+    analysis = PlanSampleAnalysis(sample_size=len(plans))
+    if not plans:
+        return analysis
+    total_size = 0
+    total_depth = 0
+    for plan in plans:
+        analysis.shape_counts[classify_join_shape(plan)] += 1
+        seen: set[str] = set()
+        for node in plan.iter_nodes():
+            analysis.operator_counts[node.op.name] += 1
+            seen.add(node.op.name)
+        for name in seen:
+            analysis.plans_containing[name] += 1
+        total_size += plan.size()
+        total_depth += plan.depth()
+    analysis.mean_plan_size = total_size / len(plans)
+    analysis.mean_plan_depth = total_depth / len(plans)
+    return analysis

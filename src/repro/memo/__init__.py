@@ -1,0 +1,14 @@
+"""The MEMO structure (system S6).
+
+A memo is a system of *groups*; each group holds logical and physical
+*group expressions* whose children are references to other groups
+(Section 2 of the paper, Figures 1 and 2).  A group stands for one
+sub-goal of the query, and the memo as a whole is a compact encoding of
+every candidate plan the optimizer considered — the structure the paper's
+counting/unranking algorithms operate on.
+"""
+
+from repro.memo.group import Group, GroupExpr
+from repro.memo.memo import Memo
+
+__all__ = ["Group", "GroupExpr", "Memo"]

@@ -1,0 +1,96 @@
+"""Groups and group expressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.logical import LogicalOperator
+from repro.algebra.physical import PhysicalOperator
+from repro.errors import MemoError
+
+__all__ = ["GroupExpr", "Group"]
+
+
+@dataclass
+class GroupExpr:
+    """One operator inside a group, with child *group* references.
+
+    Mirrors the paper's rounded boxes: a unique identifier ``group.local``
+    (e.g. ``7.7``) in the lower-left corner and the ordered child group
+    numbers in the lower-right.
+    """
+
+    op: LogicalOperator | PhysicalOperator
+    children: tuple[int, ...]
+    group_id: int
+    local_id: int
+
+    def __post_init__(self) -> None:
+        if len(self.children) != self.op.arity:
+            raise MemoError(
+                f"operator {self.op.name} has arity {self.op.arity} "
+                f"but {len(self.children)} children were supplied"
+            )
+
+    @property
+    def is_physical(self) -> bool:
+        return isinstance(self.op, PhysicalOperator)
+
+    @property
+    def is_enforcer(self) -> bool:
+        return isinstance(self.op, PhysicalOperator) and self.op.is_enforcer
+
+    @property
+    def id_str(self) -> str:
+        """The paper's ``<group>.<operator>`` identifier, e.g. ``7.7``."""
+        return f"{self.group_id}.{self.local_id}"
+
+    def fingerprint(self) -> tuple:
+        return (self.op.key(), self.children)
+
+    def render(self) -> str:
+        kids = ",".join(str(c) for c in self.children)
+        suffix = f" [{kids}]" if kids else ""
+        return f"{self.id_str}: {self.op.render()}{suffix}"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+@dataclass
+class Group:
+    """A set of equivalent expressions: one sub-goal of the query.
+
+    ``key`` is the canonical logical identity of the group (for join-level
+    groups: the set of range variables covered), which is how the memo
+    detects that two transformation paths arrived at the same sub-goal.
+    ``relations`` is the alias set covered by the group — the unit the
+    no-cross-products rule and cardinality estimation reason over.
+    """
+
+    gid: int
+    key: tuple
+    relations: frozenset[str]
+    exprs: list[GroupExpr] = field(default_factory=list)
+    #: estimated output rows; filled in by the cardinality module
+    cardinality: float | None = None
+
+    def logical_exprs(self) -> list[GroupExpr]:
+        return [e for e in self.exprs if not e.is_physical]
+
+    def physical_exprs(self) -> list[GroupExpr]:
+        return [e for e in self.exprs if e.is_physical]
+
+    def expr(self, local_id: int) -> GroupExpr:
+        for expr in self.exprs:
+            if expr.local_id == local_id:
+                return expr
+        raise MemoError(f"group {self.gid} has no expression {local_id}")
+
+    def render(self) -> str:
+        lines = [f"Group {self.gid}  rels={{{', '.join(sorted(self.relations))}}}"]
+        lines.extend(f"  {expr.render()}" for expr in self.exprs)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

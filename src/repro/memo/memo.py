@@ -1,0 +1,138 @@
+"""The memo: group lookup, expression insertion, duplicate elimination.
+
+Following the paper, the memo "manages a system of groups" and "includes
+routines that analyze the results of a rule application and assign it to
+the groups, detect and eliminate duplicates, and create new groups".
+Groups are identified by a canonical *logical key*: for scan/join-level
+groups that key is the set of range variables covered (the Starburst
+convention, equally valid for a transformation-based optimizer after full
+exploration); for unary roots (aggregate/project/select) it is derived
+from the operator fingerprint and child group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.logical import LogicalOperator
+from repro.algebra.physical import PhysicalOperator
+from repro.errors import MemoError
+from repro.memo.group import Group, GroupExpr
+
+__all__ = ["Memo"]
+
+
+@dataclass
+class Memo:
+    """A compact encoding of the plan search space."""
+
+    groups: list[Group] = field(default_factory=list)
+    root_group_id: int | None = None
+    _groups_by_key: dict[tuple, int] = field(default_factory=dict, repr=False)
+    _expr_fingerprints: dict[tuple, tuple[int, int]] = field(
+        default_factory=dict, repr=False
+    )
+
+    # ------------------------------------------------------------------
+    # groups
+    # ------------------------------------------------------------------
+    def group(self, gid: int) -> Group:
+        try:
+            return self.groups[gid]
+        except IndexError:
+            raise MemoError(f"no group {gid}") from None
+
+    def root_group(self) -> Group:
+        if self.root_group_id is None:
+            raise MemoError("memo has no root group")
+        return self.group(self.root_group_id)
+
+    def set_root(self, gid: int) -> None:
+        self.group(gid)  # validate
+        self.root_group_id = gid
+
+    def find_group(self, key: tuple) -> Group | None:
+        gid = self._groups_by_key.get(key)
+        return None if gid is None else self.groups[gid]
+
+    def get_or_create_group(self, key: tuple, relations: frozenset[str]) -> Group:
+        gid = self._groups_by_key.get(key)
+        if gid is not None:
+            group = self.groups[gid]
+            if group.relations != relations:
+                raise MemoError(
+                    f"group key {key!r} reused with different relation set "
+                    f"({sorted(group.relations)} vs {sorted(relations)})"
+                )
+            return group
+        group = Group(gid=len(self.groups), key=key, relations=relations)
+        self.groups.append(group)
+        self._groups_by_key[key] = group.gid
+        return group
+
+    def group_for_relations(self, relations: frozenset[str]) -> Group | None:
+        return self.find_group(("rels", relations))
+
+    # ------------------------------------------------------------------
+    # expressions
+    # ------------------------------------------------------------------
+    def insert(
+        self,
+        op: LogicalOperator | PhysicalOperator,
+        children: tuple[int, ...],
+        group: Group,
+    ) -> GroupExpr | None:
+        """Insert ``op(children)`` into ``group``.
+
+        Returns the new :class:`GroupExpr`, or ``None`` if an identical
+        expression already exists anywhere in the memo (duplicate
+        elimination).  Children must be existing groups.
+        """
+        for child in children:
+            if not 0 <= child < len(self.groups):
+                raise MemoError(f"child group {child} does not exist")
+        fingerprint = (op.key(), children)
+        existing = self._expr_fingerprints.get(fingerprint)
+        if existing is not None:
+            owner_gid, _ = existing
+            if owner_gid != group.gid:
+                raise MemoError(
+                    f"expression {op.render()} already belongs to group {owner_gid}, "
+                    f"cannot also insert into group {group.gid}"
+                )
+            return None
+        expr = GroupExpr(
+            op=op,
+            children=children,
+            group_id=group.gid,
+            local_id=len(group.exprs) + 1,
+        )
+        group.exprs.append(expr)
+        self._expr_fingerprints[fingerprint] = (group.gid, expr.local_id)
+        return expr
+
+    def expr(self, gid: int, local_id: int) -> GroupExpr:
+        return self.group(gid).expr(local_id)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def expression_count(self) -> int:
+        return sum(len(g.exprs) for g in self.groups)
+
+    def logical_expression_count(self) -> int:
+        return sum(len(g.logical_exprs()) for g in self.groups)
+
+    def physical_expression_count(self) -> int:
+        return sum(len(g.physical_exprs()) for g in self.groups)
+
+    def render(self) -> str:
+        """ASCII dump in the spirit of the paper's Figure 2."""
+        lines = []
+        for group in self.groups:
+            marker = "  (root)" if group.gid == self.root_group_id else ""
+            lines.append(group.render() + marker)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,64 @@
+"""Attach cardinality estimates to memo groups.
+
+Cardinality is a *logical* property: every expression in a group produces
+the same rows, so the estimate lives on the group (as in Volcano/Cascades).
+Groups are created children-first, so a single in-order pass suffices.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.logical import LogicalAggregate, LogicalSelect
+from repro.errors import OptimizerError
+from repro.memo.memo import Memo
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.joingraph import JoinGraph
+
+__all__ = ["annotate_cardinalities"]
+
+
+def annotate_cardinalities(
+    memo: Memo, graph: JoinGraph, estimator: CardinalityEstimator
+) -> None:
+    """Fill ``group.cardinality`` for every group in ``memo``."""
+    for group in memo.groups:
+        tag = group.key[0]
+        if tag == "rels":
+            relations = group.key[1]
+            internal = [c.expr for c in graph.internal_conjuncts(relations)]
+            group.cardinality = estimator.relation_set_cardinality(
+                relations, internal
+            )
+        elif tag == "select":
+            child = memo.group(group.key[1])
+            predicate = _unary_op(group, LogicalSelect).predicate
+            group.cardinality = estimator.select_cardinality(
+                _require(child), predicate
+            )
+        elif tag == "agg":
+            child = memo.group(group.key[1])
+            op = _unary_op(group, LogicalAggregate)
+            group.cardinality = estimator.aggregate_cardinality(
+                _require(child), op.group_by
+            )
+        elif tag == "proj":
+            child = memo.group(group.key[1])
+            group.cardinality = _require(child)
+        else:  # pragma: no cover - defensive
+            raise OptimizerError(f"unknown group key tag {tag!r}")
+
+
+def _require(group) -> float:
+    if group.cardinality is None:
+        raise OptimizerError(
+            f"group {group.gid} has no cardinality (children must be annotated first)"
+        )
+    return group.cardinality
+
+
+def _unary_op(group, cls):
+    for expr in group.logical_exprs():
+        if isinstance(expr.op, cls):
+            return expr.op
+    raise OptimizerError(
+        f"group {group.gid} has no logical {cls.__name__} expression"
+    )

@@ -1,0 +1,151 @@
+"""Best-plan extraction: dynamic programming over (group, required order).
+
+"The optimal query plan is the one rooted in the most cost effective
+operator in the root group.  To extract this plan, we follow the
+references to the children's groups and select the most cost effective
+operator of each group, observing compatibility of physical properties."
+(Section 2.)
+
+The DP state is a group plus the sort order required of it.  For each
+state we take the cheapest of (a) any non-enforcer operator whose
+delivered order satisfies the requirement, with children optimized under
+the operator's own child requirements, and (b) when an order is required,
+the group's Sort enforcer over the group optimized order-free.  Because
+operator costs depend only on group cardinalities, this DP finds the true
+global minimum over the entire plan space — a property the test suite
+checks by exhaustive enumeration on small queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.physical import Sort
+from repro.algebra.properties import SortOrder, order_satisfies
+from repro.errors import OptimizerError
+from repro.memo.memo import Memo
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plan import PlanNode
+
+__all__ = ["BestPlanSearch", "find_best_plan"]
+
+_IN_PROGRESS = object()
+
+
+@dataclass
+class _Best:
+    cost: float
+    plan: PlanNode
+
+
+class BestPlanSearch:
+    """Memoized best-plan search over one memo."""
+
+    def __init__(self, memo: Memo, cost_model: CostModel):
+        self.memo = memo
+        self.cost_model = cost_model
+        self._cache: dict[tuple[int, SortOrder], _Best | None | object] = {}
+
+    # ------------------------------------------------------------------
+    def best(self, gid: int, required: SortOrder = ()) -> _Best | None:
+        """Cheapest plan for group ``gid`` delivering ``required`` order,
+        or ``None`` when no operator combination can satisfy it."""
+        key = (gid, required)
+        if key in self._cache:
+            value = self._cache[key]
+            if value is _IN_PROGRESS:
+                raise OptimizerError(f"cycle detected while optimizing group {gid}")
+            return value
+        self._cache[key] = _IN_PROGRESS
+
+        group = self.memo.group(gid)
+        if group.cardinality is None:
+            raise OptimizerError(
+                f"group {gid} has no cardinality; run annotate_cardinalities first"
+            )
+        best: _Best | None = None
+
+        for expr in group.physical_exprs():
+            if expr.is_enforcer:
+                continue
+            if not order_satisfies(expr.op.delivered_order(), required):
+                continue
+            total = 0.0
+            children: list[PlanNode] = []
+            feasible = True
+            for child_pos, child_gid in enumerate(expr.children):
+                child_best = self.best(
+                    child_gid, expr.op.required_child_order(child_pos)
+                )
+                if child_best is None:
+                    feasible = False
+                    break
+                total += child_best.cost
+                children.append(child_best.plan)
+            if not feasible:
+                continue
+            child_rows = tuple(
+                self.memo.group(cgid).cardinality for cgid in expr.children
+            )
+            total += self.cost_model.operator_cost(
+                expr.op, group.cardinality, child_rows
+            )
+            if best is None or total < best.cost:
+                best = _Best(
+                    cost=total,
+                    plan=PlanNode(
+                        op=expr.op,
+                        children=tuple(children),
+                        group_id=gid,
+                        local_id=expr.local_id,
+                        cardinality=group.cardinality,
+                    ),
+                )
+
+        if required:
+            enforcer = self._find_enforcer(gid, required)
+            if enforcer is not None:
+                inner = self.best(gid, ())
+                if inner is not None:
+                    local = self.cost_model.operator_cost(
+                        enforcer.op, group.cardinality, (group.cardinality,)
+                    )
+                    total = local + inner.cost
+                    if best is None or total < best.cost:
+                        best = _Best(
+                            cost=total,
+                            plan=PlanNode(
+                                op=enforcer.op,
+                                children=(inner.plan,),
+                                group_id=gid,
+                                local_id=enforcer.local_id,
+                                cardinality=group.cardinality,
+                            ),
+                        )
+
+        self._cache[key] = best
+        return best
+
+    # ------------------------------------------------------------------
+    def _find_enforcer(self, gid: int, required: SortOrder):
+        for expr in self.memo.group(gid).physical_exprs():
+            if expr.is_enforcer and isinstance(expr.op, Sort):
+                if order_satisfies(expr.op.delivered_order(), required):
+                    return expr
+        return None
+
+
+def find_best_plan(
+    memo: Memo, cost_model: CostModel, required_order: SortOrder = ()
+) -> tuple[PlanNode, float]:
+    """The optimizer's chosen plan and its cost."""
+    search = BestPlanSearch(memo, cost_model)
+    if memo.root_group_id is None:
+        raise OptimizerError("memo has no root group")
+    best = search.best(memo.root_group_id, required_order)
+    if best is None:
+        raise OptimizerError(
+            "no physical plan satisfies the root requirement "
+            "(are implementations/enforcers enabled?)"
+        )
+    return best.plan, best.cost

@@ -1,0 +1,175 @@
+"""The cost model.
+
+Abstract, unit-less work estimates in the style of textbook cost models:
+scans pay per row scanned, hash operators pay to build and probe, sorts
+pay ``n log n``, nested loops pay per pair.  Absolute values are not
+comparable to the paper's (SQL Server's model is proprietary) — but the
+paper's experiments only ever use costs *scaled to the optimum*, which is
+exactly what our experiment harness reports too.
+
+The one structural subtlety: a plan's cost is the sum of per-operator
+costs, each computed from the *group* cardinalities of its inputs and
+output.  Every plan for the same query therefore prices the same logical
+sub-result identically, and plan costs differ only through operator and
+shape choices — matching how the memo's costing works in the paper
+("when costing a new operator we compute the costs using the children's
+best implementations").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.algebra.expressions import (
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    InList,
+    Literal,
+    Scalar,
+    split_conjuncts,
+)
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalOperator,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.optimizer.plan import PlanNode
+
+__all__ = ["CostParameters", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """Tunable constants of the cost model (per-row work factors)."""
+
+    seq_row: float = 1.0
+    index_row: float = 1.15
+    index_probe_row: float = 2.0
+    index_lookup: float = 12.0
+    index_join_seek: float = 2.5
+    filter_row: float = 0.05
+    nlj_outer_row: float = 1.0
+    nlj_pair: float = 0.25
+    hash_build_row: float = 1.8
+    hash_probe_row: float = 1.0
+    join_output_row: float = 0.1
+    merge_row: float = 1.0
+    sort_row_log: float = 0.3
+    hash_agg_row: float = 1.5
+    stream_agg_row: float = 1.0
+    group_output_row: float = 1.0
+    project_row: float = 0.03
+
+
+def _constrains_leading_key(predicate: Scalar | None, key: ColumnId) -> bool:
+    """True if ``predicate`` has a sargable conjunct on the leading index
+    key column (equality, range, or IN against a literal)."""
+    for conjunct in split_conjuncts(predicate):
+        if isinstance(conjunct, Comparison):
+            sides = (conjunct.left, conjunct.right)
+            for this, other in (sides, sides[::-1]):
+                if (
+                    isinstance(this, ColumnRef)
+                    and this.column_id == key
+                    and isinstance(other, Literal)
+                ):
+                    return True
+        elif isinstance(conjunct, InList):
+            if (
+                isinstance(conjunct.arg, ColumnRef)
+                and conjunct.arg.column_id == key
+                and not conjunct.negated
+            ):
+                return True
+    return False
+
+
+class CostModel:
+    """Prices physical operators and whole plans."""
+
+    def __init__(self, catalog: Catalog, params: CostParameters | None = None):
+        self.catalog = catalog
+        self.params = params if params is not None else CostParameters()
+
+    # ------------------------------------------------------------------
+    def table_rows(self, table: str) -> float:
+        return float(max(1, self.catalog.table_stats(table).row_count))
+
+    def operator_cost(
+        self,
+        op: PhysicalOperator,
+        output_rows: float,
+        child_rows: tuple[float, ...],
+    ) -> float:
+        """Local cost of one operator (children's costs not included)."""
+        p = self.params
+
+        if isinstance(op, TableScan):
+            return self.table_rows(op.table) * p.seq_row
+
+        if isinstance(op, IndexScan):
+            base = self.table_rows(op.table)
+            if _constrains_leading_key(op.predicate, op.key_order[0]):
+                # Seek to the qualifying key range, then read matches.
+                return p.index_lookup * math.log2(base + 1.0) + output_rows * p.index_probe_row
+            return base * p.index_row
+
+        if isinstance(op, PhysicalFilter):
+            return child_rows[0] * p.filter_row
+
+        if isinstance(op, NestedLoopJoin):
+            outer, inner = child_rows
+            return outer * p.nlj_outer_row + outer * inner * p.nlj_pair
+
+        if isinstance(op, HashJoin):
+            probe, build = child_rows
+            return (
+                build * p.hash_build_row
+                + probe * p.hash_probe_row
+                + output_rows * p.join_output_row
+            )
+
+        if isinstance(op, MergeJoin):
+            left, right = child_rows
+            return (left + right) * p.merge_row + output_rows * p.join_output_row
+
+        if isinstance(op, IndexNestedLoopJoin):
+            outer = child_rows[0]
+            inner_base = self.table_rows(op.inner_table)
+            seek = p.index_join_seek * math.log2(inner_base + 1.0)
+            return outer * seek + output_rows * p.index_probe_row
+
+        if isinstance(op, Sort):
+            rows = child_rows[0]
+            return rows * math.log2(rows + 2.0) * p.sort_row_log
+
+        if isinstance(op, HashAggregate):
+            return child_rows[0] * p.hash_agg_row + output_rows * p.group_output_row
+
+        if isinstance(op, StreamAggregate):
+            return child_rows[0] * p.stream_agg_row + output_rows * p.group_output_row
+
+        if isinstance(op, PhysicalProject):
+            return child_rows[0] * p.project_row * max(1, len(op.outputs))
+
+        raise OptimizerError(f"no cost formula for operator {op.name}")
+
+    # ------------------------------------------------------------------
+    def plan_cost(self, plan: PlanNode) -> float:
+        """Total cost of an assembled plan (sum of operator costs)."""
+        child_rows = tuple(child.cardinality for child in plan.children)
+        local = self.operator_cost(plan.op, plan.cardinality, child_rows)
+        return local + sum(self.plan_cost(child) for child in plan.children)

@@ -1,0 +1,45 @@
+"""EXPLAIN-style plan rendering with cardinalities and costs.
+
+The plain :meth:`PlanNode.render` shows structure; this module adds the
+numbers an engineer reads during cost-model debugging: estimated rows,
+the operator's local cost, and the cumulative cost of its subtree.
+"""
+
+from __future__ import annotations
+
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plan import PlanNode
+
+__all__ = ["explain_plan"]
+
+
+def explain_plan(plan: PlanNode, cost_model: CostModel) -> str:
+    """A table-like EXPLAIN: one row per operator, indented by depth."""
+    rows: list[tuple[str, float, float, float]] = []
+
+    def collect(node: PlanNode, depth: int) -> float:
+        child_rows = tuple(child.cardinality for child in node.children)
+        local = cost_model.operator_cost(node.op, node.cardinality, child_rows)
+        index = len(rows)
+        rows.append(("  " * depth + node.op.render(), node.cardinality, local, 0.0))
+        cumulative = local
+        for child in node.children:
+            cumulative += collect(child, depth + 1)
+        label, cardinality, local_cost, _ = rows[index]
+        rows[index] = (label, cardinality, local_cost, cumulative)
+        return cumulative
+
+    total = collect(plan, 0)
+
+    label_width = max(len(label) for label, *_ in rows)
+    lines = [
+        f"{'operator':<{label_width}}  {'est. rows':>12}  {'cost':>14}  {'total':>14}",
+        "-" * (label_width + 2 + 12 + 2 + 14 + 2 + 14),
+    ]
+    for label, cardinality, local, cumulative in rows:
+        lines.append(
+            f"{label:<{label_width}}  {cardinality:>12,.0f}  "
+            f"{local:>14,.0f}  {cumulative:>14,.0f}"
+        )
+    lines.append(f"{'TOTAL':<{label_width}}  {'':>12}  {'':>14}  {total:>14,.0f}")
+    return "\n".join(lines)

@@ -1,0 +1,299 @@
+"""Exploration: derive all logical join alternatives.
+
+Two interchangeable strategies populate the memo with every join shape the
+search space admits:
+
+* :class:`EnumerationExplorer` — Starburst-style bottom-up enumeration of
+  connected-subgraph/complement pairs.  Guaranteed complete for both the
+  cross-product and no-cross-product spaces; this is the default.
+* :class:`TransformationExplorer` — Volcano/SQL-Server-style rule engine
+  applying join commutativity, (left/right) associativity, and optionally
+  the bushy exchange rule to a fixpoint, starting from the initial
+  left-deep tree.
+
+The paper notes its technique works regardless of how the memo was
+populated ("could be transferred easily to the Starburst enumerator");
+having both lets us test that claim directly (experiment E9).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.algebra.logical import LogicalJoin
+from repro.errors import OptimizerError
+from repro.memo.group import Group, GroupExpr
+from repro.memo.memo import Memo
+from repro.optimizer.joingraph import JoinGraph
+
+__all__ = [
+    "EnumerationExplorer",
+    "TransformationExplorer",
+    "RuleSet",
+    "RULE_COMMUTATIVITY",
+    "RULE_ASSOCIATIVITY_LEFT",
+    "RULE_ASSOCIATIVITY_RIGHT",
+    "RULE_EXCHANGE",
+    "DEFAULT_RULES",
+]
+
+
+# ----------------------------------------------------------------------
+# shared helpers
+# ----------------------------------------------------------------------
+def _valid_join(
+    graph: JoinGraph,
+    left: frozenset[str],
+    right: frozenset[str],
+    allow_cross_products: bool,
+) -> bool:
+    """May ``left`` and ``right`` be joined under the cross-product policy?"""
+    if allow_cross_products:
+        return True
+    if not graph.applicable_conjuncts(left, right):
+        return False
+    return graph.is_connected(left) and graph.is_connected(right)
+
+
+def _insert_join(
+    memo: Memo,
+    graph: JoinGraph,
+    left: frozenset[str],
+    right: frozenset[str],
+) -> GroupExpr | None:
+    """Insert the canonical join of (left, right) into its subset group."""
+    combined = left | right
+    group = memo.get_or_create_group(("rels", combined), combined)
+    left_group = memo.group_for_relations(left)
+    right_group = memo.group_for_relations(right)
+    if left_group is None or right_group is None:
+        raise OptimizerError("join children must be registered before the join")
+    predicate = graph.join_predicate(left, right)
+    return memo.insert(
+        LogicalJoin(predicate), (left_group.gid, right_group.gid), group
+    )
+
+
+# ----------------------------------------------------------------------
+# bottom-up enumeration
+# ----------------------------------------------------------------------
+class EnumerationExplorer:
+    """Bottom-up generation of every valid subset partition.
+
+    For every alias subset (connected subsets only, when cross products are
+    off) of size >= 2, in ascending size order, insert one logical join per
+    valid ordered partition of the subset.  The resulting memo contains the
+    complete bushy search space.
+    """
+
+    name = "enumeration"
+
+    def explore(
+        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
+    ) -> int:
+        inserted = 0
+        if allow_cross_products:
+            universe = graph.all_subsets()
+        else:
+            universe = graph.connected_subsets()
+        for subset in universe:
+            if len(subset) < 2:
+                continue
+            # Materialize the group even if some partition orders repeat
+            # expressions already seeded by the initial plan.
+            memo.get_or_create_group(("rels", subset), subset)
+            for left, right in graph.partitions(subset, allow_cross_products):
+                if _insert_join(memo, graph, left, right) is not None:
+                    inserted += 1
+        return inserted
+
+
+# ----------------------------------------------------------------------
+# transformation rules
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RuleSet:
+    """Which transformation rules the rule engine applies."""
+
+    commutativity: bool = True
+    associativity_left: bool = True
+    associativity_right: bool = True
+    exchange: bool = True
+
+    def describe(self) -> str:
+        names = []
+        if self.commutativity:
+            names.append("commute")
+        if self.associativity_left:
+            names.append("assoc-left")
+        if self.associativity_right:
+            names.append("assoc-right")
+        if self.exchange:
+            names.append("exchange")
+        return "+".join(names) if names else "(none)"
+
+
+RULE_COMMUTATIVITY = RuleSet(False, False, False, False)
+RULE_ASSOCIATIVITY_LEFT = RuleSet(False, True, False, False)
+RULE_ASSOCIATIVITY_RIGHT = RuleSet(False, False, True, False)
+RULE_EXCHANGE = RuleSet(False, False, False, True)
+DEFAULT_RULES = RuleSet()
+
+
+class TransformationExplorer:
+    """Volcano-style rule engine: apply rules to a fixpoint.
+
+    Every logical join expression is kept on a work queue; applying a rule
+    may create new expressions (possibly in new groups), which are queued
+    in turn.  The memo's duplicate detection guarantees termination: the
+    expression universe for a fixed query is finite.
+    """
+
+    name = "transformation"
+
+    def __init__(self, rules: RuleSet | None = None):
+        self.rules = rules if rules is not None else DEFAULT_RULES
+
+    # ------------------------------------------------------------------
+    def explore(
+        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
+    ) -> int:
+        queue: deque[GroupExpr] = deque()
+        for group in memo.groups:
+            for expr in group.logical_exprs():
+                if isinstance(expr.op, LogicalJoin):
+                    queue.append(expr)
+        inserted = 0
+        while queue:
+            expr = queue.popleft()
+            for new_expr in self._apply_rules(expr, memo, graph, allow_cross_products):
+                inserted += 1
+                queue.append(new_expr)
+        return inserted
+
+    # ------------------------------------------------------------------
+    def _apply_rules(
+        self,
+        expr: GroupExpr,
+        memo: Memo,
+        graph: JoinGraph,
+        allow_cross: bool,
+    ) -> list[GroupExpr]:
+        out: list[GroupExpr] = []
+        left_group = memo.group(expr.children[0])
+        right_group = memo.group(expr.children[1])
+        left, right = left_group.relations, right_group.relations
+
+        if self.rules.commutativity:
+            new = _insert_join(memo, graph, right, left)
+            if new is not None:
+                out.append(new)
+
+        if self.rules.associativity_left:
+            # join(join(A, B), C) -> join(A, join(B, C))
+            for inner in self._join_exprs(left_group):
+                a = memo.group(inner.children[0]).relations
+                b = memo.group(inner.children[1]).relations
+                out.extend(
+                    self._compose(memo, graph, a, b, right, allow_cross)
+                )
+
+        if self.rules.associativity_right:
+            # join(A, join(B, C)) -> join(join(A, B), C)
+            for inner in self._join_exprs(right_group):
+                b = memo.group(inner.children[0]).relations
+                c = memo.group(inner.children[1]).relations
+                out.extend(
+                    self._compose_left(memo, graph, left, b, c, allow_cross)
+                )
+
+        if self.rules.exchange:
+            # join(join(A, B), join(C, D)) -> join(join(A, C), join(B, D))
+            for outer_left in self._join_exprs(left_group):
+                a = memo.group(outer_left.children[0]).relations
+                b = memo.group(outer_left.children[1]).relations
+                for outer_right in self._join_exprs(right_group):
+                    c = memo.group(outer_right.children[0]).relations
+                    d = memo.group(outer_right.children[1]).relations
+                    out.extend(
+                        self._exchange(memo, graph, a, b, c, d, allow_cross)
+                    )
+        return out
+
+    @staticmethod
+    def _join_exprs(group: Group) -> list[GroupExpr]:
+        return [
+            e for e in group.logical_exprs() if isinstance(e.op, LogicalJoin)
+        ]
+
+    def _compose(
+        self,
+        memo: Memo,
+        graph: JoinGraph,
+        a: frozenset[str],
+        b: frozenset[str],
+        c: frozenset[str],
+        allow_cross: bool,
+    ) -> list[GroupExpr]:
+        """Emit join(A, join(B, C)) if both joins are valid."""
+        out = []
+        if _valid_join(graph, b, c, allow_cross) and _valid_join(
+            graph, a, b | c, allow_cross
+        ):
+            inner = _insert_join(memo, graph, b, c)
+            if inner is not None:
+                out.append(inner)
+            outer = _insert_join(memo, graph, a, b | c)
+            if outer is not None:
+                out.append(outer)
+        return out
+
+    def _compose_left(
+        self,
+        memo: Memo,
+        graph: JoinGraph,
+        a: frozenset[str],
+        b: frozenset[str],
+        c: frozenset[str],
+        allow_cross: bool,
+    ) -> list[GroupExpr]:
+        """Emit join(join(A, B), C) if both joins are valid."""
+        out = []
+        if _valid_join(graph, a, b, allow_cross) and _valid_join(
+            graph, a | b, c, allow_cross
+        ):
+            inner = _insert_join(memo, graph, a, b)
+            if inner is not None:
+                out.append(inner)
+            outer = _insert_join(memo, graph, a | b, c)
+            if outer is not None:
+                out.append(outer)
+        return out
+
+    def _exchange(
+        self,
+        memo: Memo,
+        graph: JoinGraph,
+        a: frozenset[str],
+        b: frozenset[str],
+        c: frozenset[str],
+        d: frozenset[str],
+        allow_cross: bool,
+    ) -> list[GroupExpr]:
+        out = []
+        if (
+            _valid_join(graph, a, c, allow_cross)
+            and _valid_join(graph, b, d, allow_cross)
+            and _valid_join(graph, a | c, b | d, allow_cross)
+        ):
+            first = _insert_join(memo, graph, a, c)
+            if first is not None:
+                out.append(first)
+            second = _insert_join(memo, graph, b, d)
+            if second is not None:
+                out.append(second)
+            outer = _insert_join(memo, graph, a | c, b | d)
+            if outer is not None:
+                out.append(outer)
+        return out

@@ -1,0 +1,331 @@
+"""Implementation rules: derive physical operators from logical ones.
+
+Mirrors the paper's rule category (2): "a physical operator in the same
+group".  For each logical expression we generate every applicable
+implementation:
+
+* ``Get``        -> ``TableScan`` plus one ``IndexScan`` per index;
+* ``Join``       -> ``NestedLoopJoin`` always, plus ``HashJoin`` and
+  ``MergeJoin`` when the predicate has equality conjuncts that straddle
+  the two sides;
+* ``Select``     -> ``Filter``;
+* ``Aggregate``  -> ``HashAggregate`` and ``StreamAggregate`` (hash only
+  when there are grouping columns);
+* ``Project``    -> ``Project``.
+
+A final pass inserts ``Sort`` enforcers: whenever some physical operator
+requires a sort order of a child group (merge join inputs, stream
+aggregate input) — or the query's ORDER BY requires one of the root — the
+child group receives a ``Sort`` expression whose own child is the group
+itself.  That is exactly the shape of the paper's Figure 2, where Sort
+operators appear inside scan groups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import (
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    Scalar,
+    make_conjunction,
+    split_conjuncts,
+)
+from repro.algebra.logical import (
+    LogicalAggregate,
+    LogicalGet,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+)
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexNestedLoopJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.memo.group import GroupExpr
+from repro.memo.memo import Memo
+
+__all__ = ["ImplementationConfig", "implement_memo", "extract_equi_keys"]
+
+
+@dataclass(frozen=True)
+class ImplementationConfig:
+    """Which implementations to generate (ablation knobs).
+
+    ``enable_index_nl_join`` adds index-lookup joins (the paper's "index
+    utilization" dimension); it is off by default so that the documented
+    baseline spaces stay comparable — the index-join ablation benchmark
+    measures its effect explicitly.
+    """
+
+    enable_index_scans: bool = True
+    enable_hash_join: bool = True
+    enable_merge_join: bool = True
+    enable_nested_loop_join: bool = True
+    enable_index_nl_join: bool = False
+    enable_stream_aggregate: bool = True
+    enable_sort_enforcers: bool = True
+
+
+def extract_equi_keys(
+    predicate: Scalar | None,
+    left_relations: frozenset[str],
+    right_relations: frozenset[str],
+) -> tuple[tuple[ColumnId, ...], tuple[ColumnId, ...], Scalar | None]:
+    """Split a join predicate into equi-join keys plus a residual.
+
+    Returns ``(left_keys, right_keys, residual)``; the key lists are empty
+    when no equality conjunct straddles the two sides.  Key pairs are
+    sorted canonically so the same logical join always yields the same
+    physical operator identity.
+    """
+    pairs: list[tuple[ColumnId, ColumnId]] = []
+    residual: list[Scalar] = []
+    for conjunct in split_conjuncts(predicate):
+        matched = False
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op is CompOp.EQ
+            and isinstance(conjunct.left, ColumnRef)
+            and isinstance(conjunct.right, ColumnRef)
+        ):
+            a = conjunct.left.column_id
+            b = conjunct.right.column_id
+            if a.alias in left_relations and b.alias in right_relations:
+                pairs.append((a, b))
+                matched = True
+            elif b.alias in left_relations and a.alias in right_relations:
+                pairs.append((b, a))
+                matched = True
+        if not matched:
+            residual.append(conjunct)
+    pairs.sort(key=lambda pair: (pair[0].alias, pair[0].column, pair[1].alias, pair[1].column))
+    left_keys = tuple(pair[0] for pair in pairs)
+    right_keys = tuple(pair[1] for pair in pairs)
+    return left_keys, right_keys, make_conjunction(residual)
+
+
+def _implement_get(
+    expr: GroupExpr, memo: Memo, catalog: Catalog, config: ImplementationConfig
+) -> int:
+    op = expr.op
+    assert isinstance(op, LogicalGet)
+    group = memo.group(expr.group_id)
+    inserted = 0
+    scan = TableScan(table=op.table, alias=op.alias, predicate=op.predicate)
+    if memo.insert(scan, (), group) is not None:
+        inserted += 1
+    if config.enable_index_scans:
+        for index in catalog.indexes(op.table):
+            key_order = tuple(ColumnId(op.alias, col) for col in index.key)
+            scan = IndexScan(
+                table=op.table,
+                alias=op.alias,
+                index_name=index.name,
+                key_order=key_order,
+                predicate=op.predicate,
+            )
+            if memo.insert(scan, (), group) is not None:
+                inserted += 1
+    return inserted
+
+
+def _implement_join(
+    expr: GroupExpr, memo: Memo, catalog: Catalog, config: ImplementationConfig
+) -> int:
+    op = expr.op
+    assert isinstance(op, LogicalJoin)
+    group = memo.group(expr.group_id)
+    left_rels = memo.group(expr.children[0]).relations
+    right_rels = memo.group(expr.children[1]).relations
+    left_keys, right_keys, residual = extract_equi_keys(
+        op.predicate, left_rels, right_rels
+    )
+    inserted = 0
+    if config.enable_nested_loop_join:
+        if memo.insert(NestedLoopJoin(op.predicate), expr.children, group) is not None:
+            inserted += 1
+    if left_keys:
+        if config.enable_hash_join:
+            hash_join = HashJoin(
+                left_keys=left_keys, right_keys=right_keys, residual=residual
+            )
+            if memo.insert(hash_join, expr.children, group) is not None:
+                inserted += 1
+        if config.enable_merge_join:
+            merge_join = MergeJoin(
+                left_keys=left_keys, right_keys=right_keys, residual=residual
+            )
+            if memo.insert(merge_join, expr.children, group) is not None:
+                inserted += 1
+        if config.enable_index_nl_join:
+            inserted += _implement_index_nl_join(
+                expr, memo, catalog, left_keys, right_keys
+            )
+    return inserted
+
+
+def _implement_index_nl_join(
+    expr: GroupExpr,
+    memo: Memo,
+    catalog: Catalog,
+    left_keys: tuple[ColumnId, ...],
+    right_keys: tuple[ColumnId, ...],
+) -> int:
+    """Index-lookup joins: the inner side must be a single base table with
+    an index whose key prefix is covered by the join's equality columns.
+
+    Unconsumed conjuncts (non-equi conjuncts and equality pairs beyond the
+    matched index prefix) stay behind as the operator's residual.
+    """
+    op = expr.op
+    assert isinstance(op, LogicalJoin)
+    right_group = memo.group(expr.children[1])
+    if len(right_group.relations) != 1:
+        return 0
+    get = next(
+        (e.op for e in right_group.logical_exprs() if isinstance(e.op, LogicalGet)),
+        None,
+    )
+    if get is None:
+        return 0
+
+    by_inner_column = {
+        inner.column: (outer, inner) for outer, inner in zip(left_keys, right_keys)
+    }
+    group = memo.group(expr.group_id)
+    inserted = 0
+    for index in catalog.indexes(get.table):
+        outer_keys: list[ColumnId] = []
+        inner_keys: list[ColumnId] = []
+        for key_column in index.key:
+            pair = by_inner_column.get(key_column)
+            if pair is None:
+                break
+            outer_keys.append(pair[0])
+            inner_keys.append(pair[1])
+        if not outer_keys:
+            continue
+        consumed = {
+            Comparison(CompOp.EQ, ColumnRef(o), ColumnRef(i)).fingerprint()
+            for o, i in zip(outer_keys, inner_keys)
+        }
+        leftover = [
+            conjunct
+            for conjunct in split_conjuncts(op.predicate)
+            if conjunct.fingerprint() not in consumed
+        ]
+        join = IndexNestedLoopJoin(
+            inner_table=get.table,
+            inner_alias=get.alias,
+            index_name=index.name,
+            outer_keys=tuple(outer_keys),
+            inner_keys=tuple(inner_keys),
+            inner_predicate=get.predicate,
+            residual=make_conjunction(leftover),
+        )
+        if memo.insert(join, (expr.children[0],), group) is not None:
+            inserted += 1
+    return inserted
+
+
+def _implement_unary(
+    expr: GroupExpr, memo: Memo, config: ImplementationConfig
+) -> int:
+    op = expr.op
+    group = memo.group(expr.group_id)
+    inserted = 0
+    if isinstance(op, LogicalSelect):
+        if memo.insert(PhysicalFilter(op.predicate), expr.children, group) is not None:
+            inserted += 1
+    elif isinstance(op, LogicalAggregate):
+        if op.group_by:
+            if memo.insert(
+                HashAggregate(op.group_by, op.aggregates), expr.children, group
+            ) is not None:
+                inserted += 1
+            if config.enable_stream_aggregate:
+                if memo.insert(
+                    StreamAggregate(op.group_by, op.aggregates), expr.children, group
+                ) is not None:
+                    inserted += 1
+        else:
+            # Scalar aggregate: a single streaming pass, no requirement.
+            if memo.insert(
+                StreamAggregate(op.group_by, op.aggregates), expr.children, group
+            ) is not None:
+                inserted += 1
+    elif isinstance(op, LogicalProject):
+        if memo.insert(PhysicalProject(op.outputs), expr.children, group) is not None:
+            inserted += 1
+    else:
+        raise OptimizerError(f"no implementation rule for {op.name}")
+    return inserted
+
+
+def implement_memo(
+    memo: Memo,
+    catalog: Catalog,
+    config: ImplementationConfig | None = None,
+    root_order: tuple[ColumnId, ...] = (),
+) -> int:
+    """Generate physical operators for every logical expression, then add
+    the Sort enforcers the physical operators (and ORDER BY) require.
+
+    Returns the number of physical expressions inserted.
+    """
+    if config is None:
+        config = ImplementationConfig()
+    inserted = 0
+    # Snapshot: implementation adds physical exprs only, so iterating over
+    # the logical expressions present now is exhaustive.
+    logical = [
+        expr
+        for group in memo.groups
+        for expr in group.logical_exprs()
+    ]
+    for expr in logical:
+        if isinstance(expr.op, LogicalGet):
+            inserted += _implement_get(expr, memo, catalog, config)
+        elif isinstance(expr.op, LogicalJoin):
+            inserted += _implement_join(expr, memo, catalog, config)
+        else:
+            inserted += _implement_unary(expr, memo, config)
+
+    if config.enable_sort_enforcers:
+        inserted += _insert_enforcers(memo, root_order)
+    return inserted
+
+
+def _insert_enforcers(memo: Memo, root_order: tuple[ColumnId, ...]) -> int:
+    """Add ``Sort`` expressions for every required (group, order) pair."""
+    required: list[tuple[int, tuple[ColumnId, ...]]] = []
+    for group in memo.groups:
+        for expr in group.physical_exprs():
+            for child_pos, child_gid in enumerate(expr.children):
+                order = expr.op.required_child_order(child_pos)
+                if order:
+                    required.append((child_gid, order))
+    if root_order and memo.root_group_id is not None:
+        required.append((memo.root_group_id, root_order))
+
+    inserted = 0
+    for gid, order in required:
+        group = memo.group(gid)
+        if memo.insert(Sort(order), (gid,), group) is not None:
+            inserted += 1
+    return inserted

@@ -1,0 +1,180 @@
+"""The join hypergraph: which predicates connect which range variables.
+
+Join reordering — by transformation rules or bottom-up enumeration — needs
+one canonical answer to "what is the predicate of a join between alias
+sets S1 and S2?".  We derive it from the query's conjunct list: a conjunct
+*applies* to the join (S1, S2) when its referenced aliases fall within
+S1 ∪ S2 but not within either side alone.  Because the predicate is a
+function of the two alias sets, every transformation path that produces a
+join of the same sides produces an *identical* operator, which is what
+makes memo duplicate detection exact.
+
+The same structure answers connectivity questions: the subgraph induced by
+an alias set S (using only conjuncts fully inside S) must be connected for
+S to be a valid sub-goal when Cartesian products are disallowed — the
+distinction behind the two halves of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.expressions import Scalar, make_conjunction
+from repro.errors import OptimizerError
+
+__all__ = ["Conjunct", "JoinGraph"]
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One WHERE conjunct with its referenced alias set."""
+
+    expr: Scalar
+    aliases: frozenset[str]
+
+
+class JoinGraph:
+    """Aliases plus multi-table conjuncts, with connectivity helpers."""
+
+    def __init__(self, aliases: frozenset[str], conjuncts: list[Scalar]):
+        if not aliases:
+            raise OptimizerError("join graph requires at least one alias")
+        self.aliases = frozenset(aliases)
+        self.conjuncts: list[Conjunct] = []
+        self.constant_conjuncts: list[Scalar] = []
+        for expr in conjuncts:
+            referenced = frozenset(c.alias for c in expr.references())
+            unknown = referenced - self.aliases
+            if unknown:
+                raise OptimizerError(
+                    f"conjunct {expr.render()} references unknown aliases {sorted(unknown)}"
+                )
+            if not referenced:
+                self.constant_conjuncts.append(expr)
+            else:
+                self.conjuncts.append(Conjunct(expr, referenced))
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+    def applicable_conjuncts(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> list[Scalar]:
+        """Conjuncts that become evaluable at the join of ``left`` and
+        ``right`` (and were not evaluable below it)."""
+        combined = left | right
+        out = []
+        for conjunct in self.conjuncts:
+            if (
+                conjunct.aliases <= combined
+                and not conjunct.aliases <= left
+                and not conjunct.aliases <= right
+            ):
+                out.append(conjunct.expr)
+        return out
+
+    def join_predicate(
+        self, left: frozenset[str], right: frozenset[str]
+    ) -> Scalar | None:
+        """The canonical join predicate for the partition (left, right)."""
+        return make_conjunction(self.applicable_conjuncts(left, right))
+
+    def internal_conjuncts(self, subset: frozenset[str]) -> list[Conjunct]:
+        """Conjuncts whose references fall entirely inside ``subset``."""
+        return [c for c in self.conjuncts if c.aliases <= subset]
+
+    # ------------------------------------------------------------------
+    # connectivity
+    # ------------------------------------------------------------------
+    def components(self, subset: frozenset[str]) -> list[frozenset[str]]:
+        """Connected components of the hypergraph induced by ``subset``."""
+        remaining = set(subset)
+        applicable = [c.aliases for c in self.internal_conjuncts(subset)]
+        out: list[frozenset[str]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = {seed}
+            changed = True
+            while changed:
+                changed = False
+                for edge in applicable:
+                    if edge & component and not edge <= component:
+                        component |= edge & subset
+                        changed = True
+            out.append(frozenset(component))
+            remaining -= component
+        return out
+
+    def is_connected(self, subset: frozenset[str]) -> bool:
+        if not subset:
+            return False
+        if len(subset) == 1:
+            return True
+        return len(self.components(subset)) == 1
+
+    def neighbors(self, subset: frozenset[str]) -> frozenset[str]:
+        """Aliases outside ``subset`` reachable by one conjunct that touches
+        ``subset`` (used by connected-subgraph enumeration)."""
+        out: set[str] = set()
+        for conjunct in self.conjuncts:
+            if conjunct.aliases & subset:
+                out |= conjunct.aliases - subset
+        return frozenset(out)
+
+    # ------------------------------------------------------------------
+    # partition enumeration
+    # ------------------------------------------------------------------
+    def partitions(
+        self, subset: frozenset[str], allow_cross_products: bool
+    ) -> list[tuple[frozenset[str], frozenset[str]]]:
+        """All ordered two-way partitions (S1, S2) of ``subset`` that form a
+        valid join under the cross-product policy.
+
+        With cross products allowed every non-trivial partition is valid.
+        Without, both sides must induce connected subgraphs *and* at least
+        one conjunct must connect them (the join must not be a Cartesian
+        product).  Ordered pairs are returned because join commutativity
+        makes ``A ⋈ B`` and ``B ⋈ A`` distinct memo expressions (and
+        distinct plans for asymmetric implementations like hash join).
+        """
+        members = sorted(subset)
+        n = len(members)
+        if n < 2:
+            return []
+        out: list[tuple[frozenset[str], frozenset[str]]] = []
+        # Enumerate each unordered pair once: fix members[0] on the left and
+        # range the mask over subsets of the remaining members (excluding
+        # the full set, which would leave the right side empty).
+        for mask in range(0, (1 << (n - 1)) - 1):
+            left = frozenset(
+                [members[0]]
+                + [members[i + 1] for i in range(n - 1) if mask & (1 << i)]
+            )
+            right = subset - left
+            if not allow_cross_products:
+                if not self.applicable_conjuncts(left, right):
+                    continue
+                if not (self.is_connected(left) and self.is_connected(right)):
+                    continue
+            out.append((left, right))
+            out.append((right, left))
+        return out
+
+    def connected_subsets(self) -> list[frozenset[str]]:
+        """All connected alias subsets, smallest first (by size, then name).
+
+        This is the group universe for the no-cross-products search space.
+        """
+        out = [s for s in self.all_subsets() if self.is_connected(s)]
+        return out
+
+    def all_subsets(self) -> list[frozenset[str]]:
+        """All non-empty alias subsets, smallest first (by size, then name)."""
+        members = sorted(self.aliases)
+        subsets = []
+        for mask in range(1, 1 << len(members)):
+            subsets.append(
+                frozenset(m for i, m in enumerate(members) if mask & (1 << i))
+            )
+        subsets.sort(key=lambda s: (len(s), tuple(sorted(s))))
+        return subsets

@@ -1,0 +1,178 @@
+"""The optimizer facade: SQL (or bound query) in, optimized memo out.
+
+Runs the full pipeline the paper assumes: copy-in, exploration,
+implementation (plus enforcers), cardinality annotation, best-plan
+extraction — and hands the finished memo to the plan-space toolkit.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.errors import OptimizerError
+from repro.memo.memo import Memo
+from repro.optimizer.annotate import annotate_cardinalities
+from repro.optimizer.bestplan import find_best_plan
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.cost import CostModel, CostParameters
+from repro.optimizer.explorer import (
+    DEFAULT_RULES,
+    EnumerationExplorer,
+    RuleSet,
+    TransformationExplorer,
+)
+from repro.optimizer.implementation import ImplementationConfig, implement_memo
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.plan import PlanNode
+from repro.optimizer.pruning import prune_memo
+from repro.optimizer.setup import build_initial_memo
+from repro.sql.binder import Binder, BoundQuery
+from repro.sql.parser import parse
+
+__all__ = [
+    "ExplorationStrategy",
+    "OptimizerOptions",
+    "OptimizationResult",
+    "Optimizer",
+]
+
+
+class ExplorationStrategy(enum.Enum):
+    """How the logical search space is generated."""
+
+    ENUMERATION = "enumeration"
+    TRANSFORMATION = "transformation"
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Knobs controlling the shape of the search space.
+
+    ``allow_cross_products`` selects between the two spaces of the paper's
+    Table 1.  ``pruning_factor`` (off by default, as the paper recommends
+    for testing) applies cost-bound pruning after optimization.
+    """
+
+    allow_cross_products: bool = False
+    exploration: ExplorationStrategy = ExplorationStrategy.ENUMERATION
+    rules: RuleSet = DEFAULT_RULES
+    implementation: ImplementationConfig = field(default_factory=ImplementationConfig)
+    cost_params: CostParameters = field(default_factory=CostParameters)
+    pruning_factor: float | None = None
+
+
+@dataclass
+class OptimizationResult:
+    """Everything produced by one optimizer run.
+
+    The plan-space toolkit (:class:`repro.planspace.PlanSpace`) consumes
+    ``memo`` + ``root_order``; the executor consumes plans; the experiment
+    harness consumes ``best_cost`` for cost scaling.
+    """
+
+    memo: Memo
+    query: BoundQuery
+    graph: JoinGraph
+    best_plan: PlanNode
+    best_cost: float
+    root_order: tuple
+    cost_model: CostModel
+    estimator: CardinalityEstimator
+    options: OptimizerOptions
+    timings: dict[str, float] = field(default_factory=dict)
+
+    def explain(self) -> str:
+        """EXPLAIN-style description of the chosen plan."""
+        lines = [
+            f"best cost: {self.best_cost:,.1f}",
+            self.best_plan.render(),
+        ]
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """Cost-based optimizer over a catalog."""
+
+    def __init__(self, catalog: Catalog, options: OptimizerOptions | None = None):
+        self.catalog = catalog
+        self.options = options if options is not None else OptimizerOptions()
+
+    # ------------------------------------------------------------------
+    def optimize_sql(self, sql: str) -> OptimizationResult:
+        """Parse, bind, and optimize one SELECT statement."""
+        statement = parse(sql)
+        bound = Binder(self.catalog).bind(statement)
+        return self.optimize(bound)
+
+    def optimize(self, query: BoundQuery) -> OptimizationResult:
+        """Optimize a bound query: returns the memo and the best plan."""
+        opts = self.options
+        timings: dict[str, float] = {}
+
+        start = time.perf_counter()
+        setup = build_initial_memo(query, opts.allow_cross_products)
+        memo, graph = setup.memo, setup.graph
+        timings["setup"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        explorer = self._make_explorer()
+        explorer.explore(memo, graph, opts.allow_cross_products)
+        timings["explore"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        implement_memo(
+            memo,
+            self.catalog,
+            opts.implementation,
+            root_order=query.order_by,
+        )
+        timings["implement"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        estimator = CardinalityEstimator(self.catalog, query)
+        annotate_cardinalities(memo, graph, estimator)
+        timings["annotate"] = time.perf_counter() - start
+
+        cost_model = CostModel(self.catalog, opts.cost_params)
+
+        start = time.perf_counter()
+        best_plan, best_cost = find_best_plan(
+            memo, cost_model, required_order=query.order_by
+        )
+        timings["bestplan"] = time.perf_counter() - start
+
+        if opts.pruning_factor is not None:
+            start = time.perf_counter()
+            prune_memo(memo, cost_model, opts.pruning_factor)
+            timings["prune"] = time.perf_counter() - start
+            # The best plan always survives pruning (factor >= 1), but we
+            # re-extract so node local_ids refer to surviving expressions.
+            best_plan, best_cost = find_best_plan(
+                memo, cost_model, required_order=query.order_by
+            )
+
+        return OptimizationResult(
+            memo=memo,
+            query=query,
+            graph=graph,
+            best_plan=best_plan,
+            best_cost=best_cost,
+            root_order=query.order_by,
+            cost_model=cost_model,
+            estimator=estimator,
+            options=opts,
+            timings=timings,
+        )
+
+    # ------------------------------------------------------------------
+    def _make_explorer(self):
+        if self.options.exploration is ExplorationStrategy.ENUMERATION:
+            return EnumerationExplorer()
+        if self.options.exploration is ExplorationStrategy.TRANSFORMATION:
+            return TransformationExplorer(self.options.rules)
+        raise OptimizerError(
+            f"unknown exploration strategy {self.options.exploration!r}"
+        )

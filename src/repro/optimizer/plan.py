@@ -1,0 +1,85 @@
+"""Execution plans: trees of physical operators extracted from the memo.
+
+A :class:`PlanNode` is a fully assembled plan — what the memo deliberately
+does *not* store ("only the optimal plan is completely assembled",
+Section 3).  Unranking produces these; the executor runs them; the cost
+model prices them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.physical import PhysicalOperator
+
+__all__ = ["PlanNode"]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One operator of an assembled plan.
+
+    ``group_id``/``local_id`` tie the node back to the memo expression it
+    was extracted from (the paper's ``7.7``-style identifiers), which is
+    what makes ranking (plan -> number) possible.
+    ``cardinality`` is the optimizer's row estimate for the node's group.
+    """
+
+    op: PhysicalOperator
+    children: tuple["PlanNode", ...]
+    group_id: int
+    local_id: int
+    cardinality: float = 0.0
+
+    def __post_init__(self) -> None:
+        assert len(self.children) == self.op.arity, (
+            f"{self.op.name} expects {self.op.arity} children, "
+            f"got {len(self.children)}"
+        )
+
+    @property
+    def expr_id(self) -> str:
+        return f"{self.group_id}.{self.local_id}"
+
+    def size(self) -> int:
+        """Number of operators in the plan tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def depth(self) -> int:
+        if not self.children:
+            return 1
+        return 1 + max(child.depth() for child in self.children)
+
+    def fingerprint(self) -> tuple:
+        """Canonical identity of the plan *as a tree of memo operators*.
+
+        Two plans are the same iff they use the same memo expression at
+        every position.
+        """
+        return (
+            self.group_id,
+            self.local_id,
+            tuple(child.fingerprint() for child in self.children),
+        )
+
+    def iter_nodes(self):
+        """Pre-order iteration over all nodes."""
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def operator_ids(self) -> list[str]:
+        """The memo identifiers of all operators, pre-order (the paper's
+        appendix reports unranked plans this way: "7.7, 4.3, 3.4, ...")."""
+        return [node.expr_id for node in self.iter_nodes()]
+
+    def render(self, indent: int = 0, with_ids: bool = True) -> str:
+        pad = "  " * indent
+        tag = f"  [{self.expr_id}]" if with_ids else ""
+        lines = [f"{pad}{self.op.render()}{tag}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1, with_ids))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,71 @@
+"""Cost-bound pruning (ablation, experiment E11).
+
+The paper notes that production optimizers employ "a cost based pruning
+heuristic [that] helps avoid expansion of very costly alternatives", and
+that for the sampling technique to see the whole space "it is useful to
+have the optimizer keep each alternative generated".  This module lets us
+quantify that remark: it removes from the memo every physical expression
+whose *best achievable* rooted cost exceeds ``factor`` times its group's
+best cost, and the pruning benchmark then measures how the count of plans
+collapses (and that the optimum survives).
+"""
+
+from __future__ import annotations
+
+from repro.memo.memo import Memo
+from repro.optimizer.bestplan import BestPlanSearch
+from repro.optimizer.cost import CostModel
+
+__all__ = ["prune_memo"]
+
+
+def prune_memo(memo: Memo, cost_model: CostModel, factor: float) -> int:
+    """Drop physical expressions costing more than ``factor`` x group best.
+
+    Returns the number of expressions removed.  ``factor`` is >= 1.0; a
+    factor of 1.0 keeps only best-cost operators, larger factors keep
+    progressively more of the space.  Logical expressions are never
+    removed (they carry the group structure).
+    """
+    if factor < 1.0:
+        raise ValueError("pruning factor must be >= 1.0")
+    search = BestPlanSearch(memo, cost_model)
+    removed = 0
+    for group in memo.groups:
+        group_best = search.best(group.gid, ())
+        if group_best is None:
+            continue
+        budget = group_best.cost * factor
+        survivors = []
+        for expr in group.exprs:
+            if not expr.is_physical:
+                survivors.append(expr)
+                continue
+            rooted = _best_rooted_cost(expr, memo, search, cost_model)
+            if rooted is not None and rooted <= budget:
+                survivors.append(expr)
+            else:
+                removed += 1
+        group.exprs[:] = survivors
+    return removed
+
+
+def _best_rooted_cost(expr, memo: Memo, search: BestPlanSearch, cost_model: CostModel):
+    """Cheapest complete sub-plan rooted in ``expr``, or None if infeasible."""
+    group = memo.group(expr.group_id)
+    if expr.is_enforcer:
+        inner = search.best(expr.group_id, ())
+        if inner is None:
+            return None
+        local = cost_model.operator_cost(
+            expr.op, group.cardinality, (group.cardinality,)
+        )
+        return local + inner.cost
+    total = 0.0
+    for child_pos, child_gid in enumerate(expr.children):
+        child_best = search.best(child_gid, expr.op.required_child_order(child_pos))
+        if child_best is None:
+            return None
+        total += child_best.cost
+    child_rows = tuple(memo.group(cgid).cardinality for cgid in expr.children)
+    return total + cost_model.operator_cost(expr.op, group.cardinality, child_rows)

@@ -1,0 +1,165 @@
+"""Section 3.1 — the preparatory step.
+
+"We extract all physical operators and materialize the links between
+operators and their possible children.  [...]  Due to the differences in
+physical properties some operators of a group may qualify as potential
+children while others do not."
+
+For every physical operator ``v`` and child slot ``i`` we compute the
+ordered list of qualifying alternatives ``w_(v)i,j``:
+
+* a regular operator requiring order ``o`` of child slot ``i`` accepts any
+  physical operator of the child group — *including Sort enforcers* —
+  whose delivered order satisfies ``o``;
+* a ``Sort`` enforcer's single child slot accepts every non-enforcer
+  operator of its *own* group (the paper's Figure 3 confirms enforcers
+  link to all non-enforcer group members, even ones already sorted:
+  group 1's counts only add up as ``N(Sort 1.4) = 2`` over
+  ``{TableScan 1.2, SortedIdxScan 1.3}``).  Excluding enforcers from
+  enforcer children is what keeps the linked space acyclic.
+
+The linked space also fixes the ordered list of *root* operators: the
+root group's physical operators that satisfy the query's root requirement
+(ORDER BY, if any).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.properties import SortOrder, order_satisfies
+from repro.errors import PlanSpaceError
+from repro.memo.group import GroupExpr
+from repro.memo.memo import Memo
+
+__all__ = ["LinkedOperator", "LinkedSpace", "materialize_links"]
+
+
+@dataclass
+class LinkedOperator:
+    """One physical operator with materialized child-alternative lists.
+
+    ``alternatives[i]`` is the ordered tuple of qualifying
+    :class:`LinkedOperator` for child slot ``i``.  Counting fills in
+    ``count`` (= the paper's ``N(v)``), ``child_sums`` (= ``b_v(i)``) and
+    ``prefix_products`` (= ``B_v(k)``, with ``B_v(0) = 1`` prepended).
+    """
+
+    expr: GroupExpr
+    alternatives: tuple[tuple["LinkedOperator", ...], ...] = ()
+    count: int | None = None
+    child_sums: tuple[int, ...] = ()
+    prefix_products: tuple[int, ...] = (1,)
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.expr.group_id, self.expr.local_id)
+
+    @property
+    def id_str(self) -> str:
+        return self.expr.id_str
+
+    @property
+    def arity(self) -> int:
+        return self.expr.op.arity
+
+    def render(self) -> str:
+        parts = [f"{self.id_str}: {self.expr.op.render()}"]
+        for i, alts in enumerate(self.alternatives):
+            ids = ", ".join(a.id_str for a in alts) or "(none)"
+            parts.append(f"    child {i + 1}: [{ids}]")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+@dataclass
+class LinkedSpace:
+    """All physical operators of a memo with materialized links."""
+
+    memo: Memo
+    root_required: SortOrder
+    operators: dict[tuple[int, int], LinkedOperator] = field(default_factory=dict)
+    roots: tuple[LinkedOperator, ...] = ()
+    total: int | None = None
+
+    def operator(self, gid: int, local_id: int) -> LinkedOperator:
+        try:
+            return self.operators[(gid, local_id)]
+        except KeyError:
+            raise PlanSpaceError(
+                f"no physical operator {gid}.{local_id} in the linked space"
+            ) from None
+
+    def group_operators(self, gid: int) -> list[LinkedOperator]:
+        return [
+            op for (g, _), op in sorted(self.operators.items()) if g == gid
+        ]
+
+
+def materialize_links(
+    memo: Memo,
+    root_required: SortOrder = (),
+    include_redundant_sorts: bool = True,
+) -> LinkedSpace:
+    """Build the linked space for ``memo``.
+
+    ``include_redundant_sorts=False`` deviates from the paper by dropping
+    enforcer links to children that already deliver the enforced order
+    (an ablation knob; the default reproduces the paper's Figure 3
+    semantics, where such plans are counted).
+    """
+    if memo.root_group_id is None:
+        raise PlanSpaceError("memo has no root group")
+
+    space = LinkedSpace(memo=memo, root_required=tuple(root_required))
+
+    # Pass 1: one LinkedOperator per physical expression.
+    for group in memo.groups:
+        for expr in group.physical_exprs():
+            space.operators[(group.gid, expr.local_id)] = LinkedOperator(expr=expr)
+
+    # Pass 2: materialize child links.
+    for node in space.operators.values():
+        expr = node.expr
+        if expr.is_enforcer:
+            order = expr.op.delivered_order()
+            group = memo.group(expr.group_id)
+            alts = []
+            for child in group.physical_exprs():
+                if child.is_enforcer:
+                    continue
+                if not include_redundant_sorts and order_satisfies(
+                    child.op.delivered_order(), order
+                ):
+                    continue
+                alts.append(space.operators[(child.group_id, child.local_id)])
+            node.alternatives = (tuple(alts),)
+            continue
+        slots = []
+        for child_pos, child_gid in enumerate(expr.children):
+            required = expr.op.required_child_order(child_pos)
+            child_group = memo.group(child_gid)
+            alts = tuple(
+                space.operators[(child.group_id, child.local_id)]
+                for child in child_group.physical_exprs()
+                if order_satisfies(child.op.delivered_order(), required)
+            )
+            slots.append(alts)
+        node.alternatives = tuple(slots)
+
+    # Pass 3: root operators, observing the root requirement.
+    root_group = memo.root_group()
+    roots = tuple(
+        space.operators[(expr.group_id, expr.local_id)]
+        for expr in root_group.physical_exprs()
+        if order_satisfies(expr.op.delivered_order(), space.root_required)
+    )
+    if not roots:
+        raise PlanSpaceError(
+            "no physical operator in the root group satisfies the root "
+            "requirement — was the memo implemented with enforcers?"
+        )
+    space.roots = roots
+    return space

@@ -1,0 +1,87 @@
+"""Uniform sampling of plans (and a deliberately biased baseline).
+
+"Once an unranking mechanism is available, uniform sampling of elements
+in the space reduces to random generation of numbers in the range
+0, ..., N-1."  (Section 1.)
+
+``naive_walk_sample`` implements the obvious-but-wrong alternative the
+paper's approach supersedes: walk the memo top-down choosing uniformly
+among qualifying operators at every step.  That walk favours plans in
+sparsely-populated regions of the space (each plan's probability is the
+product of its local choice probabilities, not ``1/N``); experiment E10
+quantifies the bias with a chi-square test.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.optimizer.plan import PlanNode
+from repro.planspace.links import LinkedOperator, LinkedSpace
+from repro.planspace.unranking import Unranker
+from repro.util.rng import make_rng
+
+__all__ = ["UniformPlanSampler", "naive_walk_sample"]
+
+
+class UniformPlanSampler:
+    """Uniform random plans via random ranks + unranking."""
+
+    def __init__(self, space: LinkedSpace, seed: int | random.Random = 0):
+        self.unranker = Unranker(space)
+        self.rng = make_rng(seed)
+
+    @property
+    def total(self) -> int:
+        return self.unranker.total
+
+    def sample_rank(self) -> int:
+        return self.rng.randrange(self.unranker.total)
+
+    def sample_ranks(self, n: int, unique: bool = False) -> list[int]:
+        """``n`` uniform ranks; ``unique=True`` samples without replacement
+        (requires ``n <= N``)."""
+        if not unique:
+            return [self.sample_rank() for _ in range(n)]
+        if n > self.unranker.total:
+            raise ValueError(
+                f"cannot draw {n} distinct plans from a space of "
+                f"{self.unranker.total}"
+            )
+        if n * 4 >= self.unranker.total:
+            # Dense draw: sample from the explicit range.
+            return self.rng.sample(range(self.unranker.total), n)
+        seen: set[int] = set()
+        while len(seen) < n:
+            seen.add(self.sample_rank())
+        return sorted(seen)
+
+    def sample(self, n: int, unique: bool = False) -> list[PlanNode]:
+        return [self.unranker.unrank(r) for r in self.sample_ranks(n, unique)]
+
+    def sample_one(self) -> PlanNode:
+        return self.unranker.unrank(self.sample_rank())
+
+
+def naive_walk_sample(
+    space: LinkedSpace, n: int, seed: int | random.Random = 0
+) -> list[PlanNode]:
+    """The biased baseline: uniform local choices instead of uniform plans."""
+    rng = make_rng(seed)
+    unranker = Unranker(space)  # ensures counts exist for cardinality lookups
+
+    def walk(candidates: tuple[LinkedOperator, ...]) -> PlanNode:
+        viable = [c for c in candidates if c.count]
+        node = rng.choice(viable)
+        children = tuple(walk(node.alternatives[i]) for i in range(node.arity))
+        group = space.memo.group(node.expr.group_id)
+        return PlanNode(
+            op=node.expr.op,
+            children=children,
+            group_id=node.expr.group_id,
+            local_id=node.expr.local_id,
+            cardinality=group.cardinality if group.cardinality is not None else 0.0,
+        )
+
+    del unranker  # counts are now annotated on the space
+    return [walk(space.roots) for _ in range(n)]

@@ -1,0 +1,67 @@
+"""Abstract syntax for SELECT statements.
+
+Expressions inside the AST reuse the algebra's :class:`Scalar` nodes with
+*unbound* column references (``ColumnId`` whose alias may be empty when the
+query text left the column unqualified); the binder resolves them in place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import ColumnId, Scalar
+
+__all__ = ["TableRef", "SelectItem", "QueryOptions", "SelectStatement", "OrderItem"]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """One entry of the FROM list: a table with an optional alias."""
+
+    table: str
+    alias: str | None = None
+
+    def effective_alias(self) -> str:
+        return self.alias if self.alias else self.table
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One entry of the SELECT list; ``alias`` is the AS name if given,
+    ``star`` marks ``SELECT *``."""
+
+    expr: Scalar | None
+    alias: str | None = None
+    star: bool = False
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One entry of the ORDER BY list (ascending only)."""
+
+    column: ColumnId
+
+
+@dataclass(frozen=True)
+class QueryOptions:
+    """The paper's SQL extension: ``OPTION (USEPLAN n)`` selects plan ``n``
+    out of the counted space for execution (Section 4)."""
+
+    useplan: int | None = None
+
+    def render(self) -> str:
+        if self.useplan is None:
+            return ""
+        return f" OPTION (USEPLAN {self.useplan})"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    """A parsed, unbound SELECT statement."""
+
+    select_items: tuple[SelectItem, ...]
+    from_tables: tuple[TableRef, ...]
+    where: Scalar | None = None
+    group_by: tuple[ColumnId, ...] = ()
+    order_by: tuple[OrderItem, ...] = ()
+    options: QueryOptions = field(default_factory=QueryOptions)

@@ -1,0 +1,331 @@
+"""Name resolution: parsed statement + catalog -> bound query.
+
+The binder
+
+* resolves FROM entries against the catalog and assigns unique aliases;
+* qualifies every column reference (resolving unqualified names to the
+  unique table that has the column, SQL-style);
+* pushes single-table WHERE conjuncts down to their range variable and
+  keeps the remaining conjuncts as join/residual predicates;
+* classifies the query as aggregate or plain projection and validates the
+  SELECT list against the GROUP BY clause.
+
+The result, :class:`BoundQuery`, is the optimizer's input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import (
+    AggregateCall,
+    Arithmetic,
+    BoolExpr,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Scalar,
+    UnaryMinus,
+    make_conjunction,
+    split_conjuncts,
+)
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import TableSchema
+from repro.errors import BindError
+from repro.sql.ast import QueryOptions, SelectStatement
+
+__all__ = ["Quantifier", "BoundQuery", "Binder", "bind"]
+
+
+@dataclass(frozen=True)
+class Quantifier:
+    """One range variable: an alias ranging over a base table."""
+
+    alias: str
+    schema: TableSchema
+
+    @property
+    def table(self) -> str:
+        return self.schema.name
+
+
+@dataclass
+class BoundQuery:
+    """A fully resolved query, ready for optimization.
+
+    ``where_conjuncts`` holds only multi-table conjuncts (join edges and
+    residual predicates); single-table conjuncts have been pushed into
+    ``pushed_filters``.
+    """
+
+    quantifiers: tuple[Quantifier, ...]
+    pushed_filters: dict[str, Scalar | None]
+    where_conjuncts: tuple[Scalar, ...]
+    select_outputs: tuple[tuple[str, Scalar], ...]
+    group_by: tuple[ColumnId, ...]
+    aggregates: tuple[tuple[str, AggregateCall], ...]
+    order_by: tuple[ColumnId, ...]
+    options: QueryOptions = field(default_factory=QueryOptions)
+
+    @property
+    def is_aggregate_query(self) -> bool:
+        return bool(self.aggregates) or bool(self.group_by)
+
+    def quantifier(self, alias: str) -> Quantifier:
+        for quantifier in self.quantifiers:
+            if quantifier.alias == alias:
+                return quantifier
+        raise BindError(f"unknown alias {alias!r}")
+
+    def aliases(self) -> frozenset[str]:
+        return frozenset(q.alias for q in self.quantifiers)
+
+
+def _rewrite(expr: Scalar, resolve) -> Scalar:
+    """Rebuild ``expr`` with every ColumnRef passed through ``resolve``."""
+    if isinstance(expr, ColumnRef):
+        return ColumnRef(resolve(expr.column_id))
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, Comparison):
+        return Comparison(
+            expr.op, _rewrite(expr.left, resolve), _rewrite(expr.right, resolve)
+        )
+    if isinstance(expr, BoolExpr):
+        return BoolExpr(expr.op, tuple(_rewrite(a, resolve) for a in expr.args))
+    if isinstance(expr, Arithmetic):
+        return Arithmetic(
+            expr.op, _rewrite(expr.left, resolve), _rewrite(expr.right, resolve)
+        )
+    if isinstance(expr, UnaryMinus):
+        return UnaryMinus(_rewrite(expr.arg, resolve))
+    if isinstance(expr, Like):
+        return Like(_rewrite(expr.arg, resolve), expr.pattern, expr.negated)
+    if isinstance(expr, InList):
+        return InList(_rewrite(expr.arg, resolve), expr.values, expr.negated)
+    if isinstance(expr, IsNull):
+        return IsNull(_rewrite(expr.arg, resolve), expr.negated)
+    if isinstance(expr, AggregateCall):
+        arg = None if expr.arg is None else _rewrite(expr.arg, resolve)
+        return AggregateCall(expr.func, arg)
+    raise BindError(f"cannot bind expression node {type(expr).__name__}")
+
+
+def _contains_aggregate(expr: Scalar) -> bool:
+    if isinstance(expr, AggregateCall):
+        return True
+    return any(_contains_aggregate(child) for child in expr.children())
+
+
+class Binder:
+    """Binds parsed statements against a catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    def bind(self, statement: SelectStatement) -> BoundQuery:
+        quantifiers = self._bind_from(statement)
+        by_alias = {q.alias: q for q in quantifiers}
+
+        def resolve(column_id: ColumnId) -> ColumnId:
+            return self._resolve_column(column_id, by_alias)
+
+        where = (
+            None if statement.where is None else _rewrite(statement.where, resolve)
+        )
+        pushed, join_conjuncts = self._place_conjuncts(where, by_alias)
+
+        group_by = tuple(resolve(c) for c in statement.group_by)
+        select_outputs, aggregates = self._bind_select(
+            statement, resolve, group_by, quantifiers
+        )
+        order_by = self._bind_order_by(statement, resolve, select_outputs)
+
+        return BoundQuery(
+            quantifiers=quantifiers,
+            pushed_filters=pushed,
+            where_conjuncts=tuple(join_conjuncts),
+            select_outputs=select_outputs,
+            group_by=group_by,
+            aggregates=aggregates,
+            order_by=order_by,
+            options=statement.options,
+        )
+
+    # ------------------------------------------------------------------
+    def _bind_from(self, statement: SelectStatement) -> tuple[Quantifier, ...]:
+        if not statement.from_tables:
+            raise BindError("FROM list must not be empty")
+        quantifiers: list[Quantifier] = []
+        seen: set[str] = set()
+        for ref in statement.from_tables:
+            if not self.catalog.has_table(ref.table):
+                raise BindError(f"unknown table {ref.table!r}")
+            alias = ref.effective_alias().lower()
+            if alias in seen:
+                raise BindError(f"duplicate range variable {alias!r}")
+            seen.add(alias)
+            quantifiers.append(Quantifier(alias=alias, schema=self.catalog.table(ref.table)))
+        return tuple(quantifiers)
+
+    def _resolve_column(
+        self, column_id: ColumnId, by_alias: dict[str, Quantifier]
+    ) -> ColumnId:
+        name = column_id.column.lower()
+        if column_id.alias:
+            alias = column_id.alias.lower()
+            quantifier = by_alias.get(alias)
+            if quantifier is None:
+                raise BindError(f"unknown range variable {column_id.alias!r}")
+            if not quantifier.schema.has_column(name):
+                raise BindError(
+                    f"table {quantifier.table!r} (alias {alias!r}) has no column {name!r}"
+                )
+            return ColumnId(alias=alias, column=name)
+        candidates = [
+            q for q in by_alias.values() if q.schema.has_column(name)
+        ]
+        if not candidates:
+            raise BindError(f"unknown column {column_id.column!r}")
+        if len(candidates) > 1:
+            aliases = ", ".join(sorted(q.alias for q in candidates))
+            raise BindError(
+                f"ambiguous column {column_id.column!r} (candidates: {aliases})"
+            )
+        return ColumnId(alias=candidates[0].alias, column=name)
+
+    # ------------------------------------------------------------------
+    def _place_conjuncts(
+        self, where: Scalar | None, by_alias: dict[str, Quantifier]
+    ) -> tuple[dict[str, Scalar | None], list[Scalar]]:
+        pushed_lists: dict[str, list[Scalar]] = {alias: [] for alias in by_alias}
+        join_conjuncts: list[Scalar] = []
+        for conjunct in split_conjuncts(where):
+            if _contains_aggregate(conjunct):
+                raise BindError("aggregate functions are not allowed in WHERE")
+            aliases = {c.alias for c in conjunct.references()}
+            if len(aliases) == 1:
+                pushed_lists[next(iter(aliases))].append(conjunct)
+            else:
+                # Multi-table conjuncts (and degenerate constant predicates)
+                # stay above the scans.
+                join_conjuncts.append(conjunct)
+        pushed: dict[str, Scalar | None] = {
+            alias: make_conjunction(conjuncts)
+            for alias, conjuncts in pushed_lists.items()
+        }
+        return pushed, join_conjuncts
+
+    # ------------------------------------------------------------------
+    def _bind_select(
+        self,
+        statement: SelectStatement,
+        resolve,
+        group_by: tuple[ColumnId, ...],
+        quantifiers: tuple[Quantifier, ...],
+    ) -> tuple[tuple[tuple[str, Scalar], ...], tuple[tuple[str, AggregateCall], ...]]:
+        outputs: list[tuple[str, Scalar]] = []
+        aggregates: list[tuple[str, AggregateCall]] = []
+        used_names: set[str] = set()
+
+        def fresh_name(base: str) -> str:
+            name = base
+            suffix = 1
+            while name in used_names:
+                suffix += 1
+                name = f"{base}_{suffix}"
+            used_names.add(name)
+            return name
+
+        items = statement.select_items
+        if len(items) == 1 and items[0].star:
+            for quantifier in quantifiers:
+                for column in quantifier.schema.columns:
+                    name = fresh_name(column.name)
+                    outputs.append(
+                        (name, ColumnRef(ColumnId(quantifier.alias, column.name)))
+                    )
+            if group_by:
+                raise BindError("SELECT * cannot be combined with GROUP BY")
+            return tuple(outputs), ()
+
+        any_aggregate = any(
+            item.expr is not None and _contains_aggregate(item.expr) for item in items
+        )
+        is_aggregate_query = any_aggregate or bool(group_by)
+
+        for position, item in enumerate(items):
+            if item.star:
+                raise BindError("'*' must be the only select item")
+            expr = _rewrite(item.expr, resolve)
+            if isinstance(expr, AggregateCall):
+                if expr.arg is not None and _contains_aggregate(expr.arg):
+                    raise BindError("nested aggregate functions are not allowed")
+                name = fresh_name(item.alias or f"agg_{position + 1}")
+                aggregates.append((name, expr))
+                outputs.append((name, ColumnRef(ColumnId("", name))))
+                continue
+            if _contains_aggregate(expr):
+                raise BindError(
+                    "aggregates must be top-level select items "
+                    "(arithmetic over aggregates is not supported)"
+                )
+            if is_aggregate_query:
+                if not isinstance(expr, ColumnRef) or expr.column_id not in group_by:
+                    raise BindError(
+                        f"select item {expr.render()!r} must be a GROUP BY column "
+                        "in an aggregate query"
+                    )
+            base = item.alias or (
+                expr.column_id.column if isinstance(expr, ColumnRef) else f"col_{position + 1}"
+            )
+            outputs.append((fresh_name(base), expr))
+
+        if is_aggregate_query and not aggregates:
+            raise BindError("GROUP BY query must compute at least one aggregate")
+        return tuple(outputs), tuple(aggregates)
+
+    # ------------------------------------------------------------------
+    def _bind_order_by(
+        self,
+        statement: SelectStatement,
+        resolve,
+        select_outputs: tuple[tuple[str, Scalar], ...],
+    ) -> tuple[ColumnId, ...]:
+        """ORDER BY entries always bind to *output* columns.
+
+        The final plan operator is a projection, so the root Sort enforcer
+        can only sort on columns the projection emits.  A base column in
+        ORDER BY therefore has to appear in the select list (directly or
+        via an alias); anything else is an error.
+        """
+        names = {name for name, _ in select_outputs}
+        base_to_output = {
+            expr.column_id: name
+            for name, expr in select_outputs
+            if isinstance(expr, ColumnRef)
+        }
+        order: list[ColumnId] = []
+        for item in statement.order_by:
+            if not item.column.alias and item.column.column in names:
+                order.append(ColumnId("", item.column.column))
+                continue
+            resolved = resolve(item.column)
+            output_name = base_to_output.get(resolved)
+            if output_name is None:
+                raise BindError(
+                    f"ORDER BY column {item.column.render()!r} must appear "
+                    "in the select list"
+                )
+            order.append(ColumnId("", output_name))
+        return tuple(order)
+
+
+def bind(statement: SelectStatement, catalog: Catalog) -> BoundQuery:
+    """Bind ``statement`` against ``catalog``."""
+    return Binder(catalog).bind(statement)

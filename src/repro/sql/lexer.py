@@ -1,0 +1,173 @@
+"""SQL lexer: text -> token stream, with line/column tracking."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import LexerError
+
+__all__ = ["TokenType", "Token", "Lexer", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    INTEGER = "integer"
+    FLOAT = "float"
+    STRING = "string"
+    OPERATOR = "operator"  # = <> < <= > >= + - * /
+    PUNCT = "punct"  # ( ) , .
+    EOF = "eof"
+
+
+#: Reserved words, stored uppercase.  Anything else is an identifier.
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "OPTION",
+        "AS", "AND", "OR", "NOT", "BETWEEN", "LIKE", "IN", "IS", "NULL",
+        "USEPLAN", "ASC", "DESC", "DISTINCT",
+        "SUM", "COUNT", "AVG", "MIN", "MAX",
+    }
+)
+
+_OPERATORS = ("<>", "<=", ">=", "=", "<", ">", "+", "-", "*", "/", "!=")
+_PUNCT = "(),."
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word.upper()
+
+    def __str__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"{self.type.value}:{self.value!r}@{self.line}:{self.column}"
+
+
+class Lexer:
+    """A hand-rolled single-pass lexer."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _peek(self, offset: int = 0) -> str:
+        idx = self.pos + offset
+        return self.text[idx] if idx < len(self.text) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.text):
+                if self.text[self.pos] == "\n":
+                    self.line += 1
+                    self.column = 1
+                else:
+                    self.column += 1
+                self.pos += 1
+
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.pos < len(self.text):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "-" and self._peek(1) == "-":
+                while self.pos < len(self.text) and self._peek() != "\n":
+                    self._advance()
+            else:
+                return
+
+    def tokens(self) -> list[Token]:
+        out: list[Token] = []
+        while True:
+            token = self.next_token()
+            out.append(token)
+            if token.type is TokenType.EOF:
+                return out
+
+    def next_token(self) -> Token:
+        self._skip_whitespace_and_comments()
+        line, column = self.line, self.column
+        if self.pos >= len(self.text):
+            return Token(TokenType.EOF, "", line, column)
+        ch = self._peek()
+
+        if ch.isalpha() or ch == "_":
+            return self._lex_word(line, column)
+        if ch.isdigit():
+            return self._lex_number(line, column)
+        if ch == "'":
+            return self._lex_string(line, column)
+        for op in _OPERATORS:
+            if self.text.startswith(op, self.pos):
+                self._advance(len(op))
+                value = "<>" if op == "!=" else op
+                return Token(TokenType.OPERATOR, value, line, column)
+        if ch in _PUNCT:
+            self._advance()
+            return Token(TokenType.PUNCT, ch, line, column)
+        raise LexerError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_word(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        word = self.text[start : self.pos]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, line, column)
+        return Token(TokenType.IDENT, word, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        start = self.pos
+        while self._peek().isdigit():
+            self._advance()
+        is_float = False
+        if self._peek() == "." and self._peek(1).isdigit():
+            is_float = True
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        if self._peek() in ("e", "E") and (
+            self._peek(1).isdigit()
+            or (self._peek(1) in "+-" and self._peek(2).isdigit())
+        ):
+            is_float = True
+            self._advance()
+            if self._peek() in "+-":
+                self._advance()
+            while self._peek().isdigit():
+                self._advance()
+        text = self.text[start : self.pos]
+        return Token(
+            TokenType.FLOAT if is_float else TokenType.INTEGER, text, line, column
+        )
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        # Opening quote.
+        self._advance()
+        parts: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise LexerError("unterminated string literal", line, column)
+            ch = self._peek()
+            if ch == "'":
+                if self._peek(1) == "'":  # escaped quote
+                    parts.append("'")
+                    self._advance(2)
+                    continue
+                self._advance()
+                return Token(TokenType.STRING, "".join(parts), line, column)
+            parts.append(ch)
+            self._advance()
+
+
+def tokenize(text: str) -> list[Token]:
+    """Lex ``text`` into a token list ending with an EOF token."""
+    return Lexer(text).tokens()

@@ -1,0 +1,7 @@
+"""In-memory storage engine (system S3) and TPC-H data generator (S2)."""
+
+from repro.storage.table import DataTable
+from repro.storage.database import Database
+from repro.storage.datagen import generate_tpch
+
+__all__ = ["DataTable", "Database", "generate_tpch"]

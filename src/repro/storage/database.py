@@ -1,0 +1,51 @@
+"""A named collection of in-memory tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.catalog.catalog import Catalog
+from repro.errors import StorageError
+from repro.storage.table import DataTable
+
+__all__ = ["Database"]
+
+
+@dataclass
+class Database:
+    """All base-table data for one database instance.
+
+    ``catalog`` describes the schema; ``tables`` holds the rows.  The
+    executor looks tables up here by (case-insensitive) name.
+    """
+
+    catalog: Catalog
+    tables: dict[str, DataTable] = field(default_factory=dict)
+
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.lower()
+
+    def add_table(self, table: DataTable) -> None:
+        key = self._key(table.name)
+        if key in self.tables:
+            raise StorageError(f"table {table.name!r} already loaded")
+        self.tables[key] = table
+
+    def table(self, name: str) -> DataTable:
+        try:
+            return self.tables[self._key(name)]
+        except KeyError:
+            raise StorageError(f"no data loaded for table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return self._key(name) in self.tables
+
+    def refresh_stats(self) -> None:
+        """Replace catalog statistics with exact stats from loaded data.
+
+        Useful when optimizing directly against the micro instance instead
+        of the declared SF=1 statistics.
+        """
+        for key, table in self.tables.items():
+            self.catalog.set_stats(key, table.collect_stats())

@@ -1,0 +1,269 @@
+"""Deterministic micro-scale TPC-H data generator.
+
+The paper executes sampled plans against a real TPC-H database.  Plan
+*result equivalence* (Section 4) does not depend on data volume, so for
+execution we generate a tiny, referentially intact instance whose value
+distributions mirror TPC-H closely enough that the benchmark queries
+return non-empty results: real nation/region names (Q5's ``ASIA``, Q7's
+``FRANCE``/``GERMANY``, Q8's ``AMERICA``), part types including
+``ECONOMY ANODIZED STEEL`` (Q8), part names containing ``green`` (Q9), and
+order/ship dates inside the 1992–1998 window.
+
+Everything is driven by one seed; the same seed always yields the same
+database.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.tpch import tpch_catalog
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+from repro.util.rng import make_rng, spawn_rng
+
+__all__ = ["generate_tpch", "MICRO_ROWS", "NATIONS", "REGIONS"]
+
+#: Region key -> name (TPC-H specification order).
+REGIONS: list[str] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+#: The 25 TPC-H nations as (name, region key).
+NATIONS: list[tuple[str, int]] = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+#: Default row counts for the micro instance.
+MICRO_ROWS: dict[str, int] = {
+    "region": 5,
+    "nation": 25,
+    "supplier": 24,
+    "customer": 36,
+    "part": 30,
+    "partsupp": 90,
+    "orders": 80,
+    "lineitem": 240,
+}
+
+_TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+_TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+_TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+_COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+    "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+    "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+]
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+_SHIP_INSTRUCT = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+_CONTAINERS = ["SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG"]
+
+_MONTH_DAYS = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31]
+
+
+def _random_date(rng, lo_year: int = 1992, hi_year: int = 1998) -> str:
+    year = rng.randint(lo_year, hi_year)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, _MONTH_DAYS[month - 1])
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def _shift_date(date: str, rng, max_days: int = 60) -> str:
+    """A date up to ``max_days`` later, staying inside the same year if easy."""
+    year, month, day = int(date[:4]), int(date[5:7]), int(date[8:10])
+    day += rng.randint(1, max_days)
+    while day > _MONTH_DAYS[month - 1]:
+        day -= _MONTH_DAYS[month - 1]
+        month += 1
+        if month > 12:
+            month = 1
+            year += 1
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def generate_tpch(
+    seed: int = 0,
+    rows: dict[str, int] | None = None,
+    catalog: Catalog | None = None,
+) -> Database:
+    """Generate a micro TPC-H database.
+
+    ``rows`` overrides per-table row counts (defaults to :data:`MICRO_ROWS`;
+    ``region``/``nation`` are always fully populated).  ``catalog`` defaults
+    to the SF=1 catalog, so the optimizer plans as if the database were full
+    size while execution touches only the micro rows — the same separation
+    of concerns as in the paper's test setup.
+    """
+    sizes = dict(MICRO_ROWS)
+    if rows:
+        sizes.update(rows)
+    if catalog is None:
+        catalog = tpch_catalog(scale_factor=1.0)
+    root = make_rng(seed)
+    db = Database(catalog=catalog)
+
+    region_rows = [
+        (key, name, f"region {name.lower()}") for key, name in enumerate(REGIONS)
+    ]
+    db.add_table(DataTable(catalog.table("region"), region_rows))
+
+    nation_rows = [
+        (key, name, region_key, f"nation {name.lower()}")
+        for key, (name, region_key) in enumerate(NATIONS)
+    ]
+    db.add_table(DataTable(catalog.table("nation"), nation_rows))
+
+    n_supplier = sizes["supplier"]
+    rng = spawn_rng(root, "supplier")
+    supplier_rows = []
+    for k in range(1, n_supplier + 1):
+        nation_key = (k - 1) % len(NATIONS)
+        supplier_rows.append(
+            (
+                k,
+                f"Supplier#{k:09d}",
+                f"addr s{k}",
+                nation_key,
+                f"{10 + nation_key}-{k:03d}-555",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                f"supplier comment {k}",
+            )
+        )
+    db.add_table(DataTable(catalog.table("supplier"), supplier_rows))
+
+    n_customer = sizes["customer"]
+    rng = spawn_rng(root, "customer")
+    customer_rows = []
+    for k in range(1, n_customer + 1):
+        nation_key = rng.randrange(len(NATIONS))
+        customer_rows.append(
+            (
+                k,
+                f"Customer#{k:09d}",
+                f"addr c{k}",
+                nation_key,
+                f"{10 + nation_key}-{k:03d}-777",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(_SEGMENTS),
+                f"customer comment {k}",
+            )
+        )
+    db.add_table(DataTable(catalog.table("customer"), customer_rows))
+
+    n_part = sizes["part"]
+    rng = spawn_rng(root, "part")
+    part_rows = []
+    for k in range(1, n_part + 1):
+        color_a = _COLORS[rng.randrange(len(_COLORS))]
+        color_b = _COLORS[rng.randrange(len(_COLORS))]
+        ptype = " ".join(
+            (
+                rng.choice(_TYPE_SYLLABLE_1),
+                rng.choice(_TYPE_SYLLABLE_2),
+                rng.choice(_TYPE_SYLLABLE_3),
+            )
+        )
+        part_rows.append(
+            (
+                k,
+                f"{color_a} {color_b} part {k}",
+                f"Manufacturer#{1 + k % 5}",
+                f"Brand#{1 + k % 5}{1 + k % 5}",
+                ptype,
+                rng.randint(1, 50),
+                rng.choice(_CONTAINERS),
+                round(900 + k + rng.uniform(0, 100), 2),
+                f"part comment {k}",
+            )
+        )
+    db.add_table(DataTable(catalog.table("part"), part_rows))
+
+    n_partsupp = sizes["partsupp"]
+    rng = spawn_rng(root, "partsupp")
+    seen_ps: set[tuple[int, int]] = set()
+    partsupp_rows = []
+    while len(partsupp_rows) < n_partsupp:
+        pk = rng.randint(1, n_part)
+        sk = rng.randint(1, n_supplier)
+        if (pk, sk) in seen_ps:
+            continue
+        seen_ps.add((pk, sk))
+        partsupp_rows.append(
+            (
+                pk,
+                sk,
+                rng.randint(1, 9999),
+                round(rng.uniform(1.0, 1000.0), 2),
+                f"partsupp comment {pk}/{sk}",
+            )
+        )
+        if len(seen_ps) >= n_part * n_supplier:
+            break
+    db.add_table(DataTable(catalog.table("partsupp"), partsupp_rows))
+
+    n_orders = sizes["orders"]
+    rng = spawn_rng(root, "orders")
+    orders_rows = []
+    order_dates: dict[int, str] = {}
+    for k in range(1, n_orders + 1):
+        date = _random_date(rng, 1992, 1997)
+        order_dates[k] = date
+        orders_rows.append(
+            (
+                k,
+                rng.randint(1, n_customer),
+                rng.choice(["O", "F", "P"]),
+                round(rng.uniform(800.0, 400_000.0), 2),
+                date,
+                rng.choice(_PRIORITIES),
+                f"Clerk#{rng.randint(1, 20):09d}",
+                0,
+                f"order comment {k}",
+            )
+        )
+    db.add_table(DataTable(catalog.table("orders"), orders_rows))
+
+    n_lineitem = sizes["lineitem"]
+    rng = spawn_rng(root, "lineitem")
+    # Use (partkey, suppkey) pairs that exist in partsupp, like real TPC-H.
+    ps_pairs = [(pk, sk) for pk, sk, *_ in partsupp_rows]
+    lineitem_rows = []
+    line_numbers: dict[int, int] = {}
+    for _ in range(n_lineitem):
+        okey = rng.randint(1, n_orders)
+        line_numbers[okey] = line_numbers.get(okey, 0) + 1
+        pk, sk = ps_pairs[rng.randrange(len(ps_pairs))]
+        quantity = float(rng.randint(1, 50))
+        extended = round(quantity * rng.uniform(900.0, 2100.0), 2)
+        ship = _shift_date(order_dates[okey], rng, 120)
+        commit = _shift_date(order_dates[okey], rng, 90)
+        receipt = _shift_date(ship, rng, 30)
+        lineitem_rows.append(
+            (
+                okey,
+                pk,
+                sk,
+                line_numbers[okey],
+                quantity,
+                extended,
+                round(rng.randint(0, 10) / 100.0, 2),
+                round(rng.randint(0, 8) / 100.0, 2),
+                rng.choice(["A", "N", "R"]),
+                rng.choice(["O", "F"]),
+                ship,
+                commit,
+                receipt,
+                rng.choice(_SHIP_INSTRUCT),
+                rng.choice(_SHIP_MODES),
+                "line comment",
+            )
+        )
+    db.add_table(DataTable(catalog.table("lineitem"), lineitem_rows))
+    return db

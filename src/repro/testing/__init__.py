@@ -1,0 +1,46 @@
+"""Query-processor verification (system S10, the paper's Section 4).
+
+Every plan of a query must produce the same result: "if two candidate
+plans fail to produce the same results, then either the optimizer
+considered an invalid plan, or the execution code is faulty."  The
+:class:`PlanValidator` enumerates (small spaces) or uniformly samples
+(large spaces) plans, executes each, and reports any result mismatch.
+
+:mod:`repro.testing.faults` supplies deliberately broken executor
+variants used by the test suite to prove the harness actually catches
+defects.
+"""
+
+from repro.testing.diff import canonical_result, canonical_rows, results_equal
+from repro.testing.harness import (
+    PlanMismatch,
+    PlanValidator,
+    ValidationReport,
+)
+from repro.testing.faults import (
+    DroppedRowExecutor,
+    IgnoredResidualExecutor,
+    UnsortedMergeExecutor,
+)
+from repro.testing.corpus import (
+    CorpusRecord,
+    PlanCorpus,
+    build_corpus,
+    verify_corpus,
+)
+
+__all__ = [
+    "CorpusRecord",
+    "PlanCorpus",
+    "build_corpus",
+    "verify_corpus",
+    "canonical_result",
+    "canonical_rows",
+    "results_equal",
+    "PlanMismatch",
+    "PlanValidator",
+    "ValidationReport",
+    "DroppedRowExecutor",
+    "IgnoredResidualExecutor",
+    "UnsortedMergeExecutor",
+]

@@ -1,0 +1,163 @@
+"""Golden-plan regression corpora.
+
+Section 4: "developers are able to generate test cases for specific
+queries, instantly extending existing test libraries substantially."
+A :class:`PlanCorpus` is that test library made durable: a set of
+(query, plan rank, expected result digest) records built once from a
+known-good engine and replayed against any later build.  A replay failure
+pinpoints the exact plan — re-executable via ``OPTION (USEPLAN rank)``.
+
+Digests are computed over canonicalized results (column-order and
+float-noise insensitive), so they are stable across plan shapes and
+engine refactorings that preserve semantics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.api import Session
+from repro.planspace.space import PlanSpace
+from repro.testing.diff import canonical_result
+
+__all__ = ["CorpusRecord", "PlanCorpus", "build_corpus", "verify_corpus"]
+
+
+def _digest(columns: list[str], rows: list[tuple]) -> str:
+    canon_columns, canon_rows = canonical_result(columns, rows)
+    payload = repr((canon_columns, canon_rows)).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+@dataclass(frozen=True)
+class CorpusRecord:
+    """One golden test case: a query, a plan number, the result digest."""
+
+    query: str
+    rank: int
+    digest: str
+    row_count: int
+
+
+@dataclass
+class PlanCorpus:
+    """A replayable set of golden plan results."""
+
+    records: list[CorpusRecord] = field(default_factory=list)
+    seed: int = 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seed": self.seed, "records": [asdict(r) for r in self.records]},
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PlanCorpus":
+        data = json.loads(text)
+        return cls(
+            seed=data.get("seed", 0),
+            records=[CorpusRecord(**record) for record in data["records"]],
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "PlanCorpus":
+        with open(path) as handle:
+            return cls.from_json(handle.read())
+
+
+@dataclass
+class CorpusVerification:
+    """Outcome of replaying a corpus."""
+
+    checked: int = 0
+    failures: list[tuple[CorpusRecord, str]] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return not self.failures
+
+    def render(self) -> str:
+        lines = [f"replayed {self.checked} golden plans"]
+        if self.passed:
+            lines.append("all digests match")
+        for record, reason in self.failures:
+            lines.append(
+                f"FAIL rank {record.rank} of {record.query[:60]!r}: {reason} "
+                f"(replay with OPTION (USEPLAN {record.rank}))"
+            )
+        return "\n".join(lines)
+
+
+def build_corpus(
+    session: Session,
+    queries: list[str],
+    plans_per_query: int = 20,
+    seed: int = 0,
+) -> PlanCorpus:
+    """Record digests for ``plans_per_query`` uniform plans of each query.
+
+    Small spaces are covered exhaustively instead of sampled.
+    """
+    corpus = PlanCorpus(seed=seed)
+    for sql in queries:
+        result = session.optimize(sql)
+        space = PlanSpace.from_result(result)
+        total = space.count()
+        if total <= plans_per_query:
+            ranks = list(range(total))
+        else:
+            ranks = space.sample_ranks(plans_per_query, seed=seed, unique=True)
+        for rank in ranks:
+            plan = space.unrank(rank)
+            executed = session.executor.execute(plan)
+            corpus.records.append(
+                CorpusRecord(
+                    query=sql,
+                    rank=rank,
+                    digest=_digest(executed.columns, executed.rows),
+                    row_count=len(executed.rows),
+                )
+            )
+    return corpus
+
+
+def verify_corpus(session: Session, corpus: PlanCorpus) -> CorpusVerification:
+    """Replay every record against ``session``'s engine."""
+    verification = CorpusVerification()
+    spaces: dict[str, PlanSpace] = {}
+    for record in corpus.records:
+        verification.checked += 1
+        space = spaces.get(record.query)
+        if space is None:
+            space = PlanSpace.from_result(session.optimize(record.query))
+            spaces[record.query] = space
+        if record.rank >= space.count():
+            verification.failures.append(
+                (record, f"space shrank to {space.count()} plans")
+            )
+            continue
+        plan = space.unrank(record.rank)
+        try:
+            executed = session.executor.execute(plan)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            verification.failures.append(
+                (record, f"execution raised {type(exc).__name__}: {exc}")
+            )
+            continue
+        digest = _digest(executed.columns, executed.rows)
+        if digest != record.digest:
+            verification.failures.append(
+                (
+                    record,
+                    f"digest mismatch ({len(executed.rows)} rows, "
+                    f"expected {record.row_count})",
+                )
+            )
+    return verification

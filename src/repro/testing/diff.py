@@ -1,0 +1,83 @@
+"""Result comparison: canonical forms for plan-equivalence checking.
+
+Two subtleties make naive ``rows_a == rows_b`` wrong:
+
+* row *order* is not part of a query's semantics (unless ORDER BY is
+  given), and different plans legitimately produce different orders;
+* floating-point aggregates accumulate in plan-dependent orders, so SUM
+  over the same multiset of floats differs in the last bits between
+  plans.  We therefore compare after rounding floats to a relative
+  precision that is far looser than accumulation noise yet far tighter
+  than any real defect.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "canonical_value",
+    "canonical_rows",
+    "canonical_result",
+    "results_equal",
+]
+
+#: Significant digits retained for float comparison.
+FLOAT_DIGITS = 9
+
+
+def canonical_value(value, float_digits: int = FLOAT_DIGITS):
+    """A hashable, comparison-stable form of one column value."""
+    if isinstance(value, float):
+        if value == 0.0:
+            return 0.0
+        return float(f"{value:.{float_digits}g}")
+    return value
+
+
+def canonical_rows(
+    rows: list[tuple],
+    float_digits: int = FLOAT_DIGITS,
+    respect_order: bool = False,
+) -> list[tuple]:
+    """Rows in canonical form: floats rounded, order normalized.
+
+    With ``respect_order=True`` (for ORDER BY queries) the sequence is
+    preserved; otherwise rows are sorted into a canonical order.
+    """
+    canonical = [
+        tuple(canonical_value(v, float_digits) for v in row) for row in rows
+    ]
+    if respect_order:
+        return canonical
+    return sorted(canonical, key=repr)
+
+
+def canonical_result(
+    columns: list[str],
+    rows: list[tuple],
+    float_digits: int = FLOAT_DIGITS,
+    respect_order: bool = False,
+) -> tuple[tuple[str, ...], list[tuple]]:
+    """Canonical form that also normalizes column *order*.
+
+    Plans whose joins flip sides emit the same columns in different
+    positions; queries normally pin the order with a root projection, but
+    raw memo fragments (like the paper's Figure 2 example) may not.  The
+    result reorders columns alphabetically and permutes each row to
+    match, then canonicalizes rows as usual.
+    """
+    permutation = sorted(range(len(columns)), key=lambda i: columns[i])
+    ordered_columns = tuple(columns[i] for i in permutation)
+    permuted = [tuple(row[i] for i in permutation) for row in rows]
+    return ordered_columns, canonical_rows(permuted, float_digits, respect_order)
+
+
+def results_equal(
+    rows_a: list[tuple],
+    rows_b: list[tuple],
+    float_digits: int = FLOAT_DIGITS,
+    respect_order: bool = False,
+) -> bool:
+    """True when the two row multisets are equivalent."""
+    return canonical_rows(rows_a, float_digits, respect_order) == canonical_rows(
+        rows_b, float_digits, respect_order
+    )

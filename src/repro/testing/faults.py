@@ -1,0 +1,80 @@
+"""Deliberately defective executors (fault injection).
+
+The validation harness exists to catch execution-engine defects.  These
+classes *are* such defects, packaged: each one reproduces a classic bug
+pattern.  The test suite wires them into a :class:`PlanValidator` and
+asserts the harness reports mismatches — i.e. that the paper's testing
+methodology actually detects the class of bug it was designed for.
+
+* :class:`DroppedRowExecutor` — merge join silently drops the last
+  matching row pair (off-by-one in run handling);
+* :class:`IgnoredResidualExecutor` — hash join forgets to apply the
+  non-equality residual predicate;
+* :class:`UnsortedMergeExecutor` — index scans return heap order while
+  merge join trusts the sort contract (a *planner* property bug surfacing
+  only in plans that pair a merge join with an index scan).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.physical import IndexScan
+from repro.executor.executor import PlanExecutor
+from repro.executor.schema import RowSchema
+from repro.executor.scalar import compile_predicate
+from repro.optimizer.plan import PlanNode
+from repro.executor.schema import output_schema
+
+__all__ = [
+    "DroppedRowExecutor",
+    "IgnoredResidualExecutor",
+    "UnsortedMergeExecutor",
+]
+
+
+class DroppedRowExecutor(PlanExecutor):
+    """Merge join that loses the final output row."""
+
+    def _run_merge_join(self, plan: PlanNode):
+        schema, rows = super()._run_merge_join(plan)
+        if rows:
+            rows = rows[:-1]
+        return schema, rows
+
+
+class IgnoredResidualExecutor(PlanExecutor):
+    """Hash join that never evaluates its residual predicate."""
+
+    def _run_hash_join(self, plan: PlanNode):
+        op = plan.op
+        left_schema, left_rows = self._run(plan.children[0])
+        right_schema, right_rows = self._run(plan.children[1])
+        schema: RowSchema = left_schema + right_schema
+        left_key = self._key_fn(op.left_keys, left_schema)
+        right_key = self._key_fn(op.right_keys, right_schema)
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in right_rows:
+            buckets.setdefault(right_key(row), []).append(row)
+        out = []
+        for left in left_rows:
+            for right in buckets.get(left_key(left), ()):
+                out.append(left + right)  # residual predicate "forgotten"
+        return schema, out
+
+
+class UnsortedMergeExecutor(PlanExecutor):
+    """Index scans that betray their sort-order contract.
+
+    Returns index-scan rows in heap order.  Plans whose merge joins sit
+    directly on index scans then merge unsorted inputs and produce wrong
+    (usually partial) results — unless ``check_orders`` is on, in which
+    case execution fails loudly.  Either way the harness flags the plan.
+    """
+
+    def _run_scan(self, plan: PlanNode):
+        op = plan.op
+        if isinstance(op, IndexScan):
+            table = self.database.table(op.table)
+            schema = output_schema(plan, self.catalog)
+            predicate = compile_predicate(op.predicate, schema)
+            return schema, [row for row in table.scan() if predicate(row)]
+        return super()._run_scan(plan)

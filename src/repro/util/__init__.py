@@ -1,0 +1,15 @@
+"""Small shared utilities: deterministic RNG, text rendering, histograms."""
+
+from repro.util.rng import make_rng, spawn_rng
+from repro.util.text import TextTable, format_count, format_float
+from repro.util.histogram import AsciiHistogram, histogram_bins
+
+__all__ = [
+    "make_rng",
+    "spawn_rng",
+    "TextTable",
+    "format_count",
+    "format_float",
+    "AsciiHistogram",
+    "histogram_bins",
+]

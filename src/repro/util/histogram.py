@@ -1,0 +1,95 @@
+"""ASCII histograms for cost-distribution figures.
+
+Figure 4 of the paper shows frequency histograms of sampled, scaled plan
+costs.  We render the same data as text so the benchmark harness can print
+the figure without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["histogram_bins", "AsciiHistogram"]
+
+
+def histogram_bins(
+    values: Sequence[float],
+    bins: int,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> tuple[list[int], list[float]]:
+    """Bin ``values`` into ``bins`` equal-width buckets over ``[lo, hi]``.
+
+    Returns ``(counts, edges)`` with ``len(edges) == bins + 1``.  Values
+    outside the range are clamped into the first/last bucket, mirroring how
+    the paper clips the long right tail of its cost distributions.
+    """
+    if bins <= 0:
+        raise ValueError("bins must be positive")
+    if not values:
+        return [0] * bins, [0.0] * (bins + 1)
+    if lo is None:
+        lo = min(values)
+    if hi is None:
+        hi = max(values)
+    if hi <= lo:
+        hi = lo + 1.0
+    width = (hi - lo) / bins
+    counts = [0] * bins
+    for v in values:
+        idx = int((v - lo) / width)
+        if idx < 0:
+            idx = 0
+        elif idx >= bins:
+            idx = bins - 1
+        counts[idx] += 1
+    edges = [lo + i * width for i in range(bins + 1)]
+    return counts, edges
+
+
+@dataclass
+class AsciiHistogram:
+    """Render a pre-binned histogram as rows of ``#`` bars.
+
+    Mirrors the layout of the paper's Figure 4: bucket edge on the left,
+    frequency bar and count on the right.
+    """
+
+    counts: list[int]
+    edges: list[float]
+    width: int = 50
+    title: str = ""
+
+    @classmethod
+    def from_values(
+        cls,
+        values: Sequence[float],
+        bins: int = 25,
+        width: int = 50,
+        title: str = "",
+        lo: float | None = None,
+        hi: float | None = None,
+    ) -> "AsciiHistogram":
+        counts, edges = histogram_bins(values, bins, lo=lo, hi=hi)
+        return cls(counts=counts, edges=edges, width=width, title=title)
+
+    def render(self) -> str:
+        peak = max(self.counts) if self.counts else 0
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+        if peak == 0:
+            lines.append("(empty histogram)")
+            return "\n".join(lines)
+        label_width = max(
+            len(f"{edge:.3g}") for edge in self.edges
+        )
+        for i, count in enumerate(self.counts):
+            bar = "#" * max(1 if count else 0, round(count / peak * self.width))
+            lo = f"{self.edges[i]:.3g}".rjust(label_width)
+            lines.append(f"{lo} | {bar:<{self.width}} {count}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,75 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints Table 1 / Figure 4 style reports to stdout;
+this module provides the minimal, dependency-free formatting used for that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["TextTable", "format_count", "format_float"]
+
+
+def format_count(value: int) -> str:
+    """Format a (possibly huge) plan count with thousands separators."""
+    return f"{value:,}"
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float compactly, switching to scientific for extremes."""
+    if value == 0:
+        return "0"
+    if abs(value) >= 10 ** 7 or 0 < abs(value) < 10 ** -3:
+        return f"{value:.{digits}e}"
+    return f"{value:,.{digits}f}"
+
+
+class TextTable:
+    """A fixed-column text table.
+
+    >>> t = TextTable(["Query", "#Plans"])
+    >>> t.add_row(["Q5", "68,572,049"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], align: Sequence[str] | None = None):
+        self.headers = [str(h) for h in headers]
+        if align is None:
+            align = ["<"] + [">"] * (len(self.headers) - 1)
+        if len(align) != len(self.headers):
+            raise ValueError("align must match headers length")
+        self.align = list(align)
+        self.rows: list[list[str]] = []
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        row = [str(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    def _widths(self) -> list[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+
+        def fmt(cells: Sequence[str]) -> str:
+            parts = [
+                f"{cell:{self.align[i]}{widths[i]}}" for i, cell in enumerate(cells)
+            ]
+            return "  ".join(parts).rstrip()
+
+        sep = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        lines = [fmt(self.headers), sep]
+        lines.extend(fmt(row) for row in self.rows)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

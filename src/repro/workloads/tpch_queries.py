@@ -1,0 +1,191 @@
+"""The TPC-H queries of the paper's evaluation.
+
+The paper's Section 5 experiments use "TPC-H queries 5, 7, 8, 9, which are
+the join-intensive queries of the benchmark"; Q6 appears as the example of
+a small query whose cost distribution degenerates to noise.  The texts
+below are lightly simplified to the reproduction's SQL dialect (no
+nested subqueries, no EXTRACT/CASE; aggregates are plain SUMs), keeping
+every join edge and every filter that shapes the search space:
+
+* Q5 — 6 relations in a cycle (customer/supplier nation equality closes it);
+* Q7 — 6 relations including two instances of ``nation`` and a
+  disjunctive cross-table predicate;
+* Q8 — 8 relations, the largest space in Table 1;
+* Q9 — 6 relations with a two-column composite edge to ``partsupp`` and a
+  LIKE filter;
+* Q6 — single relation (degenerate space);
+* Q3 and Q10 — smaller join queries used by examples and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = ["TpchQuery", "TPCH_QUERIES", "tpch_query"]
+
+
+@dataclass(frozen=True)
+class TpchQuery:
+    """One benchmark query: its SQL plus search-space metadata."""
+
+    name: str
+    sql: str
+    relations: int
+    description: str
+    in_paper_table1: bool = False
+
+
+_Q5 = TpchQuery(
+    name="Q5",
+    relations=6,
+    in_paper_table1=True,
+    description="local supplier volume: 6-way join, cycle through "
+    "customer/supplier nation equality",
+    sql="""
+SELECT n.n_name, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+WHERE c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND l.l_suppkey = s.s_suppkey
+  AND c.c_nationkey = s.s_nationkey
+  AND s.s_nationkey = n.n_nationkey
+  AND n.n_regionkey = r.r_regionkey
+  AND r.r_name = 'ASIA'
+  AND o.o_orderdate >= '1994-01-01'
+  AND o.o_orderdate < '1995-01-01'
+GROUP BY n.n_name
+""",
+)
+
+_Q7 = TpchQuery(
+    name="Q7",
+    relations=6,
+    in_paper_table1=True,
+    description="volume shipping: 6-way join with two nation instances and "
+    "a disjunctive nation-pair predicate",
+    sql="""
+SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+WHERE s.s_suppkey = l.l_suppkey
+  AND o.o_orderkey = l.l_orderkey
+  AND c.c_custkey = o.o_custkey
+  AND s.s_nationkey = n1.n_nationkey
+  AND c.c_nationkey = n2.n_nationkey
+  AND (n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY'
+       OR n1.n_name = 'GERMANY' AND n2.n_name = 'FRANCE')
+  AND l.l_shipdate BETWEEN '1995-01-01' AND '1996-12-31'
+GROUP BY n1.n_name, n2.n_name
+""",
+)
+
+_Q8 = TpchQuery(
+    name="Q8",
+    relations=8,
+    in_paper_table1=True,
+    description="national market share: 8-way join, the paper's largest "
+    "search space",
+    sql="""
+SELECT n2.n_name AS nation, SUM(l.l_extendedprice * (1 - l.l_discount)) AS volume
+FROM part p, supplier s, lineitem l, orders o, customer c,
+     nation n1, nation n2, region r
+WHERE p.p_partkey = l.l_partkey
+  AND s.s_suppkey = l.l_suppkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_custkey = c.c_custkey
+  AND c.c_nationkey = n1.n_nationkey
+  AND n1.n_regionkey = r.r_regionkey
+  AND s.s_nationkey = n2.n_nationkey
+  AND r.r_name = 'AMERICA'
+  AND o.o_orderdate BETWEEN '1995-01-01' AND '1996-12-31'
+  AND p.p_type = 'ECONOMY ANODIZED STEEL'
+GROUP BY n2.n_name
+""",
+)
+
+_Q9 = TpchQuery(
+    name="Q9",
+    relations=6,
+    in_paper_table1=True,
+    description="product type profit: 6-way join with composite "
+    "lineitem-partsupp edge and a LIKE filter",
+    sql="""
+SELECT n.n_name AS nation,
+       SUM(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity)
+           AS profit
+FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+WHERE s.s_suppkey = l.l_suppkey
+  AND ps.ps_suppkey = l.l_suppkey
+  AND ps.ps_partkey = l.l_partkey
+  AND p.p_partkey = l.l_partkey
+  AND o.o_orderkey = l.l_orderkey
+  AND s.s_nationkey = n.n_nationkey
+  AND p.p_name LIKE '%green%'
+GROUP BY n.n_name
+""",
+)
+
+_Q6 = TpchQuery(
+    name="Q6",
+    relations=1,
+    description="forecasting revenue change: single-table aggregate; the "
+    "paper's example of a degenerate cost distribution",
+    sql="""
+SELECT SUM(l.l_extendedprice * l.l_discount) AS revenue
+FROM lineitem l
+WHERE l.l_shipdate >= '1994-01-01'
+  AND l.l_shipdate < '1995-01-01'
+  AND l.l_discount BETWEEN 0.05 AND 0.07
+  AND l.l_quantity < 24
+""",
+)
+
+_Q3 = TpchQuery(
+    name="Q3",
+    relations=3,
+    description="shipping priority: 3-way join, small enough for "
+    "exhaustive enumeration in tests",
+    sql="""
+SELECT l.l_orderkey, SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c, orders o, lineitem l
+WHERE c.c_mktsegment = 'BUILDING'
+  AND c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate < '1995-03-15'
+  AND l.l_shipdate > '1995-03-15'
+GROUP BY l.l_orderkey
+""",
+)
+
+_Q10 = TpchQuery(
+    name="Q10",
+    relations=4,
+    description="returned item reporting: 4-way join",
+    sql="""
+SELECT c.c_custkey, n.n_name,
+       SUM(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+FROM customer c, orders o, lineitem l, nation n
+WHERE c.c_custkey = o.o_custkey
+  AND l.l_orderkey = o.o_orderkey
+  AND o.o_orderdate >= '1993-10-01'
+  AND o.o_orderdate < '1994-01-01'
+  AND l.l_returnflag = 'R'
+  AND c.c_nationkey = n.n_nationkey
+GROUP BY c.c_custkey, n.n_name
+""",
+)
+
+TPCH_QUERIES: dict[str, TpchQuery] = {
+    q.name: q for q in (_Q3, _Q5, _Q6, _Q7, _Q8, _Q9, _Q10)
+}
+
+
+def tpch_query(name: str) -> TpchQuery:
+    """Look up a query by name (``"Q5"``, ``"Q7"``, ...)."""
+    try:
+        return TPCH_QUERIES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(TPCH_QUERIES))
+        raise ReproError(f"unknown TPC-H query {name!r} (known: {known})") from None

@@ -1,0 +1,178 @@
+"""Tests for scalar expressions: fingerprints, references, rendering."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggFunc,
+    AggregateCall,
+    Arithmetic,
+    BoolExpr,
+    BoolOp,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryMinus,
+    make_conjunction,
+    split_conjuncts,
+)
+from repro.errors import AlgebraError
+
+A = ColumnRef(ColumnId("t", "a"))
+B = ColumnRef(ColumnId("t", "b"))
+FIVE = Literal(5)
+
+
+class TestReferences:
+    def test_column_ref(self):
+        assert A.references() == {ColumnId("t", "a")}
+
+    def test_literal_empty(self):
+        assert FIVE.references() == frozenset()
+
+    def test_nested(self):
+        expr = BoolExpr(
+            BoolOp.AND,
+            (Comparison(CompOp.EQ, A, FIVE), Comparison(CompOp.LT, B, FIVE)),
+        )
+        assert expr.references() == {ColumnId("t", "a"), ColumnId("t", "b")}
+
+    def test_count_star_empty(self):
+        assert AggregateCall(AggFunc.COUNT, None).references() == frozenset()
+
+
+class TestFingerprints:
+    def test_equality_commutes(self):
+        ab = Comparison(CompOp.EQ, A, B)
+        ba = Comparison(CompOp.EQ, B, A)
+        assert ab.fingerprint() == ba.fingerprint()
+
+    def test_inequality_flips(self):
+        lt = Comparison(CompOp.LT, A, B)
+        gt = Comparison(CompOp.GT, B, A)
+        assert lt.fingerprint() == gt.fingerprint()
+
+    def test_lt_vs_le_differ(self):
+        lt = Comparison(CompOp.LT, A, B)
+        le = Comparison(CompOp.LE, A, B)
+        assert lt.fingerprint() != le.fingerprint()
+
+    def test_and_argument_order_irrelevant(self):
+        c1 = Comparison(CompOp.EQ, A, FIVE)
+        c2 = Comparison(CompOp.LT, B, FIVE)
+        x = BoolExpr(BoolOp.AND, (c1, c2))
+        y = BoolExpr(BoolOp.AND, (c2, c1))
+        assert x.fingerprint() == y.fingerprint()
+
+    def test_addition_commutes(self):
+        assert (
+            Arithmetic("+", A, B).fingerprint()
+            == Arithmetic("+", B, A).fingerprint()
+        )
+
+    def test_subtraction_does_not_commute(self):
+        assert (
+            Arithmetic("-", A, B).fingerprint()
+            != Arithmetic("-", B, A).fingerprint()
+        )
+
+    def test_literal_type_matters(self):
+        assert Literal(1).fingerprint() != Literal(1.0).fingerprint()
+
+    def test_in_list_order_irrelevant(self):
+        x = InList(A, (1, 2))
+        y = InList(A, (2, 1))
+        assert x.fingerprint() == y.fingerprint()
+
+    def test_negation_matters(self):
+        assert Like(A, "%x%").fingerprint() != Like(A, "%x%", negated=True).fingerprint()
+
+
+class TestValidation:
+    def test_not_takes_one_argument(self):
+        with pytest.raises(AlgebraError):
+            BoolExpr(BoolOp.NOT, (A, B))
+
+    def test_and_needs_two(self):
+        with pytest.raises(AlgebraError):
+            BoolExpr(BoolOp.AND, (A,))
+
+    def test_unknown_arithmetic_op(self):
+        with pytest.raises(AlgebraError):
+            Arithmetic("%", A, B)
+
+    def test_empty_in_list(self):
+        with pytest.raises(AlgebraError):
+            InList(A, ())
+
+    def test_sum_star_rejected(self):
+        with pytest.raises(AlgebraError):
+            AggregateCall(AggFunc.SUM, None)
+
+
+class TestRendering:
+    def test_comparison(self):
+        assert Comparison(CompOp.LE, A, FIVE).render() == "t.a <= 5"
+
+    def test_string_literal_escaped(self):
+        assert Literal("it's").render() == "'it''s'"
+
+    def test_bool_render(self):
+        expr = BoolExpr(BoolOp.OR, (Comparison(CompOp.EQ, A, FIVE), IsNull(B)))
+        assert "OR" in expr.render()
+
+    def test_unary_minus(self):
+        assert UnaryMinus(A).render() == "(-t.a)"
+
+    def test_aggregate(self):
+        assert AggregateCall(AggFunc.COUNT, None).render() == "COUNT(*)"
+
+
+class TestConjuncts:
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+
+    def test_split_flattens_nested_ands(self):
+        c1 = Comparison(CompOp.EQ, A, FIVE)
+        c2 = Comparison(CompOp.LT, B, FIVE)
+        c3 = IsNull(A)
+        nested = BoolExpr(BoolOp.AND, (c1, BoolExpr(BoolOp.AND, (c2, c3))))
+        assert split_conjuncts(nested) == [c1, c2, c3]
+
+    def test_split_keeps_or_atomic(self):
+        disjunction = BoolExpr(
+            BoolOp.OR,
+            (Comparison(CompOp.EQ, A, FIVE), Comparison(CompOp.EQ, B, FIVE)),
+        )
+        assert split_conjuncts(disjunction) == [disjunction]
+
+    def test_make_conjunction_empty(self):
+        assert make_conjunction([]) is None
+
+    def test_make_conjunction_single(self):
+        c = Comparison(CompOp.EQ, A, FIVE)
+        assert make_conjunction([c]) is c
+
+    def test_make_conjunction_dedupes(self):
+        c1 = Comparison(CompOp.EQ, A, B)
+        c2 = Comparison(CompOp.EQ, B, A)  # same canonical conjunct
+        result = make_conjunction([c1, c2])
+        assert not isinstance(result, BoolExpr)
+
+    def test_make_conjunction_canonical_order(self):
+        c1 = Comparison(CompOp.EQ, A, FIVE)
+        c2 = Comparison(CompOp.LT, B, FIVE)
+        x = make_conjunction([c1, c2])
+        y = make_conjunction([c2, c1])
+        assert x.fingerprint() == y.fingerprint()
+        assert x == y
+
+    def test_roundtrip_split_make(self):
+        c1 = Comparison(CompOp.EQ, A, FIVE)
+        c2 = Comparison(CompOp.LT, B, FIVE)
+        rebuilt = make_conjunction(split_conjuncts(make_conjunction([c1, c2])))
+        assert set(split_conjuncts(rebuilt)) == {c1, c2}

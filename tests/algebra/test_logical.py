@@ -1,0 +1,90 @@
+"""Tests for logical operators."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggFunc,
+    AggregateCall,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+)
+from repro.algebra.logical import (
+    LogicalAggregate,
+    LogicalGet,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+)
+from repro.errors import AlgebraError
+
+A = ColumnRef(ColumnId("t", "a"))
+B = ColumnRef(ColumnId("u", "b"))
+PRED = Comparison(CompOp.EQ, A, B)
+
+
+class TestKeys:
+    def test_get_key_includes_alias_and_predicate(self):
+        g1 = LogicalGet("t", "t1")
+        g2 = LogicalGet("t", "t2")
+        assert g1.key() != g2.key()
+        g3 = LogicalGet("t", "t1", PRED)
+        assert g1.key() != g3.key()
+
+    def test_join_key_by_predicate(self):
+        assert LogicalJoin(PRED).key() != LogicalJoin(None).key()
+        assert LogicalJoin(PRED).key() == LogicalJoin(PRED).key()
+
+    def test_cross_product_detection(self):
+        assert LogicalJoin(None).is_cross_product()
+        assert not LogicalJoin(PRED).is_cross_product()
+
+    def test_aggregate_key(self):
+        agg = (("c", AggregateCall(AggFunc.COUNT, None)),)
+        a1 = LogicalAggregate((ColumnId("t", "a"),), agg)
+        a2 = LogicalAggregate((), agg)
+        assert a1.key() != a2.key()
+
+
+class TestArity:
+    def test_arities(self):
+        assert LogicalGet("t", "t").arity == 0
+        assert LogicalJoin(None).arity == 2
+        assert LogicalSelect(PRED).arity == 1
+        assert LogicalProject((("x", A),)).arity == 1
+        assert LogicalAggregate((), (("c", AggregateCall(AggFunc.COUNT, None)),)).arity == 1
+
+
+class TestValidation:
+    def test_select_requires_predicate(self):
+        with pytest.raises(AlgebraError):
+            LogicalSelect(None)
+
+    def test_project_requires_outputs(self):
+        with pytest.raises(AlgebraError):
+            LogicalProject(())
+
+    def test_project_duplicate_names(self):
+        with pytest.raises(AlgebraError):
+            LogicalProject((("x", A), ("x", B)))
+
+    def test_aggregate_duplicate_names(self):
+        call = AggregateCall(AggFunc.COUNT, None)
+        with pytest.raises(AlgebraError):
+            LogicalAggregate((), (("c", call), ("c", call)))
+
+
+class TestRendering:
+    def test_get(self):
+        assert "Get(t AS x)" in LogicalGet("t", "x").render()
+
+    def test_join_with_predicate(self):
+        assert "t.a = u.b" in LogicalJoin(PRED).render()
+
+    def test_aggregate(self):
+        agg = LogicalAggregate(
+            (ColumnId("t", "a"),), (("c", AggregateCall(AggFunc.COUNT, None)),)
+        )
+        text = agg.render()
+        assert "t.a" in text and "COUNT(*)" in text

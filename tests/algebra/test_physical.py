@@ -1,0 +1,125 @@
+"""Tests for physical operators: properties, keys, enforcer flags."""
+
+import pytest
+
+from repro.algebra.expressions import ColumnId, ColumnRef, Comparison, CompOp
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.errors import AlgebraError
+
+A = ColumnId("t", "a")
+B = ColumnId("u", "b")
+PRED = Comparison(CompOp.EQ, ColumnRef(A), ColumnRef(B))
+
+
+class TestDeliveredOrders:
+    def test_table_scan_unordered(self):
+        assert TableScan("t", "t").delivered_order() == ()
+
+    def test_index_scan_delivers_key(self):
+        scan = IndexScan("t", "t", "idx", (A,))
+        assert scan.delivered_order() == (A,)
+
+    def test_sort_delivers_order(self):
+        assert Sort((A, B)).delivered_order() == (A, B)
+
+    def test_merge_join_delivers_left_keys(self):
+        join = MergeJoin((A,), (B,))
+        assert join.delivered_order() == (A,)
+
+    def test_hash_join_unordered(self):
+        assert HashJoin((A,), (B,)).delivered_order() == ()
+
+    def test_stream_aggregate_delivers_grouping(self):
+        agg = StreamAggregate((A,), ())
+        assert agg.delivered_order() == (A,)
+
+    def test_hash_aggregate_unordered(self):
+        assert HashAggregate((A,), ()).delivered_order() == ()
+
+
+class TestRequiredChildOrders:
+    def test_merge_join_requires_both_sides(self):
+        join = MergeJoin((A,), (B,))
+        assert join.required_child_order(0) == (A,)
+        assert join.required_child_order(1) == (B,)
+
+    def test_stream_aggregate_requires_grouping(self):
+        agg = StreamAggregate((A,), ())
+        assert agg.required_child_order(0) == (A,)
+
+    def test_scalar_stream_aggregate_requires_nothing(self):
+        agg = StreamAggregate((), ())
+        assert agg.required_child_order(0) == ()
+
+    def test_hash_join_requires_nothing(self):
+        join = HashJoin((A,), (B,))
+        assert join.required_child_order(0) == ()
+        assert join.required_child_order(1) == ()
+
+    def test_sort_requires_nothing(self):
+        assert Sort((A,)).required_child_order(0) == ()
+
+
+class TestEnforcerFlag:
+    def test_only_sort_is_enforcer(self):
+        assert Sort((A,)).is_enforcer
+        for op in (
+            TableScan("t", "t"),
+            HashJoin((A,), (B,)),
+            MergeJoin((A,), (B,)),
+            NestedLoopJoin(None),
+            PhysicalFilter(PRED),
+            HashAggregate((), ()),
+            StreamAggregate((), ()),
+            PhysicalProject((("x", ColumnRef(A)),)),
+        ):
+            assert not op.is_enforcer, op.name
+
+
+class TestValidation:
+    def test_hash_join_key_lists_must_match(self):
+        with pytest.raises(AlgebraError):
+            HashJoin((A,), ())
+        with pytest.raises(AlgebraError):
+            HashJoin((), ())
+
+    def test_merge_join_key_lists_must_match(self):
+        with pytest.raises(AlgebraError):
+            MergeJoin((A, B), (B,))
+
+    def test_sort_requires_order(self):
+        with pytest.raises(AlgebraError):
+            Sort(())
+
+    def test_index_scan_requires_key(self):
+        with pytest.raises(AlgebraError):
+            IndexScan("t", "t", "idx", ())
+
+
+class TestKeys:
+    def test_scan_keys_differ_by_alias(self):
+        assert TableScan("t", "x").key() != TableScan("t", "y").key()
+
+    def test_join_keys_include_residual(self):
+        j1 = HashJoin((A,), (B,))
+        j2 = HashJoin((A,), (B,), residual=PRED)
+        assert j1.key() != j2.key()
+
+    def test_hash_and_merge_keys_differ(self):
+        assert HashJoin((A,), (B,)).key() != MergeJoin((A,), (B,)).key()
+
+    def test_arity(self):
+        assert TableScan("t", "t").arity == 0
+        assert Sort((A,)).arity == 1
+        assert MergeJoin((A,), (B,)).arity == 2

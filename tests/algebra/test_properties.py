@@ -1,0 +1,47 @@
+"""Tests for physical properties (sort orders)."""
+
+from repro.algebra.expressions import ColumnId
+from repro.algebra.properties import NO_ORDER, PhysicalProps, order_satisfies
+
+A = ColumnId("t", "a")
+B = ColumnId("t", "b")
+C = ColumnId("t", "c")
+
+
+class TestOrderSatisfies:
+    def test_empty_requirement_always_satisfied(self):
+        assert order_satisfies((), ())
+        assert order_satisfies((A,), ())
+
+    def test_exact_match(self):
+        assert order_satisfies((A, B), (A, B))
+
+    def test_prefix_satisfies(self):
+        assert order_satisfies((A, B, C), (A,))
+        assert order_satisfies((A, B, C), (A, B))
+
+    def test_shorter_delivery_fails(self):
+        assert not order_satisfies((A,), (A, B))
+
+    def test_wrong_column_fails(self):
+        assert not order_satisfies((B,), (A,))
+
+    def test_non_prefix_fails(self):
+        assert not order_satisfies((B, A), (A,))
+
+    def test_no_order_constant(self):
+        assert NO_ORDER == ()
+
+
+class TestPhysicalProps:
+    def test_satisfies_delegates(self):
+        assert PhysicalProps((A, B)).satisfies(PhysicalProps((A,)))
+        assert not PhysicalProps(()).satisfies(PhysicalProps((A,)))
+
+    def test_trivial(self):
+        assert PhysicalProps().is_trivial()
+        assert not PhysicalProps((A,)).is_trivial()
+
+    def test_render(self):
+        assert PhysicalProps().render() == "(any)"
+        assert "t.a" in PhysicalProps((A,)).render()

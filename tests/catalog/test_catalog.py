@@ -1,0 +1,61 @@
+"""Tests for the catalog container."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, TableSchema
+from repro.catalog.statistics import TableStats
+from repro.errors import CatalogError
+
+
+def _schema(name="t"):
+    return TableSchema(name=name, columns=(Column("a", ColumnType.INTEGER),))
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        catalog = Catalog()
+        catalog.add_table(_schema(), TableStats(row_count=5))
+        assert catalog.has_table("t")
+        assert catalog.table("t").name == "t"
+        assert catalog.table_stats("t").row_count == 5
+
+    def test_lookup_case_insensitive(self):
+        catalog = Catalog()
+        catalog.add_table(_schema("Orders"))
+        assert catalog.has_table("ORDERS")
+        assert catalog.table("orders").name == "Orders"
+
+    def test_duplicate_rejected(self):
+        catalog = Catalog()
+        catalog.add_table(_schema())
+        with pytest.raises(CatalogError):
+            catalog.add_table(_schema())
+
+    def test_unknown_table_raises(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+        with pytest.raises(CatalogError):
+            catalog.table_stats("missing")
+
+    def test_default_stats_when_omitted(self):
+        catalog = Catalog()
+        catalog.add_table(_schema())
+        assert catalog.table_stats("t").row_count == 0
+
+    def test_set_stats(self):
+        catalog = Catalog()
+        catalog.add_table(_schema())
+        catalog.set_stats("t", TableStats(row_count=42))
+        assert catalog.table_stats("t").row_count == 42
+
+    def test_set_stats_unknown_table(self):
+        with pytest.raises(CatalogError):
+            Catalog().set_stats("nope", TableStats(row_count=1))
+
+    def test_contains_and_names(self):
+        catalog = Catalog()
+        catalog.add_table(_schema("x"))
+        assert "x" in catalog
+        assert catalog.table_names() == ["x"]

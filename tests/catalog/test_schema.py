@@ -1,0 +1,86 @@
+"""Tests for schema objects."""
+
+import pytest
+
+from repro.catalog.schema import Column, ColumnType, ForeignKey, Index, TableSchema
+from repro.errors import CatalogError
+
+
+def _table(**overrides):
+    params = dict(
+        name="t",
+        columns=(Column("a", ColumnType.INTEGER), Column("b", ColumnType.STRING)),
+        primary_key=("a",),
+    )
+    params.update(overrides)
+    return TableSchema(**params)
+
+
+class TestColumnType:
+    def test_python_types(self):
+        assert ColumnType.INTEGER.python_type() is int
+        assert ColumnType.FLOAT.python_type() is float
+        assert ColumnType.STRING.python_type() is str
+        assert ColumnType.DATE.python_type() is str
+
+    def test_is_numeric(self):
+        assert ColumnType.INTEGER.is_numeric()
+        assert ColumnType.FLOAT.is_numeric()
+        assert not ColumnType.DATE.is_numeric()
+
+
+class TestColumn:
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            Column("", ColumnType.INTEGER)
+
+
+class TestIndex:
+    def test_empty_key_rejected(self):
+        with pytest.raises(CatalogError):
+            Index("i", "t", ())
+
+    def test_index_on_unknown_column_rejected(self):
+        with pytest.raises(CatalogError):
+            _table(indexes=(Index("i", "t", ("missing",)),))
+
+    def test_index_on_other_table_rejected(self):
+        with pytest.raises(CatalogError):
+            _table(indexes=(Index("i", "other", ("a",)),))
+
+
+class TestForeignKey:
+    def test_mismatched_column_lists_rejected(self):
+        with pytest.raises(CatalogError):
+            ForeignKey("t", ("a", "b"), "u", ("x",))
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        table = _table()
+        assert table.column("a").type is ColumnType.INTEGER
+        assert table.column_position("b") == 1
+        assert table.has_column("a")
+        assert not table.has_column("zz")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            _table().column("zz")
+        with pytest.raises(CatalogError):
+            _table().column_position("zz")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            _table(
+                columns=(
+                    Column("a", ColumnType.INTEGER),
+                    Column("a", ColumnType.STRING),
+                )
+            )
+
+    def test_pk_must_exist(self):
+        with pytest.raises(CatalogError):
+            _table(primary_key=("missing",))
+
+    def test_column_names_order(self):
+        assert _table().column_names() == ("a", "b")

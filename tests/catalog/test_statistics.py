@@ -1,0 +1,70 @@
+"""Tests for statistics objects."""
+
+import pytest
+
+from repro.catalog.statistics import ColumnStats, TableStats
+from repro.errors import CatalogError
+
+
+class TestColumnStats:
+    def test_negative_distinct_rejected(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct=-1)
+
+    def test_null_fraction_validated(self):
+        with pytest.raises(CatalogError):
+            ColumnStats(distinct=1, null_fraction=1.5)
+
+    def test_range_width_numeric(self):
+        assert ColumnStats(distinct=10, lo=0, hi=5).range_width() == 5.0
+
+    def test_range_width_strings_is_none(self):
+        assert ColumnStats(distinct=10, lo="a", hi="z").range_width() is None
+
+    def test_range_width_degenerate_is_none(self):
+        assert ColumnStats(distinct=1, lo=3, hi=3).range_width() is None
+
+
+class TestTableStats:
+    def test_unknown_column_gets_conservative_default(self):
+        stats = TableStats(row_count=100)
+        assert stats.column("anything").distinct == 100
+
+    def test_distinct_clamped_to_rows(self):
+        stats = TableStats(row_count=10, columns={"c": ColumnStats(distinct=500)})
+        assert stats.distinct("c") == 10
+
+    def test_distinct_at_least_one(self):
+        stats = TableStats(row_count=10, columns={"c": ColumnStats(distinct=0)})
+        assert stats.distinct("c") == 1
+
+    def test_negative_rows_rejected(self):
+        with pytest.raises(CatalogError):
+            TableStats(row_count=-5)
+
+
+class TestCollect:
+    def test_collect_basic(self):
+        rows = [(1, "x"), (2, "x"), (3, "y")]
+        stats = TableStats.collect(rows, ("id", "tag"))
+        assert stats.row_count == 3
+        assert stats.columns["id"].distinct == 3
+        assert stats.columns["tag"].distinct == 2
+        assert stats.columns["id"].lo == 1
+        assert stats.columns["id"].hi == 3
+
+    def test_collect_with_nulls(self):
+        rows = [(1,), (None,), (3,)]
+        stats = TableStats.collect(rows, ("v",))
+        assert stats.columns["v"].null_fraction == pytest.approx(1 / 3)
+        assert stats.columns["v"].distinct == 2
+
+    def test_collect_empty(self):
+        stats = TableStats.collect([], ("v",))
+        assert stats.row_count == 0
+        assert stats.columns["v"].distinct == 1
+
+    def test_collect_mixed_types_no_bounds(self):
+        rows = [(1,), ("x",)]
+        stats = TableStats.collect(rows, ("v",))
+        assert stats.columns["v"].lo is None

@@ -1,0 +1,58 @@
+"""Tests for the TPC-H catalog."""
+
+import pytest
+
+from repro.catalog.tpch import TPCH_TABLE_ROWS, tpch_catalog
+
+
+class TestTpchCatalog:
+    def test_all_eight_tables_present(self):
+        catalog = tpch_catalog()
+        for name in TPCH_TABLE_ROWS:
+            assert catalog.has_table(name)
+
+    def test_sf1_cardinalities(self):
+        catalog = tpch_catalog(1.0)
+        assert catalog.table_stats("lineitem").row_count == 6_001_215
+        assert catalog.table_stats("orders").row_count == 1_500_000
+        assert catalog.table_stats("region").row_count == 5
+
+    def test_scale_factor_scales_big_tables(self):
+        catalog = tpch_catalog(0.01)
+        assert catalog.table_stats("lineitem").row_count == pytest.approx(
+            60_012, rel=0.01
+        )
+
+    def test_scale_factor_keeps_fixed_tables(self):
+        catalog = tpch_catalog(0.01)
+        assert catalog.table_stats("nation").row_count == 25
+        assert catalog.table_stats("region").row_count == 5
+
+    def test_foreign_key_indexes_exist(self):
+        catalog = tpch_catalog()
+        names = {i.name for i in catalog.indexes("lineitem")}
+        assert "lineitem_pk" in names
+        assert "lineitem_partkey" in names
+        assert "lineitem_suppkey" in names
+
+    def test_every_table_has_clustered_pk_index(self):
+        catalog = tpch_catalog()
+        for name in TPCH_TABLE_ROWS:
+            assert any(i.clustered for i in catalog.indexes(name)), name
+
+    def test_distinct_counts_follow_spec(self):
+        catalog = tpch_catalog(1.0)
+        stats = catalog.table_stats("lineitem")
+        assert stats.distinct("l_discount") == 11
+        assert stats.distinct("l_returnflag") == 3
+        assert catalog.table_stats("part").distinct("p_type") == 150
+        assert catalog.table_stats("nation").distinct("n_name") == 25
+
+    def test_date_bounds_are_iso_strings(self):
+        stats = catalog_stats = tpch_catalog().table_stats("orders")
+        column = stats.column("o_orderdate")
+        assert isinstance(column.lo, str) and column.lo.startswith("1992")
+
+    def test_custkey_reflects_two_thirds_rule(self):
+        stats = tpch_catalog(1.0).table_stats("orders")
+        assert stats.distinct("o_custkey") == 100_000

@@ -1,0 +1,250 @@
+"""Tests for plan execution: each operator implementation."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggFunc,
+    AggregateCall,
+    Arithmetic,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    Literal,
+)
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, Index, TableSchema
+from repro.errors import ExecutionError
+from repro.executor.executor import PlanExecutor, execute_plan
+from repro.optimizer.plan import PlanNode
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+
+T_ID = ColumnId("t", "id")
+T_V = ColumnId("t", "v")
+U_ID = ColumnId("u", "id")
+U_W = ColumnId("u", "w")
+
+
+@pytest.fixture
+def db():
+    catalog = Catalog()
+    t_schema = TableSchema(
+        name="t",
+        columns=(Column("id", ColumnType.INTEGER), Column("v", ColumnType.INTEGER)),
+        primary_key=("id",),
+        indexes=(Index("t_id", "t", ("id",), unique=True, clustered=True),),
+    )
+    u_schema = TableSchema(
+        name="u",
+        columns=(Column("id", ColumnType.INTEGER), Column("w", ColumnType.INTEGER)),
+        primary_key=("id",),
+        indexes=(Index("u_id", "u", ("id",), unique=True, clustered=True),),
+    )
+    catalog.add_table(t_schema)
+    catalog.add_table(u_schema)
+    database = Database(catalog=catalog)
+    database.add_table(DataTable(t_schema, [(3, 30), (1, 10), (2, 20), (2, 21)]))
+    database.add_table(DataTable(u_schema, [(2, 200), (1, 100), (4, 400)]))
+    return database
+
+
+def scan_t(predicate=None):
+    return PlanNode(TableScan("t", "t", predicate), (), 0, 1, 4.0)
+
+
+def scan_u(predicate=None):
+    return PlanNode(TableScan("u", "u", predicate), (), 1, 1, 3.0)
+
+
+def idx_t():
+    return PlanNode(IndexScan("t", "t", "t_id", (T_ID,)), (), 0, 2, 4.0)
+
+
+def idx_u():
+    return PlanNode(IndexScan("u", "u", "u_id", (U_ID,)), (), 1, 2, 3.0)
+
+
+class TestScans:
+    def test_table_scan_heap_order(self, db):
+        result = execute_plan(scan_t(), db)
+        assert [r[0] for r in result.rows] == [3, 1, 2, 2]
+        assert result.columns == ["t.id", "t.v"]
+
+    def test_table_scan_with_predicate(self, db):
+        predicate = Comparison(CompOp.GE, ColumnRef(T_ID), Literal(2))
+        result = execute_plan(scan_t(predicate), db)
+        assert len(result.rows) == 3
+
+    def test_index_scan_sorted(self, db):
+        result = execute_plan(idx_t(), db)
+        assert [r[0] for r in result.rows] == [1, 2, 2, 3]
+
+
+class TestFilterSortProject:
+    def test_filter(self, db):
+        predicate = Comparison(CompOp.EQ, ColumnRef(T_ID), Literal(2))
+        plan = PlanNode(PhysicalFilter(predicate), (scan_t(),), 2, 1, 2.0)
+        assert len(execute_plan(plan, db).rows) == 2
+
+    def test_sort(self, db):
+        plan = PlanNode(Sort((T_V,)), (scan_t(),), 0, 3, 4.0)
+        result = execute_plan(plan, db)
+        assert [r[1] for r in result.rows] == [10, 20, 21, 30]
+
+    def test_project_expressions(self, db):
+        outputs = (
+            ("double_v", Arithmetic("*", ColumnRef(T_V), Literal(2))),
+            ("id", ColumnRef(T_ID)),
+        )
+        plan = PlanNode(PhysicalProject(outputs), (scan_t(),), 2, 1, 4.0)
+        result = execute_plan(plan, db)
+        assert result.columns == ["double_v", "id"]
+        assert result.rows[0] == (60, 3)
+
+
+class TestJoins:
+    def expected_pairs(self):
+        # t.id in {3,1,2,2}, u.id in {2,1,4}: matches id 1 (1x1), id 2 (2x1).
+        return {(1, 10, 1, 100), (2, 20, 2, 200), (2, 21, 2, 200)}
+
+    def test_nested_loop_join(self, db):
+        predicate = Comparison(CompOp.EQ, ColumnRef(T_ID), ColumnRef(U_ID))
+        plan = PlanNode(NestedLoopJoin(predicate), (scan_t(), scan_u()), 2, 1, 3.0)
+        assert set(execute_plan(plan, db).rows) == self.expected_pairs()
+
+    def test_hash_join(self, db):
+        plan = PlanNode(
+            HashJoin((T_ID,), (U_ID,)), (scan_t(), scan_u()), 2, 1, 3.0
+        )
+        assert set(execute_plan(plan, db).rows) == self.expected_pairs()
+
+    def test_merge_join_on_sorted_inputs(self, db):
+        plan = PlanNode(
+            MergeJoin((T_ID,), (U_ID,)), (idx_t(), idx_u()), 2, 1, 3.0
+        )
+        assert set(execute_plan(plan, db).rows) == self.expected_pairs()
+
+    def test_merge_join_handles_duplicate_runs(self, db):
+        plan = PlanNode(
+            MergeJoin((T_ID,), (U_ID,)), (idx_t(), idx_u()), 2, 1, 3.0
+        )
+        rows = execute_plan(plan, db).rows
+        assert len([r for r in rows if r[0] == 2]) == 2
+
+    def test_cross_product(self, db):
+        plan = PlanNode(NestedLoopJoin(None), (scan_t(), scan_u()), 2, 1, 12.0)
+        assert len(execute_plan(plan, db).rows) == 12
+
+    def test_hash_join_residual(self, db):
+        residual = Comparison(CompOp.GT, ColumnRef(U_W), Literal(150))
+        plan = PlanNode(
+            HashJoin((T_ID,), (U_ID,), residual), (scan_t(), scan_u()), 2, 1, 2.0
+        )
+        rows = execute_plan(plan, db).rows
+        assert all(r[3] > 150 for r in rows)
+
+    def test_merge_join_order_check(self, db):
+        plan = PlanNode(
+            MergeJoin((T_ID,), (U_ID,)), (scan_t(), idx_u()), 2, 1, 3.0
+        )
+        with pytest.raises(ExecutionError):
+            PlanExecutor(db, check_orders=True).execute(plan)
+
+
+class TestAggregates:
+    def agg_calls(self):
+        return (
+            ("n", AggregateCall(AggFunc.COUNT, None)),
+            ("total", AggregateCall(AggFunc.SUM, ColumnRef(T_V))),
+            ("lo", AggregateCall(AggFunc.MIN, ColumnRef(T_V))),
+            ("hi", AggregateCall(AggFunc.MAX, ColumnRef(T_V))),
+            ("avg_v", AggregateCall(AggFunc.AVG, ColumnRef(T_V))),
+        )
+
+    def test_hash_aggregate_grouped(self, db):
+        plan = PlanNode(
+            HashAggregate((T_ID,), self.agg_calls()), (scan_t(),), 2, 1, 3.0
+        )
+        result = execute_plan(plan, db)
+        by_id = {row[0]: row for row in result.rows}
+        assert by_id[2] == (2, 2, 41.0, 20, 21, 20.5)
+
+    def test_stream_aggregate_grouped(self, db):
+        plan = PlanNode(
+            StreamAggregate((T_ID,), self.agg_calls()), (idx_t(),), 2, 1, 3.0
+        )
+        result = execute_plan(plan, db)
+        assert [row[0] for row in result.rows] == [1, 2, 3]
+        by_id = {row[0]: row for row in result.rows}
+        assert by_id[2][1] == 2
+
+    def test_hash_and_stream_agree(self, db):
+        hash_plan = PlanNode(
+            HashAggregate((T_ID,), self.agg_calls()), (scan_t(),), 2, 1, 3.0
+        )
+        stream_plan = PlanNode(
+            StreamAggregate((T_ID,), self.agg_calls()), (idx_t(),), 2, 1, 3.0
+        )
+        assert sorted(execute_plan(hash_plan, db).rows) == sorted(
+            execute_plan(stream_plan, db).rows
+        )
+
+    def test_scalar_aggregate(self, db):
+        plan = PlanNode(
+            StreamAggregate((), self.agg_calls()), (scan_t(),), 2, 1, 1.0
+        )
+        result = execute_plan(plan, db)
+        assert result.rows == [(4, 81.0, 10, 30, 81.0 / 4)]
+
+    def test_scalar_aggregate_on_empty_input(self, db):
+        predicate = Comparison(CompOp.GT, ColumnRef(T_ID), Literal(99))
+        plan = PlanNode(
+            StreamAggregate((), self.agg_calls()), (scan_t(predicate),), 2, 1, 1.0
+        )
+        result = execute_plan(plan, db)
+        assert result.rows == [(0, None, None, None, None)]
+
+    def test_grouped_aggregate_on_empty_input(self, db):
+        predicate = Comparison(CompOp.GT, ColumnRef(T_ID), Literal(99))
+        plan = PlanNode(
+            HashAggregate((T_ID,), self.agg_calls()), (scan_t(predicate),), 2, 1, 1.0
+        )
+        assert execute_plan(plan, db).rows == []
+
+    def test_stream_aggregate_order_check(self, db):
+        plan = PlanNode(
+            StreamAggregate((T_V,), self.agg_calls()), (scan_t(),), 2, 1, 3.0
+        )
+        with pytest.raises(ExecutionError):
+            PlanExecutor(db, check_orders=True).execute(plan)
+
+
+class TestColumnLabels:
+    def test_aggregate_schema(self, db):
+        plan = PlanNode(
+            HashAggregate((T_ID,), (("n", AggregateCall(AggFunc.COUNT, None)),)),
+            (scan_t(),),
+            2,
+            1,
+            3.0,
+        )
+        assert execute_plan(plan, db).columns == ["t.id", "n"]
+
+    def test_render(self, db):
+        result = execute_plan(scan_t(), db)
+        text = result.render(limit=2)
+        assert "t.id" in text
+        assert "(4 rows total)" in text

@@ -1,0 +1,106 @@
+"""Direct unit tests for IndexNestedLoopJoin execution."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    Literal,
+)
+from repro.algebra.physical import IndexNestedLoopJoin, TableScan
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, Index, TableSchema
+from repro.executor.executor import execute_plan
+from repro.optimizer.plan import PlanNode
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+
+O_KEY = ColumnId("o", "k")
+I_KEY = ColumnId("i", "k")
+I_V = ColumnId("i", "v")
+
+
+@pytest.fixture
+def db():
+    catalog = Catalog()
+    outer = TableSchema(
+        name="o",
+        columns=(Column("k", ColumnType.INTEGER), Column("tag", ColumnType.STRING)),
+        primary_key=("k",),
+    )
+    inner = TableSchema(
+        name="i",
+        columns=(Column("k", ColumnType.INTEGER), Column("v", ColumnType.INTEGER)),
+        primary_key=("k",),
+        indexes=(Index("i_k", "i", ("k",), clustered=True),),
+    )
+    catalog.add_table(outer)
+    catalog.add_table(inner)
+    database = Database(catalog=catalog)
+    database.add_table(DataTable(outer, [(1, "a"), (2, "b"), (9, "z"), (2, "b2")]))
+    database.add_table(
+        DataTable(inner, [(2, 200), (1, 100), (2, 201), (5, 500)])
+    )
+    return database
+
+
+def outer_scan():
+    return PlanNode(TableScan("o", "o"), (), 0, 1, 4.0)
+
+
+def inlj(inner_predicate=None, residual=None):
+    return IndexNestedLoopJoin(
+        inner_table="i",
+        inner_alias="i",
+        index_name="i_k",
+        outer_keys=(O_KEY,),
+        inner_keys=(I_KEY,),
+        inner_predicate=inner_predicate,
+        residual=residual,
+    )
+
+
+class TestIndexNlJoinExecution:
+    def test_matches_per_outer_row(self, db):
+        plan = PlanNode(inlj(), (outer_scan(),), 1, 1, 5.0)
+        result = execute_plan(plan, db)
+        # k=1 matches 1 inner row; each k=2 outer matches 2; k=9 none.
+        assert len(result.rows) == 1 + 2 + 2
+
+    def test_schema_is_outer_plus_inner(self, db):
+        plan = PlanNode(inlj(), (outer_scan(),), 1, 1, 5.0)
+        result = execute_plan(plan, db)
+        assert result.columns == ["o.k", "o.tag", "i.k", "i.v"]
+
+    def test_inner_predicate_applied(self, db):
+        predicate = Comparison(CompOp.GT, ColumnRef(I_V), Literal(200))
+        plan = PlanNode(inlj(inner_predicate=predicate), (outer_scan(),), 1, 1, 2.0)
+        result = execute_plan(plan, db)
+        assert all(row[3] > 200 for row in result.rows)
+        assert len(result.rows) == 2  # only (2,201) survives, two outers
+
+    def test_residual_applied(self, db):
+        residual = Comparison(CompOp.EQ, ColumnRef(ColumnId("o", "tag")), Literal("b"))
+        plan = PlanNode(inlj(residual=residual), (outer_scan(),), 1, 1, 2.0)
+        result = execute_plan(plan, db)
+        assert all(row[1] == "b" for row in result.rows)
+        assert len(result.rows) == 2
+
+    def test_no_matches_empty(self, db):
+        predicate = Comparison(CompOp.GT, ColumnRef(I_V), Literal(10**6))
+        plan = PlanNode(inlj(inner_predicate=predicate), (outer_scan(),), 1, 1, 1.0)
+        assert execute_plan(plan, db).rows == []
+
+    def test_agrees_with_hash_join(self, db):
+        from repro.algebra.physical import HashJoin
+
+        inner_scan = PlanNode(TableScan("i", "i"), (), 2, 1, 4.0)
+        hash_plan = PlanNode(
+            HashJoin((O_KEY,), (I_KEY,)), (outer_scan(), inner_scan), 1, 1, 5.0
+        )
+        inlj_plan = PlanNode(inlj(), (outer_scan(),), 1, 2, 5.0)
+        assert sorted(execute_plan(hash_plan, db).rows) == sorted(
+            execute_plan(inlj_plan, db).rows
+        )

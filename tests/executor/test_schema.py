@@ -1,0 +1,79 @@
+"""Tests for output schema computation."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggFunc,
+    AggregateCall,
+    ColumnId,
+    ColumnRef,
+)
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    PhysicalProject,
+    Sort,
+    TableScan,
+)
+from repro.catalog.tpch import tpch_catalog
+from repro.executor.schema import output_schema, schema_positions
+from repro.optimizer.plan import PlanNode
+
+N_KEY = ColumnId("n", "n_nationkey")
+R_KEY = ColumnId("r", "r_regionkey")
+
+
+@pytest.fixture(scope="module")
+def cat():
+    return tpch_catalog()
+
+
+def scan_n():
+    return PlanNode(TableScan("nation", "n"), (), 0, 1, 25.0)
+
+
+def scan_r():
+    return PlanNode(TableScan("region", "r"), (), 1, 1, 5.0)
+
+
+class TestOutputSchema:
+    def test_scan_schema_uses_alias(self, cat):
+        schema = output_schema(scan_n(), cat)
+        assert schema[0] == ColumnId("n", "n_nationkey")
+        assert len(schema) == 4
+
+    def test_join_concatenates(self, cat):
+        join = PlanNode(HashJoin((N_KEY,), (R_KEY,)), (scan_n(), scan_r()), 2, 1, 25.0)
+        schema = output_schema(join, cat)
+        assert len(schema) == 4 + 3
+        assert schema[4] == ColumnId("r", "r_regionkey")
+
+    def test_sort_passes_through(self, cat):
+        sort = PlanNode(Sort((N_KEY,)), (scan_n(),), 0, 2, 25.0)
+        assert output_schema(sort, cat) == output_schema(scan_n(), cat)
+
+    def test_aggregate_schema(self, cat):
+        agg = PlanNode(
+            HashAggregate((N_KEY,), (("c", AggregateCall(AggFunc.COUNT, None)),)),
+            (scan_n(),),
+            2,
+            1,
+            25.0,
+        )
+        schema = output_schema(agg, cat)
+        assert schema == (N_KEY, ColumnId("", "c"))
+
+    def test_project_schema(self, cat):
+        project = PlanNode(
+            PhysicalProject((("name", ColumnRef(ColumnId("n", "n_name"))),)),
+            (scan_n(),),
+            2,
+            1,
+            25.0,
+        )
+        assert output_schema(project, cat) == (ColumnId("", "name"),)
+
+    def test_schema_positions(self, cat):
+        schema = output_schema(scan_n(), cat)
+        positions = schema_positions(schema)
+        assert positions[ColumnId("n", "n_name")] == 1

@@ -1,0 +1,140 @@
+"""Tests for plan-space analysis utilities."""
+
+import pytest
+
+from repro.algebra.expressions import ColumnId, ColumnRef
+from repro.algebra.physical import (
+    HashJoin,
+    IndexNestedLoopJoin,
+    PhysicalProject,
+    TableScan,
+)
+from repro.experiments.analysis import (
+    analyze_plans,
+    classify_join_shape,
+    operator_mix,
+)
+from repro.optimizer.plan import PlanNode
+
+A = ColumnId("a", "x")
+B = ColumnId("b", "x")
+C = ColumnId("c", "x")
+D = ColumnId("d", "x")
+
+
+def scan(alias, gid):
+    return PlanNode(TableScan(alias, alias), (), gid, 1, 10.0)
+
+
+def join(left, right, gid, lk=A, rk=B):
+    return PlanNode(HashJoin((lk,), (rk,)), (left, right), gid, 1, 10.0)
+
+
+class TestShapeClassification:
+    def test_single_scan_no_join(self):
+        assert classify_join_shape(scan("a", 0)) == "no-join"
+
+    def test_single_join_left_deep(self):
+        plan = join(scan("a", 0), scan("b", 1), 2)
+        assert classify_join_shape(plan) == "left-deep"
+
+    def test_left_deep_chain(self):
+        plan = join(
+            join(scan("a", 0), scan("b", 1), 2, A, B),
+            scan("c", 3),
+            4,
+            A,
+            C,
+        )
+        assert classify_join_shape(plan) == "left-deep"
+
+    def test_right_deep_chain(self):
+        plan = join(
+            scan("a", 0),
+            join(scan("b", 1), scan("c", 2), 3, B, C),
+            4,
+            A,
+            B,
+        )
+        assert classify_join_shape(plan) == "right-deep"
+
+    def test_bushy(self):
+        left = join(scan("a", 0), scan("b", 1), 2, A, B)
+        right = join(scan("c", 3), scan("d", 4), 5, C, D)
+        plan = join(left, right, 6, A, C)
+        assert classify_join_shape(plan) == "bushy"
+
+    def test_linear_zigzag(self):
+        inner = join(scan("a", 0), scan("b", 1), 2, A, B)
+        middle = join(scan("c", 3), inner, 4, C, A)  # join on the right
+        outer = join(middle, scan("d", 5), 6, A, D)  # join on the left
+        assert classify_join_shape(outer) == "linear"
+
+    def test_index_join_counts_as_left_deep(self):
+        inlj = IndexNestedLoopJoin(
+            inner_table="b",
+            inner_alias="b",
+            index_name="b_x",
+            outer_keys=(A,),
+            inner_keys=(B,),
+        )
+        inner = join(scan("a", 0), scan("c", 1), 2, A, C)
+        plan = PlanNode(inlj, (inner,), 3, 1, 10.0)
+        assert classify_join_shape(plan) == "left-deep"
+
+
+class TestAnalysis:
+    def test_operator_mix_counts(self):
+        plan = join(scan("a", 0), scan("b", 1), 2)
+        counts = operator_mix([plan, plan])
+        assert counts["TableScan"] == 4
+        assert counts["HashJoin"] == 2
+
+    def test_analyze_plans_aggregates(self):
+        plans = [
+            join(scan("a", 0), scan("b", 1), 2),
+            PlanNode(
+                PhysicalProject((("x", ColumnRef(A)),)),
+                (scan("a", 0),),
+                3,
+                1,
+                10.0,
+            ),
+        ]
+        analysis = analyze_plans(plans)
+        assert analysis.sample_size == 2
+        assert analysis.shape_counts["left-deep"] == 1
+        assert analysis.shape_counts["no-join"] == 1
+        assert analysis.containment_fraction("TableScan") == 1.0
+        assert analysis.containment_fraction("HashJoin") == 0.5
+        assert analysis.mean_plan_size == pytest.approx((3 + 2) / 2)
+
+    def test_empty_sample(self):
+        analysis = analyze_plans([])
+        assert analysis.sample_size == 0
+        assert analysis.shape_fraction("bushy") == 0.0
+
+    def test_render(self):
+        plan = join(scan("a", 0), scan("b", 1), 2)
+        text = analyze_plans([plan]).render()
+        assert "left-deep" in text and "HashJoin" in text
+
+
+class TestOnRealSpace:
+    def test_q5_sample_contains_all_shapes(self, q5_space):
+        plans = q5_space.sample(300, seed=0)
+        analysis = analyze_plans(plans)
+        # A bushy space sampled uniformly shows bushy and deep trees alike.
+        assert analysis.shape_counts["bushy"] > 0
+        assert (
+            analysis.shape_counts["left-deep"]
+            + analysis.shape_counts["right-deep"]
+            + analysis.shape_counts["linear"]
+            > 0
+        )
+
+    def test_q5_sample_uses_all_join_algorithms(self, q5_space):
+        plans = q5_space.sample(300, seed=0)
+        analysis = analyze_plans(plans)
+        for name in ("HashJoin", "MergeJoin", "NestedLoopJoin"):
+            assert analysis.containment_fraction(name) > 0, name

@@ -1,0 +1,82 @@
+"""Tests for the Table 1 reproduction harness."""
+
+import pytest
+
+from repro.experiments.distributions import CostDistribution
+from repro.experiments.table1 import (
+    PAPER_TABLE1,
+    reproduce_table1,
+    render_table1,
+    row_from_distribution,
+)
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    from repro.catalog.tpch import tpch_catalog
+
+    return tpch_catalog()
+
+
+class TestPaperReference:
+    def test_eight_rows(self):
+        assert len(PAPER_TABLE1) == 8
+
+    def test_row_order_matches_paper(self):
+        assert [r.query for r in PAPER_TABLE1] == [
+            "Q5", "Q7", "Q8", "Q9", "Q5", "Q7", "Q8", "Q9",
+        ]
+        assert [r.cross_products for r in PAPER_TABLE1[:4]] == [False] * 4
+
+    def test_q8_dominates_both_spaces(self):
+        no_cross = {r.query: r.plans for r in PAPER_TABLE1 if not r.cross_products}
+        with_cross = {r.query: r.plans for r in PAPER_TABLE1 if r.cross_products}
+        assert no_cross["Q8"] == max(no_cross.values())
+        assert with_cross["Q8"] == max(with_cross.values())
+
+    def test_cross_products_inflate_every_space(self):
+        no_cross = {r.query: r.plans for r in PAPER_TABLE1 if not r.cross_products}
+        with_cross = {r.query: r.plans for r in PAPER_TABLE1 if r.cross_products}
+        for query in no_cross:
+            assert with_cross[query] > no_cross[query]
+
+
+class TestMeasuredTable:
+    def test_small_scale_run(self, catalog):
+        # Use Q5 only and a small sample to keep the test quick; the full
+        # table is produced by the benchmark harness.
+        distributions = reproduce_table1(
+            catalog, sample_size=300, seed=0, queries=("Q5",)
+        )
+        assert len(distributions) == 2  # both cross-product policies
+        row = row_from_distribution(distributions[0])
+        assert row.query == "Q5" and not row.cross_products
+        assert row.plans > 1_000_000
+        assert row.min_cost >= 1.0
+
+    def test_cross_space_larger(self, catalog):
+        distributions = reproduce_table1(
+            catalog, sample_size=100, seed=0, queries=("Q5",)
+        )
+        no_cross, with_cross = distributions
+        assert with_cross.total_plans > no_cross.total_plans
+
+    def test_render_includes_paper_rows(self, catalog):
+        distributions = reproduce_table1(
+            catalog, sample_size=100, seed=0, queries=("Q5",)
+        )
+        text = render_table1(distributions)
+        assert "68,572,049" in text  # the paper's Q5 count
+        assert "no-cross" in text and "+cross" in text
+
+    def test_render_without_paper(self):
+        dist = CostDistribution(
+            query_name="Q5",
+            allow_cross_products=False,
+            total_plans=123,
+            best_cost=1.0,
+            scaled_costs=[1.0, 2.0, 3.0],
+        )
+        text = render_table1([dist], show_paper=False)
+        assert "123" in text
+        assert "68,572,049" not in text

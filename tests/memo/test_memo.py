@@ -1,0 +1,131 @@
+"""Tests for the MEMO structure."""
+
+import pytest
+
+from repro.algebra.expressions import ColumnId, ColumnRef, Comparison, CompOp
+from repro.algebra.logical import LogicalGet, LogicalJoin
+from repro.algebra.physical import TableScan
+from repro.errors import MemoError
+from repro.memo.group import GroupExpr
+from repro.memo.memo import Memo
+
+PRED = Comparison(
+    CompOp.EQ, ColumnRef(ColumnId("a", "x")), ColumnRef(ColumnId("b", "x"))
+)
+
+
+def _seed():
+    memo = Memo()
+    ga = memo.get_or_create_group(("rels", frozenset(["a"])), frozenset(["a"]))
+    gb = memo.get_or_create_group(("rels", frozenset(["b"])), frozenset(["b"]))
+    memo.insert(LogicalGet("t", "a"), (), ga)
+    memo.insert(LogicalGet("t", "b"), (), gb)
+    return memo, ga, gb
+
+
+class TestGroups:
+    def test_group_reuse_by_key(self):
+        memo, ga, _ = _seed()
+        again = memo.get_or_create_group(("rels", frozenset(["a"])), frozenset(["a"]))
+        assert again is ga
+
+    def test_key_collision_with_different_relations(self):
+        memo, _, _ = _seed()
+        with pytest.raises(MemoError):
+            memo.get_or_create_group(("rels", frozenset(["a"])), frozenset(["zz"]))
+
+    def test_group_for_relations(self):
+        memo, ga, _ = _seed()
+        assert memo.group_for_relations(frozenset(["a"])) is ga
+        assert memo.group_for_relations(frozenset(["zz"])) is None
+
+    def test_unknown_group_raises(self):
+        memo, _, _ = _seed()
+        with pytest.raises(MemoError):
+            memo.group(99)
+
+    def test_root_group(self):
+        memo, ga, _ = _seed()
+        memo.set_root(ga.gid)
+        assert memo.root_group() is ga
+
+    def test_root_unset_raises(self):
+        memo, _, _ = _seed()
+        with pytest.raises(MemoError):
+            memo.root_group()
+
+
+class TestInsert:
+    def test_duplicate_detection(self):
+        memo, ga, _ = _seed()
+        assert memo.insert(LogicalGet("t", "a"), (), ga) is None
+
+    def test_local_ids_sequential(self):
+        memo, ga, _ = _seed()
+        expr = memo.insert(TableScan("t", "a"), (), ga)
+        assert expr.local_id == 2
+        assert expr.id_str == f"{ga.gid}.2"
+
+    def test_duplicate_across_groups_rejected(self):
+        memo, ga, gb = _seed()
+        rels = frozenset(["a", "b"])
+        gj = memo.get_or_create_group(("rels", rels), rels)
+        memo.insert(LogicalJoin(PRED), (ga.gid, gb.gid), gj)
+        other = memo.get_or_create_group(("other",), rels)
+        with pytest.raises(MemoError):
+            memo.insert(LogicalJoin(PRED), (ga.gid, gb.gid), other)
+
+    def test_unknown_child_rejected(self):
+        memo, ga, gb = _seed()
+        rels = frozenset(["a", "b"])
+        gj = memo.get_or_create_group(("rels", rels), rels)
+        with pytest.raises(MemoError):
+            memo.insert(LogicalJoin(PRED), (ga.gid, 42), gj)
+
+    def test_arity_mismatch_rejected(self):
+        memo, ga, _ = _seed()
+        with pytest.raises(MemoError):
+            memo.insert(LogicalJoin(PRED), (ga.gid,), ga)
+
+
+class TestInspection:
+    def test_expression_counts(self):
+        memo, ga, gb = _seed()
+        memo.insert(TableScan("t", "a"), (), ga)
+        assert memo.expression_count() == 3
+        assert memo.logical_expression_count() == 2
+        assert memo.physical_expression_count() == 1
+
+    def test_group_partition_of_exprs(self):
+        memo, ga, _ = _seed()
+        memo.insert(TableScan("t", "a"), (), ga)
+        assert len(ga.logical_exprs()) == 1
+        assert len(ga.physical_exprs()) == 1
+
+    def test_expr_lookup(self):
+        memo, ga, _ = _seed()
+        assert memo.expr(ga.gid, 1).op.name == "LogicalGet"
+        with pytest.raises(MemoError):
+            ga.expr(99)
+
+    def test_render_mentions_groups(self):
+        memo, ga, _ = _seed()
+        memo.set_root(ga.gid)
+        text = memo.render()
+        assert "Group 0" in text and "(root)" in text
+
+
+class TestGroupExpr:
+    def test_fingerprint_stability(self):
+        memo, ga, _ = _seed()
+        expr = memo.insert(TableScan("t", "a"), (), ga)
+        assert expr.fingerprint() == (TableScan("t", "a").key(), ())
+
+    def test_is_physical(self):
+        memo, ga, _ = _seed()
+        expr = memo.insert(TableScan("t", "a"), (), ga)
+        assert expr.is_physical and not expr.is_enforcer
+
+    def test_bad_arity_in_constructor(self):
+        with pytest.raises(MemoError):
+            GroupExpr(op=TableScan("t", "a"), children=(1,), group_id=0, local_id=1)

@@ -1,0 +1,96 @@
+"""Tests for cardinality annotation of memo groups."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.annotate import annotate_cardinalities
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.optimizer.explorer import EnumerationExplorer
+from repro.optimizer.setup import build_initial_memo
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+
+
+def _annotated(catalog, sql, allow_cross=False):
+    bound = bind(parse(sql), catalog)
+    setup = build_initial_memo(bound, allow_cross)
+    EnumerationExplorer().explore(setup.memo, setup.graph, allow_cross)
+    estimator = CardinalityEstimator(catalog, bound)
+    annotate_cardinalities(setup.memo, setup.graph, estimator)
+    return setup
+
+
+class TestAnnotation:
+    def test_every_group_annotated(self, catalog):
+        setup = _annotated(
+            catalog,
+            "SELECT n.n_name, COUNT(*) AS c FROM nation n, region r "
+            "WHERE n.n_regionkey = r.r_regionkey GROUP BY n.n_name",
+        )
+        assert all(g.cardinality is not None for g in setup.memo.groups)
+
+    def test_leaf_groups_match_filtered_base(self, catalog):
+        setup = _annotated(
+            catalog,
+            "SELECT r.r_name FROM region r, nation n "
+            "WHERE r.r_regionkey = n.n_regionkey AND r.r_name = 'ASIA'",
+        )
+        region_group = setup.memo.group_for_relations(frozenset(["r"]))
+        assert region_group.cardinality == pytest.approx(1.0)
+        nation_group = setup.memo.group_for_relations(frozenset(["n"]))
+        assert nation_group.cardinality == pytest.approx(25.0)
+
+    def test_join_group_consistent_for_all_orders(self, catalog):
+        setup = _annotated(
+            catalog,
+            "SELECT c.c_custkey FROM customer c, orders o, lineitem l "
+            "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey",
+        )
+        # Cardinality is a property of the relation set, independent of
+        # how the set was assembled.
+        full = setup.memo.group_for_relations(frozenset(["c", "o", "l"]))
+        assert full.cardinality == pytest.approx(6_001_215, rel=0.05)
+
+    def test_aggregate_group_capped(self, catalog):
+        setup = _annotated(
+            catalog,
+            "SELECT n.n_name, COUNT(*) AS c FROM nation n, region r "
+            "WHERE n.n_regionkey = r.r_regionkey GROUP BY n.n_name",
+        )
+        agg_group = next(g for g in setup.memo.groups if g.key[0] == "agg")
+        assert agg_group.cardinality == pytest.approx(25.0)
+
+    def test_project_group_inherits(self, catalog):
+        setup = _annotated(
+            catalog,
+            "SELECT n.n_name FROM nation n, region r "
+            "WHERE n.n_regionkey = r.r_regionkey",
+        )
+        project_group = setup.memo.root_group()
+        join_group = setup.memo.group_for_relations(frozenset(["n", "r"]))
+        assert project_group.cardinality == join_group.cardinality
+
+    def test_select_group_scales_by_selectivity(self, catalog):
+        setup = _annotated(
+            catalog,
+            "SELECT n.n_name FROM nation n WHERE 1 = 1",
+            allow_cross=True,
+        )
+        select_group = next(g for g in setup.memo.groups if g.key[0] == "select")
+        assert select_group.cardinality is not None
+
+    def test_unary_without_logical_expr_raises(self, catalog):
+        sql = (
+            "SELECT n.n_name, COUNT(*) AS c FROM nation n, region r "
+            "WHERE n.n_regionkey = r.r_regionkey GROUP BY n.n_name"
+        )
+        setup = _annotated(catalog, sql)
+        agg_group = next(g for g in setup.memo.groups if g.key[0] == "agg")
+        saved = list(agg_group.exprs)
+        agg_group.exprs.clear()
+        try:
+            estimator = CardinalityEstimator(catalog, bind(parse(sql), catalog))
+            with pytest.raises(OptimizerError):
+                annotate_cardinalities(setup.memo, setup.graph, estimator)
+        finally:
+            agg_group.exprs.extend(saved)

@@ -1,0 +1,98 @@
+"""Tests for best-plan extraction.
+
+The crucial property: the DP optimum must equal the true minimum over the
+*entire* enumerated plan space — checked here by brute force on spaces
+small enough to enumerate.
+"""
+
+import pytest
+
+from repro.algebra.expressions import ColumnId
+from repro.algebra.physical import Sort
+from repro.errors import OptimizerError
+from repro.optimizer.bestplan import BestPlanSearch, find_best_plan
+from repro.optimizer.cost import CostModel
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.space import PlanSpace
+
+
+def _optimize(catalog, sql, **kwargs):
+    return Optimizer(catalog, OptimizerOptions(**kwargs)).optimize_sql(sql)
+
+
+JOIN2 = (
+    "SELECT n.n_name FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey"
+)
+
+
+class TestAgainstBruteForce:
+    def test_best_equals_global_minimum_join2(self, catalog):
+        result = _optimize(catalog, JOIN2, allow_cross_products=False)
+        space = PlanSpace.from_result(result)
+        costs = [
+            result.cost_model.plan_cost(plan) for _, plan in space.enumerate()
+        ]
+        assert result.best_cost == pytest.approx(min(costs))
+
+    def test_best_equals_global_minimum_with_order_by(self, catalog):
+        sql = JOIN2 + " ORDER BY n_name"
+        result = _optimize(catalog, sql, allow_cross_products=False)
+        space = PlanSpace.from_result(result)
+        costs = [
+            result.cost_model.plan_cost(plan) for _, plan in space.enumerate()
+        ]
+        assert result.best_cost == pytest.approx(min(costs))
+
+    def test_best_plan_is_member_of_space(self, catalog):
+        result = _optimize(catalog, JOIN2, allow_cross_products=False)
+        space = PlanSpace.from_result(result)
+        rank = space.rank(result.best_plan)
+        assert 0 <= rank < space.count()
+
+    def test_best_cost_matches_plan_cost(self, catalog):
+        result = _optimize(catalog, JOIN2, allow_cross_products=False)
+        assert result.cost_model.plan_cost(result.best_plan) == pytest.approx(
+            result.best_cost
+        )
+
+
+class TestRequirements:
+    def test_order_requirement_changes_root(self, catalog):
+        unordered = _optimize(catalog, JOIN2, allow_cross_products=False)
+        ordered = _optimize(
+            catalog, JOIN2 + " ORDER BY n_name", allow_cross_products=False
+        )
+        assert ordered.best_cost >= unordered.best_cost
+        assert isinstance(ordered.best_plan.op, Sort)
+
+    def test_unsatisfiable_requirement_detected(self, catalog, q3_result):
+        search = BestPlanSearch(q3_result.memo, q3_result.cost_model)
+        bogus = (ColumnId("zz", "zz"),)
+        assert search.best(q3_result.memo.root_group_id, bogus) is None
+
+    def test_missing_cardinality_raises(self, catalog, q3_result):
+        search = BestPlanSearch(q3_result.memo, q3_result.cost_model)
+        saved = q3_result.memo.groups[0].cardinality
+        q3_result.memo.groups[0].cardinality = None
+        try:
+            search._cache.clear()
+            with pytest.raises(OptimizerError):
+                search.best(0, ())
+        finally:
+            q3_result.memo.groups[0].cardinality = saved
+
+    def test_find_best_plan_requires_root(self, catalog, q3_result):
+        from repro.memo.memo import Memo
+
+        with pytest.raises(OptimizerError):
+            find_best_plan(Memo(), q3_result.cost_model)
+
+
+class TestMemoization:
+    def test_cache_reused(self, q3_result):
+        search = BestPlanSearch(q3_result.memo, q3_result.cost_model)
+        first = search.best(q3_result.memo.root_group_id, ())
+        cache_size = len(search._cache)
+        second = search.best(q3_result.memo.root_group_id, ())
+        assert first is second
+        assert len(search._cache) == cache_size

@@ -1,0 +1,173 @@
+"""Tests for cardinality estimation."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    BoolExpr,
+    BoolOp,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+)
+from repro.optimizer.cardinality import CardinalityEstimator
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+
+
+@pytest.fixture
+def estimator(catalog):
+    bound = bind(
+        parse(
+            "SELECT o.o_orderkey FROM orders o, lineitem l, nation n "
+            "WHERE o.o_orderkey = l.l_orderkey AND n.n_name = 'FRANCE'"
+        ),
+        catalog,
+    )
+    return CardinalityEstimator(catalog, bound)
+
+
+def col(alias, name):
+    return ColumnRef(ColumnId(alias, name))
+
+
+class TestSelectivity:
+    def test_equality_col_const(self, estimator):
+        sel = estimator.selectivity(
+            Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        )
+        assert sel == pytest.approx(1 / 25)
+
+    def test_equality_col_col(self, estimator):
+        sel = estimator.selectivity(
+            Comparison(CompOp.EQ, col("o", "o_orderkey"), col("l", "l_orderkey"))
+        )
+        assert sel == pytest.approx(1 / 1_500_000)
+
+    def test_inequality_complements_equality(self, estimator):
+        eq = estimator.selectivity(
+            Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        )
+        ne = estimator.selectivity(
+            Comparison(CompOp.NE, col("n", "n_name"), Literal("FRANCE"))
+        )
+        assert ne == pytest.approx(1 - eq)
+
+    def test_numeric_range_interpolated(self, estimator):
+        # l_discount in [0, 0.10]; < 0.05 is about half.
+        sel = estimator.selectivity(
+            Comparison(CompOp.LT, col("l", "l_discount"), Literal(0.05))
+        )
+        assert 0.4 < sel < 0.6
+
+    def test_date_range_interpolated(self, estimator):
+        sel = estimator.selectivity(
+            Comparison(CompOp.GE, col("o", "o_orderdate"), Literal("1997-01-01"))
+        )
+        # About 1.6 of 6.6 years remain.
+        assert 0.15 < sel < 0.35
+
+    def test_range_flipped_operands(self, estimator):
+        direct = estimator.selectivity(
+            Comparison(CompOp.LT, col("l", "l_discount"), Literal(0.05))
+        )
+        flipped = estimator.selectivity(
+            Comparison(CompOp.GT, Literal(0.05), col("l", "l_discount"))
+        )
+        assert direct == pytest.approx(flipped)
+
+    def test_and_multiplies(self, estimator):
+        c1 = Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        c2 = Comparison(CompOp.LT, col("l", "l_discount"), Literal(0.05))
+        conj = BoolExpr(BoolOp.AND, (c1, c2))
+        assert estimator.selectivity(conj) == pytest.approx(
+            estimator.selectivity(c1) * estimator.selectivity(c2)
+        )
+
+    def test_or_inclusion_exclusion(self, estimator):
+        c1 = Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        c2 = Comparison(CompOp.EQ, col("n", "n_name"), Literal("GERMANY"))
+        disj = BoolExpr(BoolOp.OR, (c1, c2))
+        s1 = estimator.selectivity(c1)
+        assert estimator.selectivity(disj) == pytest.approx(1 - (1 - s1) ** 2)
+
+    def test_not_complements(self, estimator):
+        c = Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        negated = BoolExpr(BoolOp.NOT, (c,))
+        assert estimator.selectivity(negated) == pytest.approx(
+            1 - estimator.selectivity(c)
+        )
+
+    def test_like_default(self, estimator):
+        assert estimator.selectivity(Like(col("n", "n_name"), "%a%")) == 0.1
+
+    def test_in_list_scales_with_ndv(self, estimator):
+        sel = estimator.selectivity(
+            InList(col("n", "n_name"), ("FRANCE", "GERMANY"))
+        )
+        assert sel == pytest.approx(2 / 25)
+
+    def test_is_null_uses_null_fraction(self, estimator):
+        sel = estimator.selectivity(IsNull(col("n", "n_name")))
+        assert sel == pytest.approx(1e-9)  # clamped: no nulls in TPC-H
+
+    def test_selectivity_clamped_to_one(self, estimator):
+        sel = estimator.selectivity(
+            InList(col("n", "n_regionkey"), tuple(range(100)))
+        )
+        assert sel <= 1.0
+
+    def test_cached(self, estimator):
+        expr = Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        assert estimator.selectivity(expr) is estimator.selectivity(expr)
+
+
+class TestCardinalities:
+    def test_base_cardinality_applies_pushed_filter(self, catalog):
+        bound = bind(
+            parse("SELECT n.n_name FROM nation n WHERE n.n_name = 'FRANCE'"),
+            catalog,
+        )
+        estimator = CardinalityEstimator(catalog, bound)
+        assert estimator.base_cardinality("n") == pytest.approx(1.0)
+
+    def test_base_cardinality_no_filter(self, estimator):
+        assert estimator.base_cardinality("o") == 1_500_000
+
+    def test_relation_set_with_join_conjunct(self, catalog):
+        bound = bind(
+            parse(
+                "SELECT o.o_orderkey FROM orders o, lineitem l "
+                "WHERE o.o_orderkey = l.l_orderkey"
+            ),
+            catalog,
+        )
+        estimator = CardinalityEstimator(catalog, bound)
+        card = estimator.relation_set_cardinality(
+            frozenset(["o", "l"]), list(bound.where_conjuncts)
+        )
+        # |O| x |L| / |O| = |L|.
+        assert card == pytest.approx(6_001_215, rel=0.01)
+
+    def test_aggregate_cardinality_caps_at_input(self, estimator):
+        card = estimator.aggregate_cardinality(10.0, (ColumnId("o", "o_orderkey"),))
+        assert card == 10.0
+
+    def test_aggregate_cardinality_distinct_product(self, estimator):
+        card = estimator.aggregate_cardinality(1e9, (ColumnId("n", "n_name"),))
+        assert card == 25.0
+
+    def test_scalar_aggregate_is_one(self, estimator):
+        assert estimator.aggregate_cardinality(1e9, ()) == 1.0
+
+    def test_select_cardinality(self, estimator):
+        pred = Comparison(CompOp.EQ, col("n", "n_name"), Literal("FRANCE"))
+        assert estimator.select_cardinality(2500.0, pred) == pytest.approx(100.0)
+
+    def test_never_below_one(self, estimator):
+        pred = Comparison(CompOp.EQ, col("o", "o_orderkey"), Literal(7))
+        assert estimator.select_cardinality(2.0, pred) == 1.0

@@ -1,0 +1,131 @@
+"""Tests for the cost model."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    Literal,
+)
+from repro.algebra.physical import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalFilter,
+    PhysicalProject,
+    Sort,
+    StreamAggregate,
+    TableScan,
+)
+from repro.optimizer.cost import CostModel, CostParameters, _constrains_leading_key
+from repro.optimizer.plan import PlanNode
+
+N_KEY = ColumnId("n", "n_nationkey")
+R_KEY = ColumnId("r", "r_regionkey")
+
+
+@pytest.fixture
+def model(catalog):
+    return CostModel(catalog)
+
+
+class TestScanCosts:
+    def test_table_scan_pays_full_table(self, model):
+        cost = model.operator_cost(TableScan("lineitem", "l"), 1000.0, ())
+        assert cost == pytest.approx(6_001_215.0)
+
+    def test_index_scan_unconstrained_costs_more_than_seq(self, model):
+        seq = model.operator_cost(TableScan("orders", "o"), 1e6, ())
+        idx = model.operator_cost(
+            IndexScan("orders", "o", "orders_pk", (ColumnId("o", "o_orderkey"),)),
+            1e6,
+            (),
+        )
+        assert idx > seq
+
+    def test_index_scan_with_sargable_key_is_cheap(self, model):
+        predicate = Comparison(
+            CompOp.EQ, ColumnRef(ColumnId("o", "o_orderkey")), Literal(7)
+        )
+        cheap = model.operator_cost(
+            IndexScan(
+                "orders", "o", "orders_pk", (ColumnId("o", "o_orderkey"),), predicate
+            ),
+            1.0,
+            (),
+        )
+        full = model.operator_cost(TableScan("orders", "o", predicate), 1.0, ())
+        assert cheap < full / 1000
+
+    def test_sargability_requires_leading_column(self):
+        predicate = Comparison(
+            CompOp.EQ, ColumnRef(ColumnId("l", "l_linenumber")), Literal(1)
+        )
+        assert not _constrains_leading_key(predicate, ColumnId("l", "l_orderkey"))
+        assert _constrains_leading_key(predicate, ColumnId("l", "l_linenumber"))
+
+
+class TestJoinCosts:
+    def test_hash_join_linear(self, model):
+        join = HashJoin((N_KEY,), (R_KEY,))
+        cost = model.operator_cost(join, 100.0, (1000.0, 10.0))
+        params = CostParameters()
+        expected = (
+            10.0 * params.hash_build_row
+            + 1000.0 * params.hash_probe_row
+            + 100.0 * params.join_output_row
+        )
+        assert cost == pytest.approx(expected)
+
+    def test_nested_loop_quadratic(self, model):
+        join = NestedLoopJoin(None)
+        small = model.operator_cost(join, 10.0, (100.0, 100.0))
+        big = model.operator_cost(join, 10.0, (1000.0, 1000.0))
+        assert big > small * 50
+
+    def test_merge_join_cheaper_than_nl_at_scale(self, model):
+        rows = (1e6, 1e6)
+        merge = model.operator_cost(MergeJoin((N_KEY,), (R_KEY,)), 1e6, rows)
+        nested = model.operator_cost(NestedLoopJoin(None), 1e6, rows)
+        assert merge < nested / 100
+
+
+class TestOtherOperators:
+    def test_sort_superlinear(self, model):
+        small = model.operator_cost(Sort((N_KEY,)), 0, (1000.0,))
+        big = model.operator_cost(Sort((N_KEY,)), 0, (1_000_000.0,))
+        assert big > small * 1000
+
+    def test_stream_agg_cheaper_than_hash_agg(self, model):
+        stream = model.operator_cost(StreamAggregate((N_KEY,), ()), 10.0, (1e6,))
+        hashed = model.operator_cost(HashAggregate((N_KEY,), ()), 10.0, (1e6,))
+        assert stream < hashed
+
+    def test_filter_and_project_linear(self, model):
+        pred = Comparison(CompOp.EQ, ColumnRef(N_KEY), Literal(1))
+        assert model.operator_cost(PhysicalFilter(pred), 10.0, (100.0,)) < 100
+        project = PhysicalProject((("x", ColumnRef(N_KEY)),))
+        assert model.operator_cost(project, 100.0, (100.0,)) < 100
+
+
+class TestPlanCost:
+    def test_plan_cost_sums_tree(self, model, catalog):
+        scan_n = PlanNode(TableScan("nation", "n"), (), 0, 1, 25.0)
+        scan_r = PlanNode(TableScan("region", "r"), (), 1, 1, 5.0)
+        join = PlanNode(HashJoin((N_KEY,), (R_KEY,)), (scan_n, scan_r), 2, 1, 25.0)
+        total = model.plan_cost(join)
+        local = model.operator_cost(join.op, 25.0, (25.0, 5.0))
+        assert total == pytest.approx(local + 25.0 + 5.0)
+
+    def test_custom_parameters_respected(self, catalog):
+        expensive_nl = CostModel(
+            catalog, CostParameters(nlj_pair=100.0)
+        ).operator_cost(NestedLoopJoin(None), 1.0, (10.0, 10.0))
+        cheap_nl = CostModel(
+            catalog, CostParameters(nlj_pair=0.001)
+        ).operator_cost(NestedLoopJoin(None), 1.0, (10.0, 10.0))
+        assert expensive_nl > cheap_nl * 100

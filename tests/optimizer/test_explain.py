@@ -1,0 +1,39 @@
+"""Tests for EXPLAIN rendering."""
+
+import pytest
+
+from repro.optimizer.explain import explain_plan
+
+
+class TestExplainPlan:
+    def test_one_row_per_operator(self, q3_result):
+        text = explain_plan(q3_result.best_plan, q3_result.cost_model)
+        body = [
+            line
+            for line in text.splitlines()[2:-1]  # skip header/sep/total
+        ]
+        assert len(body) == q3_result.best_plan.size()
+
+    def test_total_matches_plan_cost(self, q3_result):
+        text = explain_plan(q3_result.best_plan, q3_result.cost_model)
+        total_line = text.splitlines()[-1]
+        total = float(total_line.split()[-1].replace(",", ""))
+        assert total == pytest.approx(q3_result.best_cost, rel=0.01)
+
+    def test_root_cumulative_equals_total(self, q3_result):
+        text = explain_plan(q3_result.best_plan, q3_result.cost_model)
+        root_line = text.splitlines()[2]
+        root_total = float(root_line.split()[-1].replace(",", ""))
+        assert root_total == pytest.approx(q3_result.best_cost, rel=0.01)
+
+    def test_indentation_follows_depth(self, q3_result):
+        text = explain_plan(q3_result.best_plan, q3_result.cost_model)
+        lines = text.splitlines()[2:-1]
+        assert not lines[0].startswith(" ")
+        assert lines[1].startswith("  ")
+
+    def test_columns_present(self, q3_result):
+        text = explain_plan(q3_result.best_plan, q3_result.cost_model)
+        header = text.splitlines()[0]
+        for column in ("operator", "est. rows", "cost", "total"):
+            assert column in header

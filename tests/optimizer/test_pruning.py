@@ -1,0 +1,75 @@
+"""Tests for cost-bound pruning (ablation E11)."""
+
+import pytest
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.optimizer.pruning import prune_memo
+from repro.planspace.space import PlanSpace
+
+JOIN2 = (
+    "SELECT n.n_name FROM nation n, region r WHERE n.n_regionkey = r.r_regionkey"
+)
+
+
+def _fresh_result(catalog, **kwargs):
+    return Optimizer(catalog, OptimizerOptions(**kwargs)).optimize_sql(JOIN2)
+
+
+class TestPruneMemo:
+    def test_pruning_shrinks_space(self, catalog):
+        result = _fresh_result(catalog, allow_cross_products=False)
+        before = PlanSpace.from_result(result).count()
+        removed = prune_memo(result.memo, result.cost_model, factor=2.0)
+        after = PlanSpace.from_result(result).count()
+        assert removed > 0
+        assert after < before
+
+    def test_optimum_survives(self, catalog):
+        result = _fresh_result(catalog, allow_cross_products=False)
+        prune_memo(result.memo, result.cost_model, factor=1.5)
+        from repro.optimizer.bestplan import find_best_plan
+
+        _, cost = find_best_plan(result.memo, result.cost_model)
+        assert cost == pytest.approx(result.best_cost)
+
+    def test_larger_factor_keeps_more(self, catalog):
+        tight = _fresh_result(catalog, allow_cross_products=False)
+        loose = _fresh_result(catalog, allow_cross_products=False)
+        prune_memo(tight.memo, tight.cost_model, factor=1.0)
+        prune_memo(loose.memo, loose.cost_model, factor=100.0)
+        tight_count = PlanSpace.from_result(tight).count()
+        loose_count = PlanSpace.from_result(loose).count()
+        assert tight_count <= loose_count
+
+    def test_factor_validation(self, catalog):
+        result = _fresh_result(catalog, allow_cross_products=False)
+        with pytest.raises(ValueError):
+            prune_memo(result.memo, result.cost_model, factor=0.5)
+
+    def test_pruned_space_plans_still_valid(self, catalog, micro_db):
+        from repro.executor.executor import PlanExecutor
+        from repro.testing.diff import canonical_rows
+
+        result = _fresh_result(catalog, allow_cross_products=False)
+        prune_memo(result.memo, result.cost_model, factor=3.0)
+        space = PlanSpace.from_result(result)
+        executor = PlanExecutor(micro_db)
+        reference = None
+        for _, plan in space.enumerate(stop=min(30, space.count())):
+            rows = canonical_rows(executor.execute(plan).rows)
+            if reference is None:
+                reference = rows
+            assert rows == reference
+
+
+class TestOptimizerIntegration:
+    def test_pruning_option(self, catalog):
+        unpruned = _fresh_result(catalog, allow_cross_products=False)
+        pruned = _fresh_result(
+            catalog, allow_cross_products=False, pruning_factor=2.0
+        )
+        assert (
+            PlanSpace.from_result(pruned).count()
+            < PlanSpace.from_result(unpruned).count()
+        )
+        assert pruned.best_cost == pytest.approx(unpruned.best_cost)

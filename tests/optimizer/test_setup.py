@@ -1,0 +1,141 @@
+"""Tests for initial memo construction (Figure 1's copy-in)."""
+
+import pytest
+
+from repro.algebra.logical import (
+    LogicalAggregate,
+    LogicalGet,
+    LogicalJoin,
+    LogicalProject,
+    LogicalSelect,
+)
+from repro.errors import OptimizerError
+from repro.optimizer.setup import build_initial_memo
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+
+
+def _setup(catalog, sql, allow_cross=True):
+    return build_initial_memo(bind(parse(sql), catalog), allow_cross)
+
+
+class TestLeafGroups:
+    def test_one_get_group_per_quantifier(self, catalog):
+        setup = _setup(catalog, "SELECT n.n_name FROM nation n, region r")
+        gets = [
+            e.op
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalGet)
+        ]
+        assert {g.alias for g in gets} == {"n", "r"}
+
+    def test_pushed_filter_lands_in_get(self, catalog):
+        setup = _setup(
+            catalog, "SELECT r_name FROM region r WHERE r.r_name = 'ASIA'"
+        )
+        get = next(
+            e.op
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalGet)
+        )
+        assert get.predicate is not None
+
+
+class TestInitialJoinTree:
+    def test_left_deep_shape(self, catalog):
+        setup = _setup(
+            catalog,
+            "SELECT n.n_name FROM nation n, region r "
+            "WHERE n.n_regionkey = r.r_regionkey",
+        )
+        joins = [
+            e
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalJoin)
+        ]
+        assert len(joins) == 1
+        join_root = setup.memo.group(setup.join_root_gid)
+        assert join_root.relations == frozenset({"n", "r"})
+
+    def test_join_count_for_n_tables(self, catalog):
+        setup = _setup(
+            catalog,
+            "SELECT c.c_custkey FROM customer c, orders o, lineitem l "
+            "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey",
+        )
+        joins = [
+            e
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalJoin)
+        ]
+        assert len(joins) == 2
+
+    def test_cross_avoiding_reorder(self, catalog):
+        # FROM order has customer and lineitem non-adjacent; without cross
+        # products the seed order must still find a connected sequence.
+        setup = _setup(
+            catalog,
+            "SELECT c.c_custkey FROM customer c, lineitem l, orders o "
+            "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey",
+            allow_cross=False,
+        )
+        joins = [
+            e.op
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalJoin)
+        ]
+        assert all(j.predicate is not None for j in joins)
+
+    def test_disconnected_graph_rejected_without_cross(self, catalog):
+        with pytest.raises(OptimizerError):
+            _setup(
+                catalog,
+                "SELECT n.n_name FROM nation n, region r",
+                allow_cross=False,
+            )
+
+    def test_disconnected_graph_allowed_with_cross(self, catalog):
+        setup = _setup(catalog, "SELECT n.n_name FROM nation n, region r", True)
+        joins = [
+            e.op
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalJoin)
+        ]
+        assert joins[0].is_cross_product()
+
+
+class TestRootChain:
+    def test_project_always_on_top(self, catalog):
+        setup = _setup(catalog, "SELECT n_name FROM nation")
+        root = setup.memo.root_group()
+        assert isinstance(root.exprs[0].op, LogicalProject)
+
+    def test_aggregate_between_join_and_project(self, catalog):
+        setup = _setup(
+            catalog,
+            "SELECT n_regionkey, COUNT(*) AS c FROM nation GROUP BY n_regionkey",
+        )
+        root = setup.memo.root_group()
+        project = root.exprs[0]
+        agg_group = setup.memo.group(project.children[0])
+        assert isinstance(agg_group.exprs[0].op, LogicalAggregate)
+
+    def test_constant_conjunct_becomes_select(self, catalog):
+        setup = _setup(catalog, "SELECT n_name FROM nation WHERE 1 = 1")
+        selects = [
+            e
+            for g in setup.memo.groups
+            for e in g.exprs
+            if isinstance(e.op, LogicalSelect)
+        ]
+        assert len(selects) == 1
+
+    def test_root_is_set(self, catalog):
+        setup = _setup(catalog, "SELECT n_name FROM nation")
+        assert setup.memo.root_group_id is not None

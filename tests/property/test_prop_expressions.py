@@ -1,0 +1,138 @@
+"""Property-based tests for the expression layer and SQL front end."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.algebra.expressions import (
+    Arithmetic,
+    BoolExpr,
+    BoolOp,
+    ColumnId,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    Literal,
+    make_conjunction,
+    split_conjuncts,
+)
+from repro.executor.scalar import compile_scalar, like_matcher
+
+COLUMNS = (ColumnId("t", "a"), ColumnId("t", "b"), ColumnId("t", "c"))
+
+
+def scalar_exprs(depth=2):
+    leaves = st.one_of(
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.integers(min_value=-100, max_value=100).map(Literal),
+    )
+    if depth == 0:
+        return leaves
+    sub = scalar_exprs(depth - 1)
+    return st.one_of(
+        leaves,
+        st.tuples(st.sampled_from(["+", "-", "*"]), sub, sub).map(
+            lambda t: Arithmetic(t[0], t[1], t[2])
+        ),
+    )
+
+
+def comparisons(depth=2):
+    return st.tuples(
+        st.sampled_from(list(CompOp)), scalar_exprs(depth), scalar_exprs(depth)
+    ).map(lambda t: Comparison(t[0], t[1], t[2]))
+
+
+class TestFingerprintProperties:
+    @given(expr=comparisons())
+    @settings(max_examples=100, deadline=None)
+    def test_fingerprint_deterministic(self, expr):
+        assert expr.fingerprint() == expr.fingerprint()
+
+    @given(left=scalar_exprs(), right=scalar_exprs())
+    @settings(max_examples=100, deadline=None)
+    def test_equality_commutation(self, left, right):
+        assert (
+            Comparison(CompOp.EQ, left, right).fingerprint()
+            == Comparison(CompOp.EQ, right, left).fingerprint()
+        )
+
+    @given(conjuncts=st.lists(comparisons(1), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_make_conjunction_order_invariant(self, conjuncts):
+        forward = make_conjunction(list(conjuncts))
+        backward = make_conjunction(list(reversed(conjuncts)))
+        assert forward.fingerprint() == backward.fingerprint()
+
+    @given(conjuncts=st.lists(comparisons(1), min_size=1, max_size=5))
+    @settings(max_examples=60, deadline=None)
+    def test_split_make_roundtrip(self, conjuncts):
+        rebuilt = make_conjunction(split_conjuncts(make_conjunction(list(conjuncts))))
+        assert {c.fingerprint() for c in split_conjuncts(rebuilt)} == {
+            c.fingerprint() for c in conjuncts
+        }
+
+
+class TestEvaluationProperties:
+    @given(
+        expr=scalar_exprs(),
+        row=st.tuples(
+            st.integers(-50, 50), st.integers(-50, 50), st.integers(-50, 50)
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_compiled_arithmetic_total(self, expr, row):
+        fn = compile_scalar(expr, COLUMNS)
+        value = fn(row)
+        assert isinstance(value, int)
+
+    @given(
+        op=st.sampled_from(list(CompOp)),
+        a=st.integers(-20, 20),
+        b=st.integers(-20, 20),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_comparison_consistent_with_python(self, op, a, b):
+        expr = Comparison(op, ColumnRef(COLUMNS[0]), ColumnRef(COLUMNS[1]))
+        fn = compile_scalar(expr, COLUMNS)
+        expected = {
+            CompOp.EQ: a == b,
+            CompOp.NE: a != b,
+            CompOp.LT: a < b,
+            CompOp.LE: a <= b,
+            CompOp.GT: a > b,
+            CompOp.GE: a >= b,
+        }[op]
+        assert fn((a, b, 0)) == expected
+
+    @given(st.text(alphabet="ab%_", max_size=8), st.text(alphabet="ab", max_size=8))
+    @settings(max_examples=150, deadline=None)
+    def test_like_matcher_total(self, pattern, value):
+        # Never raises, always returns a bool.
+        assert like_matcher(pattern)(value) in (True, False)
+
+    @given(st.text(alphabet="abc", max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_like_percent_matches_everything(self, value):
+        assert like_matcher("%")(value)
+
+    @given(st.text(alphabet="abc", min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_like_exact_is_equality(self, value):
+        assert like_matcher(value)(value)
+        assert not like_matcher(value)(value + "x")
+
+
+class TestParserRoundtrip:
+    @given(
+        a=st.integers(-999, 999),
+        op=st.sampled_from(["=", "<>", "<", "<=", ">", ">="]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_rendered_predicates_reparse(self, a, op):
+        from repro.sql.parser import Parser
+
+        text = f"t.a {op} {a}"
+        expr = Parser(text).parse_expr()
+        again = Parser(expr.render()).parse_expr()
+        assert expr.fingerprint() == again.fingerprint()

@@ -1,0 +1,177 @@
+"""Tests for the binder (name resolution, predicate placement)."""
+
+import pytest
+
+from repro.algebra.expressions import ColumnId
+from repro.errors import BindError
+from repro.sql.binder import bind
+from repro.sql.parser import parse
+
+
+def _bind(catalog, sql):
+    return bind(parse(sql), catalog)
+
+
+class TestFromBinding:
+    def test_quantifiers(self, catalog):
+        bound = _bind(catalog, "SELECT n_name FROM nation n")
+        assert bound.quantifiers[0].alias == "n"
+        assert bound.quantifiers[0].table == "nation"
+
+    def test_default_alias_is_table_name(self, catalog):
+        bound = _bind(catalog, "SELECT n_name FROM nation")
+        assert bound.quantifiers[0].alias == "nation"
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT x FROM nowhere")
+
+    def test_duplicate_alias(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT 1 AS one FROM nation n, region n")
+
+    def test_same_table_twice_with_aliases(self, catalog):
+        bound = _bind(
+            catalog,
+            "SELECT n1.n_name FROM nation n1, nation n2 "
+            "WHERE n1.n_regionkey = n2.n_regionkey",
+        )
+        assert {q.alias for q in bound.quantifiers} == {"n1", "n2"}
+
+
+class TestColumnResolution:
+    def test_qualified(self, catalog):
+        bound = _bind(catalog, "SELECT n.n_name FROM nation n")
+        name, expr = bound.select_outputs[0]
+        assert expr.column_id == ColumnId("n", "n_name")
+
+    def test_unqualified_unique(self, catalog):
+        bound = _bind(catalog, "SELECT n_name FROM nation n, region r")
+        _, expr = bound.select_outputs[0]
+        assert expr.column_id.alias == "n"
+
+    def test_unqualified_unknown(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT no_such FROM nation")
+
+    def test_wrong_alias(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT r.n_name FROM nation n, region r")
+
+    def test_unknown_alias(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT zz.n_name FROM nation n")
+
+    def test_case_insensitive(self, catalog):
+        bound = _bind(catalog, "SELECT N.N_NAME FROM NATION N")
+        _, expr = bound.select_outputs[0]
+        assert expr.column_id == ColumnId("n", "n_name")
+
+
+class TestPredicatePlacement:
+    def test_single_table_filter_pushed(self, catalog):
+        bound = _bind(
+            catalog,
+            "SELECT n_name FROM nation n, region r "
+            "WHERE r.r_name = 'ASIA' AND n.n_regionkey = r.r_regionkey",
+        )
+        assert bound.pushed_filters["r"] is not None
+        assert bound.pushed_filters["n"] is None
+        assert len(bound.where_conjuncts) == 1
+
+    def test_multiple_filters_conjoined(self, catalog):
+        bound = _bind(
+            catalog,
+            "SELECT o_orderkey FROM orders o "
+            "WHERE o.o_orderdate >= '1994-01-01' AND o.o_orderdate < '1995-01-01'",
+        )
+        predicate = bound.pushed_filters["o"]
+        assert predicate is not None
+        assert "AND" in predicate.render()
+
+    def test_cross_table_or_stays_up(self, catalog):
+        bound = _bind(
+            catalog,
+            "SELECT n1.n_name FROM nation n1, nation n2 "
+            "WHERE n1.n_name = 'FRANCE' OR n2.n_name = 'GERMANY'",
+        )
+        assert bound.pushed_filters["n1"] is None
+        assert len(bound.where_conjuncts) == 1
+
+    def test_aggregate_in_where_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT n_name FROM nation WHERE SUM(n_nationkey) > 3")
+
+
+class TestSelectBinding:
+    def test_star_expansion(self, catalog):
+        bound = _bind(catalog, "SELECT * FROM region r")
+        names = [name for name, _ in bound.select_outputs]
+        assert names == ["r_regionkey", "r_name", "r_comment"]
+
+    def test_star_multi_table(self, catalog):
+        bound = _bind(catalog, "SELECT * FROM nation n, region r")
+        assert len(bound.select_outputs) == 4 + 3
+
+    def test_aggregate_query_detection(self, catalog):
+        bound = _bind(
+            catalog,
+            "SELECT n_regionkey, COUNT(*) AS c FROM nation GROUP BY n_regionkey",
+        )
+        assert bound.is_aggregate_query
+        assert bound.aggregates[0][0] == "c"
+
+    def test_scalar_aggregate(self, catalog):
+        bound = _bind(catalog, "SELECT COUNT(*) AS c FROM nation")
+        assert bound.is_aggregate_query
+        assert bound.group_by == ()
+
+    def test_non_grouped_column_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(
+                catalog,
+                "SELECT n_name, COUNT(*) AS c FROM nation GROUP BY n_regionkey",
+            )
+
+    def test_group_by_without_aggregate_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT n_name FROM nation GROUP BY n_name")
+
+    def test_arithmetic_over_aggregate_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT SUM(n_nationkey) + 1 AS x FROM nation")
+
+    def test_nested_aggregate_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT SUM(COUNT(*)) AS x FROM nation")
+
+    def test_duplicate_output_names_freshened(self, catalog):
+        bound = _bind(catalog, "SELECT n_name, n_name FROM nation")
+        names = [name for name, _ in bound.select_outputs]
+        assert len(set(names)) == 2
+
+    def test_star_with_group_by_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT * FROM nation GROUP BY n_name")
+
+
+class TestOrderByBinding:
+    def test_order_by_output_name(self, catalog):
+        bound = _bind(
+            catalog,
+            "SELECT n_regionkey, COUNT(*) AS c FROM nation "
+            "GROUP BY n_regionkey ORDER BY c",
+        )
+        assert bound.order_by == (ColumnId("", "c"),)
+
+    def test_order_by_base_column_maps_to_output(self, catalog):
+        bound = _bind(catalog, "SELECT n_name FROM nation n ORDER BY n.n_name")
+        assert bound.order_by == (ColumnId("", "n_name"),)
+
+    def test_order_by_column_not_in_output_rejected(self, catalog):
+        with pytest.raises(BindError):
+            _bind(catalog, "SELECT n_name FROM nation n ORDER BY n.n_regionkey")
+
+    def test_options_carried(self, catalog):
+        bound = _bind(catalog, "SELECT n_name FROM nation OPTION (USEPLAN 3)")
+        assert bound.options.useplan == 3

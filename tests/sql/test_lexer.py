@@ -1,0 +1,100 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_uppercased(self):
+        assert kinds("select FROM Where") == [
+            (TokenType.KEYWORD, "SELECT"),
+            (TokenType.KEYWORD, "FROM"),
+            (TokenType.KEYWORD, "WHERE"),
+        ]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("lineitem L1") == [
+            (TokenType.IDENT, "lineitem"),
+            (TokenType.IDENT, "L1"),
+        ]
+
+    def test_eof_token_present(self):
+        tokens = tokenize("x")
+        assert tokens[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize("   ")
+        assert len(tokens) == 1 and tokens[0].type is TokenType.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.INTEGER, "42")]
+
+    def test_float(self):
+        assert kinds("3.14") == [(TokenType.FLOAT, "3.14")]
+
+    def test_scientific(self):
+        assert kinds("1e6 2.5E-3") == [
+            (TokenType.FLOAT, "1e6"),
+            (TokenType.FLOAT, "2.5E-3"),
+        ]
+
+    def test_integer_then_dot_ident(self):
+        # "1.x" should not swallow the dot into a float.
+        assert kinds("l.x")[0] == (TokenType.IDENT, "l")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'ASIA'") == [(TokenType.STRING, "ASIA")]
+
+    def test_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+
+class TestOperators:
+    def test_comparison_operators(self):
+        assert [v for _, v in kinds("= <> < <= > >=")] == [
+            "=", "<>", "<", "<=", ">", ">=",
+        ]
+
+    def test_bang_equals_normalized(self):
+        assert kinds("!=") == [(TokenType.OPERATOR, "<>")]
+
+    def test_arithmetic_and_punct(self):
+        assert [v for _, v in kinds("( a , b ) . *")] == [
+            "(", "a", ",", "b", ")", ".", "*",
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a ; b")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\n b") == [
+            (TokenType.IDENT, "a"),
+            (TokenType.IDENT, "b"),
+        ]
+
+    def test_positions_tracked(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "SELECT", 1, 1)
+        assert token.is_keyword("select")
+        assert not token.is_keyword("from")

@@ -1,0 +1,168 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    AggregateCall,
+    Arithmetic,
+    BoolExpr,
+    BoolOp,
+    ColumnRef,
+    Comparison,
+    CompOp,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryMinus,
+)
+from repro.errors import ParseError
+from repro.sql.parser import Parser, parse
+
+
+class TestStatementShape:
+    def test_minimal_select(self):
+        stmt = parse("SELECT a FROM t")
+        assert len(stmt.select_items) == 1
+        assert stmt.from_tables[0].table == "t"
+        assert stmt.where is None
+
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert stmt.select_items[0].star
+
+    def test_aliases(self):
+        stmt = parse("SELECT x AS y FROM lineitem AS l, orders o")
+        assert stmt.select_items[0].alias == "y"
+        assert stmt.from_tables[0].effective_alias() == "l"
+        assert stmt.from_tables[1].effective_alias() == "o"
+
+    def test_implicit_select_alias(self):
+        stmt = parse("SELECT a b FROM t")
+        assert stmt.select_items[0].alias == "b"
+
+    def test_group_by(self):
+        stmt = parse("SELECT n.n_name, COUNT(*) AS c FROM nation n GROUP BY n.n_name")
+        assert stmt.group_by[0].alias == "n"
+        assert stmt.group_by[0].column == "n_name"
+
+    def test_order_by(self):
+        stmt = parse("SELECT a FROM t ORDER BY a, t.b")
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0].column.alias == ""
+
+    def test_useplan_option(self):
+        stmt = parse("SELECT a FROM t OPTION (USEPLAN 8)")
+        assert stmt.options.useplan == 8
+
+    def test_no_option_defaults_none(self):
+        assert parse("SELECT a FROM t").options.useplan is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t extra ,")
+
+    def test_missing_from_rejected(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a")
+
+    def test_useplan_requires_integer(self):
+        with pytest.raises(ParseError):
+            parse("SELECT a FROM t OPTION (USEPLAN x)")
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        return Parser(text).parse_expr()
+
+    def test_comparison(self):
+        expr = self.parse_expr("a = 5")
+        assert isinstance(expr, Comparison)
+        assert expr.op is CompOp.EQ
+        assert isinstance(expr.right, Literal)
+
+    def test_and_or_precedence(self):
+        expr = self.parse_expr("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BoolExpr) and expr.op is BoolOp.OR
+        assert isinstance(expr.args[1], BoolExpr)
+        assert expr.args[1].op is BoolOp.AND
+
+    def test_not(self):
+        expr = self.parse_expr("NOT a = 1")
+        assert isinstance(expr, BoolExpr) and expr.op is BoolOp.NOT
+
+    def test_arithmetic_precedence(self):
+        expr = self.parse_expr("a + b * c")
+        assert isinstance(expr, Arithmetic) and expr.op == "+"
+        assert isinstance(expr.right, Arithmetic) and expr.right.op == "*"
+
+    def test_parenthesized(self):
+        expr = self.parse_expr("(a + b) * c")
+        assert expr.op == "*"
+        assert isinstance(expr.left, Arithmetic)
+
+    def test_unary_minus(self):
+        assert isinstance(self.parse_expr("-a"), UnaryMinus)
+
+    def test_between_desugars(self):
+        expr = self.parse_expr("a BETWEEN 1 AND 3")
+        assert isinstance(expr, BoolExpr) and expr.op is BoolOp.AND
+        assert expr.args[0].op is CompOp.GE
+        assert expr.args[1].op is CompOp.LE
+
+    def test_not_between(self):
+        expr = self.parse_expr("a NOT BETWEEN 1 AND 3")
+        assert isinstance(expr, BoolExpr) and expr.op is BoolOp.NOT
+
+    def test_like(self):
+        expr = self.parse_expr("p_name LIKE '%green%'")
+        assert isinstance(expr, Like) and expr.pattern == "%green%"
+
+    def test_not_like(self):
+        assert self.parse_expr("a NOT LIKE 'x'").negated
+
+    def test_in_list(self):
+        expr = self.parse_expr("a IN (1, 2, 3)")
+        assert isinstance(expr, InList) and expr.values == (1, 2, 3)
+
+    def test_in_list_strings(self):
+        expr = self.parse_expr("mode IN ('AIR', 'RAIL')")
+        assert expr.values == ("AIR", "RAIL")
+
+    def test_is_null(self):
+        expr = self.parse_expr("a IS NULL")
+        assert isinstance(expr, IsNull) and not expr.negated
+
+    def test_is_not_null(self):
+        assert self.parse_expr("a IS NOT NULL").negated
+
+    def test_qualified_column(self):
+        expr = self.parse_expr("l.l_orderkey")
+        assert isinstance(expr, ColumnRef)
+        assert expr.column_id.alias == "l"
+
+    def test_aggregates(self):
+        expr = self.parse_expr("SUM(a * b)")
+        assert isinstance(expr, AggregateCall)
+        assert isinstance(expr.arg, Arithmetic)
+
+    def test_count_star(self):
+        expr = self.parse_expr("COUNT(*)")
+        assert isinstance(expr, AggregateCall) and expr.arg is None
+
+    def test_like_requires_string(self):
+        with pytest.raises(ParseError):
+            self.parse_expr("a LIKE 5")
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(ParseError):
+            self.parse_expr("a NOT 5")
+
+
+class TestRealQueries:
+    def test_parses_all_tpch_queries(self):
+        from repro.workloads.tpch_queries import TPCH_QUERIES
+
+        for query in TPCH_QUERIES.values():
+            stmt = parse(query.sql)
+            assert len(stmt.from_tables) == query.relations

@@ -1,0 +1,42 @@
+"""Tests for the database container."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, ColumnType, TableSchema
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.table import DataTable
+
+
+def _setup():
+    catalog = Catalog()
+    schema = TableSchema(name="t", columns=(Column("a", ColumnType.INTEGER),))
+    catalog.add_table(schema)
+    database = Database(catalog=catalog)
+    database.add_table(DataTable(schema, [(1,), (1,), (2,)]))
+    return catalog, database
+
+
+class TestDatabase:
+    def test_lookup(self):
+        _, database = _setup()
+        assert len(database.table("t")) == 3
+        assert database.has_table("T")
+
+    def test_unknown_table(self):
+        _, database = _setup()
+        with pytest.raises(StorageError):
+            database.table("missing")
+
+    def test_duplicate_rejected(self):
+        catalog, database = _setup()
+        with pytest.raises(StorageError):
+            database.add_table(DataTable(catalog.table("t"), []))
+
+    def test_refresh_stats(self):
+        catalog, database = _setup()
+        assert catalog.table_stats("t").row_count == 0
+        database.refresh_stats()
+        assert catalog.table_stats("t").row_count == 3
+        assert catalog.table_stats("t").distinct("a") == 2

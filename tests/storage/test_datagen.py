@@ -1,0 +1,86 @@
+"""Tests for the micro TPC-H data generator."""
+
+import pytest
+
+from repro.storage.datagen import MICRO_ROWS, NATIONS, REGIONS, generate_tpch
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(seed=0)
+
+
+class TestShapes:
+    def test_all_tables_loaded(self, db):
+        for name in MICRO_ROWS:
+            assert db.has_table(name)
+            assert len(db.table(name)) > 0
+
+    def test_row_counts(self, db):
+        assert len(db.table("region")) == 5
+        assert len(db.table("nation")) == 25
+        assert len(db.table("lineitem")) == MICRO_ROWS["lineitem"]
+
+    def test_row_count_override(self):
+        db = generate_tpch(seed=0, rows={"lineitem": 10, "orders": 5})
+        assert len(db.table("lineitem")) == 10
+        assert len(db.table("orders")) == 5
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = generate_tpch(seed=3)
+        b = generate_tpch(seed=3)
+        assert a.table("lineitem").rows == b.table("lineitem").rows
+
+    def test_different_seed_different_data(self):
+        a = generate_tpch(seed=3)
+        b = generate_tpch(seed=4)
+        assert a.table("lineitem").rows != b.table("lineitem").rows
+
+
+class TestReferentialIntegrity:
+    def test_nation_regions_valid(self, db):
+        region_keys = {r[0] for r in db.table("region").rows}
+        assert all(n[2] in region_keys for n in db.table("nation").rows)
+
+    def test_lineitem_fks_valid(self, db):
+        order_keys = {o[0] for o in db.table("orders").rows}
+        ps_pairs = {(p[0], p[1]) for p in db.table("partsupp").rows}
+        for li in db.table("lineitem").rows:
+            assert li[0] in order_keys
+            assert (li[1], li[2]) in ps_pairs
+
+    def test_orders_customers_valid(self, db):
+        cust_keys = {c[0] for c in db.table("customer").rows}
+        assert all(o[1] in cust_keys for o in db.table("orders").rows)
+
+
+class TestValueDomains:
+    def test_real_nation_names(self, db):
+        names = {n[1] for n in db.table("nation").rows}
+        assert {"FRANCE", "GERMANY"} <= names
+        assert names == {name for name, _ in NATIONS}
+
+    def test_real_region_names(self, db):
+        assert {r[1] for r in db.table("region").rows} == set(REGIONS)
+
+    def test_dates_in_window(self, db):
+        for o in db.table("orders").rows:
+            assert "1992-01-01" <= o[4] <= "1998-12-31"
+
+    def test_shipdate_after_orderdate(self, db):
+        order_dates = {o[0]: o[4] for o in db.table("orders").rows}
+        for li in db.table("lineitem").rows:
+            assert li[10] > order_dates[li[0]]
+
+    def test_linenumbers_unique_per_order(self, db):
+        seen = set()
+        for li in db.table("lineitem").rows:
+            key = (li[0], li[3])
+            assert key not in seen
+            seen.add(key)
+
+    def test_discounts_within_spec(self, db):
+        for li in db.table("lineitem").rows:
+            assert 0.0 <= li[6] <= 0.10

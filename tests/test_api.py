@@ -1,0 +1,92 @@
+"""Tests for the Session facade (including OPTION (USEPLAN n))."""
+
+import pytest
+
+from repro.api import Session
+from repro.errors import PlanSpaceError
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.testing.diff import canonical_rows
+
+SQL = (
+    "SELECT n.n_name, r.r_name FROM nation n, region r "
+    "WHERE n.n_regionkey = r.r_regionkey"
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session.tpch(seed=0, options=OptimizerOptions(allow_cross_products=False))
+
+
+class TestExecute:
+    def test_plain_execution(self, session):
+        result = session.execute(SQL)
+        assert result.columns == ["n_name", "r_name"]
+        assert len(result.rows) == 25
+
+    def test_useplan_forces_specific_plan(self, session):
+        detailed = session.execute_detailed(SQL + " OPTION (USEPLAN 5)")
+        assert detailed.used_rank == 5
+
+    def test_useplan_results_match_default(self, session):
+        reference = canonical_rows(session.execute(SQL).rows)
+        for rank in (0, 3, 17):
+            rows = canonical_rows(
+                session.execute(f"{SQL} OPTION (USEPLAN {rank})").rows
+            )
+            assert rows == reference
+
+    def test_useplan_out_of_range(self, session):
+        with pytest.raises(PlanSpaceError):
+            session.execute(SQL + " OPTION (USEPLAN 99999999999)")
+
+    def test_default_plan_is_optimizers(self, session):
+        detailed = session.execute_detailed(SQL)
+        assert detailed.used_rank is None
+        assert detailed.optimization.best_plan is not None
+
+    def test_order_by_execution(self, session):
+        result = session.execute(SQL + " ORDER BY n_name")
+        names = [row[0] for row in result.rows]
+        assert names == sorted(names)
+
+
+class TestIteratePlans:
+    def test_explicit_ranks(self, session):
+        results = dict(session.iterate_plans(SQL, ranks=[0, 1, 2]))
+        assert set(results) == {0, 1, 2}
+
+    def test_sampled_iteration(self, session):
+        results = list(session.iterate_plans(SQL, sample=5, seed=3))
+        assert len(results) == 5
+
+    def test_full_enumeration_when_unspecified(self, session):
+        space = session.plan_space(SQL)
+        results = list(session.iterate_plans(SQL))
+        assert len(results) == space.count()
+
+    def test_all_iterated_plans_agree(self, session):
+        reference = None
+        for _, result in session.iterate_plans(SQL, sample=10, seed=1):
+            rows = canonical_rows(result.rows)
+            if reference is None:
+                reference = rows
+            assert rows == reference
+
+
+class TestIntrospection:
+    def test_plan_space(self, session):
+        space = session.plan_space(SQL)
+        assert space.count() > 100
+
+    def test_explain(self, session):
+        text = session.explain(SQL)
+        assert "best cost" in text
+
+    def test_optimize_returns_result(self, session):
+        result = session.optimize(SQL)
+        assert result.memo.root_group_id is not None
+
+    def test_tpch_constructor_rows_override(self):
+        session = Session.tpch(seed=1, rows={"lineitem": 12})
+        assert len(session.database.table("lineitem")) == 12

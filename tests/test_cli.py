@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+TWO_TABLE = (
+    "SELECT n.n_name, r.r_name FROM nation n, region r "
+    "WHERE n.n_regionkey = r.r_regionkey"
+)
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestCount:
+    def test_named_query(self):
+        code, text = run_cli("count", "Q3")
+        assert code == 0
+        assert "plans:" in text
+
+    def test_raw_sql(self):
+        code, text = run_cli("count", TWO_TABLE)
+        assert code == 0
+        assert "groups:" in text
+
+    def test_cross_products_flag(self):
+        _, no_cross = run_cli("count", "Q3")
+        _, with_cross = run_cli("--cross-products", "count", "Q3")
+        plans_no = int(no_cross.split("plans: ")[1].replace(",", ""))
+        plans_with = int(with_cross.split("plans: ")[1].replace(",", ""))
+        assert plans_with > plans_no
+
+    def test_unknown_query_name(self):
+        code, _ = run_cli("count", "Q99")
+        assert code == 2
+
+
+class TestExplainAndUnrank:
+    def test_explain(self):
+        code, text = run_cli("explain", "Q3")
+        assert code == 0
+        assert "best cost" in text
+
+    def test_explain_verbose(self):
+        code, text = run_cli("explain", "Q3", "--verbose")
+        assert code == 0
+        assert "est. rows" in text and "TOTAL" in text
+
+    def test_unrank(self):
+        code, text = run_cli("unrank", "Q3", "13")
+        assert code == 0
+        assert "[" in text  # memo ids rendered
+
+    def test_unrank_with_trace(self):
+        code, text = run_cli("unrank", "Q3", "13", "--trace")
+        assert code == 0
+        assert "unranked rank 13" in text
+
+
+class TestSampleAndExecute:
+    def test_sample(self):
+        code, text = run_cli("sample", "Q3", "-n", "5", "--seed", "1")
+        assert code == 0
+        assert text.count("#") >= 5
+
+    def test_sample_analyze(self):
+        code, text = run_cli("sample", "Q3", "-n", "5", "--analyze")
+        assert code == 0
+        assert "join-tree shapes" in text
+
+    def test_execute(self):
+        code, text = run_cli("execute", TWO_TABLE, "--limit", "3")
+        assert code == 0
+        assert "n_name" in text
+
+    def test_execute_with_useplan(self):
+        code, text = run_cli(
+            "execute", TWO_TABLE + " OPTION (USEPLAN 3)", "--limit", "3"
+        )
+        assert code == 0
+
+
+class TestValidate:
+    def test_validate_passes(self):
+        code, text = run_cli("validate", TWO_TABLE, "--sample", "20")
+        assert code == 0
+        assert "identical results" in text
+
+
+class TestParticipationAndDiff:
+    def test_participation(self):
+        code, text = run_cli("participation", TWO_TABLE)
+        assert code == 0
+        assert "participation" in text
+        assert "%" in text
+
+    def test_diff_identical(self):
+        code, text = run_cli("diff", "Q3")
+        assert code == 0
+        assert "identical" in text
+
+    def test_diff_variant(self):
+        code, text = run_cli("diff", "Q3", "--no-merge-join")
+        assert code == 0
+        assert "removed" in text
+
+    def test_diff_index_joins(self):
+        code, text = run_cli("diff", "Q3", "--index-joins")
+        assert code == 0
+        assert "added" in text
+
+
+class TestCorpusCommands:
+    def test_build_and_verify(self, tmp_path):
+        path = str(tmp_path / "corpus.json")
+        code, text = run_cli(
+            "corpus-build", path, "--queries", "Q3", "--plans", "8"
+        )
+        assert code == 0
+        assert "recorded 8 golden plans" in text
+        code, text = run_cli("corpus-verify", path)
+        assert code == 0
+        assert "all digests match" in text
+
+    def test_verify_fails_on_different_data(self, tmp_path):
+        path = str(tmp_path / "corpus.json")
+        run_cli(
+            "corpus-build",
+            path,
+            "--queries",
+            "SELECT c.c_name, n.n_name FROM customer c, nation n "
+            "WHERE c.c_nationkey = n.n_nationkey",
+            "--plans",
+            "5",
+        )
+        code, text = run_cli("--data-seed", "77", "corpus-verify", path)
+        assert code == 1
+        assert "FAIL" in text
+
+
+class TestExperimentCommands:
+    def test_table1_single_query(self):
+        code, text = run_cli("table1", "--samples", "50", "--queries", "Q3")
+        assert code == 0
+        assert "no-cross" in text and "+cross" in text
+
+    def test_figure4(self):
+        code, text = run_cli("figure4", "Q3", "--samples", "200")
+        assert code == 0
+        assert "#" in text
+        assert "gamma shape" in text

@@ -1,0 +1,70 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AlgebraError,
+    BindError,
+    CatalogError,
+    ExecutionError,
+    LexerError,
+    MemoError,
+    OptimizerError,
+    ParseError,
+    PlanSpaceError,
+    RankOutOfRangeError,
+    ReproError,
+    SqlError,
+    StorageError,
+    ValidationError,
+)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for cls in (
+            CatalogError,
+            StorageError,
+            SqlError,
+            LexerError,
+            ParseError,
+            BindError,
+            AlgebraError,
+            MemoError,
+            OptimizerError,
+            PlanSpaceError,
+            RankOutOfRangeError,
+            ExecutionError,
+            ValidationError,
+        ):
+            assert issubclass(cls, ReproError), cls
+
+    def test_sql_errors_share_base(self):
+        for cls in (LexerError, ParseError, BindError):
+            assert issubclass(cls, SqlError)
+
+    def test_rank_error_is_planspace_error(self):
+        assert issubclass(RankOutOfRangeError, PlanSpaceError)
+
+
+class TestSqlErrorPositions:
+    def test_position_formatting(self):
+        err = ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(err)
+        assert err.line == 3 and err.column == 7
+
+    def test_position_optional(self):
+        err = ParseError("bad token")
+        assert str(err) == "bad token"
+        assert err.line is None
+
+
+class TestRankOutOfRange:
+    def test_message_and_fields(self):
+        err = RankOutOfRangeError(rank=50, count=44)
+        assert err.rank == 50 and err.count == 44
+        assert "50" in str(err) and "44" in str(err)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise RankOutOfRangeError(1, 1)

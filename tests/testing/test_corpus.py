@@ -1,0 +1,104 @@
+"""Tests for golden-plan regression corpora."""
+
+import pytest
+
+from repro.api import Session
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.testing.corpus import PlanCorpus, build_corpus, verify_corpus
+from repro.testing.faults import DroppedRowExecutor
+
+TWO_TABLE = (
+    "SELECT n.n_name, r.r_name FROM nation n, region r "
+    "WHERE n.n_regionkey = r.r_regionkey"
+)
+# Uses customer, whose nation assignment is randomized per data seed, so
+# corpora built on different seeds must diverge.
+THREE_TABLE = (
+    "SELECT n.n_name, COUNT(*) AS customers FROM nation n, region r, customer c "
+    "WHERE n.n_regionkey = r.r_regionkey AND c.c_nationkey = n.n_nationkey "
+    "GROUP BY n.n_name"
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session.tpch(seed=0, options=OptimizerOptions(allow_cross_products=False))
+
+
+@pytest.fixture(scope="module")
+def corpus(session):
+    return build_corpus(
+        session, [TWO_TABLE, THREE_TABLE], plans_per_query=15, seed=1
+    )
+
+
+class TestBuild:
+    def test_record_count(self, corpus):
+        assert len(corpus.records) == 30
+
+    def test_ranks_unique_per_query(self, corpus):
+        by_query = {}
+        for record in corpus.records:
+            by_query.setdefault(record.query, []).append(record.rank)
+        for ranks in by_query.values():
+            assert len(set(ranks)) == len(ranks)
+
+    def test_small_space_covered_exhaustively(self, session):
+        corpus = build_corpus(session, [TWO_TABLE], plans_per_query=10**6)
+        space = session.plan_space(TWO_TABLE)
+        assert len(corpus.records) == space.count()
+
+    def test_digests_stable(self, session, corpus):
+        again = build_corpus(
+            session, [TWO_TABLE, THREE_TABLE], plans_per_query=15, seed=1
+        )
+        assert [r.digest for r in again.records] == [
+            r.digest for r in corpus.records
+        ]
+
+
+class TestRoundTrip:
+    def test_json_roundtrip(self, corpus):
+        loaded = PlanCorpus.from_json(corpus.to_json())
+        assert loaded.records == corpus.records
+        assert loaded.seed == corpus.seed
+
+    def test_file_roundtrip(self, corpus, tmp_path):
+        path = tmp_path / "corpus.json"
+        corpus.save(str(path))
+        assert PlanCorpus.load(str(path)).records == corpus.records
+
+
+class TestVerify:
+    def test_clean_engine_passes(self, session, corpus):
+        verification = verify_corpus(session, corpus)
+        assert verification.passed
+        assert verification.checked == len(corpus.records)
+        assert "all digests match" in verification.render()
+
+    def test_different_data_seed_fails(self, corpus):
+        other = Session.tpch(
+            seed=99, options=OptimizerOptions(allow_cross_products=False)
+        )
+        verification = verify_corpus(other, corpus)
+        assert not verification.passed
+
+    def test_defective_engine_fails(self, session, corpus):
+        broken = Session.tpch(
+            seed=0, options=OptimizerOptions(allow_cross_products=False)
+        )
+        broken.executor = DroppedRowExecutor(broken.database)
+        verification = verify_corpus(broken, corpus)
+        assert not verification.passed
+        text = verification.render()
+        assert "USEPLAN" in text
+
+    def test_failure_names_rank(self, session, corpus):
+        broken = Session.tpch(
+            seed=0, options=OptimizerOptions(allow_cross_products=False)
+        )
+        broken.executor = DroppedRowExecutor(broken.database)
+        verification = verify_corpus(broken, corpus)
+        record, reason = verification.failures[0]
+        assert "digest mismatch" in reason
+        assert any(r.rank == record.rank for r in corpus.records)

@@ -1,0 +1,70 @@
+"""Tests for result canonicalization."""
+
+from repro.testing.diff import (
+    canonical_result,
+    canonical_rows,
+    canonical_value,
+    results_equal,
+)
+
+
+class TestCanonicalValue:
+    def test_float_rounded_to_significant_digits(self):
+        assert canonical_value(1.00000000001) == canonical_value(1.00000000002)
+
+    def test_distinct_floats_stay_distinct(self):
+        assert canonical_value(1.5) != canonical_value(1.6)
+
+    def test_zero(self):
+        assert canonical_value(0.0) == 0.0
+
+    def test_non_floats_unchanged(self):
+        assert canonical_value(7) == 7
+        assert canonical_value("x") == "x"
+        assert canonical_value(None) is None
+
+
+class TestCanonicalRows:
+    def test_order_normalized(self):
+        a = canonical_rows([(2,), (1,)])
+        b = canonical_rows([(1,), (2,)])
+        assert a == b
+
+    def test_respect_order(self):
+        a = canonical_rows([(2,), (1,)], respect_order=True)
+        b = canonical_rows([(1,), (2,)], respect_order=True)
+        assert a != b
+
+    def test_duplicates_preserved(self):
+        rows = canonical_rows([(1,), (1,)])
+        assert len(rows) == 2
+
+    def test_mixed_types_sortable(self):
+        rows = canonical_rows([("b", 1), ("a", None)])
+        assert len(rows) == 2
+
+
+class TestResultsEqual:
+    def test_accumulation_noise_tolerated(self):
+        total_a = sum([0.1] * 10)
+        total_b = 1.0
+        assert results_equal([(total_a,)], [(total_b,)])
+
+    def test_real_differences_detected(self):
+        assert not results_equal([(1.0,)], [(2.0,)])
+
+    def test_missing_row_detected(self):
+        assert not results_equal([(1,), (2,)], [(1,)])
+
+
+class TestCanonicalResult:
+    def test_column_order_normalized(self):
+        cols_a, rows_a = canonical_result(["b", "a"], [(1, 2)])
+        cols_b, rows_b = canonical_result(["a", "b"], [(2, 1)])
+        assert cols_a == cols_b == ("a", "b")
+        assert rows_a == rows_b
+
+    def test_row_values_follow_columns(self):
+        cols, rows = canonical_result(["z", "a"], [(26, 1)])
+        assert cols == ("a", "z")
+        assert rows == [(1, 26)]

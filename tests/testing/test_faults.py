@@ -1,0 +1,79 @@
+"""Fault injection: the harness must catch deliberately broken executors.
+
+This is the test of the paper's whole premise — "if two candidate plans
+fail to produce the same results, then either the optimizer considered an
+invalid plan, or the execution code is faulty."
+"""
+
+import pytest
+
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.storage.datagen import generate_tpch
+from repro.testing.faults import (
+    DroppedRowExecutor,
+    IgnoredResidualExecutor,
+    UnsortedMergeExecutor,
+)
+from repro.testing.harness import PlanValidator
+
+JOIN_SQL = (
+    "SELECT n.n_name, r.r_name FROM nation n, region r "
+    "WHERE n.n_regionkey = r.r_regionkey"
+)
+
+# The non-equality conjunct is selective on the micro data, so forgetting
+# it visibly changes results.
+RESIDUAL_SQL = (
+    "SELECT n.n_name, s.s_name FROM nation n, supplier s "
+    "WHERE n.n_nationkey = s.s_nationkey AND s.s_acctbal < n.n_nationkey * 200"
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_tpch(seed=0)
+
+
+def _validate(db, executor, sql):
+    validator = PlanValidator(
+        db,
+        OptimizerOptions(allow_cross_products=False),
+        executor=executor,
+    )
+    return validator.validate_sql(sql, max_exhaustive=3_000)
+
+
+class TestHarnessCatchesDefects:
+    def test_dropped_row_merge_join_detected(self, db):
+        report = _validate(db, DroppedRowExecutor(db), JOIN_SQL)
+        assert not report.all_equal
+        assert report.mismatches
+
+    def test_ignored_residual_detected(self, db):
+        report = _validate(db, IgnoredResidualExecutor(db), RESIDUAL_SQL)
+        assert not report.all_equal
+
+    def test_unsorted_merge_input_detected(self, db):
+        report = _validate(db, UnsortedMergeExecutor(db), JOIN_SQL)
+        assert not report.all_equal
+
+    def test_unsorted_merge_fails_loudly_with_order_checks(self, db):
+        report = _validate(
+            db, UnsortedMergeExecutor(db, check_orders=True), JOIN_SQL
+        )
+        # With runtime order verification the defect surfaces as execution
+        # errors instead of silent wrong results.
+        assert report.errors or report.mismatches
+
+    def test_mismatch_report_names_plan_rank(self, db):
+        report = _validate(db, DroppedRowExecutor(db), JOIN_SQL)
+        mismatch = report.mismatches[0]
+        assert 0 <= mismatch.rank < report.total_plans
+        assert "plan #" in mismatch.render()
+
+    def test_healthy_executor_passes_same_queries(self, db):
+        from repro.executor.executor import PlanExecutor
+
+        for sql in (JOIN_SQL, RESIDUAL_SQL):
+            report = _validate(db, PlanExecutor(db), sql)
+            assert report.all_equal, sql

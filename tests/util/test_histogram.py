@@ -1,0 +1,57 @@
+"""Tests for histogram binning and rendering."""
+
+import pytest
+
+from repro.util.histogram import AsciiHistogram, histogram_bins
+
+
+class TestHistogramBins:
+    def test_uniform_values_spread(self):
+        counts, edges = histogram_bins([0.5, 1.5, 2.5, 3.5], bins=4, lo=0, hi=4)
+        assert counts == [1, 1, 1, 1]
+        assert edges[0] == 0 and edges[-1] == 4
+
+    def test_total_preserved(self):
+        values = [float(i) for i in range(100)]
+        counts, _ = histogram_bins(values, bins=7)
+        assert sum(counts) == 100
+
+    def test_out_of_range_clamped(self):
+        counts, _ = histogram_bins([-5.0, 50.0], bins=2, lo=0.0, hi=10.0)
+        assert counts == [1, 1]
+
+    def test_empty_values(self):
+        counts, edges = histogram_bins([], bins=3)
+        assert counts == [0, 0, 0]
+        assert len(edges) == 4
+
+    def test_degenerate_range(self):
+        counts, edges = histogram_bins([2.0, 2.0], bins=2)
+        assert sum(counts) == 2
+        assert edges[-1] > edges[0]
+
+    def test_invalid_bins(self):
+        with pytest.raises(ValueError):
+            histogram_bins([1.0], bins=0)
+
+    def test_max_value_lands_in_last_bin(self):
+        counts, _ = histogram_bins([0.0, 10.0], bins=5, lo=0.0, hi=10.0)
+        assert counts[0] == 1 and counts[-1] == 1
+
+
+class TestAsciiHistogram:
+    def test_render_contains_bars_and_counts(self):
+        hist = AsciiHistogram.from_values([1.0, 1.1, 1.2, 5.0], bins=4, title="t")
+        text = hist.render()
+        assert text.splitlines()[0] == "t"
+        assert "#" in text
+
+    def test_empty_histogram(self):
+        hist = AsciiHistogram(counts=[0, 0], edges=[0.0, 1.0, 2.0])
+        assert "(empty histogram)" in hist.render()
+
+    def test_peak_bar_has_full_width(self):
+        hist = AsciiHistogram.from_values(
+            [1.0] * 50 + [2.0], bins=2, width=20, lo=0.5, hi=2.5
+        )
+        assert "#" * 20 in hist.render()

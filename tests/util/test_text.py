@@ -1,0 +1,52 @@
+"""Tests for the text-table renderer."""
+
+import pytest
+
+from repro.util.text import TextTable, format_count, format_float
+
+
+class TestFormatting:
+    def test_format_count_thousands(self):
+        assert format_count(4432829940185) == "4,432,829,940,185"
+
+    def test_format_count_zero(self):
+        assert format_count(0) == "0"
+
+    def test_format_float_plain(self):
+        assert format_float(17098.4, 1) == "17,098.4"
+
+    def test_format_float_scientific_large(self):
+        assert "e" in format_float(3.2e12)
+
+    def test_format_float_scientific_small(self):
+        assert "e" in format_float(0.00001)
+
+    def test_format_float_zero(self):
+        assert format_float(0.0) == "0"
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["Query", "#Plans"])
+        table.add_row(["Q5", "68,572,049"])
+        table.add_row(["Q8", "20,112,521,035"])
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0].startswith("Query")
+        assert "Q5" in lines[2]
+        # Right-aligned numeric column: shorter number is padded left.
+        assert lines[2].endswith("68,572,049")
+
+    def test_row_length_validation(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(["only-one"])
+
+    def test_align_length_validation(self):
+        with pytest.raises(ValueError):
+            TextTable(["a", "b"], align=["<"])
+
+    def test_separator_line(self):
+        table = TextTable(["col"])
+        table.add_row(["x"])
+        assert set(table.render().splitlines()[1]) == {"-"}
