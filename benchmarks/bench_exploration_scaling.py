@@ -1,0 +1,117 @@
+"""Exploration/optimization scaling benchmark: chain/star/clique × n.
+
+Times end-to-end ``Session.optimize`` (and its exploration phase) on the
+synthetic workloads for n in {6, 8, 10, 12}, with cross products off and
+on, and writes ``BENCH_exploration.json`` at the repository root — the
+perf trajectory that future optimizer PRs compare against.
+
+Run directly (no pytest harness needed)::
+
+    PYTHONPATH=src python benchmarks/bench_exploration_scaling.py
+    PYTHONPATH=src python benchmarks/bench_exploration_scaling.py --full
+
+Each record: ``{workload, n, cross, explore_s, total_s, groups, exprs}``
+(seconds are the best of ``--repeat`` runs; ``groups``/``exprs`` are memo
+sizes, identical across repeats).
+
+By default the cross-product space is capped at n <= 10: with cross
+products on, a 12-relation query's memo holds ~1.8M expressions (minutes
+of runtime and >1 GB of memo), which drowns the signal the trajectory is
+meant to track.  Pass ``--full`` to include it anyway.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.api import Session
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.workloads.synthetic import chain_query, clique_query, star_query
+
+WORKLOADS = {
+    "chain": chain_query,
+    "star": star_query,
+    "clique": clique_query,
+}
+
+DEFAULT_SIZES = (6, 8, 10, 12)
+CROSS_CAP_DEFAULT = 10  # see module docstring
+
+
+def run_one(shape: str, n: int, cross: bool, repeat: int) -> dict:
+    workload = WORKLOADS[shape](n, rows=5, seed=0)
+    session = Session(
+        workload.database,
+        options=OptimizerOptions(allow_cross_products=cross),
+    )
+    best_total = best_explore = float("inf")
+    result = None
+    for _ in range(repeat):
+        start = time.perf_counter()
+        result = session.optimize(workload.sql)
+        total = time.perf_counter() - start
+        best_total = min(best_total, total)
+        best_explore = min(best_explore, result.timings["explore"])
+    return {
+        "workload": shape,
+        "n": n,
+        "cross": cross,
+        "explore_s": round(best_explore, 4),
+        "total_s": round(best_total, 4),
+        "groups": len(result.memo.groups),
+        "exprs": result.memo.expression_count(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="runs per point (best is kept)"
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=f"include cross-product runs above n={CROSS_CAP_DEFAULT}",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_exploration.json",
+    )
+    args = parser.parse_args(argv)
+
+    records = []
+    for shape in WORKLOADS:
+        for n in args.sizes:
+            for cross in (False, True):
+                if cross and not args.full and n > CROSS_CAP_DEFAULT:
+                    print(
+                        f"skip {shape} n={n} cross=on (pass --full to include)",
+                        flush=True,
+                    )
+                    continue
+                record = run_one(shape, n, cross, args.repeat)
+                records.append(record)
+                print(
+                    f"{shape:>6} n={n:>2} cross={'on ' if cross else 'off'} "
+                    f"explore={record['explore_s']:>8.4f}s "
+                    f"total={record['total_s']:>8.4f}s "
+                    f"groups={record['groups']:>5} exprs={record['exprs']:>8}",
+                    flush=True,
+                )
+
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

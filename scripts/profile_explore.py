@@ -1,0 +1,90 @@
+"""cProfile wrapper for the optimizer pipeline — the perf-PR measurement.
+
+Profiles one ``Session.optimize`` call on a synthetic workload and prints
+the top functions by cumulative time, so that future performance PRs can
+reproduce the measurements this PR's numbers were taken with::
+
+    PYTHONPATH=src python scripts/profile_explore.py                 # star 12
+    PYTHONPATH=src python scripts/profile_explore.py --shape clique --n 10
+    PYTHONPATH=src python scripts/profile_explore.py --cross --sort tottime
+
+It also prints the optimizer's own per-phase wall timings (un-profiled,
+best of ``--repeat`` runs) — cProfile inflates everything several-fold,
+so treat the profile as *where* the time goes and the phase timings as
+*how much* time there is.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import pstats
+import sys
+import time
+
+from repro.api import Session
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+)
+
+WORKLOADS = {
+    "chain": chain_query,
+    "star": star_query,
+    "clique": clique_query,
+    "cycle": cycle_query,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--shape", choices=sorted(WORKLOADS), default="star")
+    parser.add_argument("--n", type=int, default=12)
+    parser.add_argument("--cross", action="store_true")
+    parser.add_argument("--top", type=int, default=15)
+    parser.add_argument("--repeat", type=int, default=3)
+    parser.add_argument(
+        "--sort", choices=["cumulative", "tottime"], default="cumulative"
+    )
+    args = parser.parse_args(argv)
+
+    workload = WORKLOADS[args.shape](args.n, rows=5, seed=0)
+    session = Session(
+        workload.database,
+        options=OptimizerOptions(allow_cross_products=args.cross),
+    )
+
+    # Un-profiled phase timings first (best of N).
+    best_total = float("inf")
+    best_timings: dict[str, float] = {}
+    for _ in range(args.repeat):
+        start = time.perf_counter()
+        result = session.optimize(workload.sql)
+        total = time.perf_counter() - start
+        if total < best_total:
+            best_total = total
+            best_timings = dict(result.timings)
+    print(
+        f"{workload.name} cross={'on' if args.cross else 'off'}: "
+        f"total {best_total:.4f}s  "
+        + "  ".join(f"{k} {v:.4f}s" for k, v in best_timings.items())
+    )
+    print(
+        f"memo: {len(result.memo.groups)} groups, "
+        f"{result.memo.expression_count()} expressions\n"
+    )
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    session.optimize(workload.sql)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats(args.sort).print_stats(args.top)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from repro.errors import AlgebraError
 
 __all__ = [
+    "CachedKey",
     "ColumnId",
     "Scalar",
     "ColumnRef",
@@ -42,6 +43,33 @@ __all__ = [
 ]
 
 
+class CachedKey:
+    """A canonical key tuple with its hash computed exactly once.
+
+    Operator keys embed deep predicate fingerprints; Python tuples do not
+    cache their hash, so using raw tuples as memo-dictionary keys re-walks
+    the whole nested structure on every insert and lookup.  Wrapping the
+    tuple keeps value equality while making repeated hashing O(1).
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CachedKey):
+            return self.key == other.key
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CachedKey({self.key!r})"
+
+
 @dataclass(frozen=True, order=True)
 class ColumnId:
     """A fully qualified column: range-variable alias plus column name.
@@ -55,6 +83,16 @@ class ColumnId:
 
     alias: str
     column: str
+
+    def __hash__(self) -> int:
+        # Explicit cached hash (preserved by dataclass): ColumnIds appear in
+        # the key tuples of tens of thousands of physical operators, so the
+        # memo hashes the same instances over and over.
+        h = self.__dict__.get("_cached_hash")
+        if h is None:
+            h = hash((self.alias, self.column))
+            object.__setattr__(self, "_cached_hash", h)
+        return h
 
     def render(self) -> str:
         if not self.alias:
@@ -72,6 +110,19 @@ class Scalar:
         raise NotImplementedError
 
     def fingerprint(self) -> tuple:
+        """Canonical hashable encoding used for MEMO duplicate detection.
+
+        Memoized on the node: expression trees are immutable, and the
+        optimizer fingerprints the same (interned) predicate objects for
+        every memo insertion, so the recursive encoding is built once.
+        """
+        fp = self.__dict__.get("_fp")
+        if fp is None:
+            fp = self._fingerprint()
+            object.__setattr__(self, "_fp", fp)
+        return fp
+
+    def _fingerprint(self) -> tuple:
         raise NotImplementedError
 
     def render(self) -> str:
@@ -93,7 +144,7 @@ class ColumnRef(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return frozenset((self.column_id,))
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         return ("col", self.column_id.alias, self.column_id.column)
 
     def render(self) -> str:
@@ -109,7 +160,7 @@ class Literal(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return frozenset()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         return ("lit", type(self.value).__name__, self.value)
 
     def render(self) -> str:
@@ -151,7 +202,7 @@ class Comparison(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return self.left.references() | self.right.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         # Canonicalize equality/inequality so that a = b and b = a get the
         # same fingerprint (join commutativity must not create "different"
         # predicates).
@@ -198,7 +249,7 @@ class BoolExpr(Scalar):
             out |= arg.references()
         return out
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         parts = [arg.fingerprint() for arg in self.args]
         if self.op in (BoolOp.AND, BoolOp.OR):
             parts.sort()
@@ -229,7 +280,7 @@ class Arithmetic(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return self.left.references() | self.right.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         lf = self.left.fingerprint()
         rf = self.right.fingerprint()
         if self.op in ("+", "*") and rf < lf:
@@ -252,7 +303,7 @@ class UnaryMinus(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return self.arg.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         return ("neg", self.arg.fingerprint())
 
     def render(self) -> str:
@@ -273,7 +324,7 @@ class Like(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return self.arg.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         return ("like", self.negated, self.arg.fingerprint(), self.pattern)
 
     def render(self) -> str:
@@ -299,7 +350,7 @@ class InList(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return self.arg.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         return (
             "in",
             self.negated,
@@ -326,7 +377,7 @@ class IsNull(Scalar):
     def references(self) -> frozenset[ColumnId]:
         return self.arg.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         return ("isnull", self.negated, self.arg.fingerprint())
 
     def render(self) -> str:
@@ -363,7 +414,7 @@ class AggregateCall(Scalar):
             return frozenset()
         return self.arg.references()
 
-    def fingerprint(self) -> tuple:
+    def _fingerprint(self) -> tuple:
         arg_fp = None if self.arg is None else self.arg.fingerprint()
         return ("agg", self.func.value, arg_fp)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.algebra.expressions import (
     AggregateCall,
+    CachedKey,
     ColumnId,
     Scalar,
 )
@@ -39,8 +40,21 @@ class LogicalOperator:
     def name(self) -> str:
         return type(self).__name__
 
-    def key(self) -> tuple:
-        """Canonical hashable identity used for MEMO duplicate detection."""
+    def key(self) -> CachedKey:
+        """Canonical hashable identity used for MEMO duplicate detection.
+
+        Memoized per operator object — operators are immutable and the
+        memo recomputes the key on every insertion and lookup.  The result
+        is a hash-caching wrapper, so dictionary operations never re-walk
+        the nested predicate fingerprints inside.
+        """
+        key = self.__dict__.get("_key_cache")
+        if key is None:
+            key = CachedKey(self._key())
+            object.__setattr__(self, "_key_cache", key)
+        return key
+
+    def _key(self) -> tuple:
         raise NotImplementedError
 
     def render(self) -> str:
@@ -73,7 +87,7 @@ class LogicalGet(LogicalOperator):
 
     arity = 0
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return ("get", self.table, self.alias, _predicate_fp(self.predicate))
 
     def render(self) -> str:
@@ -93,7 +107,7 @@ class LogicalJoin(LogicalOperator):
 
     arity = 2
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return ("join", _predicate_fp(self.predicate))
 
     def render(self) -> str:
@@ -119,7 +133,7 @@ class LogicalSelect(LogicalOperator):
         if self.predicate is None:
             raise AlgebraError("LogicalSelect requires a predicate")
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return ("select", _predicate_fp(self.predicate))
 
     def render(self) -> str:
@@ -141,7 +155,7 @@ class LogicalProject(LogicalOperator):
         if len(set(names)) != len(names):
             raise AlgebraError("duplicate output names in projection")
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "project",
             tuple((name, expr.fingerprint()) for name, expr in self.outputs),
@@ -169,7 +183,7 @@ class LogicalAggregate(LogicalOperator):
         if len(set(names)) != len(names):
             raise AlgebraError("duplicate aggregate output names")
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "aggregate",
             tuple((c.alias, c.column) for c in self.group_by),

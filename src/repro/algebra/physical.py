@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.algebra.expressions import (
     AggregateCall,
+    CachedKey,
     ColumnId,
     Scalar,
 )
@@ -57,7 +58,21 @@ class PhysicalOperator:
     def name(self) -> str:
         return type(self).__name__
 
-    def key(self) -> tuple:
+    def key(self) -> CachedKey:
+        """Canonical hashable identity used for MEMO duplicate detection.
+
+        Memoized per operator object — operators are immutable and the
+        memo recomputes the key on every insertion and lookup.  The result
+        is a hash-caching wrapper, so dictionary operations never re-walk
+        the nested predicate fingerprints inside.
+        """
+        key = self.__dict__.get("_key_cache")
+        if key is None:
+            key = CachedKey(self._key())
+            object.__setattr__(self, "_key_cache", key)
+        return key
+
+    def _key(self) -> tuple:
         raise NotImplementedError
 
     def render(self) -> str:
@@ -97,7 +112,7 @@ class TableScan(PhysicalOperator):
 
     arity = 0
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return ("tablescan", self.table, self.alias, _fp(self.predicate))
 
     def render(self) -> str:
@@ -125,7 +140,7 @@ class IndexScan(PhysicalOperator):
         if not self.key_order:
             raise AlgebraError("IndexScan requires a non-empty key order")
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "indexscan",
             self.table,
@@ -153,7 +168,7 @@ class PhysicalFilter(PhysicalOperator):
 
     arity = 1
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return ("filter", _fp(self.predicate))
 
     def render(self) -> str:
@@ -169,7 +184,7 @@ class NestedLoopJoin(PhysicalOperator):
 
     arity = 2
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return ("nlj", _fp(self.predicate))
 
     def render(self) -> str:
@@ -194,13 +209,10 @@ class HashJoin(PhysicalOperator):
         if not self.left_keys or len(self.left_keys) != len(self.right_keys):
             raise AlgebraError("HashJoin requires matching, non-empty key lists")
 
-    def key(self) -> tuple:
-        return (
-            "hashjoin",
-            tuple((c.alias, c.column) for c in self.left_keys),
-            tuple((c.alias, c.column) for c in self.right_keys),
-            _fp(self.residual),
-        )
+    def _key(self) -> tuple:
+        # ColumnId is a frozen value type: the key tuples are usable directly
+        # (building per-column subtuples here was a memo-insertion hot spot).
+        return ("hashjoin", self.left_keys, self.right_keys, _fp(self.residual))
 
     def render(self) -> str:
         keys = ", ".join(
@@ -225,13 +237,8 @@ class MergeJoin(PhysicalOperator):
         if not self.left_keys or len(self.left_keys) != len(self.right_keys):
             raise AlgebraError("MergeJoin requires matching, non-empty key lists")
 
-    def key(self) -> tuple:
-        return (
-            "mergejoin",
-            tuple((c.alias, c.column) for c in self.left_keys),
-            tuple((c.alias, c.column) for c in self.right_keys),
-            _fp(self.residual),
-        )
+    def _key(self) -> tuple:
+        return ("mergejoin", self.left_keys, self.right_keys, _fp(self.residual))
 
     def render(self) -> str:
         keys = ", ".join(
@@ -279,14 +286,14 @@ class IndexNestedLoopJoin(PhysicalOperator):
                 "IndexNestedLoopJoin requires matching, non-empty key lists"
             )
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "indexnlj",
             self.inner_table,
             self.inner_alias,
             self.index_name,
-            tuple((c.alias, c.column) for c in self.outer_keys),
-            tuple((c.alias, c.column) for c in self.inner_keys),
+            self.outer_keys,
+            self.inner_keys,
             _fp(self.inner_predicate),
             _fp(self.residual),
         )
@@ -315,8 +322,8 @@ class Sort(PhysicalOperator):
         if not self.order:
             raise AlgebraError("Sort requires a non-empty order")
 
-    def key(self) -> tuple:
-        return ("sort", tuple((c.alias, c.column) for c in self.order))
+    def _key(self) -> tuple:
+        return ("sort", self.order)
 
     def render(self) -> str:
         return f"Sort({_cols(self.order)})"
@@ -334,7 +341,7 @@ class HashAggregate(PhysicalOperator):
 
     arity = 1
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "hashagg",
             tuple((c.alias, c.column) for c in self.group_by),
@@ -356,7 +363,7 @@ class StreamAggregate(PhysicalOperator):
 
     arity = 1
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "streamagg",
             tuple((c.alias, c.column) for c in self.group_by),
@@ -381,7 +388,7 @@ class PhysicalProject(PhysicalOperator):
 
     arity = 1
 
-    def key(self) -> tuple:
+    def _key(self) -> tuple:
         return (
             "projectop",
             tuple((name, expr.fingerprint()) for name, expr in self.outputs),

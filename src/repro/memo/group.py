@@ -11,34 +11,40 @@ from repro.errors import MemoError
 __all__ = ["GroupExpr", "Group"]
 
 
-@dataclass
 class GroupExpr:
     """One operator inside a group, with child *group* references.
 
     Mirrors the paper's rounded boxes: a unique identifier ``group.local``
     (e.g. ``7.7``) in the lower-left corner and the ordered child group
-    numbers in the lower-right.
+    numbers in the lower-right.  A hand-written slotted class rather than a
+    dataclass: memos hold one instance per expression in the search space,
+    easily 10^5 of them, and construction sits on the memo-insert hot path.
+    ``is_physical``/``is_enforcer`` are plain attributes computed once —
+    they are read in the hot loops of implementation, enforcer placement,
+    and best-plan search.
     """
 
-    op: LogicalOperator | PhysicalOperator
-    children: tuple[int, ...]
-    group_id: int
-    local_id: int
+    __slots__ = ("op", "children", "group_id", "local_id", "is_physical", "is_enforcer")
 
-    def __post_init__(self) -> None:
-        if len(self.children) != self.op.arity:
+    def __init__(
+        self,
+        op: LogicalOperator | PhysicalOperator,
+        children: tuple[int, ...],
+        group_id: int,
+        local_id: int,
+    ):
+        if len(children) != op.arity:
             raise MemoError(
-                f"operator {self.op.name} has arity {self.op.arity} "
-                f"but {len(self.children)} children were supplied"
+                f"operator {op.name} has arity {op.arity} "
+                f"but {len(children)} children were supplied"
             )
-
-    @property
-    def is_physical(self) -> bool:
-        return isinstance(self.op, PhysicalOperator)
-
-    @property
-    def is_enforcer(self) -> bool:
-        return isinstance(self.op, PhysicalOperator) and self.op.is_enforcer
+        self.op = op
+        self.children = children
+        self.group_id = group_id
+        self.local_id = local_id
+        is_physical = isinstance(op, PhysicalOperator)
+        self.is_physical = is_physical
+        self.is_enforcer = is_physical and op.is_enforcer
 
     @property
     def id_str(self) -> str:
@@ -71,6 +77,9 @@ class Group:
     gid: int
     key: tuple
     relations: frozenset[str]
+    #: bitmask form of ``relations`` under the memo's alias universe;
+    #: ``None`` for memos built without one (hand-assembled examples)
+    mask: int | None = None
     exprs: list[GroupExpr] = field(default_factory=list)
     #: estimated output rows; filled in by the cardinality module
     cardinality: float | None = None

@@ -8,6 +8,7 @@ everything the paper's plan-space toolkit assumes has already happened
 when it takes over.
 """
 
+from repro.optimizer.bitset import AliasUniverse
 from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plan import PlanNode
 from repro.optimizer.cardinality import CardinalityEstimator
@@ -21,6 +22,7 @@ from repro.optimizer.optimizer import (
 )
 
 __all__ = [
+    "AliasUniverse",
     "JoinGraph",
     "PlanNode",
     "CardinalityEstimator",

@@ -23,8 +23,13 @@ def annotate_cardinalities(
     for group in memo.groups:
         tag = group.key[0]
         if tag == "rels":
-            relations = group.key[1]
-            internal = [c.expr for c in graph.internal_conjuncts(relations)]
+            # The key holds the alias mask; ``relations`` is the derived view.
+            relations = group.relations
+            if group.mask is not None:
+                conjuncts = graph.internal_conjuncts_m(group.mask)
+            else:
+                conjuncts = graph.internal_conjuncts(relations)
+            internal = [c.expr for c in conjuncts]
             group.cardinality = estimator.relation_set_cardinality(
                 relations, internal
             )

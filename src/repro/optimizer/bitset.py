@@ -1,0 +1,128 @@
+"""Bitset encoding of alias sets.
+
+Join enumeration spends almost all of its time asking set questions —
+"is S connected?", "which conjuncts fall inside S?", "what neighbours
+does S have?" — over subsets of a small, fixed universe: the query's
+range-variable aliases.  Encoding those subsets as integer bitmasks turns
+every one of these questions into a handful of machine-word operations
+(``&``, ``|``, ``^``, ``bit_count``) and makes subsets perfect dict keys
+(small ints hash in O(1), unlike ``frozenset[str]`` whose hash walks the
+strings).
+
+:class:`AliasUniverse` owns the interning: bit ``i`` is the ``i``-th
+alias in sorted name order, so for any mask the numerically lowest bit is
+the lexicographically smallest alias — a property the enumeration order
+of :mod:`repro.optimizer.joingraph` relies on to reproduce the historical
+(name-sorted) memo layout exactly.
+
+The module-level helpers are the classic bit tricks of the join-ordering
+literature (e.g. DPccp, Moerkotte & Neumann 2006): iterate the bits of a
+mask, iterate all subsets of a mask via ``s = (s - 1) & mask``, take the
+lowest set bit with ``mask & -mask``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.errors import OptimizerError
+
+__all__ = [
+    "AliasUniverse",
+    "iter_bits",
+    "iter_subsets",
+    "lowest_bit",
+]
+
+
+def lowest_bit(mask: int) -> int:
+    """The lowest set bit of ``mask`` as a one-bit mask (0 for mask 0)."""
+    return mask & -mask
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield each set bit of ``mask`` as a one-bit mask, ascending."""
+    while mask:
+        bit = mask & -mask
+        yield bit
+        mask ^= bit
+
+
+def iter_subsets(mask: int) -> Iterator[int]:
+    """Yield every non-empty subset of ``mask`` (including ``mask`` itself).
+
+    Uses the standard descending-subset trick ``s = (s - 1) & mask``;
+    subsets come out in decreasing numeric order.
+    """
+    sub = mask
+    while sub:
+        yield sub
+        sub = (sub - 1) & mask
+
+
+class AliasUniverse:
+    """Interns a fixed set of alias names to bit positions (and back).
+
+    Bit ``i`` corresponds to ``order[i]``, the ``i``-th alias in sorted
+    name order.  Conversion back from masks to name sets is memoized —
+    the optimizer converts at API boundaries only, and the same masks
+    recur constantly (group keys, connectivity queries).
+    """
+
+    __slots__ = ("order", "size", "full_mask", "_bit_by_name", "_names_by_mask")
+
+    def __init__(self, aliases: Iterable[str]):
+        self.order: tuple[str, ...] = tuple(sorted(set(aliases)))
+        if not self.order:
+            raise OptimizerError("alias universe requires at least one alias")
+        self.size: int = len(self.order)
+        self.full_mask: int = (1 << self.size) - 1
+        self._bit_by_name: dict[str, int] = {
+            name: 1 << i for i, name in enumerate(self.order)
+        }
+        self._names_by_mask: dict[int, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------
+    def bit(self, alias: str) -> int:
+        """The one-bit mask of ``alias``; raises on unknown names."""
+        try:
+            return self._bit_by_name[alias]
+        except KeyError:
+            raise OptimizerError(f"unknown alias {alias!r}") from None
+
+    def __contains__(self, alias: str) -> bool:
+        return alias in self._bit_by_name
+
+    def mask_of(self, aliases: Iterable[str]) -> int:
+        """The mask covering ``aliases``."""
+        mask = 0
+        bit_by_name = self._bit_by_name
+        try:
+            for alias in aliases:
+                mask |= bit_by_name[alias]
+        except KeyError as exc:
+            raise OptimizerError(f"unknown alias {exc.args[0]!r}") from None
+        return mask
+
+    def names(self, mask: int) -> frozenset[str]:
+        """The alias set covered by ``mask`` (memoized)."""
+        cached = self._names_by_mask.get(mask)
+        if cached is None:
+            if mask & ~self.full_mask:
+                raise OptimizerError(
+                    f"mask {mask:#x} has bits outside the {self.size}-alias universe"
+                )
+            order = self.order
+            cached = frozenset(
+                order[bit.bit_length() - 1] for bit in iter_bits(mask)
+            )
+            self._names_by_mask[mask] = cached
+        return cached
+
+    def sorted_names(self, mask: int) -> tuple[str, ...]:
+        """Aliases of ``mask`` in name order (equals bit order)."""
+        order = self.order
+        return tuple(order[bit.bit_length() - 1] for bit in iter_bits(mask))
+
+    def __len__(self) -> int:
+        return self.size

@@ -114,58 +114,84 @@ class CostModel:
         output_rows: float,
         child_rows: tuple[float, ...],
     ) -> float:
-        """Local cost of one operator (children's costs not included)."""
-        p = self.params
+        """Local cost of one operator (children's costs not included).
 
-        if isinstance(op, TableScan):
-            return self.table_rows(op.table) * p.seq_row
+        Dispatches on the operator's concrete type via a lookup table —
+        this is called once per physical expression in the memo, where an
+        isinstance chain costs several failed checks per join.
+        """
+        formula = _FORMULAS.get(type(op))
+        if formula is None:
+            return self._operator_cost_generic(op, output_rows, child_rows)
+        return formula(self, op, output_rows, child_rows)
 
-        if isinstance(op, IndexScan):
-            base = self.table_rows(op.table)
-            if _constrains_leading_key(op.predicate, op.key_order[0]):
-                # Seek to the qualifying key range, then read matches.
-                return p.index_lookup * math.log2(base + 1.0) + output_rows * p.index_probe_row
-            return base * p.index_row
-
-        if isinstance(op, PhysicalFilter):
-            return child_rows[0] * p.filter_row
-
-        if isinstance(op, NestedLoopJoin):
-            outer, inner = child_rows
-            return outer * p.nlj_outer_row + outer * inner * p.nlj_pair
-
-        if isinstance(op, HashJoin):
-            probe, build = child_rows
-            return (
-                build * p.hash_build_row
-                + probe * p.hash_probe_row
-                + output_rows * p.join_output_row
-            )
-
-        if isinstance(op, MergeJoin):
-            left, right = child_rows
-            return (left + right) * p.merge_row + output_rows * p.join_output_row
-
-        if isinstance(op, IndexNestedLoopJoin):
-            outer = child_rows[0]
-            inner_base = self.table_rows(op.inner_table)
-            seek = p.index_join_seek * math.log2(inner_base + 1.0)
-            return outer * seek + output_rows * p.index_probe_row
-
-        if isinstance(op, Sort):
-            rows = child_rows[0]
-            return rows * math.log2(rows + 2.0) * p.sort_row_log
-
-        if isinstance(op, HashAggregate):
-            return child_rows[0] * p.hash_agg_row + output_rows * p.group_output_row
-
-        if isinstance(op, StreamAggregate):
-            return child_rows[0] * p.stream_agg_row + output_rows * p.group_output_row
-
-        if isinstance(op, PhysicalProject):
-            return child_rows[0] * p.project_row * max(1, len(op.outputs))
-
+    def _operator_cost_generic(
+        self,
+        op: PhysicalOperator,
+        output_rows: float,
+        child_rows: tuple[float, ...],
+    ) -> float:
+        """Fallback for operator subclasses not in the dispatch table."""
+        for op_type, formula in _FORMULAS.items():
+            if isinstance(op, op_type):
+                return formula(self, op, output_rows, child_rows)
         raise OptimizerError(f"no cost formula for operator {op.name}")
+
+    # -- per-operator formulas (bound through the dispatch table) -------
+    def _cost_table_scan(self, op, output_rows, child_rows) -> float:
+        return self.table_rows(op.table) * self.params.seq_row
+
+    def _cost_index_scan(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        base = self.table_rows(op.table)
+        if _constrains_leading_key(op.predicate, op.key_order[0]):
+            # Seek to the qualifying key range, then read matches.
+            return p.index_lookup * math.log2(base + 1.0) + output_rows * p.index_probe_row
+        return base * p.index_row
+
+    def _cost_filter(self, op, output_rows, child_rows) -> float:
+        return child_rows[0] * self.params.filter_row
+
+    def _cost_nested_loop_join(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        outer, inner = child_rows
+        return outer * p.nlj_outer_row + outer * inner * p.nlj_pair
+
+    def _cost_hash_join(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        probe, build = child_rows
+        return (
+            build * p.hash_build_row
+            + probe * p.hash_probe_row
+            + output_rows * p.join_output_row
+        )
+
+    def _cost_merge_join(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        left, right = child_rows
+        return (left + right) * p.merge_row + output_rows * p.join_output_row
+
+    def _cost_index_nl_join(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        outer = child_rows[0]
+        inner_base = self.table_rows(op.inner_table)
+        seek = p.index_join_seek * math.log2(inner_base + 1.0)
+        return outer * seek + output_rows * p.index_probe_row
+
+    def _cost_sort(self, op, output_rows, child_rows) -> float:
+        rows = child_rows[0]
+        return rows * math.log2(rows + 2.0) * self.params.sort_row_log
+
+    def _cost_hash_aggregate(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        return child_rows[0] * p.hash_agg_row + output_rows * p.group_output_row
+
+    def _cost_stream_aggregate(self, op, output_rows, child_rows) -> float:
+        p = self.params
+        return child_rows[0] * p.stream_agg_row + output_rows * p.group_output_row
+
+    def _cost_project(self, op, output_rows, child_rows) -> float:
+        return child_rows[0] * self.params.project_row * max(1, len(op.outputs))
 
     # ------------------------------------------------------------------
     def plan_cost(self, plan: PlanNode) -> float:
@@ -173,3 +199,20 @@ class CostModel:
         child_rows = tuple(child.cardinality for child in plan.children)
         local = self.operator_cost(plan.op, plan.cardinality, child_rows)
         return local + sum(self.plan_cost(child) for child in plan.children)
+
+
+#: concrete operator type -> unbound cost formula (joins first in spirit:
+#: they dominate every explored memo)
+_FORMULAS = {
+    NestedLoopJoin: CostModel._cost_nested_loop_join,
+    HashJoin: CostModel._cost_hash_join,
+    MergeJoin: CostModel._cost_merge_join,
+    IndexNestedLoopJoin: CostModel._cost_index_nl_join,
+    TableScan: CostModel._cost_table_scan,
+    IndexScan: CostModel._cost_index_scan,
+    PhysicalFilter: CostModel._cost_filter,
+    Sort: CostModel._cost_sort,
+    HashAggregate: CostModel._cost_hash_aggregate,
+    StreamAggregate: CostModel._cost_stream_aggregate,
+    PhysicalProject: CostModel._cost_project,
+}

@@ -14,12 +14,22 @@ search space admits:
 The paper notes its technique works regardless of how the memo was
 populated ("could be transferred easily to the Starburst enumerator");
 having both lets us test that claim directly (experiment E9).
+
+Both strategies operate on alias *bitmasks* end-to-end (see
+:mod:`repro.optimizer.joingraph` for the encoding): subset groups are
+keyed ``("rels", mask)``, sub-goal unions are single ``|`` instructions,
+and validity checks hit the join graph's memoized connectivity and
+predicate tables.  The enumeration explorer walks the join graph's
+csg–cmp partition stream, so in the no-cross-products space no invalid
+split is ever materialized, let alone re-checked — the optimization that
+makes memo population linear in the size of the valid search space rather
+than in ``Σ 2^|S|``.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.algebra.logical import LogicalJoin
 from repro.errors import OptimizerError
@@ -42,37 +52,38 @@ __all__ = [
 # ----------------------------------------------------------------------
 # shared helpers
 # ----------------------------------------------------------------------
-def _valid_join(
-    graph: JoinGraph,
-    left: frozenset[str],
-    right: frozenset[str],
-    allow_cross_products: bool,
+def _valid_join_m(
+    graph: JoinGraph, left: int, right: int, allow_cross_products: bool
 ) -> bool:
-    """May ``left`` and ``right`` be joined under the cross-product policy?"""
+    """May the mask sides be joined under the cross-product policy?"""
     if allow_cross_products:
         return True
-    if not graph.applicable_conjuncts(left, right):
+    if graph.join_predicate_m(left, right) is None:
         return False
-    return graph.is_connected(left) and graph.is_connected(right)
+    return graph.is_connected_m(left) and graph.is_connected_m(right)
 
 
-def _insert_join(
-    memo: Memo,
-    graph: JoinGraph,
-    left: frozenset[str],
-    right: frozenset[str],
+def _insert_join_m(
+    memo: Memo, graph: JoinGraph, left: int, right: int
 ) -> GroupExpr | None:
-    """Insert the canonical join of (left, right) into its subset group."""
-    combined = left | right
-    group = memo.get_or_create_group(("rels", combined), combined)
-    left_group = memo.group_for_relations(left)
-    right_group = memo.group_for_relations(right)
+    """Insert the canonical join of the mask partition into its group."""
+    group = memo.get_or_create_rels_group(left | right)
+    left_group = memo.group_for_mask(left)
+    right_group = memo.group_for_mask(right)
     if left_group is None or right_group is None:
         raise OptimizerError("join children must be registered before the join")
-    predicate = graph.join_predicate(left, right)
     return memo.insert(
-        LogicalJoin(predicate), (left_group.gid, right_group.gid), group
+        graph.join_operator_m(left, right),
+        (left_group.gid, right_group.gid),
+        group,
     )
+
+
+def _group_mask(group: Group, graph: JoinGraph) -> int:
+    """The group's alias mask (derived on the fly for legacy memos)."""
+    if group.mask is not None:
+        return group.mask
+    return graph.mask_of(group.relations)
 
 
 # ----------------------------------------------------------------------
@@ -83,8 +94,10 @@ class EnumerationExplorer:
 
     For every alias subset (connected subsets only, when cross products are
     off) of size >= 2, in ascending size order, insert one logical join per
-    valid ordered partition of the subset.  The resulting memo contains the
-    complete bushy search space.
+    valid ordered partition of the subset.  Partitions come straight from
+    the join graph's csg–cmp enumeration as mask pairs, and child groups
+    are resolved by mask key — the hot loop never touches an alias name.
+    The resulting memo contains the complete bushy search space.
     """
 
     name = "enumeration"
@@ -94,17 +107,38 @@ class EnumerationExplorer:
     ) -> int:
         inserted = 0
         if allow_cross_products:
-            universe = graph.all_subsets()
+            universe = graph.all_subset_masks()
+            buckets = None
         else:
-            universe = graph.connected_subsets()
+            universe = graph.connected_subset_masks()
+            # All valid splits, produced once globally by csg–cmp pairing.
+            buckets = graph.csg_cmp_buckets()
+        get_group = memo.get_or_create_rels_group
+        group_for_mask = memo.group_for_mask
+        insert = memo.insert
+        join_operator = graph.join_operator_m
         for subset in universe:
-            if len(subset) < 2:
+            if subset.bit_count() < 2:
                 continue
             # Materialize the group even if some partition orders repeat
             # expressions already seeded by the initial plan.
-            memo.get_or_create_group(("rels", subset), subset)
-            for left, right in graph.partitions(subset, allow_cross_products):
-                if _insert_join(memo, graph, left, right) is not None:
+            group = get_group(subset)
+            if buckets is None:
+                splits = graph.cross_splits_m(subset)
+            else:
+                splits = buckets.get(subset, ())
+            for left, right in splits:
+                left_group = group_for_mask(left)
+                right_group = group_for_mask(right)
+                if left_group is None or right_group is None:
+                    raise OptimizerError(
+                        "join children must be registered before the join"
+                    )
+                op = join_operator(left, right)
+                children = (left_group.gid, right_group.gid)
+                if insert(op, children, group) is not None:
+                    inserted += 1
+                if insert(op, (children[1], children[0]), group) is not None:
                     inserted += 1
         return inserted
 
@@ -147,7 +181,9 @@ class TransformationExplorer:
     Every logical join expression is kept on a work queue; applying a rule
     may create new expressions (possibly in new groups), which are queued
     in turn.  The memo's duplicate detection guarantees termination: the
-    expression universe for a fixed query is finite.
+    expression universe for a fixed query is finite.  Rule pattern sides
+    are alias masks, so validity checks (connectivity, linking predicate)
+    are memoized mask lookups.
     """
 
     name = "transformation"
@@ -183,18 +219,19 @@ class TransformationExplorer:
         out: list[GroupExpr] = []
         left_group = memo.group(expr.children[0])
         right_group = memo.group(expr.children[1])
-        left, right = left_group.relations, right_group.relations
+        left = _group_mask(left_group, graph)
+        right = _group_mask(right_group, graph)
 
         if self.rules.commutativity:
-            new = _insert_join(memo, graph, right, left)
+            new = _insert_join_m(memo, graph, right, left)
             if new is not None:
                 out.append(new)
 
         if self.rules.associativity_left:
             # join(join(A, B), C) -> join(A, join(B, C))
             for inner in self._join_exprs(left_group):
-                a = memo.group(inner.children[0]).relations
-                b = memo.group(inner.children[1]).relations
+                a = _group_mask(memo.group(inner.children[0]), graph)
+                b = _group_mask(memo.group(inner.children[1]), graph)
                 out.extend(
                     self._compose(memo, graph, a, b, right, allow_cross)
                 )
@@ -202,8 +239,8 @@ class TransformationExplorer:
         if self.rules.associativity_right:
             # join(A, join(B, C)) -> join(join(A, B), C)
             for inner in self._join_exprs(right_group):
-                b = memo.group(inner.children[0]).relations
-                c = memo.group(inner.children[1]).relations
+                b = _group_mask(memo.group(inner.children[0]), graph)
+                c = _group_mask(memo.group(inner.children[1]), graph)
                 out.extend(
                     self._compose_left(memo, graph, left, b, c, allow_cross)
                 )
@@ -211,11 +248,11 @@ class TransformationExplorer:
         if self.rules.exchange:
             # join(join(A, B), join(C, D)) -> join(join(A, C), join(B, D))
             for outer_left in self._join_exprs(left_group):
-                a = memo.group(outer_left.children[0]).relations
-                b = memo.group(outer_left.children[1]).relations
+                a = _group_mask(memo.group(outer_left.children[0]), graph)
+                b = _group_mask(memo.group(outer_left.children[1]), graph)
                 for outer_right in self._join_exprs(right_group):
-                    c = memo.group(outer_right.children[0]).relations
-                    d = memo.group(outer_right.children[1]).relations
+                    c = _group_mask(memo.group(outer_right.children[0]), graph)
+                    d = _group_mask(memo.group(outer_right.children[1]), graph)
                     out.extend(
                         self._exchange(memo, graph, a, b, c, d, allow_cross)
                     )
@@ -231,20 +268,20 @@ class TransformationExplorer:
         self,
         memo: Memo,
         graph: JoinGraph,
-        a: frozenset[str],
-        b: frozenset[str],
-        c: frozenset[str],
+        a: int,
+        b: int,
+        c: int,
         allow_cross: bool,
     ) -> list[GroupExpr]:
         """Emit join(A, join(B, C)) if both joins are valid."""
         out = []
-        if _valid_join(graph, b, c, allow_cross) and _valid_join(
+        if _valid_join_m(graph, b, c, allow_cross) and _valid_join_m(
             graph, a, b | c, allow_cross
         ):
-            inner = _insert_join(memo, graph, b, c)
+            inner = _insert_join_m(memo, graph, b, c)
             if inner is not None:
                 out.append(inner)
-            outer = _insert_join(memo, graph, a, b | c)
+            outer = _insert_join_m(memo, graph, a, b | c)
             if outer is not None:
                 out.append(outer)
         return out
@@ -253,20 +290,20 @@ class TransformationExplorer:
         self,
         memo: Memo,
         graph: JoinGraph,
-        a: frozenset[str],
-        b: frozenset[str],
-        c: frozenset[str],
+        a: int,
+        b: int,
+        c: int,
         allow_cross: bool,
     ) -> list[GroupExpr]:
         """Emit join(join(A, B), C) if both joins are valid."""
         out = []
-        if _valid_join(graph, a, b, allow_cross) and _valid_join(
+        if _valid_join_m(graph, a, b, allow_cross) and _valid_join_m(
             graph, a | b, c, allow_cross
         ):
-            inner = _insert_join(memo, graph, a, b)
+            inner = _insert_join_m(memo, graph, a, b)
             if inner is not None:
                 out.append(inner)
-            outer = _insert_join(memo, graph, a | b, c)
+            outer = _insert_join_m(memo, graph, a | b, c)
             if outer is not None:
                 out.append(outer)
         return out
@@ -275,25 +312,25 @@ class TransformationExplorer:
         self,
         memo: Memo,
         graph: JoinGraph,
-        a: frozenset[str],
-        b: frozenset[str],
-        c: frozenset[str],
-        d: frozenset[str],
+        a: int,
+        b: int,
+        c: int,
+        d: int,
         allow_cross: bool,
     ) -> list[GroupExpr]:
         out = []
         if (
-            _valid_join(graph, a, c, allow_cross)
-            and _valid_join(graph, b, d, allow_cross)
-            and _valid_join(graph, a | c, b | d, allow_cross)
+            _valid_join_m(graph, a, c, allow_cross)
+            and _valid_join_m(graph, b, d, allow_cross)
+            and _valid_join_m(graph, a | c, b | d, allow_cross)
         ):
-            first = _insert_join(memo, graph, a, c)
+            first = _insert_join_m(memo, graph, a, c)
             if first is not None:
                 out.append(first)
-            second = _insert_join(memo, graph, b, d)
+            second = _insert_join_m(memo, graph, b, d)
             if second is not None:
                 out.append(second)
-            outer = _insert_join(memo, graph, a | c, b | d)
+            outer = _insert_join_m(memo, graph, a | c, b | d)
             if outer is not None:
                 out.append(outer)
         return out

@@ -49,6 +49,7 @@ from repro.algebra.physical import (
     MergeJoin,
     NestedLoopJoin,
     PhysicalFilter,
+    PhysicalOperator,
     PhysicalProject,
     Sort,
     StreamAggregate,
@@ -81,6 +82,54 @@ class ImplementationConfig:
     enable_sort_enforcers: bool = True
 
 
+def _equality_analysis(
+    predicate: Scalar,
+) -> tuple[
+    tuple[tuple[ColumnId, ColumnId, str, str, tuple, tuple, Scalar], ...],
+    tuple[Scalar, ...],
+]:
+    """Classify a predicate's conjuncts once, memoized on the object.
+
+    Returns ``(candidate equality pairs, other conjuncts)`` where each
+    pair entry is ``(a, b, a_alias, b_alias, sort_key_ab, sort_key_ba,
+    conjunct)``.  Join predicates are interned by the join graph, so
+    across a whole memo the same predicate object is analyzed for both
+    join orientations and for every implementation rule — the conjunct
+    walk happens exactly once.
+    """
+    cached = predicate.__dict__.get("_eq_analysis")
+    if cached is None:
+        eq_pairs = []
+        others: list[Scalar] = []
+        for conjunct in split_conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op is CompOp.EQ
+                and isinstance(conjunct.left, ColumnRef)
+                and isinstance(conjunct.right, ColumnRef)
+            ):
+                a = conjunct.left.column_id
+                b = conjunct.right.column_id
+                # Both orientations' sort keys are precomputed so the
+                # per-join extraction sorts plain string tuples.
+                eq_pairs.append(
+                    (
+                        a,
+                        b,
+                        a.alias,
+                        b.alias,
+                        (a.alias, a.column, b.alias, b.column),
+                        (b.alias, b.column, a.alias, a.column),
+                        conjunct,
+                    )
+                )
+            else:
+                others.append(conjunct)
+        cached = (tuple(eq_pairs), tuple(others))
+        object.__setattr__(predicate, "_eq_analysis", cached)
+    return cached
+
+
 def extract_equi_keys(
     predicate: Scalar | None,
     left_relations: frozenset[str],
@@ -93,30 +142,27 @@ def extract_equi_keys(
     sorted canonically so the same logical join always yields the same
     physical operator identity.
     """
-    pairs: list[tuple[ColumnId, ColumnId]] = []
-    residual: list[Scalar] = []
-    for conjunct in split_conjuncts(predicate):
-        matched = False
-        if (
-            isinstance(conjunct, Comparison)
-            and conjunct.op is CompOp.EQ
-            and isinstance(conjunct.left, ColumnRef)
-            and isinstance(conjunct.right, ColumnRef)
-        ):
-            a = conjunct.left.column_id
-            b = conjunct.right.column_id
-            if a.alias in left_relations and b.alias in right_relations:
-                pairs.append((a, b))
-                matched = True
-            elif b.alias in left_relations and a.alias in right_relations:
-                pairs.append((b, a))
-                matched = True
-        if not matched:
+    if predicate is None:
+        return (), (), None
+    eq_pairs, others = _equality_analysis(predicate)
+    pairs: list[tuple[tuple, ColumnId, ColumnId]] = []
+    residual: list[Scalar] = list(others)
+    for a, b, a_alias, b_alias, key_ab, key_ba, conjunct in eq_pairs:
+        if a_alias in left_relations and b_alias in right_relations:
+            pairs.append((key_ab, a, b))
+        elif b_alias in left_relations and a_alias in right_relations:
+            pairs.append((key_ba, b, a))
+        else:
             residual.append(conjunct)
-    pairs.sort(key=lambda pair: (pair[0].alias, pair[0].column, pair[1].alias, pair[1].column))
-    left_keys = tuple(pair[0] for pair in pairs)
-    right_keys = tuple(pair[1] for pair in pairs)
-    return left_keys, right_keys, make_conjunction(residual)
+    if not pairs:
+        return (), (), make_conjunction(residual) if residual else None
+    if len(pairs) > 1:
+        pairs.sort()
+    left_keys = tuple(pair[1] for pair in pairs)
+    right_keys = tuple(pair[2] for pair in pairs)
+    if residual:
+        return left_keys, right_keys, make_conjunction(residual)
+    return left_keys, right_keys, None
 
 
 def _implement_get(
@@ -144,39 +190,20 @@ def _implement_get(
     return inserted
 
 
-def _implement_join(
-    expr: GroupExpr, memo: Memo, catalog: Catalog, config: ImplementationConfig
-) -> int:
-    op = expr.op
-    assert isinstance(op, LogicalJoin)
-    group = memo.group(expr.group_id)
-    left_rels = memo.group(expr.children[0]).relations
-    right_rels = memo.group(expr.children[1]).relations
-    left_keys, right_keys, residual = extract_equi_keys(
-        op.predicate, left_rels, right_rels
-    )
-    inserted = 0
-    if config.enable_nested_loop_join:
-        if memo.insert(NestedLoopJoin(op.predicate), expr.children, group) is not None:
-            inserted += 1
-    if left_keys:
-        if config.enable_hash_join:
-            hash_join = HashJoin(
-                left_keys=left_keys, right_keys=right_keys, residual=residual
-            )
-            if memo.insert(hash_join, expr.children, group) is not None:
-                inserted += 1
-        if config.enable_merge_join:
-            merge_join = MergeJoin(
-                left_keys=left_keys, right_keys=right_keys, residual=residual
-            )
-            if memo.insert(merge_join, expr.children, group) is not None:
-                inserted += 1
-        if config.enable_index_nl_join:
-            inserted += _implement_index_nl_join(
-                expr, memo, catalog, left_keys, right_keys
-            )
-    return inserted
+_CROSS_NLJ = NestedLoopJoin(None)
+
+
+def _nested_loop_join(predicate: Scalar | None) -> NestedLoopJoin:
+    """The nested-loops operator for a predicate, interned per object:
+    both orientations of a logical join share the predicate, so they share
+    the physical operator (and its cached memo key) too."""
+    if predicate is None:
+        return _CROSS_NLJ
+    op = predicate.__dict__.get("_nlj_op")
+    if op is None:
+        op = NestedLoopJoin(predicate)
+        object.__setattr__(predicate, "_nlj_op", op)
+    return op
 
 
 def _implement_index_nl_join(
@@ -291,37 +318,109 @@ def implement_memo(
     if config is None:
         config = ImplementationConfig()
     inserted = 0
+    groups = memo.groups
+    insert = memo.insert
+    enable_nlj = config.enable_nested_loop_join
+    enable_hash = config.enable_hash_join
+    enable_merge = config.enable_merge_join
+    enable_index_nlj = config.enable_index_nl_join
+    # Merge-join child-order requirements are collected inline while the
+    # operators are built (their keys are at hand), sparing the enforcer
+    # pass a virtual call per join child.
+    collect_merge_reqs = enable_merge and config.enable_sort_enforcers
+    sort_requirements: dict[tuple[int, tuple[ColumnId, ...]], None] = {}
+    record_requirement = sort_requirements.setdefault
     # Snapshot: implementation adds physical exprs only, so iterating over
-    # the logical expressions present now is exhaustive.
+    # the logical expressions present now is exhaustive.  Joins — the bulk
+    # of any explored memo — are handled inline with hoisted locals.
     logical = [
         expr
         for group in memo.groups
-        for expr in group.logical_exprs()
+        for expr in group.exprs
+        if not expr.is_physical
     ]
     for expr in logical:
-        if isinstance(expr.op, LogicalGet):
+        op = expr.op
+        if type(op) is LogicalJoin:
+            group = groups[expr.group_id]
+            children = expr.children
+            predicate = op.predicate
+            left_keys, right_keys, residual = extract_equi_keys(
+                predicate,
+                groups[children[0]].relations,
+                groups[children[1]].relations,
+            )
+            if enable_nlj:
+                if insert(_nested_loop_join(predicate), children, group) is not None:
+                    inserted += 1
+            if left_keys:
+                if enable_hash:
+                    hash_join = HashJoin(left_keys, right_keys, residual)
+                    if insert(hash_join, children, group) is not None:
+                        inserted += 1
+                if enable_merge:
+                    merge_join = MergeJoin(left_keys, right_keys, residual)
+                    if insert(merge_join, children, group) is not None:
+                        inserted += 1
+                    if collect_merge_reqs:
+                        record_requirement((children[0], left_keys))
+                        record_requirement((children[1], right_keys))
+                if enable_index_nlj:
+                    inserted += _implement_index_nl_join(
+                        expr, memo, catalog, left_keys, right_keys
+                    )
+        elif isinstance(op, LogicalGet):
             inserted += _implement_get(expr, memo, catalog, config)
-        elif isinstance(expr.op, LogicalJoin):
-            inserted += _implement_join(expr, memo, catalog, config)
         else:
             inserted += _implement_unary(expr, memo, config)
 
     if config.enable_sort_enforcers:
-        inserted += _insert_enforcers(memo, root_order)
+        inserted += _insert_enforcers(
+            memo,
+            root_order,
+            required=sort_requirements,
+            skip_merge_joins=collect_merge_reqs,
+        )
     return inserted
 
 
-def _insert_enforcers(memo: Memo, root_order: tuple[ColumnId, ...]) -> int:
-    """Add ``Sort`` expressions for every required (group, order) pair."""
-    required: list[tuple[int, tuple[ColumnId, ...]]] = []
+_NO_CHILD_ORDER = PhysicalOperator.required_child_order
+
+
+def _insert_enforcers(
+    memo: Memo,
+    root_order: tuple[ColumnId, ...],
+    required: dict[tuple[int, tuple[ColumnId, ...]], None] | None = None,
+    skip_merge_joins: bool = False,
+) -> int:
+    """Add ``Sort`` expressions for every required (group, order) pair.
+
+    Requirements are deduplicated (in first-occurrence order, so memo
+    layout matches the historical one-insert-per-occurrence loop) before
+    touching the memo: a 12-way join yields tens of thousands of merge
+    joins but only a handful of distinct (group, order) pairs.  Operators
+    that inherit the base class's trivial ``required_child_order`` are
+    skipped without calling it; merge joins are skipped entirely when the
+    caller already collected their requirements into ``required``.
+    """
+    if required is None:
+        required = {}
     for group in memo.groups:
-        for expr in group.physical_exprs():
+        for expr in group.exprs:
+            if not expr.is_physical:
+                continue
+            op = expr.op
+            op_type = type(op)
+            if op_type.required_child_order is _NO_CHILD_ORDER:
+                continue
+            if skip_merge_joins and op_type is MergeJoin:
+                continue
             for child_pos, child_gid in enumerate(expr.children):
-                order = expr.op.required_child_order(child_pos)
+                order = op.required_child_order(child_pos)
                 if order:
-                    required.append((child_gid, order))
+                    required.setdefault((child_gid, order))
     if root_order and memo.root_group_id is not None:
-        required.append((memo.root_group_id, root_order))
+        required.setdefault((memo.root_group_id, root_order))
 
     inserted = 0
     for gid, order in required:

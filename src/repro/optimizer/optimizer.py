@@ -8,6 +8,7 @@ extraction — and hands the finished memo to the plan-space toolkit.
 from __future__ import annotations
 
 import enum
+import gc
 import time
 from dataclasses import dataclass, field
 
@@ -108,7 +109,23 @@ class Optimizer:
         return self.optimize(bound)
 
     def optimize(self, query: BoundQuery) -> OptimizationResult:
-        """Optimize a bound query: returns the memo and the best plan."""
+        """Optimize a bound query: returns the memo and the best plan.
+
+        The cycle collector is paused for the duration: optimization
+        allocates hundreds of thousands of short-lived tuples and memo
+        expressions but no reference cycles (children are group *ids*),
+        so generational GC passes only add pauses.
+        """
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            return self._optimize(query)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+
+    def _optimize(self, query: BoundQuery) -> OptimizationResult:
         opts = self.options
         timings: dict[str, float] = {}
 

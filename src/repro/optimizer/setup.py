@@ -22,7 +22,6 @@ from repro.algebra.expressions import make_conjunction
 from repro.algebra.logical import (
     LogicalAggregate,
     LogicalGet,
-    LogicalJoin,
     LogicalProject,
     LogicalSelect,
 )
@@ -59,12 +58,13 @@ def _initial_join_order(
         return aliases
     remaining = list(aliases)
     order = [remaining.pop(0)]
-    prefix = frozenset(order)
+    prefix = graph.mask_of(order)
     while remaining:
         for i, alias in enumerate(remaining):
-            if graph.applicable_conjuncts(prefix, frozenset([alias])):
+            bit = graph.mask_of([alias])
+            if graph.applicable_conjuncts_m(prefix, bit):
                 order.append(remaining.pop(i))
-                prefix = prefix | {alias}
+                prefix |= bit
                 break
         else:
             raise OptimizerError(
@@ -81,13 +81,11 @@ def build_initial_memo(
     graph = JoinGraph(
         aliases=query.aliases(), conjuncts=list(query.where_conjuncts)
     )
-    memo = Memo()
+    memo = Memo(universe=graph.universe)
 
     # Leaf groups: one per range variable, with its pushed-down filter.
     for quantifier in query.quantifiers:
-        group = memo.get_or_create_group(
-            ("rels", frozenset([quantifier.alias])), frozenset([quantifier.alias])
-        )
+        group = memo.get_or_create_rels_group(graph.mask_of([quantifier.alias]))
         memo.insert(
             LogicalGet(
                 table=quantifier.table,
@@ -100,15 +98,16 @@ def build_initial_memo(
 
     # Initial left-deep join tree (Figure 1's copy-in).
     order = _initial_join_order(query, graph, allow_cross_products)
-    prefix = frozenset([order[0]])
-    current_gid = memo.get_or_create_group(("rels", prefix), prefix).gid
+    prefix = graph.mask_of([order[0]])
+    current_gid = memo.get_or_create_rels_group(prefix).gid
     for alias in order[1:]:
-        right = frozenset([alias])
-        right_gid = memo.get_or_create_group(("rels", right), right).gid
+        right = graph.mask_of([alias])
+        right_gid = memo.get_or_create_rels_group(right).gid
         combined = prefix | right
-        group = memo.get_or_create_group(("rels", combined), combined)
-        predicate = graph.join_predicate(prefix, right)
-        memo.insert(LogicalJoin(predicate), (current_gid, right_gid), group)
+        group = memo.get_or_create_rels_group(combined)
+        memo.insert(
+            graph.join_operator_m(prefix, right), (current_gid, right_gid), group
+        )
         current_gid = group.gid
         prefix = combined
 
@@ -121,13 +120,16 @@ def build_initial_memo(
         select_group = memo.get_or_create_group(
             ("select", top_gid, predicate.fingerprint()),
             memo.group(top_gid).relations,
+            mask=memo.group(top_gid).mask,
         )
         memo.insert(LogicalSelect(predicate), (top_gid,), select_group)
         top_gid = select_group.gid
 
     if query.is_aggregate_query:
         agg_group = memo.get_or_create_group(
-            ("agg", top_gid), memo.group(top_gid).relations
+            ("agg", top_gid),
+            memo.group(top_gid).relations,
+            mask=memo.group(top_gid).mask,
         )
         memo.insert(
             LogicalAggregate(group_by=query.group_by, aggregates=query.aggregates),
@@ -137,7 +139,9 @@ def build_initial_memo(
         top_gid = agg_group.gid
 
     project_group = memo.get_or_create_group(
-        ("proj", top_gid), memo.group(top_gid).relations
+        ("proj", top_gid),
+        memo.group(top_gid).relations,
+        mask=memo.group(top_gid).mask,
     )
     memo.insert(LogicalProject(outputs=query.select_outputs), (top_gid,), project_group)
     memo.set_root(project_group.gid)

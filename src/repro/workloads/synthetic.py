@@ -20,7 +20,13 @@ from repro.storage.database import Database
 from repro.storage.table import DataTable
 from repro.util.rng import make_rng, spawn_rng
 
-__all__ = ["SyntheticWorkload", "chain_query", "star_query", "clique_query"]
+__all__ = [
+    "SyntheticWorkload",
+    "chain_query",
+    "star_query",
+    "clique_query",
+    "cycle_query",
+]
 
 _INT = ColumnType.INTEGER
 
@@ -165,4 +171,22 @@ def clique_query(
     ]
     return _build(
         f"clique{n_tables}", n_tables, edges, rows, with_indexes, seed, aggregate
+    )
+
+
+def cycle_query(
+    n_tables: int,
+    rows: int = 20,
+    with_indexes: bool = True,
+    seed: int = 0,
+    aggregate: bool = True,
+) -> SyntheticWorkload:
+    """``t0 - t1 - ... - t{n-1} - t0`` (a single cycle): the minimal
+    cyclic join graph, and the classic hard case for transformation-rule
+    completeness and for partition enumeration."""
+    if n_tables < 3:
+        raise ReproError("a cycle needs at least three tables")
+    edges = [(i, i + 1) for i in range(n_tables - 1)] + [(0, n_tables - 1)]
+    return _build(
+        f"cycle{n_tables}", n_tables, edges, rows, with_indexes, seed, aggregate
     )

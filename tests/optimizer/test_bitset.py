@@ -1,0 +1,74 @@
+"""Tests for the alias bitset interner and bit-trick helpers."""
+
+import pytest
+
+from repro.errors import OptimizerError
+from repro.optimizer.bitset import AliasUniverse, iter_bits, iter_subsets, lowest_bit
+
+
+class TestHelpers:
+    def test_lowest_bit(self):
+        assert lowest_bit(0b10100) == 0b100
+        assert lowest_bit(0) == 0
+        assert lowest_bit(1) == 1
+
+    def test_iter_bits_ascending(self):
+        assert list(iter_bits(0b10110)) == [0b10, 0b100, 0b10000]
+        assert list(iter_bits(0)) == []
+
+    def test_iter_subsets_complete(self):
+        subsets = set(iter_subsets(0b101))
+        assert subsets == {0b101, 0b100, 0b001}
+
+    def test_iter_subsets_count(self):
+        # 2^k - 1 non-empty subsets of a k-bit mask.
+        assert len(list(iter_subsets(0b1111))) == 15
+
+
+class TestAliasUniverse:
+    @pytest.fixture
+    def universe(self):
+        return AliasUniverse(["c", "a", "b"])
+
+    def test_sorted_interning(self, universe):
+        # Bit order is sorted name order: the lowest bit of any mask is
+        # its lexicographically smallest alias.
+        assert universe.order == ("a", "b", "c")
+        assert universe.bit("a") == 1
+        assert universe.bit("b") == 2
+        assert universe.bit("c") == 4
+
+    def test_roundtrip(self, universe):
+        mask = universe.mask_of(["a", "c"])
+        assert mask == 0b101
+        assert universe.names(mask) == frozenset(["a", "c"])
+        assert universe.sorted_names(mask) == ("a", "c")
+
+    def test_full_mask(self, universe):
+        assert universe.full_mask == 0b111
+        assert universe.names(universe.full_mask) == frozenset(["a", "b", "c"])
+
+    def test_names_memoized(self, universe):
+        assert universe.names(0b011) is universe.names(0b011)
+
+    def test_unknown_alias_rejected(self, universe):
+        with pytest.raises(OptimizerError):
+            universe.bit("zz")
+        with pytest.raises(OptimizerError):
+            universe.mask_of(["a", "zz"])
+
+    def test_out_of_universe_mask_rejected(self, universe):
+        with pytest.raises(OptimizerError):
+            universe.names(0b1000)
+
+    def test_empty_universe_rejected(self):
+        with pytest.raises(OptimizerError):
+            AliasUniverse([])
+
+    def test_contains_and_len(self, universe):
+        assert "a" in universe
+        assert "zz" not in universe
+        assert len(universe) == 3
+
+    def test_duplicate_aliases_collapse(self):
+        assert AliasUniverse(["a", "a", "b"]).size == 2
