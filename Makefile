@@ -1,0 +1,9 @@
+.PHONY: check check-slow
+
+# Tier-1 tests + the implicit-count perf smoke (see scripts/ci.sh).
+check:
+	bash scripts/ci.sh
+
+# Everything above plus the -m slow equivalence sweeps.
+check-slow:
+	CI_SLOW=1 bash scripts/ci.sh

@@ -1,4 +1,4 @@
-"""Exploration/optimization scaling benchmark: chain/star/clique × n.
+"""Exploration/optimization scaling benchmark: chain/star/clique/cycle × n.
 
 Times end-to-end ``Session.optimize`` (and its exploration phase) on the
 synthetic workloads for n in {6, 8, 10, 12}, with cross products off and
@@ -30,12 +30,18 @@ import time
 
 from repro.api import Session
 from repro.optimizer.optimizer import OptimizerOptions
-from repro.workloads.synthetic import chain_query, clique_query, star_query
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+)
 
 WORKLOADS = {
     "chain": chain_query,
     "star": star_query,
     "clique": clique_query,
+    "cycle": cycle_query,
 }
 
 DEFAULT_SIZES = (6, 8, 10, 12)

@@ -1,0 +1,187 @@
+"""Plan-space engine benchmark: implicit vs materialized, across topologies.
+
+Times, for chain/star/clique/cycle joins of n in {6, 8, 10, 12} in both
+cross-product modes and for both engines:
+
+* ``count_s`` — everything from SQL to the exact space total ``N``
+  (materialized: optimize + link materialization + counting; implicit:
+  layout simulation + analytic counting);
+* ``sample_s`` — drawing and unranking 100 uniform plans (seed 0) from
+  the already-counted space.
+
+Writes ``BENCH_planspace.json`` at the repository root — the perf
+trajectory future plan-space PRs compare against.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_planspace.py
+    PYTHONPATH=src python benchmarks/bench_planspace.py --full
+
+By default the *materialized* engine skips the cells whose memos take
+minutes to build (no-cross clique above n=10, every cross-product cell
+above n=10): the implicit engine is the point of those cells — e.g.
+clique12 no-cross counts implicitly in seconds against ~4.5 minutes of
+memo construction.  ``--full`` lifts the materialized caps.  Both engines
+draw ranks through the shared RNG contract, so the 100 sampled plans of a
+cell are the *same plans* in both rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.planspace.implicit import ImplicitPlanSpace
+from repro.planspace.space import PlanSpace
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+)
+
+WORKLOADS = {
+    "chain": chain_query,
+    "star": star_query,
+    "clique": clique_query,
+    "cycle": cycle_query,
+}
+
+DEFAULT_SIZES = (6, 8, 10, 12)
+SAMPLE_SIZE = 100
+#: materialized-engine caps (see module docstring); implicit runs all cells
+MAT_NOCROSS_CLIQUE_CAP = 10
+MAT_CROSS_CAP = 10
+
+
+def run_cell(shape: str, n: int, cross: bool, engine: str, repeat: int) -> dict:
+    workload = WORKLOADS[shape](n, rows=5, seed=0)
+    options = OptimizerOptions(allow_cross_products=cross)
+    best_count = best_sample = float("inf")
+    record: dict = {
+        "workload": shape,
+        "n": n,
+        "cross": cross,
+        "engine": engine,
+    }
+    for _ in range(repeat):
+        gc.collect()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            if engine == "implicit":
+                space = ImplicitPlanSpace.from_sql(
+                    workload.catalog, workload.sql, options=options
+                )
+                total = space.count()
+                count_s = time.perf_counter() - start
+                record["groups"] = space.group_count()
+                record["physical_ops"] = space.physical_operator_count()
+            else:
+                bound = Binder(workload.catalog).bind(parse(workload.sql))
+                result = Optimizer(workload.catalog, options).optimize(bound)
+                space = PlanSpace.from_result(result)
+                total = space.count()
+                count_s = time.perf_counter() - start
+                record["groups"] = len(result.memo.groups)
+                record["physical_ops"] = result.memo.physical_expression_count()
+            start = time.perf_counter()
+            plans = space.sample(SAMPLE_SIZE, seed=0)
+            sample_s = time.perf_counter() - start
+        finally:
+            gc.enable()
+        assert len(plans) == SAMPLE_SIZE
+        best_count = min(best_count, count_s)
+        best_sample = min(best_sample, sample_s)
+    record["count_s"] = round(best_count, 4)
+    record["sample_s"] = round(best_sample, 4)
+    record["plans"] = total
+    return record
+
+
+def materialized_skipped(shape: str, n: int, cross: bool, full: bool) -> bool:
+    if full:
+        return False
+    if cross and n > MAT_CROSS_CAP:
+        return True
+    return not cross and shape == "clique" and n > MAT_NOCROSS_CLIQUE_CAP
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="runs per cell (best is kept)"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="lift the materialized-engine caps"
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=list(WORKLOADS),
+        help="restrict to these topologies",
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it (incremental regeneration of expensive cells)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_planspace.json",
+    )
+    args = parser.parse_args(argv)
+
+    try:  # the turbo path's one-time numpy import is process-level state,
+        import numpy  # noqa: F401  # not a per-cell cost: warm it up front
+    except ImportError:
+        pass
+
+    records = []
+    for shape in args.workloads:
+        for n in args.sizes:
+            for cross in (False, True):
+                for engine in ("implicit", "materialized"):
+                    if engine == "materialized" and materialized_skipped(
+                        shape, n, cross, args.full
+                    ):
+                        print(
+                            f"skip {shape} n={n} cross={'on' if cross else 'off'}"
+                            f" materialized (pass --full to include)",
+                            flush=True,
+                        )
+                        continue
+                    record = run_cell(shape, n, cross, engine, args.repeat)
+                    records.append(record)
+                    print(
+                        f"{shape:>6} n={n:>2} cross={'on ' if cross else 'off'} "
+                        f"{engine:>12} count={record['count_s']:>9.4f}s "
+                        f"sample{SAMPLE_SIZE}={record['sample_s']:>8.4f}s "
+                        f"ops={record['physical_ops']:>8}",
+                        flush=True,
+                    )
+
+    if args.merge and args.output.exists():
+        key = lambda r: (r["workload"], r["n"], r["cross"], r["engine"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

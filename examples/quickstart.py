@@ -51,6 +51,15 @@ def main() -> None:
     default = session.execute(sql)
     print(f"\nOptimizer's plan returned {len(default.rows)} rows — same result.")
 
+    # 6. Counting-only workloads: skip the physical memo entirely.  The
+    # implicit engine computes the same N, the same plans (identical
+    # memo ids), and the same seeded samples — without materializing a
+    # single physical expression (see planspace/implicit/README.md).
+    handle = session.plan_space(sql, count_only=True)
+    assert handle.count() == total
+    assert handle.unrank(8).render() == plan.render()
+    print(f"\nImplicit (count-only) space agrees: N = {handle.count():,}")
+
 
 if __name__ == "__main__":
     main()

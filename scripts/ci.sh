@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Repository check: the tier-1 test suite plus a perf smoke that guards
+# the implicit plan-space engine against regressing into
+# re-materialization.
+#
+#     bash scripts/ci.sh            # tier-1 + perf smoke
+#     CI_SLOW=1 bash scripts/ci.sh  # additionally run the -m slow tier
+#
+# The perf smoke counts the clique10 no-cross space implicitly and fails
+# if it takes longer than ${CI_COUNT_BUDGET_S:-10} seconds of wall clock.
+# The materialized pipeline needs ~45s of memo + link construction for
+# that same space (BENCH_planspace.json), so a budget miss almost
+# certainly means the implicit path started materializing
+# per-expression state again.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q
+
+if [[ "${CI_SLOW:-0}" != "0" ]]; then
+    echo "== slow tier =="
+    python -m pytest -x -q -m slow
+fi
+
+echo "== implicit count perf smoke =="
+python - <<'EOF'
+import os
+import time
+
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.planspace.implicit import ImplicitPlanSpace
+from repro.workloads.synthetic import clique_query
+
+budget = float(os.environ.get("CI_COUNT_BUDGET_S", "10"))
+workload = clique_query(10, rows=5, seed=0)
+start = time.perf_counter()
+space = ImplicitPlanSpace.from_sql(
+    workload.catalog, workload.sql, options=OptimizerOptions()
+)
+total = space.count()
+elapsed = time.perf_counter() - start
+print(
+    f"clique10 no-cross: N={total:.3e} in {elapsed:.2f}s "
+    f"(budget {budget:.0f}s, turbo={space.state.turbo_used})"
+)
+expected = 2171074081505474005104170938254011092792438446472041794816
+assert total == expected, f"implicit clique10 count changed: {total}"
+assert elapsed < budget, (
+    f"implicit clique10 count took {elapsed:.2f}s (> {budget:.0f}s budget) — "
+    "did the implicit engine start materializing the memo?"
+)
+EOF
+
+echo "CI OK"

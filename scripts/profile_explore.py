@@ -7,11 +7,18 @@ reproduce the measurements this PR's numbers were taken with::
     PYTHONPATH=src python scripts/profile_explore.py                 # star 12
     PYTHONPATH=src python scripts/profile_explore.py --shape clique --n 10
     PYTHONPATH=src python scripts/profile_explore.py --cross --sort tottime
+    PYTHONPATH=src python scripts/profile_explore.py --shape clique --n 12 --count-only
 
 It also prints the optimizer's own per-phase wall timings (un-profiled,
 best of ``--repeat`` runs) — cProfile inflates everything several-fold,
 so treat the profile as *where* the time goes and the phase timings as
 *how much* time there is.
+
+``--count-only`` profiles the implicit plan-space pipeline instead of the
+full optimizer: layout simulation + analytic counting, no physical memo.
+Its numbers are directly comparable to the default mode's (same workload
+construction, same best-of-N protocol), which is how the implicit
+engine's headline wins are measured.
 """
 
 from __future__ import annotations
@@ -49,37 +56,67 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--sort", choices=["cumulative", "tottime"], default="cumulative"
     )
+    parser.add_argument(
+        "--count-only",
+        action="store_true",
+        help="profile the implicit (count-only) pipeline instead of the "
+        "full optimizer",
+    )
     args = parser.parse_args(argv)
 
     workload = WORKLOADS[args.shape](args.n, rows=5, seed=0)
-    session = Session(
-        workload.database,
-        options=OptimizerOptions(allow_cross_products=args.cross),
-    )
+    options = OptimizerOptions(allow_cross_products=args.cross)
+    session = Session(workload.database, options=options)
 
-    # Un-profiled phase timings first (best of N).
+    mode = " count-only" if args.count_only else ""
+    if args.count_only:
+        from repro.planspace.implicit import ImplicitPlanSpace
+
+        def run():
+            return ImplicitPlanSpace.from_sql(
+                workload.catalog, workload.sql, options=options
+            )
+
+        def summarize(space):
+            return (
+                f"implicit space: {space.group_count()} groups, "
+                f"{space.physical_operator_count()} virtual physical "
+                f"operators, N = {space.count():,}\n"
+            )
+
+    else:
+
+        def run():
+            return session.optimize(workload.sql)
+
+        def summarize(result):
+            return (
+                f"memo: {len(result.memo.groups)} groups, "
+                f"{result.memo.expression_count()} expressions\n"
+            )
+
+    # Un-profiled phase timings first (best of N; both run() results carry
+    # a .timings dict of per-phase seconds).
     best_total = float("inf")
     best_timings: dict[str, float] = {}
+    outcome = None
     for _ in range(args.repeat):
         start = time.perf_counter()
-        result = session.optimize(workload.sql)
+        outcome = run()
         total = time.perf_counter() - start
         if total < best_total:
             best_total = total
-            best_timings = dict(result.timings)
+            best_timings = dict(outcome.timings)
     print(
-        f"{workload.name} cross={'on' if args.cross else 'off'}: "
+        f"{workload.name} cross={'on' if args.cross else 'off'}{mode}: "
         f"total {best_total:.4f}s  "
         + "  ".join(f"{k} {v:.4f}s" for k, v in best_timings.items())
     )
-    print(
-        f"memo: {len(result.memo.groups)} groups, "
-        f"{result.memo.expression_count()} expressions\n"
-    )
+    print(summarize(outcome))
 
     profiler = cProfile.Profile()
     profiler.enable()
-    session.optimize(workload.sql)
+    run()
     profiler.disable()
     stats = pstats.Stats(profiler)
     stats.sort_stats(args.sort).print_stats(args.top)

@@ -15,6 +15,7 @@ deterministically or randomly selected set of possible plans."
 
 from __future__ import annotations
 
+import random
 from collections.abc import Iterator
 from dataclasses import dataclass
 
@@ -25,13 +26,71 @@ from repro.optimizer.optimizer import (
     Optimizer,
     OptimizerOptions,
 )
+from repro.optimizer.plan import PlanNode
+from repro.planspace.implicit import ImplicitPlanSpace
 from repro.planspace.space import PlanSpace
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
 from repro.storage.database import Database
 from repro.storage.datagen import generate_tpch
 
-__all__ = ["Session", "ExecutedQuery"]
+__all__ = ["Session", "ExecutedQuery", "PlanSpaceHandle"]
+
+
+@dataclass
+class PlanSpaceHandle:
+    """A count-only view of a query's plan space.
+
+    Wraps the implicit engine: counting, unranking, enumeration and
+    sampling work immediately (and on clique-sized spaces interactively),
+    but no physical memo — and no best plan — exists.  The handle exposes
+    the same primitives as :class:`~repro.planspace.space.PlanSpace`, so
+    callers that only count/sample can switch with ``count_only=True``
+    and change nothing else; :meth:`materialize` runs the full optimizer
+    when the memo itself is eventually needed.
+    """
+
+    session: "Session"
+    sql: str
+    space: ImplicitPlanSpace
+
+    def count(self) -> int:
+        return self.space.count()
+
+    def unrank(self, rank: int) -> PlanNode:
+        return self.space.unrank(rank)
+
+    def rank(self, plan: PlanNode) -> int:
+        return self.space.rank(plan)
+
+    def sample(
+        self, n: int, seed: int | random.Random = 0, unique: bool = False
+    ) -> list[PlanNode]:
+        return self.space.sample(n, seed=seed, unique=unique)
+
+    def sample_ranks(
+        self, n: int, seed: int | random.Random = 0, unique: bool = False
+    ) -> list[int]:
+        return self.space.sample_ranks(n, seed=seed, unique=unique)
+
+    def sampler(self, seed: int | random.Random = 0):
+        return self.space.sampler(seed)
+
+    def enumerate(self, start: int = 0, stop: int | None = None, step: int = 1):
+        return self.space.enumerate(start=start, stop=stop, step=step)
+
+    def all_plans(self, limit: int | None = None) -> list[PlanNode]:
+        return self.space.all_plans(limit=limit)
+
+    def describe(self) -> str:
+        return self.space.describe()
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def materialize(self) -> PlanSpace:
+        """Build the full (physical-memo) plan space for this query."""
+        return self.session.plan_space(self.sql)
 
 
 @dataclass
@@ -80,9 +139,38 @@ class Session:
     def optimize(self, sql: str) -> OptimizationResult:
         return Optimizer(self.catalog, self.options).optimize_sql(sql)
 
-    def plan_space(self, sql: str) -> PlanSpace:
-        """The plan space of a query (counting/sampling entry point)."""
+    def plan_space(
+        self, sql: str, count_only: bool = False
+    ) -> PlanSpace | PlanSpaceHandle:
+        """The plan space of a query (counting/sampling entry point).
+
+        ``count_only=True`` skips the whole physical pipeline — no
+        implementation phase, no best-plan search, no memo — and returns a
+        :class:`PlanSpaceHandle` over the implicit engine instead: exact
+        counts, unranking, enumeration and uniform sampling at a fraction
+        of the cost (the clique12 memo takes minutes to materialize; its
+        implicit count takes seconds).
+        """
+        if count_only:
+            return PlanSpaceHandle(
+                session=self,
+                sql=sql,
+                space=self.implicit_plan_space(sql),
+            )
         return PlanSpace.from_result(self.optimize(sql))
+
+    def implicit_plan_space(self, sql: str) -> ImplicitPlanSpace:
+        """The implicit plan space of a query (no physical memo)."""
+        bound = Binder(self.catalog).bind(parse(sql))
+        return ImplicitPlanSpace.from_query(
+            self.catalog, bound, options=self.options
+        )
+
+    def count_plans(self, sql: str, implicit: bool = True) -> int:
+        """``N`` for a query; implicit (fast) by default."""
+        if implicit:
+            return self.implicit_plan_space(sql).count()
+        return self.plan_space(sql).count()
 
     def explain(self, sql: str) -> str:
         return self.optimize(sql).explain()
@@ -120,16 +208,22 @@ class Session:
         sql: str,
         ranks: list[int] | None = None,
         sample: int | None = None,
-        seed: int = 0,
+        seed: int | random.Random = 0,
+        implicit: bool = False,
     ) -> Iterator[tuple[int, QueryResult]]:
         """Execute one query under many plans (the Section 4 test loop).
 
         ``ranks`` runs exactly those plan numbers; ``sample`` draws a
         uniform sample instead; giving neither enumerates the whole space.
-        Yields ``(rank, result)`` pairs.
+        ``implicit=True`` draws the plans from the implicit engine (no
+        physical memo); the same ``seed`` selects the same ranks either
+        way — see the RNG contract in :mod:`repro.util.rng`.  Yields
+        ``(rank, result)`` pairs.
         """
-        optimization = self.optimize(sql)
-        space = PlanSpace.from_result(optimization)
+        if implicit:
+            space = self.plan_space(sql, count_only=True)
+        else:
+            space = PlanSpace.from_result(self.optimize(sql))
         if ranks is None:
             if sample is not None:
                 ranks = space.sample_ranks(sample, seed=seed)

@@ -68,6 +68,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     count = sub.add_parser("count", help="count the plan space of a query")
     count.add_argument("query", help="TPC-H query name or SQL")
+    count.add_argument(
+        "--implicit",
+        action="store_true",
+        help="count from the logical memo only (no physical memo is built; "
+        "orders of magnitude faster on large join spaces)",
+    )
 
     explain = sub.add_parser("explain", help="show the optimizer's plan")
     explain.add_argument("query")
@@ -90,6 +96,13 @@ def build_parser() -> argparse.ArgumentParser:
     sample.add_argument("--seed", type=int, default=0)
     sample.add_argument(
         "--analyze", action="store_true", help="aggregate shape/operator stats"
+    )
+    sample.add_argument(
+        "--implicit",
+        action="store_true",
+        help="sample without materializing the physical memo (same seed "
+        "draws the same ranks as the materialized path; plan costs are "
+        "printed unscaled because no best plan is computed)",
     )
 
     execute = sub.add_parser(
@@ -150,7 +163,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _cmd_count(args, out) -> int:
     session = _session(args)
-    result = session.optimize(_resolve_sql(args.query))
+    sql = _resolve_sql(args.query)
+    if args.implicit:
+        handle = session.plan_space(sql, count_only=True)
+        space = handle.space
+        out.write(
+            f"groups: {space.group_count()}\n"
+            f"logical operators: {space.logical_operator_count()}\n"
+            f"physical operators: {space.physical_operator_count()} (virtual)\n"
+            f"plans: {space.count():,}\n"
+        )
+        return 0
+    result = session.optimize(sql)
     space = PlanSpace.from_result(result)
     memo = result.memo
     out.write(
@@ -188,7 +212,25 @@ def _cmd_unrank(args, out) -> int:
 
 def _cmd_sample(args, out) -> int:
     session = _session(args)
-    result = session.optimize(_resolve_sql(args.query))
+    sql = _resolve_sql(args.query)
+    if args.implicit:
+        from repro.optimizer.cost import CostModel
+
+        handle = session.plan_space(sql, count_only=True)
+        ranks = handle.sample_ranks(args.n, seed=args.seed)
+        plans = [handle.unrank(rank) for rank in ranks]
+        cost_model = CostModel(session.catalog, session.options.cost_params)
+        out.write(
+            f"space: {handle.count():,} plans; sampled {args.n} (implicit)\n"
+        )
+        for rank, plan in zip(ranks, plans):
+            cost = cost_model.plan_cost(plan)
+            shape = " -> ".join(node.op.name for node in plan.iter_nodes())
+            out.write(f"  #{rank}  cost {cost:,.1f}  [{shape}]\n")
+        if args.analyze:
+            out.write("\n" + analyze_plans(plans).render() + "\n")
+        return 0
+    result = session.optimize(sql)
     space = PlanSpace.from_result(result)
     ranks = space.sample_ranks(args.n, seed=args.seed)
     plans = [space.unrank(rank) for rank in ranks]

@@ -1,209 +1,35 @@
-"""Implementation rules: derive physical operators from logical ones.
+"""Materialize implementation rules: physical memo expressions.
 
-Mirrors the paper's rule category (2): "a physical operator in the same
-group".  For each logical expression we generate every applicable
-implementation:
-
-* ``Get``        -> ``TableScan`` plus one ``IndexScan`` per index;
-* ``Join``       -> ``NestedLoopJoin`` always, plus ``HashJoin`` and
-  ``MergeJoin`` when the predicate has equality conjuncts that straddle
-  the two sides;
-* ``Select``     -> ``Filter``;
-* ``Aggregate``  -> ``HashAggregate`` and ``StreamAggregate`` (hash only
-  when there are grouping columns);
-* ``Project``    -> ``Project``.
-
-A final pass inserts ``Sort`` enforcers: whenever some physical operator
-requires a sort order of a child group (merge join inputs, stream
-aggregate input) — or the query's ORDER BY requires one of the root — the
-child group receives a ``Sort`` expression whose own child is the group
-itself.  That is exactly the shape of the paper's Figure 2, where Sort
-operators appear inside scan groups.
+The rule set itself — which physical operators a logical expression
+yields, in which order, with which enforcer requirements — lives in the
+side-effect-free :mod:`repro.optimizer.rules` module, shared with the
+implicit plan-space engine (:mod:`repro.planspace.implicit`), which
+applies the same rules analytically without creating expressions.  This
+module is the *materializing* consumer: it walks the logical memo and
+inserts one :class:`~repro.memo.group.GroupExpr` per generated operator,
+then adds the ``Sort`` enforcers the physical operators (and ORDER BY)
+require — exactly the shape of the paper's Figure 2, where Sort operators
+appear inside scan groups.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.algebra.expressions import (
-    ColumnId,
-    ColumnRef,
-    Comparison,
-    CompOp,
-    Scalar,
-    make_conjunction,
-    split_conjuncts,
-)
-from repro.algebra.logical import (
-    LogicalAggregate,
-    LogicalGet,
-    LogicalJoin,
-    LogicalProject,
-    LogicalSelect,
-)
-from repro.algebra.physical import (
-    HashAggregate,
-    HashJoin,
-    IndexNestedLoopJoin,
-    IndexScan,
-    MergeJoin,
-    NestedLoopJoin,
-    PhysicalFilter,
-    PhysicalOperator,
-    PhysicalProject,
-    Sort,
-    StreamAggregate,
-    TableScan,
-)
+from repro.algebra.expressions import ColumnId
+from repro.algebra.logical import LogicalGet, LogicalJoin
+from repro.algebra.physical import HashJoin, MergeJoin, PhysicalOperator, Sort
 from repro.catalog.catalog import Catalog
-from repro.errors import OptimizerError
 from repro.memo.group import GroupExpr
 from repro.memo.memo import Memo
+from repro.optimizer.rules import (
+    ImplementationConfig,
+    extract_equi_keys,
+    index_nl_join_implementations,
+    nested_loop_join,
+    scan_implementations,
+    unary_implementations,
+)
 
 __all__ = ["ImplementationConfig", "implement_memo", "extract_equi_keys"]
-
-
-@dataclass(frozen=True)
-class ImplementationConfig:
-    """Which implementations to generate (ablation knobs).
-
-    ``enable_index_nl_join`` adds index-lookup joins (the paper's "index
-    utilization" dimension); it is off by default so that the documented
-    baseline spaces stay comparable — the index-join ablation benchmark
-    measures its effect explicitly.
-    """
-
-    enable_index_scans: bool = True
-    enable_hash_join: bool = True
-    enable_merge_join: bool = True
-    enable_nested_loop_join: bool = True
-    enable_index_nl_join: bool = False
-    enable_stream_aggregate: bool = True
-    enable_sort_enforcers: bool = True
-
-
-def _equality_analysis(
-    predicate: Scalar,
-) -> tuple[
-    tuple[tuple[ColumnId, ColumnId, str, str, tuple, tuple, Scalar], ...],
-    tuple[Scalar, ...],
-]:
-    """Classify a predicate's conjuncts once, memoized on the object.
-
-    Returns ``(candidate equality pairs, other conjuncts)`` where each
-    pair entry is ``(a, b, a_alias, b_alias, sort_key_ab, sort_key_ba,
-    conjunct)``.  Join predicates are interned by the join graph, so
-    across a whole memo the same predicate object is analyzed for both
-    join orientations and for every implementation rule — the conjunct
-    walk happens exactly once.
-    """
-    cached = predicate.__dict__.get("_eq_analysis")
-    if cached is None:
-        eq_pairs = []
-        others: list[Scalar] = []
-        for conjunct in split_conjuncts(predicate):
-            if (
-                isinstance(conjunct, Comparison)
-                and conjunct.op is CompOp.EQ
-                and isinstance(conjunct.left, ColumnRef)
-                and isinstance(conjunct.right, ColumnRef)
-            ):
-                a = conjunct.left.column_id
-                b = conjunct.right.column_id
-                # Both orientations' sort keys are precomputed so the
-                # per-join extraction sorts plain string tuples.
-                eq_pairs.append(
-                    (
-                        a,
-                        b,
-                        a.alias,
-                        b.alias,
-                        (a.alias, a.column, b.alias, b.column),
-                        (b.alias, b.column, a.alias, a.column),
-                        conjunct,
-                    )
-                )
-            else:
-                others.append(conjunct)
-        cached = (tuple(eq_pairs), tuple(others))
-        object.__setattr__(predicate, "_eq_analysis", cached)
-    return cached
-
-
-def extract_equi_keys(
-    predicate: Scalar | None,
-    left_relations: frozenset[str],
-    right_relations: frozenset[str],
-) -> tuple[tuple[ColumnId, ...], tuple[ColumnId, ...], Scalar | None]:
-    """Split a join predicate into equi-join keys plus a residual.
-
-    Returns ``(left_keys, right_keys, residual)``; the key lists are empty
-    when no equality conjunct straddles the two sides.  Key pairs are
-    sorted canonically so the same logical join always yields the same
-    physical operator identity.
-    """
-    if predicate is None:
-        return (), (), None
-    eq_pairs, others = _equality_analysis(predicate)
-    pairs: list[tuple[tuple, ColumnId, ColumnId]] = []
-    residual: list[Scalar] = list(others)
-    for a, b, a_alias, b_alias, key_ab, key_ba, conjunct in eq_pairs:
-        if a_alias in left_relations and b_alias in right_relations:
-            pairs.append((key_ab, a, b))
-        elif b_alias in left_relations and a_alias in right_relations:
-            pairs.append((key_ba, b, a))
-        else:
-            residual.append(conjunct)
-    if not pairs:
-        return (), (), make_conjunction(residual) if residual else None
-    if len(pairs) > 1:
-        pairs.sort()
-    left_keys = tuple(pair[1] for pair in pairs)
-    right_keys = tuple(pair[2] for pair in pairs)
-    if residual:
-        return left_keys, right_keys, make_conjunction(residual)
-    return left_keys, right_keys, None
-
-
-def _implement_get(
-    expr: GroupExpr, memo: Memo, catalog: Catalog, config: ImplementationConfig
-) -> int:
-    op = expr.op
-    assert isinstance(op, LogicalGet)
-    group = memo.group(expr.group_id)
-    inserted = 0
-    scan = TableScan(table=op.table, alias=op.alias, predicate=op.predicate)
-    if memo.insert(scan, (), group) is not None:
-        inserted += 1
-    if config.enable_index_scans:
-        for index in catalog.indexes(op.table):
-            key_order = tuple(ColumnId(op.alias, col) for col in index.key)
-            scan = IndexScan(
-                table=op.table,
-                alias=op.alias,
-                index_name=index.name,
-                key_order=key_order,
-                predicate=op.predicate,
-            )
-            if memo.insert(scan, (), group) is not None:
-                inserted += 1
-    return inserted
-
-
-_CROSS_NLJ = NestedLoopJoin(None)
-
-
-def _nested_loop_join(predicate: Scalar | None) -> NestedLoopJoin:
-    """The nested-loops operator for a predicate, interned per object:
-    both orientations of a logical join share the predicate, so they share
-    the physical operator (and its cached memo key) too."""
-    if predicate is None:
-        return _CROSS_NLJ
-    op = predicate.__dict__.get("_nlj_op")
-    if op is None:
-        op = NestedLoopJoin(predicate)
-        object.__setattr__(predicate, "_nlj_op", op)
-    return op
 
 
 def _implement_index_nl_join(
@@ -213,12 +39,9 @@ def _implement_index_nl_join(
     left_keys: tuple[ColumnId, ...],
     right_keys: tuple[ColumnId, ...],
 ) -> int:
-    """Index-lookup joins: the inner side must be a single base table with
-    an index whose key prefix is covered by the join's equality columns.
-
-    Unconsumed conjuncts (non-equi conjuncts and equality pairs beyond the
-    matched index prefix) stay behind as the operator's residual.
-    """
+    """Insert index-lookup joins when the inner side is a single base
+    table with a usable index (see
+    :func:`repro.optimizer.rules.index_nl_join_implementations`)."""
     op = expr.op
     assert isinstance(op, LogicalJoin)
     right_group = memo.group(expr.children[1])
@@ -230,77 +53,13 @@ def _implement_index_nl_join(
     )
     if get is None:
         return 0
-
-    by_inner_column = {
-        inner.column: (outer, inner) for outer, inner in zip(left_keys, right_keys)
-    }
     group = memo.group(expr.group_id)
     inserted = 0
-    for index in catalog.indexes(get.table):
-        outer_keys: list[ColumnId] = []
-        inner_keys: list[ColumnId] = []
-        for key_column in index.key:
-            pair = by_inner_column.get(key_column)
-            if pair is None:
-                break
-            outer_keys.append(pair[0])
-            inner_keys.append(pair[1])
-        if not outer_keys:
-            continue
-        consumed = {
-            Comparison(CompOp.EQ, ColumnRef(o), ColumnRef(i)).fingerprint()
-            for o, i in zip(outer_keys, inner_keys)
-        }
-        leftover = [
-            conjunct
-            for conjunct in split_conjuncts(op.predicate)
-            if conjunct.fingerprint() not in consumed
-        ]
-        join = IndexNestedLoopJoin(
-            inner_table=get.table,
-            inner_alias=get.alias,
-            index_name=index.name,
-            outer_keys=tuple(outer_keys),
-            inner_keys=tuple(inner_keys),
-            inner_predicate=get.predicate,
-            residual=make_conjunction(leftover),
-        )
+    for join in index_nl_join_implementations(
+        get, catalog, op.predicate, left_keys, right_keys
+    ):
         if memo.insert(join, (expr.children[0],), group) is not None:
             inserted += 1
-    return inserted
-
-
-def _implement_unary(
-    expr: GroupExpr, memo: Memo, config: ImplementationConfig
-) -> int:
-    op = expr.op
-    group = memo.group(expr.group_id)
-    inserted = 0
-    if isinstance(op, LogicalSelect):
-        if memo.insert(PhysicalFilter(op.predicate), expr.children, group) is not None:
-            inserted += 1
-    elif isinstance(op, LogicalAggregate):
-        if op.group_by:
-            if memo.insert(
-                HashAggregate(op.group_by, op.aggregates), expr.children, group
-            ) is not None:
-                inserted += 1
-            if config.enable_stream_aggregate:
-                if memo.insert(
-                    StreamAggregate(op.group_by, op.aggregates), expr.children, group
-                ) is not None:
-                    inserted += 1
-        else:
-            # Scalar aggregate: a single streaming pass, no requirement.
-            if memo.insert(
-                StreamAggregate(op.group_by, op.aggregates), expr.children, group
-            ) is not None:
-                inserted += 1
-    elif isinstance(op, LogicalProject):
-        if memo.insert(PhysicalProject(op.outputs), expr.children, group) is not None:
-            inserted += 1
-    else:
-        raise OptimizerError(f"no implementation rule for {op.name}")
     return inserted
 
 
@@ -332,7 +91,10 @@ def implement_memo(
     record_requirement = sort_requirements.setdefault
     # Snapshot: implementation adds physical exprs only, so iterating over
     # the logical expressions present now is exhaustive.  Joins — the bulk
-    # of any explored memo — are handled inline with hoisted locals.
+    # of any explored memo — are handled inline with hoisted locals; the
+    # operator construction itself is the shared rule module's.  The
+    # inline structure mirrors rules.join_implementations (NLJ, Hash,
+    # Merge, IndexNLJ order) without building an operator tuple per join.
     logical = [
         expr
         for group in memo.groups
@@ -351,7 +113,7 @@ def implement_memo(
                 groups[children[1]].relations,
             )
             if enable_nlj:
-                if insert(_nested_loop_join(predicate), children, group) is not None:
+                if insert(nested_loop_join(predicate), children, group) is not None:
                     inserted += 1
             if left_keys:
                 if enable_hash:
@@ -370,9 +132,15 @@ def implement_memo(
                         expr, memo, catalog, left_keys, right_keys
                     )
         elif isinstance(op, LogicalGet):
-            inserted += _implement_get(expr, memo, catalog, config)
+            group = groups[expr.group_id]
+            for scan in scan_implementations(op, catalog, config):
+                if insert(scan, (), group) is not None:
+                    inserted += 1
         else:
-            inserted += _implement_unary(expr, memo, config)
+            group = groups[expr.group_id]
+            for phys in unary_implementations(op, config):
+                if insert(phys, expr.children, group) is not None:
+                    inserted += 1
 
     if config.enable_sort_enforcers:
         inserted += _insert_enforcers(

@@ -19,7 +19,12 @@ Workflow (Section 3 of the paper):
 from repro.planspace.links import LinkedOperator, LinkedSpace, materialize_links
 from repro.planspace.counting import annotate_counts
 from repro.planspace.unranking import UnrankTrace, Unranker
-from repro.planspace.sampling import UniformPlanSampler, naive_walk_sample
+from repro.planspace.sampling import (
+    RankSampler,
+    UniformPlanSampler,
+    naive_walk_sample,
+)
+from repro.planspace.implicit import ImplicitPlanSpace
 from repro.planspace.enumeration import enumerate_plans
 from repro.planspace.participation import (
     participation_counts,
@@ -41,8 +46,10 @@ __all__ = [
     "annotate_counts",
     "Unranker",
     "UnrankTrace",
+    "RankSampler",
     "UniformPlanSampler",
     "naive_walk_sample",
+    "ImplicitPlanSpace",
     "enumerate_plans",
     "participation_counts",
     "participation_report",

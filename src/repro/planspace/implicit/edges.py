@@ -1,0 +1,161 @@
+"""Oriented equality edges as rank bitmasks.
+
+The implicit engine never materializes a join predicate to learn its
+equi-keys.  Instead every equality conjunct ``a.x = b.y`` becomes *two
+oriented edges* (``a``-side left, ``b``-side left), globally sorted by the
+same ``(alias, column, other alias, other column)`` string key that
+:func:`repro.optimizer.rules.extract_equi_keys` sorts key pairs by.  An
+oriented edge's position in that global order is its *rank*.
+
+Because the canonical key sequence of any cut is its crossing edges in
+rank order, the key identity of the cut ``(left, right)`` reduces to a
+single integer: the bitmask (bit *i* = rank-*i* edge crosses) ::
+
+    cut(left, right) = FROM[left] & TO[right]
+
+where ``FROM[mask]``/``TO[mask]`` are union tables over the alias bits of
+``mask``, filled once per query in ``O(2^n)`` word operations.  Decoding a
+cut bitmask yields both oriented column sequences — the left keys (sorted
+canonically for the left side) and the right keys (the matching columns
+in *the same order*, which is how merge-join ``right_keys`` are ordered).
+
+Columns are interned to one-byte ids so key sequences pack into ``bytes``
+(hashable, memcmp-comparable, prefix-testable with ``startswith``) — the
+representation :mod:`repro.planspace.implicit.keys` builds its order
+indexes on.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import ColumnId
+from repro.errors import PlanSpaceError
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.rules import equality_analysis
+
+__all__ = ["EdgeCatalog"]
+
+#: column ids are 1-based single bytes; 0 is reserved as the pad/sentinel
+#: value of the vectorized key tables
+_MAX_COLUMNS = 254
+
+
+class EdgeCatalog:
+    """Oriented equality edges of one query's join graph."""
+
+    def __init__(self, graph: JoinGraph):
+        self.graph = graph
+        self.universe = graph.universe
+        n = self.universe.size
+
+        #: interned columns: ColumnId -> 1-based byte id (and back)
+        self.col_ids: dict[ColumnId, int] = {}
+        self.columns: list[ColumnId] = [None]  # 1-based
+
+        records = []
+        mask_of = self.universe.mask_of
+        for conjunct in graph.conjuncts:
+            eq_pairs, _others = equality_analysis(conjunct.expr)
+            for a, b, a_alias, b_alias, key_ab, key_ba, _c in eq_pairs:
+                a_bit = mask_of([a_alias])
+                b_bit = mask_of([b_alias])
+                if a_bit == b_bit:
+                    continue  # same-alias equality never crosses a cut
+                records.append((key_ab, a, b, a_bit, b_bit))
+                records.append((key_ba, b, a, b_bit, a_bit))
+        records.sort(key=lambda rec: rec[0])
+
+        self.edge_count = len(records)
+        #: per oriented edge rank: left/right column byte ids
+        self.left_col: bytes
+        self.right_col: bytes
+        #: per alias bit position: bitmask of ranks leaving/entering it
+        self.from_bits = [0] * n
+        self.to_bits = [0] * n
+
+        left_cols = bytearray()
+        right_cols = bytearray()
+        for rank, (_key, a, b, a_bit, b_bit) in enumerate(records):
+            left_cols.append(self.col_id(a))
+            right_cols.append(self.col_id(b))
+            self.from_bits[a_bit.bit_length() - 1] |= 1 << rank
+            self.to_bits[b_bit.bit_length() - 1] |= 1 << rank
+        self.left_col = bytes(left_cols)
+        self.right_col = bytes(right_cols)
+
+        # FROM/TO union tables are memoized per queried mask (lowest-bit
+        # recurrence), not pre-filled densely: a sparse topology touches
+        # only its connected subsets, a vanishing fraction of 2^n.  The
+        # turbo path builds its own dense word tables vectorized.
+        if n > 24:
+            raise PlanSpaceError(
+                f"implicit plan space supports at most 24 relations ({n} given)"
+            )
+        self._from_cache: dict[int, int] = {0: 0}
+        self._to_cache: dict[int, int] = {0: 0}
+
+    # ------------------------------------------------------------------
+    def col_id(self, column: ColumnId) -> int:
+        """Intern ``column`` to its 1-based byte id."""
+        cid = self.col_ids.get(column)
+        if cid is None:
+            cid = len(self.columns)
+            if cid > _MAX_COLUMNS:
+                raise PlanSpaceError(
+                    "implicit plan space supports at most "
+                    f"{_MAX_COLUMNS} distinct key columns"
+                )
+            self.col_ids[column] = cid
+            self.columns.append(column)
+        return cid
+
+    def seq_bytes(self, columns: tuple[ColumnId, ...]) -> bytes:
+        """Pack a column sequence (index key, GROUP BY, ORDER BY) into the
+        interned byte form."""
+        return bytes(self.col_id(c) for c in columns)
+
+    def seq_columns(self, seq: bytes) -> tuple[ColumnId, ...]:
+        """Inverse of :meth:`seq_bytes`."""
+        columns = self.columns
+        return tuple(columns[b] for b in seq)
+
+    # ------------------------------------------------------------------
+    def _union(self, mask: int, bits: list[int], cache: dict[int, int]) -> int:
+        value = cache.get(mask)
+        if value is None:
+            low = mask & -mask
+            value = self._union(mask ^ low, bits, cache) | bits[
+                low.bit_length() - 1
+            ]
+            cache[mask] = value
+        return value
+
+    def from_mask(self, mask: int) -> int:
+        """Bitmask of the oriented edges leaving any alias of ``mask``."""
+        return self._union(mask, self.from_bits, self._from_cache)
+
+    def to_mask(self, mask: int) -> int:
+        """Bitmask of the oriented edges entering any alias of ``mask``."""
+        return self._union(mask, self.to_bits, self._to_cache)
+
+    def cut(self, left: int, right: int) -> int:
+        """The oriented-edge bitmask of the cut ``(left, right)``."""
+        return self.from_mask(left) & self.to_mask(right)
+
+    def decode(self, cut_bits: int) -> tuple[bytes, bytes]:
+        """Decode a cut bitmask into ``(left key bytes, right key bytes)``.
+
+        Ranks ascend with bit position, so the sequences come out in the
+        canonical (left-side sorted) key order.
+        """
+        left = bytearray()
+        right = bytearray()
+        left_col = self.left_col
+        right_col = self.right_col
+        bits = cut_bits
+        while bits:
+            bit = bits & -bits
+            i = bit.bit_length() - 1
+            left.append(left_col[i])
+            right.append(right_col[i])
+            bits ^= bit
+        return bytes(left), bytes(right)

@@ -1,0 +1,154 @@
+"""Interned cut keys and prefix-closed order indexes.
+
+Every sort order the search space mentions — merge-join key sequences,
+index key orders, GROUP BY / ORDER BY requirements — is interned here as a
+*kid* (key id) over its packed byte form (:mod:`.edges`).  Two structures
+answer everything counting and unranking need:
+
+* :meth:`KeyTable.kid` — identity: the same column sequence always maps to
+  the same kid, which is what deduplicates ``Sort`` enforcers exactly like
+  the memo's duplicate detection does;
+* :class:`OrderIndex` — a per-group sorted index of *delivered* orders
+  with bigint prefix sums.  ``sum_satisfying(q)`` returns the total count
+  of operators whose delivered order satisfies the required order ``q``
+  (the paper's qualification rule: requirement is a prefix of delivery) as
+  one lexicographic range query — delivered orders extending ``q`` occupy
+  the contiguous byte-string interval ``[q, q + 0xff)``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.planspace.implicit.edges import EdgeCatalog
+
+__all__ = ["KeyTable", "OrderIndex"]
+
+#: sentinel "required order" ids
+NO_ORDER_KID = -1
+
+
+class KeyTable:
+    """Kid interning over packed key byte strings.
+
+    Two backings share one id space:
+
+    * the plain dict/list path (reference counting pass, and any kid the
+      preloaded matrix does not contain);
+    * a :meth:`preload`-ed, lexicographically sorted byte matrix (the
+      turbo pass's kid universe) — lookups binary-search it, and the byte
+      strings themselves are sliced out lazily, so a count-only run never
+      materializes hundreds of thousands of ``bytes`` objects.
+    """
+
+    def __init__(self, edges: EdgeCatalog):
+        self.edges = edges
+        self._kid_by_bytes: dict[bytes, int] = {}
+        self.kid_bytes = _KidBytes(self)
+        self._overflow: list[bytes] = []
+        self._mat_flat: bytes = b""
+        self._width: int = 0
+        self._lengths: list[int] = []
+        self._preloaded: int = 0
+        #: cut bitmask -> (left kid, right kid), memoized: symmetric
+        #: workloads reuse the same cut key sets across many subsets
+        self._cut_kids: dict[int, tuple[int, int]] = {}
+
+    def preload(self, matrix, lengths) -> None:
+        """Adopt a sorted, 0-padded ``(K, width)`` uint8 kid matrix: row
+        index = kid id = lexicographic rank."""
+        assert not self._preloaded and not self._overflow
+        self._mat_flat = matrix.tobytes()
+        self._width = matrix.shape[1]
+        self._lengths = lengths.tolist()
+        self._preloaded = len(self._lengths)
+
+    def _row(self, kid: int) -> bytes:
+        width = self._width
+        start = kid * width
+        return self._mat_flat[start : start + self._lengths[kid]]
+
+    def bytes_of(self, kid: int) -> bytes:
+        if kid < self._preloaded:
+            return self._row(kid)
+        return self._overflow[kid - self._preloaded]
+
+    def kid(self, seq: bytes) -> int:
+        """Intern a packed key sequence."""
+        k = self._kid_by_bytes.get(seq)
+        if k is not None:
+            return k
+        if self._preloaded:
+            width = self._width
+            if len(seq) <= width:
+                probe = seq.ljust(width, b"\x00")
+                flat = self._mat_flat
+                lo, hi = 0, self._preloaded
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if flat[mid * width : (mid + 1) * width] < probe:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                if (
+                    lo < self._preloaded
+                    and flat[lo * width : (lo + 1) * width] == probe
+                ):
+                    self._kid_by_bytes[seq] = lo
+                    return lo
+        k = self._preloaded + len(self._overflow)
+        self._kid_by_bytes[seq] = k
+        self._overflow.append(seq)
+        return k
+
+    def kid_of_columns(self, columns) -> int:
+        """Intern a ColumnId sequence (index keys, GROUP BY, ORDER BY)."""
+        return self.kid(self.edges.seq_bytes(tuple(columns)))
+
+    def cut_kids(self, cut_bits: int) -> tuple[int, int]:
+        """``(left kid, right kid)`` for one oriented cut bitmask."""
+        pair = self._cut_kids.get(cut_bits)
+        if pair is None:
+            left_seq, right_seq = self.edges.decode(cut_bits)
+            pair = (self.kid(left_seq), self.kid(right_seq))
+            self._cut_kids[cut_bits] = pair
+        return pair
+
+    def columns_of(self, kid: int):
+        """The ColumnId sequence of a kid (for ``Sort``/key construction)."""
+        return self.edges.seq_columns(self.bytes_of(kid))
+
+
+class _KidBytes:
+    """Indexable ``kid -> bytes`` facade over both key-table backings."""
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: KeyTable):
+        self._table = table
+
+    def __getitem__(self, kid: int) -> bytes:
+        return self._table.bytes_of(kid)
+
+
+class OrderIndex:
+    """Sorted (delivered order -> total count) index for one group."""
+
+    __slots__ = ("keys", "prefix")
+
+    def __init__(self, deliveries: dict[bytes, int]):
+        items = sorted(deliveries.items())
+        self.keys = [seq for seq, _count in items]
+        prefix = [0]
+        total = 0
+        for _seq, count in items:
+            total += count
+            prefix.append(total)
+        self.prefix = prefix
+
+    def sum_satisfying(self, required: bytes) -> int:
+        """Total count of deliveries whose order satisfies ``required``."""
+        keys = self.keys
+        lo = bisect_left(keys, required)
+        hi = bisect_left(keys, required + b"\xff")
+        return self.prefix[hi] - self.prefix[lo]

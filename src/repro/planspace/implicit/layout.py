@@ -1,0 +1,203 @@
+"""The implicit memo layout: groups and logical expressions, simulated.
+
+The materialized pipeline builds its group structure twice over: the
+initial copy-in seeds singles, the left-deep prefix chain and the unary
+tower, then exploration inserts one logical join per valid ordered
+partition.  The resulting layout — group ids in creation order, logical
+expressions in insertion order — is fully determined by the bound query
+and the join graph, so the implicit engine *simulates* it instead:
+
+* groups of the initial memo keep their ids (``build_initial_memo`` runs
+  as-is: it is O(query) and supplies the leaf ``Get`` operators, the
+  left-deep prefix joins, and the unary tower);
+* every further subset of the enumeration universe (connected subsets, or
+  all subsets with cross products) gets the next id, in universe order —
+  exactly the order ``EnumerationExplorer`` calls ``get_or_create``;
+* a join group's logical expressions are its valid splits in bucket
+  order, both orientations, with the initial left-deep expression (if the
+  group has one) first — the memo's duplicate elimination would have
+  skipped its re-insertion.
+
+``local_id`` arithmetic follows: logical expressions occupy ``1..L``, the
+physical operators the implicit engine *counts without creating* would
+occupy ``L+1..``.  The simulation is byte-compatible with the explored
+memo — asserted group-by-group in the property suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.algebra.logical import LogicalGet
+from repro.errors import PlanSpaceError
+from repro.optimizer.joingraph import JoinGraph
+from repro.optimizer.setup import build_initial_memo
+from repro.sql.binder import BoundQuery
+
+__all__ = ["ImplicitGroup", "ImplicitLayout"]
+
+
+@dataclass
+class ImplicitGroup:
+    """One simulated memo group.
+
+    ``kind`` is ``leaf`` (single relation), ``join`` (relation set of two
+    or more), or the unary-tower tags ``select``/``agg``/``proj``.  Join
+    groups carry their valid unordered ``splits`` (left side holding the
+    subset's name-smallest alias, historical order) and, for groups seeded
+    by the initial left-deep plan, the ``initial`` ordered pair.
+    """
+
+    gid: int
+    kind: str
+    mask: int | None = None
+    relations: frozenset[str] = frozenset()
+    op: object | None = None  # leaf Get / tower logical operator
+    child_gid: int | None = None  # tower groups
+    splits: list[tuple[int, int]] = field(default_factory=list)
+    initial: tuple[int, int] | None = None
+
+    @property
+    def logical_count(self) -> int:
+        """Number of logical expressions (local ids ``1..L``)."""
+        if self.kind == "join":
+            # both orientations of every split; the initial expression is
+            # one of them (inserted first, deduplicated later)
+            return 2 * len(self.splits)
+        return 1
+
+    def ordered_exprs(self) -> Iterator[tuple[int, int]]:
+        """The group's logical joins as ordered mask pairs, in local-id
+        order: the initial left-deep expression first, then both
+        orientations of every split (minus the duplicate)."""
+        initial = self.initial
+        if initial is not None:
+            yield initial
+            for left, right in self.splits:
+                if (left, right) != initial:
+                    yield (left, right)
+                if (right, left) != initial:
+                    yield (right, left)
+        else:
+            for left, right in self.splits:
+                yield (left, right)
+                yield (right, left)
+
+
+class ImplicitLayout:
+    """Simulated memo layout for one query."""
+
+    def __init__(self, bound: BoundQuery, allow_cross_products: bool):
+        setup = build_initial_memo(bound, allow_cross_products)
+        self.bound = bound
+        self.allow_cross_products = allow_cross_products
+        self.graph: JoinGraph = setup.graph
+        self.universe = self.graph.universe
+        self.root_order = bound.order_by
+        self.join_root_gid = setup.join_root_gid
+
+        memo = setup.memo
+        self.root_gid: int = memo.root_group_id
+        self.groups: list[ImplicitGroup] = []
+        self.gid_by_mask: dict[int, int] = {}
+        self.tower_gids: list[int] = []
+
+        # 1. Groups of the initial memo keep their ids.
+        for group in memo.groups:
+            tag = group.key[0]
+            if tag == "rels":
+                mask = group.mask
+                exprs = group.logical_exprs()
+                if len(group.relations) == 1:
+                    record = ImplicitGroup(
+                        gid=group.gid,
+                        kind="leaf",
+                        mask=mask,
+                        relations=group.relations,
+                        op=exprs[0].op,
+                    )
+                    assert isinstance(record.op, LogicalGet)
+                else:
+                    join = exprs[0]
+                    record = ImplicitGroup(
+                        gid=group.gid,
+                        kind="join",
+                        mask=mask,
+                        relations=group.relations,
+                        initial=(
+                            memo.group(join.children[0]).mask,
+                            memo.group(join.children[1]).mask,
+                        ),
+                    )
+                self.gid_by_mask[mask] = group.gid
+            elif tag in ("select", "agg", "proj"):
+                expr = group.logical_exprs()[0]
+                record = ImplicitGroup(
+                    gid=group.gid,
+                    kind=tag,
+                    relations=group.relations,
+                    mask=group.mask,
+                    op=expr.op,
+                    child_gid=expr.children[0],
+                )
+                self.tower_gids.append(group.gid)
+            else:  # pragma: no cover - defensive
+                raise PlanSpaceError(f"unknown group key tag {tag!r}")
+            self.groups.append(record)
+
+        # 2. The enumeration universe, in explorer order.
+        graph = self.graph
+        if allow_cross_products:
+            subset_masks = graph.all_subset_masks()
+            buckets = {
+                mask: graph.cross_splits_m(mask)
+                for mask in subset_masks
+                if mask & (mask - 1)
+            }
+        else:
+            subset_masks = graph.connected_subset_masks()
+            buckets = graph.csg_cmp_buckets()
+        self.subset_masks = subset_masks
+
+        for mask in subset_masks:
+            if not mask & (mask - 1):
+                continue  # singles: seeded by the initial memo
+            splits = buckets.get(mask, [])
+            gid = self.gid_by_mask.get(mask)
+            if gid is None:
+                gid = len(self.groups)
+                record = ImplicitGroup(
+                    gid=gid,
+                    kind="join",
+                    mask=mask,
+                    relations=self.universe.names(mask),
+                    splits=splits,
+                )
+                self.groups.append(record)
+                self.gid_by_mask[mask] = gid
+            else:
+                record = self.groups[gid]
+                record.splits = splits
+                if record.initial is not None and not any(
+                    record.initial in ((l, r), (r, l)) for l, r in splits
+                ):  # pragma: no cover - defensive
+                    raise PlanSpaceError(
+                        f"initial join of group {gid} missing from its splits"
+                    )
+
+    # ------------------------------------------------------------------
+    def group(self, gid: int) -> ImplicitGroup:
+        return self.groups[gid]
+
+    def group_for_mask(self, mask: int) -> ImplicitGroup:
+        return self.groups[self.gid_by_mask[mask]]
+
+    def join_groups(self) -> Iterator[ImplicitGroup]:
+        """Join groups in gid order (= the materializer's iteration order)."""
+        for group in self.groups:
+            if group.kind == "join":
+                yield group
+
+    def logical_expression_count(self) -> int:
+        return sum(group.logical_count for group in self.groups)

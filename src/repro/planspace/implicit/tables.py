@@ -1,0 +1,385 @@
+"""Lazy array-backed operator tables for unranking.
+
+Counting never enumerates individual operators — it works on group
+aggregates.  Unranking must: selecting the operator for a rank walks a
+group's alternatives in ``local_id`` order with their ``N(v)`` counts.
+:class:`GroupTable` reconstructs exactly the rows the materializer would
+have inserted — same order, same local ids — *for one group at a time*,
+on demand, from the layout plus the counting aggregates.  A rank's plan
+touches O(depth) groups, so only those groups ever get tables; repeated
+unrankings share them.
+
+Rows hold numbers and byte-packed orders only.  The physical operator
+object of a row is built lazily (and cached) the first time a plan
+actually includes it — the point of the implicit engine is that plans
+instantiate O(plan) operators, not O(space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import accumulate
+
+from repro.algebra.logical import LogicalGet
+from repro.errors import PlanSpaceError
+from repro.optimizer.rules import (
+    index_nl_join_implementations,
+    join_implementations,
+    scan_implementations,
+)
+from repro.planspace.implicit.counting import CountState
+
+__all__ = ["GroupTable", "CandidateList", "TableSet"]
+
+#: slot requirement sentinel: enforcer child (non-enforcers of own group)
+NONENF = "nonenf"
+
+
+@dataclass
+class Row:
+    """One virtual physical operator of a group."""
+
+    local_id: int
+    kind: str  # scan | join | inlj | unary | sort
+    payload: tuple
+    count: int
+    delivered: bytes | None
+    #: per child slot: (child_gid, requirement) where requirement is
+    #: None (any), a kid id, or (NONENF, sort kid) for enforcer children
+    slots: tuple
+    #: B_v prefix products, B_v(0)=1 first
+    prefix: tuple
+
+
+@dataclass
+class CandidateList:
+    """Qualifying rows of one (group, requirement) pair, with the prefix
+    sums operator selection bisects over."""
+
+    gid: int
+    rows: list[Row]
+    cumulative: list[int]  # exclusive prefix sums, len(rows)+1
+
+    @property
+    def total(self) -> int:
+        return self.cumulative[-1]
+
+
+class GroupTable:
+    """All virtual operator rows of one group, in local-id order."""
+
+    def __init__(self, tables: "TableSet", gid: int):
+        self.gid = gid
+        self.rows: list[Row] = []
+        self.row_by_local: dict[int, Row] = {}
+        self._build(tables)
+
+    def _add(self, kind, payload, count, delivered, slots, bs, local_id):
+        prefix = (1, *accumulate(bs, lambda a, b: a * b)) if bs else (1,)
+        row = Row(
+            local_id=local_id,
+            kind=kind,
+            payload=payload,
+            count=count,
+            delivered=delivered,
+            slots=slots,
+            prefix=prefix,
+        )
+        self.rows.append(row)
+        self.row_by_local[local_id] = row
+        return row
+
+    def _build(self, tables: "TableSet") -> None:
+        state = tables.state
+        layout = state.layout
+        group = layout.group(self.gid)
+        config = state.config
+        local = group.logical_count + 1
+
+        if group.kind == "leaf":
+            scans = scan_implementations(group.op, state.catalog, config)
+            for pos, scan in enumerate(scans):
+                order = scan.delivered_order()
+                delivered = state.edges.seq_bytes(order) if order else None
+                self._add("scan", (pos,), 1, delivered, (), (), local)
+                local += 1
+        elif group.kind == "join":
+            A = state.A
+            sord = state.sord
+            gid_by_mask = layout.gid_by_mask
+            kid_bytes = state.keys.kid_bytes
+            cut = state.edges.cut
+            cut_kids = state.keys.cut_kids
+            plain_nlj = config.enable_nested_loop_join
+            hashj = config.enable_hash_join
+            merge = config.enable_merge_join
+            inlj = config.enable_index_nl_join
+            for left, right in group.ordered_exprs():
+                lgid = gid_by_mask[left]
+                rgid = gid_by_mask[right]
+                bits = cut(left, right)
+                al, ar = A[left], A[right]
+                ops_pos = 0
+                if plain_nlj:
+                    self._add(
+                        "join",
+                        (left, right, ops_pos),
+                        al * ar,
+                        None,
+                        ((lgid, None), (rgid, None)),
+                        (al, ar),
+                        local,
+                    )
+                    local += 1
+                    ops_pos += 1
+                if bits:
+                    lk, rk = cut_kids(bits)
+                    if hashj:
+                        self._add(
+                            "join",
+                            (left, right, ops_pos),
+                            al * ar,
+                            None,
+                            ((lgid, None), (rgid, None)),
+                            (al, ar),
+                            local,
+                        )
+                        local += 1
+                        ops_pos += 1
+                    if merge:
+                        bl = sord[(left, lk)]
+                        br = sord[(right, rk)]
+                        self._add(
+                            "join",
+                            (left, right, ops_pos),
+                            bl * br,
+                            kid_bytes[lk],
+                            ((lgid, lk), (rgid, rk)),
+                            (bl, br),
+                            local,
+                        )
+                        local += 1
+                        ops_pos += 1
+                    if inlj:
+                        for pos in range(
+                            tables.inlj_count(left, right, bits)
+                        ):
+                            self._add(
+                                "inlj",
+                                (left, right, pos),
+                                al,
+                                None,
+                                ((lgid, None),),
+                                (al,),
+                                local,
+                            )
+                            local += 1
+        else:  # unary tower
+            for pos, top in enumerate(state.tower_ops[self.gid]):
+                child_gid = group.child_gid
+                b = top.count
+                self._add(
+                    "unary",
+                    (pos,),
+                    top.count,
+                    top.delivered,
+                    ((child_gid, top.required_kid),),
+                    (b,),
+                    local,
+                )
+                local += 1
+
+        # sort enforcers, in global first-occurrence requirement order
+        if config.enable_sort_enforcers:
+            kid_bytes = state.keys.kid_bytes
+            if group.kind in ("leaf", "join"):
+                required = state.required.get(group.mask, {})
+                counts = state.sort_counts.get(group.mask, [])
+            else:
+                required = state.tower_required.get(self.gid, {})
+                counts = [c for _k, c in state.tower_sorts.get(self.gid, [])]
+            for (kid, count) in zip(required, counts):
+                self._add(
+                    "sort",
+                    (kid,),
+                    count,
+                    kid_bytes[kid],
+                    ((self.gid, (NONENF, kid)),),
+                    (count,),
+                    local,
+                )
+                local += 1
+
+
+class TableSet:
+    """Lazy per-group tables plus candidate lists and operator caches."""
+
+    def __init__(self, state: CountState, include_redundant_sorts: bool = True):
+        self.state = state
+        self.include_redundant_sorts = include_redundant_sorts
+        self._tables: dict[int, GroupTable] = {}
+        self._candidates: dict[tuple, CandidateList] = {}
+        self._join_ops: dict[tuple[int, int], tuple] = {}
+        self._inlj_ops: dict[tuple[int, int], list] = {}
+        self._scan_ops: dict[int, list] = {}
+        self._op_cache: dict[tuple[int, int], object] = {}
+        self._cardinality: dict[int, float] = {}
+        self._estimator = None
+
+    # ------------------------------------------------------------------
+    def table(self, gid: int) -> GroupTable:
+        table = self._tables.get(gid)
+        if table is None:
+            table = GroupTable(self, gid)
+            self._tables[gid] = table
+        return table
+
+    def candidates(self, gid: int, requirement) -> CandidateList:
+        """The qualifying rows of ``(group, requirement)`` in local order.
+
+        ``requirement`` is None (all alternatives), a kid id (delivered
+        order must satisfy it), or ``(NONENF, kid)`` (enforcer children:
+        every non-enforcer, minus the already-ordered ones under the
+        redundant-sort ablation).
+        """
+        key = (gid, requirement)
+        cached = self._candidates.get(key)
+        if cached is not None:
+            return cached
+        table = self.table(gid)
+        if requirement is None:
+            rows = table.rows
+        elif isinstance(requirement, tuple):
+            _tag, kid = requirement
+            rows = [row for row in table.rows if row.kind != "sort"]
+            if not self.include_redundant_sorts:
+                seq = self.state.keys.kid_bytes[kid]
+                rows = [
+                    row
+                    for row in rows
+                    if row.delivered is None or not row.delivered.startswith(seq)
+                ]
+        else:
+            seq = self.state.keys.kid_bytes[requirement]
+            rows = [
+                row
+                for row in table.rows
+                if row.delivered is not None and row.delivered.startswith(seq)
+            ]
+        cumulative = [0, *accumulate(row.count for row in rows)]
+        cached = CandidateList(gid=gid, rows=rows, cumulative=cumulative)
+        self._candidates[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    # operator construction (lazy, cached per row)
+    # ------------------------------------------------------------------
+    def inlj_count(self, left: int, right: int, bits: int) -> int:
+        return len(self._inlj_list(left, right))
+
+    def _inlj_list(self, left: int, right: int) -> list:
+        key = (left, right)
+        ops = self._inlj_ops.get(key)
+        if ops is None:
+            state = self.state
+            layout = state.layout
+            group = layout.group_for_mask(right)
+            if right & (right - 1) or not isinstance(group.op, LogicalGet):
+                ops = []
+            else:
+                universe = layout.universe
+                predicate = layout.graph.join_predicate_m(left, right)
+                ji = join_implementations(
+                    predicate,
+                    universe.names(left),
+                    universe.names(right),
+                    state.config,
+                )
+                if ji.left_keys:
+                    ops = index_nl_join_implementations(
+                        group.op,
+                        state.catalog,
+                        predicate,
+                        ji.left_keys,
+                        ji.right_keys,
+                    )
+                else:
+                    ops = []
+            self._inlj_ops[key] = ops
+        return ops
+
+    def operator(self, gid: int, row: Row):
+        """The physical operator of ``row`` (built on first use)."""
+        key = (gid, row.local_id)
+        op = self._op_cache.get(key)
+        if op is not None:
+            return op
+        state = self.state
+        kind = row.kind
+        if kind == "scan":
+            ops = self._scan_ops.get(gid)
+            if ops is None:
+                group = state.layout.group(gid)
+                ops = scan_implementations(group.op, state.catalog, state.config)
+                self._scan_ops[gid] = ops
+            op = ops[row.payload[0]]
+        elif kind == "join":
+            left, right, pos = row.payload
+            ji = self._join_ops.get((left, right))
+            if ji is None:
+                layout = state.layout
+                predicate = layout.graph.join_predicate_m(left, right)
+                ji = join_implementations(
+                    predicate,
+                    layout.universe.names(left),
+                    layout.universe.names(right),
+                    state.config,
+                ).ops
+                self._join_ops[(left, right)] = ji
+            op = ji[pos]
+        elif kind == "inlj":
+            left, right, pos = row.payload
+            op = self._inlj_list(left, right)[pos]
+        elif kind == "unary":
+            op = state.tower_ops[gid][row.payload[0]].op
+        elif kind == "sort":
+            from repro.algebra.physical import Sort
+
+            op = Sort(state.keys.columns_of(row.payload[0]))
+        else:  # pragma: no cover - defensive
+            raise PlanSpaceError(f"unknown row kind {kind!r}")
+        self._op_cache[key] = op
+        return op
+
+    # ------------------------------------------------------------------
+    def cardinality(self, gid: int) -> float:
+        """The group's estimated output rows (the annotation the
+        materialized pipeline stores on memo groups)."""
+        cached = self._cardinality.get(gid)
+        if cached is not None:
+            return cached
+        state = self.state
+        layout = state.layout
+        group = layout.group(gid)
+        if self._estimator is None:
+            from repro.optimizer.cardinality import CardinalityEstimator
+
+            self._estimator = CardinalityEstimator(state.catalog, layout.bound)
+        estimator = self._estimator
+        if group.kind in ("leaf", "join"):
+            conjuncts = layout.graph.internal_conjuncts_m(group.mask)
+            value = estimator.relation_set_cardinality(
+                group.relations, [c.expr for c in conjuncts]
+            )
+        elif group.kind == "select":
+            value = estimator.select_cardinality(
+                self.cardinality(group.child_gid), group.op.predicate
+            )
+        elif group.kind == "agg":
+            value = estimator.aggregate_cardinality(
+                self.cardinality(group.child_gid), group.op.group_by
+            )
+        else:  # proj
+            value = self.cardinality(group.child_gid)
+        self._cardinality[gid] = value
+        return value

@@ -1,0 +1,540 @@
+"""Vectorized join-group counting (numpy-accelerated layer DP).
+
+Reference semantics live in :mod:`.counting`; this module computes the
+identical per-group aggregates with the per-split Python loop replaced by
+columnar array passes, one per subset-size layer:
+
+* cut key identity: ``FROM[l] & TO[r]`` word rows and the decoded key
+  byte rows are interned by a mix-hash + first-occurrence-representative
+  scheme whose result is *verified exactly* (every row is compared to its
+  representative; a hash collision falls back to the reference pass, so
+  correctness never rests on the hash);
+* interned key rows are ranked by a big-endian word lexsort — 0-padded
+  byte rows sort prefix-first, so the extensions of key ``q`` form the
+  contiguous rank interval ``[rank(q), hi(q))``, with ``hi`` computed in
+  one LCP sweep;
+* ``(group, kid)`` requirement and delivery *slots* pack into int64 keys;
+  order queries become prefix-sum differences over each group's slot
+  segment;
+* the bigint recurrences themselves (counts overflow ``float64`` and
+  ``int64`` by hundreds of digits) run on ``object``-dtype arrays —
+  numpy's C loops over arbitrary-precision Python ints.
+
+Everything the rest of the engine consumes (``A``, ``nonenf``, ``sord``,
+the ordered requirement registry, sort counts) is exported in the same
+shape the reference pass produces — as lazy array-backed views, so a
+count-only run pays for no Python-level dict materialization.  The turbo
+path requires the default rule configuration (no index-lookup joins,
+paper-faithful redundant sorts); ablations fall back to the reference
+pass.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PlanSpaceError
+from repro.optimizer.rules import join_rule_arity, scan_implementations
+
+__all__ = ["turbo_rels_pass"]
+
+#: turbo needs the full 2^n FROM/TO tables in word form
+_MAX_UNIVERSE_BITS = 18
+_DECODE_CHUNK = 1 << 18
+
+_MIX = 0x9E3779B97F4A7C15
+_MIX2 = 0xFF51AFD7ED558CCD
+
+
+class _HashCollision(Exception):
+    """A mix-hash collision (astronomically rare): retry unvectorized."""
+
+
+def _intern_rows(np, words):
+    """Exact row interning: ``(ids, representative row indices)``.
+
+    ``ids`` are arbitrary dense ints; representatives are the first
+    occurrence of each distinct row.  Rows are compared to their
+    representative afterwards, so a hash collision cannot corrupt the
+    result — it raises instead.
+    """
+    n, w = words.shape
+
+    def avalanche(x):
+        # splitmix64 finalizer: full bit diffusion per word, so sparse
+        # single-bit cut masks cannot cancel across the combine step
+        x = x ^ (x >> np.uint64(30))
+        x = x * np.uint64(0xBF58476D1CE4E5B9)
+        x = x ^ (x >> np.uint64(27))
+        x = x * np.uint64(0x94D049BB133111EB)
+        return x ^ (x >> np.uint64(31))
+
+    h = np.zeros(n, np.uint64)
+    for i in range(w):
+        seed = np.uint64(((i + 1) * _MIX2) & 0xFFFFFFFFFFFFFFFF)
+        h = (h * np.uint64(_MIX)) ^ avalanche(words[:, i] + seed)
+    _uniq, ids = np.unique(h, return_inverse=True)
+    ids = ids.reshape(-1)
+    count = len(_uniq)
+    rep = np.empty(count, np.int64)
+    rep[ids[::-1]] = np.arange(n - 1, -1, -1)
+    if not (words == words[rep[ids]]).all():
+        raise _HashCollision
+    return ids, rep
+
+
+def _byte_words(np, mat):
+    """View a 0-padded (n, width) uint8 matrix as big-endian uint64 words
+    — numeric word order equals byte-lexicographic row order."""
+    width = mat.shape[1]
+    padded_width = (width + 7) // 8 * 8
+    if padded_width != width:
+        out = np.zeros((mat.shape[0], padded_width), np.uint8)
+        out[:, :width] = mat
+        mat = out
+    return np.ascontiguousarray(mat).view(">u8").astype(np.uint64)
+
+
+def turbo_rels_pass(state, extra_pairs: list[tuple[int, bytes]]) -> bool:
+    """Fill ``state``'s relation-group aggregates; False if not applicable.
+
+    ``extra_pairs`` are the StreamAggregate/ORDER BY requirements that
+    target relation-set groups, as ``(mask, packed column bytes)`` —
+    registered after all merge requirements, like the materializer's
+    enforcer pass.
+    """
+    import numpy as np
+
+    if state.layout.universe.size > _MAX_UNIVERSE_BITS:
+        return False
+    if not hasattr(np, "bitwise_count"):  # pragma: no cover - numpy < 2.0
+        return False
+    try:
+        _turbo_rels_pass(np, state, extra_pairs)
+        return True
+    except _HashCollision:  # pragma: no cover - ~2^-64 per pair of rows
+        return False
+
+
+def _turbo_rels_pass(np, state, extra_pairs) -> None:
+    layout = state.layout
+    config = state.config
+    edges = state.edges
+    plain_keys, merge = join_rule_arity(config, True)
+    plain_cross, _ = join_rule_arity(config, False)
+    enforcers = config.enable_sort_enforcers
+
+    # ------------------------------------------------------------------
+    # flatten splits, gid-major (the materializer's registration order)
+    # ------------------------------------------------------------------
+    join_groups = [g for g in layout.join_groups() if g.splits]
+    M = sum(len(g.splits) for g in join_groups)
+    Ls = np.fromiter(
+        (l for g in join_groups for l, _r in g.splits), np.int64, count=M
+    )
+    Rs = np.fromiter(
+        (r for g in join_groups for _l, r in g.splits), np.int64, count=M
+    )
+    Ss = Ls | Rs
+
+    # ------------------------------------------------------------------
+    # cut bitmasks as uint64 word rows; intern and decode
+    # ------------------------------------------------------------------
+    E = edges.edge_count
+    W = max(1, (E + 63) // 64)
+    full = layout.universe.full_mask
+
+    def words(table):
+        buf = b"".join(v.to_bytes(W * 8, "little") for v in table)
+        return np.frombuffer(buf, dtype="<u8").reshape(len(table), W)
+
+    # dense FROM/TO union tables, one vectorized OR sweep per alias bit
+    from_bits_w = words(edges.from_bits)
+    to_bits_w = words(edges.to_bits)
+    FROM_w = np.zeros((full + 1, W), np.uint64)
+    TO_w = np.zeros((full + 1, W), np.uint64)
+    has_bit = (
+        np.arange(full + 1)[:, None] >> np.arange(layout.universe.size)
+    ) & 1
+    for i in range(layout.universe.size):
+        sel = has_bit[:, i] == 1
+        FROM_w[sel] |= from_bits_w[i]
+        TO_w[sel] |= to_bits_w[i]
+    del has_bit
+    ebits = np.concatenate(
+        [FROM_w[Ls] & TO_w[Rs], FROM_w[Rs] & TO_w[Ls]], axis=0
+    )
+    eb_ids, eb_rep = _intern_rows(np, ebits)
+    u_ebits = ebits[eb_rep]
+    has_keys = u_ebits.any(axis=1)[eb_ids[:M]]
+    U = len(u_ebits)
+
+    # decode each unique cut into its padded left/right column rows
+    lcol_lut = np.frombuffer(edges.left_col, dtype=np.uint8)
+    rcol_lut = np.frombuffer(edges.right_col, dtype=np.uint8)
+    left_chunks, right_chunks, chunk_maxlens = [], [], []
+    for lo in range(0, U, _DECODE_CHUNK):
+        chunk = u_ebits[lo : lo + _DECODE_CHUNK]
+        if E:
+            bits = np.unpackbits(
+                chunk.view(np.uint8), axis=1, bitorder="little"
+            )[:, :E]
+        else:
+            bits = np.zeros((len(chunk), 0), np.uint8)
+        rows, poss = np.nonzero(bits)
+        lengths = np.bincount(rows, minlength=len(chunk))
+        maxlen = max(int(lengths.max()) if lengths.size else 0, 1)
+        starts = np.zeros(len(chunk), np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        offs = np.arange(len(rows)) - np.repeat(starts, lengths)
+        lmat = np.zeros((len(chunk), maxlen), np.uint8)
+        rmat = np.zeros((len(chunk), maxlen), np.uint8)
+        lmat[rows, offs] = lcol_lut[poss]
+        rmat[rows, offs] = rcol_lut[poss]
+        left_chunks.append(lmat)
+        right_chunks.append(rmat)
+        chunk_maxlens.append(maxlen)
+
+    # ------------------------------------------------------------------
+    # the kid universe: cut keys, extra requirements, leaf deliveries
+    # ------------------------------------------------------------------
+    leaf_pairs: list[tuple[int, bytes]] = []  # (mask, seq), delivery count 1
+    leaf_nonenf: dict[int, int] = {}
+    for mask in layout.subset_masks:
+        if mask & (mask - 1):
+            break  # universes are size-sorted: leaves come first
+        group = layout.group_for_mask(mask)
+        scans = scan_implementations(group.op, state.catalog, config)
+        leaf_nonenf[mask] = len(scans)
+        state.physical_count += len(scans)
+        for scan in scans:
+            order = scan.delivered_order()
+            if order:
+                leaf_pairs.append((mask, edges.seq_bytes(order)))
+
+    loose_seqs = [seq for _mask, seq in extra_pairs]
+    loose_seqs += [seq for _mask, seq in leaf_pairs]
+    maxlen = max(chunk_maxlens, default=1)
+    if loose_seqs:
+        maxlen = max(maxlen, max(len(s) for s in loose_seqs))
+    maxlen += 1  # headroom column for the 0xff prefix-range probes
+
+    def padded(mat, width):
+        if mat.shape[1] == width:
+            return mat
+        out = np.zeros((mat.shape[0], width), np.uint8)
+        out[:, : mat.shape[1]] = mat
+        return out
+
+    stack = [padded(m, maxlen) for m in left_chunks]
+    stack += [padded(m, maxlen) for m in right_chunks]
+    if loose_seqs:
+        loose = np.zeros((len(loose_seqs), maxlen), np.uint8)
+        for i, seq in enumerate(loose_seqs):
+            loose[i, : len(seq)] = np.frombuffer(seq, np.uint8)
+        stack.append(loose)
+    all_rows = (
+        np.concatenate(stack, axis=0)
+        if stack
+        else np.zeros((0, maxlen), np.uint8)
+    )
+    raw_ids, raw_rep = _intern_rows(np, _byte_words(np, all_rows))
+    kid_mat_raw = all_rows[raw_rep]
+    K = len(kid_mat_raw)
+
+    # lexicographic kid ranks: big-endian word lexsort == byte order, and
+    # 0-padding sorts a key directly before its extensions
+    kid_words = _byte_words(np, kid_mat_raw)
+    order = np.lexsort(kid_words.T[::-1])
+    rank_of_raw = np.empty(K, np.int64)
+    rank_of_raw[order] = np.arange(K)
+    kid_mat = kid_mat_raw[order]
+    kid_ids = rank_of_raw[raw_ids]  # every input row -> lex-ranked kid
+    kid_lengths = (kid_mat != 0).sum(axis=1).astype(np.int64)
+
+    lkid_of_eb = kid_ids[:U]
+    rkid_of_eb = kid_ids[U : 2 * U]
+    loose_kids = kid_ids[2 * U :]
+    extra_kids = loose_kids[: len(extra_pairs)]
+    leaf_kids = loose_kids[len(extra_pairs) :]
+
+    # prefix intervals: hi_rank[k] = first kid after k that does not
+    # extend k — one LCP sweep + monotonic stack over the sorted rows
+    hi_rank = np.full(K, K, np.int64)
+    if K > 1:
+        diff = kid_mat[1:] != kid_mat[:-1]
+        lcp_list = np.where(diff.any(axis=1), diff.argmax(axis=1), maxlen).tolist()
+        len_list = kid_lengths.tolist()
+        pending: list[int] = []
+        for k in range(1, K):
+            boundary = lcp_list[k - 1]
+            while pending and len_list[pending[-1]] > boundary:
+                hi_rank[pending.pop()] = k
+            if len_list[k - 1] > boundary:
+                hi_rank[k - 1] = k
+            else:
+                pending.append(k - 1)
+        # kids still pending extend to the end of the table; the last row
+        # trivially ends at K (already the fill value)
+
+    # per-split kid roles (valid where has_keys)
+    lk_lr = lkid_of_eb[eb_ids[:M]]
+    rk_lr = rkid_of_eb[eb_ids[:M]]
+    lk_rl = lkid_of_eb[eb_ids[M:]]
+    rk_rl = rkid_of_eb[eb_ids[M:]]
+
+    # ------------------------------------------------------------------
+    # requirement registry and slot universes
+    # ------------------------------------------------------------------
+    KS = K + 2
+    extra_packed = np.array(
+        [mask * KS + kid for (mask, _), kid in zip(extra_pairs, extra_kids)],
+        np.int64,
+    )
+    if merge and M:
+        regs = np.empty(4 * M, np.int64)
+        regs[0::4] = Ls * KS + lk_lr
+        regs[1::4] = Rs * KS + rk_lr
+        regs[2::4] = Rs * KS + lk_rl
+        regs[3::4] = Ls * KS + rk_rl
+        keep = np.repeat(has_keys, 4)
+        # materializer emission order: a group's initial left-deep join
+        # registers before its bucket splits
+        perm = np.arange(4 * M)
+        base = 0
+        for g in join_groups:
+            if g.initial is not None:
+                lo = 4 * base
+                for j, (l, r) in enumerate(g.splits):
+                    if (l, r) == g.initial or (r, l) == g.initial:
+                        src = lo + 4 * j + (0 if (l, r) == g.initial else 2)
+                        hi = lo + 4 * len(g.splits)
+                        seg = list(range(lo, hi))
+                        seg.remove(src)
+                        seg.remove(src + 1)
+                        perm[lo:hi] = [src, src + 1] + seg
+                        break
+            base += len(g.splits)
+        regs_o = regs[perm][keep[perm]]
+        if len(extra_packed):
+            regs_o = np.concatenate([regs_o, extra_packed])
+    else:
+        regs_o = extra_packed
+    req_packed = np.unique(regs_o)
+    NQ = len(req_packed)
+    req_masks = req_packed // KS
+    req_kids = req_packed % KS
+    full = layout.universe.full_mask
+    nreq_by_mask = np.bincount(req_masks, minlength=full + 1)
+
+    # delivered slots: merge deliveries, sort deliveries, leaf deliveries
+    leaf_packed = np.array(
+        [mask * KS + kid for (mask, _), kid in zip(leaf_pairs, leaf_kids)],
+        np.int64,
+    )
+    d_parts = []
+    if merge and M:
+        d_parts.append((Ss * KS + lk_lr)[has_keys])
+        d_parts.append((Ss * KS + lk_rl)[has_keys])
+    if enforcers and NQ:
+        d_parts.append(req_packed)
+    if len(leaf_packed):
+        d_parts.append(leaf_packed)
+    D_packed = (
+        np.unique(np.concatenate(d_parts)) if d_parts else np.zeros(0, np.int64)
+    )
+    ND = len(D_packed)
+    DS = np.empty(ND, dtype=object)
+    DS[:] = 0
+
+    if merge and M:
+        d_lr = np.searchsorted(D_packed, Ss * KS + lk_lr)
+        d_rl = np.searchsorted(D_packed, Ss * KS + lk_rl)
+        q_l_lr = np.searchsorted(req_packed, Ls * KS + lk_lr)
+        q_r_lr = np.searchsorted(req_packed, Rs * KS + rk_lr)
+        q_r_rl = np.searchsorted(req_packed, Rs * KS + lk_rl)
+        q_l_rl = np.searchsorted(req_packed, Ls * KS + rk_rl)
+    req_slot_in_D = (
+        np.searchsorted(D_packed, req_packed) if (enforcers and NQ) else None
+    )
+
+    # query ranges in D coordinates (a group's slots are contiguous and
+    # kid-rank ordered, because the packed key is mask-major, rank-minor)
+    q_lo_D = np.searchsorted(D_packed, req_masks * KS + req_kids)
+    q_hi_D = np.searchsorted(D_packed, req_masks * KS + hi_rank[req_kids])
+    QS = np.empty(NQ, dtype=object)
+    QS[:] = 0
+
+    # ------------------------------------------------------------------
+    # bottom-up layer DP
+    # ------------------------------------------------------------------
+    A_obj = np.empty(full + 1, dtype=object)
+    NE_obj = np.empty(full + 1, dtype=object)
+    req_sizes = np.bitwise_count(req_masks.astype(np.uint64)).astype(np.int64)
+    split_sizes = np.bitwise_count(Ss.astype(np.uint64)).astype(np.int64)
+
+    def answer_queries(q_sel):
+        """Fill QS for the query slots ``q_sel`` (one finalized layer)."""
+        if not len(q_sel):
+            return
+        # req_packed is sorted mask-major, so the layer's masks ascend:
+        # boundary detection replaces a hash unique
+        sel_masks = req_masks[q_sel]
+        seg_masks = sel_masks[
+            np.concatenate([[0], np.flatnonzero(np.diff(sel_masks)) + 1])
+        ]
+        seg_lo = np.searchsorted(D_packed, seg_masks * KS)
+        seg_hi = np.searchsorted(D_packed, (seg_masks + 1) * KS)
+        seg_len = seg_hi - seg_lo
+        total = int(seg_len.sum())
+        if not total:
+            return
+        offsets = np.zeros(len(seg_masks), np.int64)
+        np.cumsum(seg_len[:-1], out=offsets[1:])
+        block = (
+            np.arange(total)
+            - np.repeat(offsets, seg_len)
+            + np.repeat(seg_lo, seg_len)
+        )
+        prefix = np.empty(total + 1, dtype=object)
+        prefix[0] = 0
+        np.cumsum(DS[block], out=prefix[1:])
+        seg_pos = np.searchsorted(seg_masks, sel_masks)
+        base = offsets[seg_pos] - seg_lo[seg_pos]
+        QS[q_sel] = prefix[base + q_hi_D[q_sel]] - prefix[base + q_lo_D[q_sel]]
+
+    # layer 1: leaves
+    for mask, nonenf in leaf_nonenf.items():
+        nreq = int(nreq_by_mask[mask])
+        A_obj[mask] = nonenf * (1 + nreq) if enforcers else nonenf
+        NE_obj[mask] = nonenf
+        if enforcers:
+            state.physical_count += nreq
+    if len(leaf_packed):
+        np.add.at(DS, np.searchsorted(D_packed, leaf_packed), 1)
+    layer_req = np.flatnonzero(req_sizes == 1)
+    if enforcers and len(layer_req):
+        # requirement slots are unique, so the buffered += is safe
+        DS[req_slot_in_D[layer_req]] += NE_obj[req_masks[layer_req]]
+    answer_queries(layer_req)
+
+    for size in range(2, layout.universe.size + 1):
+        sel = np.flatnonzero(split_sizes == size)
+        if len(sel):
+            ls, rs, ss = Ls[sel], Rs[sel], Ss[sel]
+            hk = has_keys[sel]
+            coeff = np.where(hk, 2 * plain_keys, 2 * plain_cross)
+            contrib = A_obj[ls] * A_obj[rs] * coeff
+            state.physical_count += int(coeff.sum())
+            if merge:
+                keyed = np.flatnonzero(hk)
+                if len(keyed):
+                    ksel = sel[keyed]
+                    mc_lr = QS[q_l_lr[ksel]] * QS[q_r_lr[ksel]]
+                    mc_rl = QS[q_r_rl[ksel]] * QS[q_l_rl[ksel]]
+                    contrib[keyed] += mc_lr + mc_rl
+                    np.add.at(DS, d_lr[ksel], mc_lr)
+                    np.add.at(DS, d_rl[ksel], mc_rl)
+                    state.physical_count += 2 * len(keyed)
+            starts = np.concatenate([[0], np.flatnonzero(np.diff(ss)) + 1])
+            group_masks = ss[starts]
+            nonenf_g = np.add.reduceat(contrib, starts)
+            if enforcers:
+                nreq_g = nreq_by_mask[group_masks]
+                A_obj[group_masks] = nonenf_g * (1 + nreq_g)
+                state.physical_count += int(nreq_g.sum())
+            else:
+                A_obj[group_masks] = nonenf_g
+            NE_obj[group_masks] = nonenf_g
+        layer_req = np.flatnonzero(req_sizes == size)
+        if enforcers and len(layer_req):
+            DS[req_slot_in_D[layer_req]] += NE_obj[req_masks[layer_req]]
+        answer_queries(layer_req)
+
+    # ------------------------------------------------------------------
+    # export: mask-keyed totals as dicts, the rest as lazy views
+    # ------------------------------------------------------------------
+    for mask in layout.subset_masks:
+        state.A[mask] = A_obj[mask]
+        state.nonenf[mask] = NE_obj[mask]
+    state.keys.preload(kid_mat, kid_lengths)
+    state.sord = _SordView(np, KS, req_packed, QS)
+    state.required = _RequiredView(np, KS, req_packed, regs_o)
+    state.sort_counts = _SortCountsView(state) if enforcers else {}
+
+
+class _SordView:
+    """Lazy ``(mask, kid) -> S(g, q)`` mapping over the query-slot arrays."""
+
+    def __init__(self, np, KS, req_packed, QS):
+        self._np = np
+        self._KS = KS
+        self._req_packed = req_packed
+        self._QS = QS
+
+    def __getitem__(self, key):
+        mask, kid = key
+        if kid >= self._KS - 2:  # overflow kid: cannot be a turbo slot
+            raise KeyError(key)
+        packed = mask * self._KS + kid
+        pos = self._np.searchsorted(self._req_packed, packed)
+        if pos >= len(self._req_packed) or self._req_packed[pos] != packed:
+            raise KeyError(key)
+        return self._QS[pos]
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+
+class _RequiredView:
+    """Lazy ``mask -> ordered kid list`` (global first-occurrence order)."""
+
+    def __init__(self, np, KS, req_packed, regs_emission_order):
+        self._np = np
+        self._KS = KS
+        self._req_packed = req_packed
+        self._regs = regs_emission_order
+        self._by_mask: dict[int, list[int]] | None = None
+
+    def _materialize(self) -> dict[int, list[int]]:
+        if self._by_mask is None:
+            np = self._np
+            _pairs, first = np.unique(self._regs, return_index=True)
+            by_mask: dict[int, list[int]] = {}
+            for pos in np.argsort(first, kind="stable"):
+                packed = int(_pairs[pos])
+                by_mask.setdefault(packed // self._KS, []).append(
+                    packed % self._KS
+                )
+            self._by_mask = by_mask
+        return self._by_mask
+
+    def __getitem__(self, mask):
+        return self._materialize()[mask]
+
+    def get(self, mask, default=None):
+        return self._materialize().get(mask, default)
+
+    def __contains__(self, mask):
+        return mask in self._materialize()
+
+
+class _SortCountsView:
+    """``mask -> per-sort counts`` — with paper-faithful redundant sorts
+    every enforcer of a group counts its non-enforcer total."""
+
+    def __init__(self, state):
+        self._state = state
+
+    def __getitem__(self, mask):
+        kids = self._state.required.get(mask)
+        if kids is None:
+            raise KeyError(mask)
+        return [self._state.nonenf[mask]] * len(kids)
+
+    def get(self, mask, default=None):
+        try:
+            return self[mask]
+        except KeyError:
+            return default

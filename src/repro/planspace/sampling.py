@@ -4,6 +4,13 @@
 in the space reduces to random generation of numbers in the range
 0, ..., N-1."  (Section 1.)
 
+:class:`RankSampler` is the shared sampling contract: every sampler —
+materialized (:class:`UniformPlanSampler`) or implicit
+(:class:`repro.planspace.implicit.sampling.ImplicitPlanSampler`) — draws
+ranks through exactly this code, so the same seed over the same space
+yields the same rank stream no matter which engine unranks it (the RNG
+contract of :mod:`repro.util.rng`).
+
 ``naive_walk_sample`` implements the obvious-but-wrong alternative the
 paper's approach supersedes: walk the memo top-down choosing uniformly
 among qualifying operators at every step.  That walk favours plans in
@@ -21,46 +28,68 @@ from repro.planspace.links import LinkedOperator, LinkedSpace
 from repro.planspace.unranking import Unranker
 from repro.util.rng import make_rng
 
-__all__ = ["UniformPlanSampler", "naive_walk_sample"]
+__all__ = ["RankSampler", "UniformPlanSampler", "naive_walk_sample"]
 
 
-class UniformPlanSampler:
-    """Uniform random plans via random ranks + unranking."""
+class RankSampler:
+    """Uniform random plans via random ranks + unranking.
 
-    def __init__(self, space: LinkedSpace, seed: int | random.Random = 0):
-        self.unranker = Unranker(space)
+    Subclasses provide ``total`` and ``unrank``; the rank-drawing logic
+    lives here once so engines cannot drift apart.  All draws go through
+    ``rng.randrange(total)`` (or ``rng.sample`` for dense unique draws) —
+    change nothing here without versioning the RNG contract.
+    """
+
+    def __init__(self, seed: int | random.Random = 0):
         self.rng = make_rng(seed)
 
     @property
-    def total(self) -> int:
-        return self.unranker.total
+    def total(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def unrank(self, rank: int) -> PlanNode:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     def sample_rank(self) -> int:
-        return self.rng.randrange(self.unranker.total)
+        return self.rng.randrange(self.total)
 
     def sample_ranks(self, n: int, unique: bool = False) -> list[int]:
         """``n`` uniform ranks; ``unique=True`` samples without replacement
         (requires ``n <= N``)."""
         if not unique:
             return [self.sample_rank() for _ in range(n)]
-        if n > self.unranker.total:
+        if n > self.total:
             raise ValueError(
-                f"cannot draw {n} distinct plans from a space of "
-                f"{self.unranker.total}"
+                f"cannot draw {n} distinct plans from a space of {self.total}"
             )
-        if n * 4 >= self.unranker.total:
+        if n * 4 >= self.total:
             # Dense draw: sample from the explicit range.
-            return self.rng.sample(range(self.unranker.total), n)
+            return self.rng.sample(range(self.total), n)
         seen: set[int] = set()
         while len(seen) < n:
             seen.add(self.sample_rank())
         return sorted(seen)
 
     def sample(self, n: int, unique: bool = False) -> list[PlanNode]:
-        return [self.unranker.unrank(r) for r in self.sample_ranks(n, unique)]
+        return [self.unrank(r) for r in self.sample_ranks(n, unique)]
 
     def sample_one(self) -> PlanNode:
-        return self.unranker.unrank(self.sample_rank())
+        return self.unrank(self.sample_rank())
+
+
+class UniformPlanSampler(RankSampler):
+    """Uniform sampling over a materialized (linked) space."""
+
+    def __init__(self, space: LinkedSpace, seed: int | random.Random = 0):
+        super().__init__(seed)
+        self.unranker = Unranker(space)
+
+    @property
+    def total(self) -> int:
+        return self.unranker.total
+
+    def unrank(self, rank: int) -> PlanNode:
+        return self.unranker.unrank(rank)
 
 
 def naive_walk_sample(

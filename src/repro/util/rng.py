@@ -4,6 +4,30 @@ All randomness in the library flows through explicitly seeded
 :class:`random.Random` instances so that every experiment is reproducible
 bit-for-bit.  Nothing in the package ever touches the global ``random``
 module state.
+
+The plan-sampling RNG contract
+------------------------------
+Plan samplers promise: *the same seed over the same plan space yields the
+same rank stream, no matter which engine unranks it.*  Concretely:
+
+1. every sampler seeds through :func:`make_rng` (an existing ``Random``
+   passes through unchanged, so callers may share one stream across
+   calls);
+2. ranks are drawn exclusively via ``rng.randrange(N)`` — one call per
+   sample, in sample order — except unique draws: dense ones
+   (``unique=True`` with ``4n >= N``) use ``rng.sample(range(N), n)``,
+   sparse ones rejection-sample ``randrange`` until ``n`` distinct ranks
+   accumulate and return them *sorted*, not in draw order;
+3. the drawing logic lives in exactly one place,
+   :class:`repro.planspace.sampling.RankSampler`; the materialized
+   (``UniformPlanSampler``) and implicit (``ImplicitPlanSampler``)
+   engines both subclass it and add only their ``unrank``.
+
+Because the two engines also agree on ``N`` and on the rank -> plan
+bijection (asserted by the equivalence property suite), a seed uniquely
+identifies a set of *plans*, end-to-end through ``Session.iterate_plans``
+and the ``sample``/``validate`` CLI commands — materialized and implicit
+runs are interchangeable in experiment scripts.
 """
 
 from __future__ import annotations
