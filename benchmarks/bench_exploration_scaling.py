@@ -87,6 +87,12 @@ def main(argv: list[str] | None = None) -> int:
         help=f"include cross-product runs above n={CROSS_CAP_DEFAULT}",
     )
     parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it (incremental regeneration of expensive cells)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=pathlib.Path(__file__).resolve().parent.parent
@@ -114,6 +120,11 @@ def main(argv: list[str] | None = None) -> int:
                     flush=True,
                 )
 
+    if args.merge and args.output.exists():
+        key = lambda r: (r["workload"], r["n"], r["cross"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
     args.output.write_text(json.dumps(records, indent=2) + "\n")
     print(f"wrote {args.output} ({len(records)} records)")
     return 0

@@ -1,0 +1,171 @@
+"""Sampled-optimization benchmark: time-to-within-factor trajectories.
+
+For chain/star/clique/cycle joins of n in {8, 10, 12} (no cross
+products) this times the memo-free sampled optimizer and records its
+anytime trajectory — after every costed batch: cumulative samples,
+elapsed wall clock, best pure-sampled cost, and the recombined incumbent
+cost.  Where the true optimum is computable in reasonable time (n <= 10)
+the materialized optimizer runs too and every trajectory point gains a
+``factor`` (cost / optimum), yielding the time-to-within-factor curves;
+at n = 12 the memo path needs minutes (clique12: ~4.4 min to optimize),
+so those cells record wall clock and absolute costs only.
+
+Writes ``BENCH_sampledopt.json`` at the repository root — the quality/
+latency trajectory future sampled-optimization PRs compare against::
+
+    PYTHONPATH=src python benchmarks/bench_sampledopt.py
+    PYTHONPATH=src python benchmarks/bench_sampledopt.py --merge --sizes 8
+    PYTHONPATH=src python benchmarks/bench_sampledopt.py --full  # optimum at n=12 too
+
+Each record: ``{workload, n, cross, plans, samples, seed, stratified,
+sampled_total_s, sampled_cost, best_sampled_cost, trajectory: [{samples,
+elapsed_s, best_sampled, recombined[, factor]}], optimum_cost?,
+optimize_s?, factor?}``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.sampledopt import SampledOptimizer
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+)
+
+WORKLOADS = {
+    "chain": chain_query,
+    "star": star_query,
+    "clique": clique_query,
+    "cycle": cycle_query,
+}
+
+DEFAULT_SIZES = (8, 10, 12)
+#: above this n the materialized optimum is skipped by default
+OPTIMUM_CAP = 10
+
+
+def run_cell(
+    shape: str, n: int, samples: int, seed: int, with_optimum: bool
+) -> dict:
+    workload = WORKLOADS[shape](n, rows=5, seed=0)
+    options = OptimizerOptions()
+    record: dict = {"workload": shape, "n": n, "cross": False, "seed": seed}
+
+    gc.collect()
+    start = time.perf_counter()
+    result = SampledOptimizer(workload.catalog, options).optimize_sql(
+        workload.sql, samples=samples, seed=seed
+    )
+    record["sampled_total_s"] = round(time.perf_counter() - start, 4)
+    record["plans"] = result.total_plans
+    record["samples"] = result.samples
+    record["stratified"] = result.stratified
+    record["sampled_cost"] = round(result.best_cost, 2)
+    record["best_sampled_cost"] = round(result.best_sampled_cost, 2)
+    record["timings"] = {
+        phase: round(seconds, 4) for phase, seconds in result.timings.items()
+    }
+    trajectory = [
+        {
+            "samples": point.samples,
+            "elapsed_s": round(point.elapsed_s, 4),
+            "best_sampled": round(point.best_sampled_cost, 2),
+            "recombined": round(point.best_cost, 2),
+        }
+        for point in result.history
+    ]
+
+    if with_optimum:
+        start = time.perf_counter()
+        optimum = Optimizer(workload.catalog, options).optimize_sql(
+            workload.sql
+        )
+        record["optimize_s"] = round(time.perf_counter() - start, 4)
+        record["optimum_cost"] = round(optimum.best_cost, 2)
+        record["factor"] = round(result.best_cost / optimum.best_cost, 4)
+        for point in trajectory:
+            point["factor"] = round(point["recombined"] / optimum.best_cost, 4)
+    record["trajectory"] = trajectory
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=list(WORKLOADS),
+        help="restrict to these topologies",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=384, help="sample budget per cell"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=f"compute the materialized optimum above n={OPTIMUM_CAP} too "
+        "(clique12 takes ~4.4 min)",
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it (incremental regeneration of expensive cells)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_sampledopt.json",
+    )
+    args = parser.parse_args(argv)
+
+    try:  # warm the turbo layer's one-time numpy import up front
+        import numpy  # noqa: F401
+    except ImportError:
+        pass
+
+    records = []
+    for shape in args.workloads:
+        for n in args.sizes:
+            with_optimum = args.full or n <= OPTIMUM_CAP
+            record = run_cell(shape, n, args.samples, args.seed, with_optimum)
+            records.append(record)
+            factor = (
+                f"factor={record['factor']:>7.3f}"
+                if "factor" in record
+                else "factor=      -"
+            )
+            print(
+                f"{shape:>6} n={n:>2} sampled={record['sampled_total_s']:>8.3f}s "
+                f"{factor} cost={record['sampled_cost']:>12.1f} "
+                f"optimum={record.get('optimize_s', '-')}s",
+                flush=True,
+            )
+
+    if args.merge and args.output.exists():
+        key = lambda r: (r["workload"], r["n"], r["cross"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -55,4 +55,48 @@ assert elapsed < budget, (
 )
 EOF
 
+echo "== sampled optimize smoke =="
+python - <<'EOF'
+import os
+import time
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.sampledopt import SampledOptimizer
+from repro.workloads.synthetic import clique_query
+
+# The sampled optimizer must stay interactive where the memo is not:
+# clique10 no-cross sampled-optimizes in well under the budget (default
+# 2s of wall clock) and lands within the cost factor (default 2x) of the
+# true optimum, seed-deterministically.  The materialized optimizer runs
+# afterwards to provide that optimum (~8s; not counted against the
+# budget — and not before the sampled run, whose timing would absorb
+# collector pauses over the multi-hundred-MB memo heap).
+budget = float(os.environ.get("CI_SAMPLED_BUDGET_S", "2"))
+factor_cap = float(os.environ.get("CI_SAMPLED_FACTOR", "2"))
+workload = clique_query(10, rows=5, seed=0)
+options = OptimizerOptions()
+
+start = time.perf_counter()
+result = SampledOptimizer(workload.catalog, options).optimize_sql(
+    workload.sql, seed=0
+)
+elapsed = time.perf_counter() - start
+
+optimum = Optimizer(workload.catalog, options).optimize_sql(workload.sql)
+factor = result.best_cost / optimum.best_cost
+print(
+    f"clique10 no-cross: sampled {result.best_cost:,.1f} vs optimum "
+    f"{optimum.best_cost:,.1f} ({factor:.2f}x, cap {factor_cap:g}x) in "
+    f"{elapsed:.2f}s (budget {budget:g}s, {result.samples} samples)"
+)
+assert factor <= factor_cap, (
+    f"sampled optimization regressed to {factor:.2f}x the optimum "
+    f"(> {factor_cap:g}x) — recombination or sampling quality broke"
+)
+assert elapsed < budget, (
+    f"sampled optimization took {elapsed:.2f}s (> {budget:g}s budget) — "
+    "did the sampled path start materializing the memo?"
+)
+EOF
+
 echo "CI OK"

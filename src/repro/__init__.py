@@ -38,6 +38,7 @@ from repro.optimizer.optimizer import (
 from repro.optimizer.explain import explain_plan
 from repro.optimizer.plan import PlanNode
 from repro.planspace.space import PlanSpace
+from repro.sampledopt import SampledOptimizationResult, SampledOptimizer
 from repro.storage.database import Database
 from repro.storage.datagen import generate_tpch
 from repro.testing.harness import PlanValidator, ValidationReport
@@ -59,6 +60,8 @@ __all__ = [
     "PlanValidator",
     "QueryResult",
     "ReproError",
+    "SampledOptimizationResult",
+    "SampledOptimizer",
     "Session",
     "ValidationReport",
     "execute_plan",

@@ -136,8 +136,37 @@ class Session:
         return cls(generate_tpch(seed=seed, rows=rows), options=options)
 
     # ------------------------------------------------------------------
-    def optimize(self, sql: str) -> OptimizationResult:
-        return Optimizer(self.catalog, self.options).optimize_sql(sql)
+    def optimize(self, sql: str, method: str = "exhaustive", **kwargs):
+        """Optimize a statement.
+
+        ``method="exhaustive"`` (the default) runs the full memo pipeline
+        and returns an :class:`OptimizationResult`.  ``method="sampled"``
+        runs the memo-free sampled optimizer
+        (:class:`repro.sampledopt.SampledOptimizer`) instead and returns
+        a :class:`~repro.sampledopt.SampledOptimizationResult` — same
+        ``best_plan``/``best_cost``/``explain()`` surface plus sampling
+        quality metadata; keyword arguments (``budget_s``, ``samples``,
+        ``seed``, ``rule``, ``stratified``) are forwarded.  On
+        clique-sized join spaces the sampled path answers in seconds
+        where the memo takes minutes.
+        """
+        if method == "exhaustive":
+            if kwargs:
+                raise PlanSpaceError(
+                    "exhaustive optimization accepts no sampling arguments "
+                    f"(got {sorted(kwargs)}); did you mean method='sampled'?"
+                )
+            return Optimizer(self.catalog, self.options).optimize_sql(sql)
+        if method == "sampled":
+            from repro.sampledopt import SampledOptimizer
+
+            return SampledOptimizer(self.catalog, self.options).optimize_sql(
+                sql, **kwargs
+            )
+        raise PlanSpaceError(
+            f"unknown optimization method {method!r} "
+            "(expected 'exhaustive' or 'sampled')"
+        )
 
     def plan_space(
         self, sql: str, count_only: bool = False
@@ -171,6 +200,40 @@ class Session:
         if implicit:
             return self.implicit_plan_space(sql).count()
         return self.plan_space(sql).count()
+
+    def cost_distribution(
+        self,
+        sql: str,
+        query_name: str = "query",
+        sample_size: int = 1000,
+        seed: int = 0,
+        materialized: bool = False,
+        stratified: bool = False,
+    ):
+        """The query's sampled cost distribution (paper Section 5).
+
+        Memo-free by default (costs scaled to the best plan recombinable
+        from the sample); ``materialized=True`` runs the full optimizer
+        and scales to its true optimum instead — the paper's exact
+        setup, at memo-building prices.
+        """
+        if materialized:
+            from repro.experiments.distributions import distribution_from_result
+
+            return distribution_from_result(
+                self.optimize(sql), query_name, sample_size=sample_size, seed=seed
+            )
+        from repro.sampledopt import sampled_distribution
+
+        return sampled_distribution(
+            self.catalog,
+            sql,
+            query_name,
+            sample_size=sample_size,
+            seed=seed,
+            options=self.options,
+            stratified=stratified,
+        )
 
     def explain(self, sql: str) -> str:
         return self.optimize(sql).explain()

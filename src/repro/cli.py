@@ -75,6 +75,71 @@ def build_parser() -> argparse.ArgumentParser:
         "orders of magnitude faster on large join spaces)",
     )
 
+    optimize = sub.add_parser(
+        "optimize",
+        help="optimize a query (exhaustive memo, or --sampled for the "
+        "memo-free sampling-driven path)",
+    )
+    optimize.add_argument("query", help="TPC-H query name or SQL")
+    optimize.add_argument(
+        "--sampled",
+        action="store_true",
+        help="sample + recombine over the implicit engine instead of "
+        "building the physical memo (seconds on clique-sized spaces)",
+    )
+    optimize.add_argument(
+        "--samples", type=int, default=None, help="sample budget (fixed-k)"
+    )
+    optimize.add_argument("--seed", type=int, default=None)
+    optimize.add_argument(
+        "--budget-s",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (anytime: best plan so far)",
+    )
+    optimize.add_argument(
+        "--rule",
+        choices=("fixed", "plateau", "quantile"),
+        default=None,
+        help="stopping rule (default: plateau; fixed needs --samples)",
+    )
+    optimize.add_argument(
+        "--quantile",
+        type=float,
+        default=None,
+        help="target quantile for --rule quantile (default 1e-4)",
+    )
+    optimize.add_argument(
+        "--confidence",
+        type=float,
+        default=None,
+        help="confidence for --rule quantile (default 0.95)",
+    )
+    optimize.add_argument(
+        "--uniform",
+        action="store_true",
+        help="plain uniform sampling instead of stratified batches",
+    )
+
+    distribution = sub.add_parser(
+        "distribution",
+        help="cost-distribution analytics over a uniform plan sample "
+        "(memo-free by default; --materialized scales to the true optimum)",
+    )
+    distribution.add_argument("query", help="TPC-H query name or SQL")
+    distribution.add_argument("--samples", type=int, default=1000)
+    distribution.add_argument("--seed", type=int, default=0)
+    distribution.add_argument(
+        "--materialized",
+        action="store_true",
+        help="build the memo and scale costs to the optimizer's best plan",
+    )
+    distribution.add_argument(
+        "--stratified",
+        action="store_true",
+        help="stratify the sample across plan-shape strata (memo-free only)",
+    )
+
     explain = sub.add_parser("explain", help="show the optimizer's plan")
     explain.add_argument("query")
     explain.add_argument(
@@ -182,6 +247,88 @@ def _cmd_count(args, out) -> int:
         f"logical operators: {memo.logical_expression_count()}\n"
         f"physical operators: {memo.physical_expression_count()}\n"
         f"plans: {space.count():,}\n"
+    )
+    return 0
+
+
+def _cmd_optimize(args, out) -> int:
+    session = _session(args)
+    sql = _resolve_sql(args.query)
+    sampled_flags = [
+        ("--samples", args.samples is not None),
+        ("--seed", args.seed is not None),
+        ("--budget-s", args.budget_s is not None),
+        ("--rule", args.rule is not None),
+        ("--quantile", args.quantile is not None),
+        ("--confidence", args.confidence is not None),
+        ("--uniform", args.uniform),
+    ]
+    if not args.sampled:
+        offending = [name for name, given in sampled_flags if given]
+        if offending:
+            raise ReproError(
+                f"{', '.join(offending)} require(s) --sampled "
+                "(the exhaustive optimizer takes no sampling arguments)"
+            )
+        result = session.optimize(sql)
+        out.write(result.explain() + "\n")
+        return 0
+
+    from repro.sampledopt import make_rule
+
+    if args.rule == "fixed" and args.samples is None:
+        raise ReproError("--rule fixed needs an explicit --samples budget")
+    if args.rule != "quantile" and (
+        args.quantile is not None or args.confidence is not None
+    ):
+        raise ReproError(
+            "--quantile/--confidence apply to --rule quantile only"
+        )
+    rule = (
+        make_rule(
+            args.rule,
+            samples=args.samples,
+            quantile=args.quantile if args.quantile is not None else 1e-4,
+            confidence=args.confidence if args.confidence is not None else 0.95,
+        )
+        if args.rule is not None
+        else None
+    )
+    result = session.optimize(
+        sql,
+        method="sampled",
+        samples=args.samples,
+        budget_s=args.budget_s,
+        rule=rule,
+        seed=args.seed if args.seed is not None else 0,
+        stratified=False if args.uniform else None,
+    )
+    out.write(result.describe() + "\n")
+    out.write(result.explain() + "\n")
+    return 0
+
+
+def _cmd_distribution(args, out) -> int:
+    session = _session(args)
+    sql = _resolve_sql(args.query)
+    name = args.query.upper() if args.query.upper() in TPCH_QUERIES else "query"
+    if args.materialized and args.stratified:
+        raise ReproError(
+            "--stratified applies to the memo-free sampler only "
+            "(drop --materialized)"
+        )
+    from repro.sampledopt import distribution_report
+
+    dist = session.cost_distribution(
+        sql,
+        query_name=name,
+        sample_size=args.samples,
+        seed=args.seed,
+        materialized=args.materialized,
+        stratified=args.stratified,
+    )
+    out.write(
+        distribution_report(dist, scaled_to_optimum=args.materialized) + "\n"
     )
     return 0
 
@@ -364,6 +511,8 @@ def _cmd_corpus_verify(args, out) -> int:
 
 _COMMANDS = {
     "count": _cmd_count,
+    "optimize": _cmd_optimize,
+    "distribution": _cmd_distribution,
     "explain": _cmd_explain,
     "unrank": _cmd_unrank,
     "sample": _cmd_sample,

@@ -14,6 +14,7 @@ Table 1 reports plus everything Figure 4 needs.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
@@ -63,6 +64,44 @@ class CostDistribution:
         """Fraction of sampled plans with cost <= ``factor`` x optimum."""
         hits = sum(1 for cost in self.scaled_costs if cost <= factor)
         return hits / len(self.scaled_costs)
+
+    def fraction_within_curve(
+        self, factors: list[float]
+    ) -> list[tuple[float, float]]:
+        """``(factor, fraction_within(factor))`` for each requested factor
+        — the paper's "how much of the space is within f x optimum"
+        curves, one call for a whole report."""
+        ordered = sorted(self.scaled_costs)
+        n = len(ordered)
+        curve = []
+        for factor in factors:
+            hits = bisect_right(ordered, factor)
+            curve.append((factor, hits / n))
+        return curve
+
+    @staticmethod
+    def _quantile_of(ordered: list[float], q: float) -> float:
+        """``q``-quantile of a pre-sorted sample (linear interpolation
+        between order statistics)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if len(ordered) == 1:
+            return ordered[0]
+        position = q * (len(ordered) - 1)
+        lo = int(position)
+        hi = min(lo + 1, len(ordered) - 1)
+        weight = position - lo
+        return ordered[lo] * (1.0 - weight) + ordered[hi] * weight
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile of the scaled costs (0 <= q <= 1)."""
+        return self._quantile_of(sorted(self.scaled_costs), q)
+
+    def quantiles(self, qs: list[float]) -> list[tuple[float, float]]:
+        """``(q, quantile(q))`` for each requested ``q`` (one sort for
+        the whole batch — reports ask for many quantiles of 10k+ samples)."""
+        ordered = sorted(self.scaled_costs)
+        return [(q, self._quantile_of(ordered, q)) for q in qs]
 
     def lower_half(self) -> list[float]:
         """The lower 50% of the sampled costs (Figure 4's zoom-in)."""

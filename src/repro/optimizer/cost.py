@@ -195,10 +195,35 @@ class CostModel:
 
     # ------------------------------------------------------------------
     def plan_cost(self, plan: PlanNode) -> float:
-        """Total cost of an assembled plan (sum of operator costs)."""
-        child_rows = tuple(child.cardinality for child in plan.children)
-        local = self.operator_cost(plan.op, plan.cardinality, child_rows)
-        return local + sum(self.plan_cost(child) for child in plan.children)
+        """Total cost of an assembled plan (sum of operator costs).
+
+        Iterative (explicit stack): a plan's cost is a sum of per-node
+        local costs, so traversal order is irrelevant and deep chain-query
+        plans cannot hit Python's recursion limit.
+        """
+        total = 0.0
+        stack = [plan]
+        operator_cost = self.operator_cost
+        while stack:
+            node = stack.pop()
+            children = node.children
+            total += operator_cost(
+                node.op,
+                node.cardinality,
+                tuple(child.cardinality for child in children),
+            )
+            stack.extend(children)
+        return total
+
+    def plan_costs(self, plans: list[PlanNode]) -> list[float]:
+        """Batch-cost many plans (the sampled-costing hot path).
+
+        One entry point for pipelines that cost whole samples at a time —
+        e.g. :mod:`repro.sampledopt` costs every sampled plan of a batch
+        before consulting its stopping rule.
+        """
+        plan_cost = self.plan_cost
+        return [plan_cost(plan) for plan in plans]
 
 
 #: concrete operator type -> unbound cost formula (joins first in spirit:

@@ -25,7 +25,7 @@ import random
 
 from repro.optimizer.plan import PlanNode
 from repro.planspace.links import LinkedOperator, LinkedSpace
-from repro.planspace.unranking import Unranker
+from repro.planspace.unranking import Unranker, require_group_cardinality
 from repro.util.rng import make_rng
 
 __all__ = ["RankSampler", "UniformPlanSampler", "naive_walk_sample"]
@@ -109,7 +109,7 @@ def naive_walk_sample(
             children=children,
             group_id=node.expr.group_id,
             local_id=node.expr.local_id,
-            cardinality=group.cardinality if group.cardinality is not None else 0.0,
+            cardinality=require_group_cardinality(group),
         )
 
     del unranker  # counts are now annotated on the space

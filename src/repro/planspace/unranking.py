@@ -33,7 +33,28 @@ from repro.optimizer.plan import PlanNode
 from repro.planspace.counting import annotate_counts
 from repro.planspace.links import LinkedOperator, LinkedSpace
 
-__all__ = ["Unranker", "UnrankTrace", "TraceStep"]
+__all__ = ["Unranker", "UnrankTrace", "TraceStep", "require_group_cardinality"]
+
+
+def require_group_cardinality(group) -> float:
+    """The group's annotated cardinality — never a silent placeholder.
+
+    Plans produced by either engine must carry real row estimates: the
+    cost model prices every node from them, and the implicit engine
+    always computes them.  A memo that reaches unranking without
+    cardinality annotations is a pipeline bug (the optimizer annotates;
+    hand-built memos must set ``group.cardinality``), so it fails loudly
+    instead of silently costing every plan as if it produced no rows.
+    """
+    cardinality = group.cardinality
+    if cardinality is None:
+        raise PlanSpaceError(
+            f"group {group.gid} has no cardinality annotation; run "
+            "annotate_cardinalities (the optimizer does) or set "
+            "group.cardinality before extracting plans — plans must carry "
+            "real row estimates for costing"
+        )
+    return cardinality
 
 
 @dataclass
@@ -128,7 +149,7 @@ class Unranker:
             children=children,
             group_id=node.expr.group_id,
             local_id=node.expr.local_id,
-            cardinality=group.cardinality if group.cardinality is not None else 0.0,
+            cardinality=require_group_cardinality(group),
         )
 
     @staticmethod

@@ -1,0 +1,85 @@
+"""Memo-free plan costing over the implicit engine.
+
+The materialized pipeline prices plans only after the whole physical memo
+exists; here costing rides directly on the implicit tables: a sampled
+``PlanNode`` already carries the group cardinality estimates the implicit
+unranker computed lazily (the same values ``annotate_cardinalities``
+would have stored on memo groups — parity is asserted by the equivalence
+property suite), so pricing it is a pure :class:`CostModel` pass, and a
+whole sampled batch goes through the one hot-path entry point
+``CostModel.plan_costs``.
+
+:class:`RowCoster` is the per-fragment variant used by the recombination
+search: the *local* cost of one virtual operator row, computed from the
+row's group cardinality and its child groups' cardinalities — no
+``PlanNode`` is assembled at all.  Because cardinality is a group
+property, every alternative subtree of the same ``(group, requirement)``
+context feeds its parent the same row count, which is what makes
+fragment-local costs composable (see :mod:`.search`).
+"""
+
+from __future__ import annotations
+
+from repro.catalog.catalog import Catalog
+from repro.optimizer.cost import CostModel, CostParameters
+from repro.optimizer.plan import PlanNode
+from repro.planspace.implicit.space import ImplicitPlanSpace
+from repro.planspace.implicit.tables import Row, TableSet
+
+__all__ = ["RowCoster", "SampledPlanCoster"]
+
+
+class RowCoster:
+    """Local costs of virtual operator rows, cached per ``(gid, local)``."""
+
+    def __init__(self, tables: TableSet, cost_model: CostModel):
+        self.tables = tables
+        self.cost_model = cost_model
+        self._local: dict[tuple[int, int], float] = {}
+
+    def local_cost(self, gid: int, row: Row) -> float:
+        """The row's own operator cost (children's costs not included)."""
+        key = (gid, row.local_id)
+        cached = self._local.get(key)
+        if cached is not None:
+            return cached
+        tables = self.tables
+        cost = self.cost_model.operator_cost(
+            tables.operator(gid, row),
+            tables.cardinality(gid),
+            tuple(tables.cardinality(child_gid) for child_gid, _ in row.slots),
+        )
+        self._local[key] = cost
+        return cost
+
+
+class SampledPlanCoster:
+    """Batch-cost sampled plans straight off an implicit space.
+
+    Owns the :class:`CostModel` (built from the space's options so costs
+    are comparable with the materialized optimizer's) and the
+    :class:`RowCoster` the recombination search shares.
+    """
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        space: ImplicitPlanSpace,
+        cost_params: CostParameters | None = None,
+    ):
+        self.space = space
+        self.cost_model = CostModel(catalog, cost_params)
+        self.rows = RowCoster(space.unranker.tables, self.cost_model)
+
+    def cost(self, plan: PlanNode) -> float:
+        return self.cost_model.plan_cost(plan)
+
+    def cost_batch(self, plans: list[PlanNode]) -> list[float]:
+        """Price a sampled batch (one ``plan_costs`` call, the hot path)."""
+        return self.cost_model.plan_costs(plans)
+
+    def cost_ranks(self, ranks: list[int]) -> tuple[list[PlanNode], list[float]]:
+        """Unrank and price ``ranks``; returns (plans, costs) in order."""
+        unrank = self.space.unrank
+        plans = [unrank(rank) for rank in ranks]
+        return plans, self.cost_batch(plans)

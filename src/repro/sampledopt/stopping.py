@@ -1,0 +1,184 @@
+"""Stopping rules for anytime sampled optimization.
+
+The search draws batches of uniform plans and must decide when more
+sampling stops paying for itself.  Three rules, in the spirit of the
+sampling-based optimization literature:
+
+* :class:`FixedSamples` — the paper's implicit rule: a predetermined
+  sample size ``k`` ("a random sample of 10,000 plans").
+* :class:`CostPlateau` — anytime/adaptive: stop after ``patience``
+  consecutive batches whose best cost improved by less than ``tolerance``
+  (relative).  The re-optimization view: more samples are worth their
+  wall-clock only while they keep moving the incumbent.
+* :class:`QuantileTarget` — the PAO-style probabilistic guarantee
+  (Trummer & Koch, "Probably Approximately Optimal Query Optimization"):
+  after ``k`` uniform samples the probability that none landed in the
+  best ``q``-fraction of the space is ``(1-q)^k``, so
+  ``k >= log(1-confidence) / log(1-q)`` samples make the best *sampled*
+  plan a top-``q`` plan with the requested confidence.  The rule stops at
+  exactly that ``k`` — and recombination (see :mod:`.search`) only ever
+  improves on the guaranteed plan.
+
+Rules see only costed batches; wall-clock budgets are enforced by the
+search driver itself so every rule is budget-compatible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "StoppingRule",
+    "FixedSamples",
+    "CostPlateau",
+    "QuantileTarget",
+    "make_rule",
+]
+
+
+class StoppingRule:
+    """Decides, after each costed batch, whether to keep sampling."""
+
+    def start(self, total_plans: int) -> None:
+        """Reset state for a fresh search over a space of ``total_plans``."""
+
+    def update(self, samples: int, best_cost: float) -> bool:
+        """Record one costed batch; True = stop.
+
+        ``samples`` is the cumulative sample count, ``best_cost`` the best
+        cost seen so far (the incumbent after recombination, so plateau
+        detection sees every improvement the search can act on).
+        """
+        raise NotImplementedError
+
+    def describe(self) -> str:  # pragma: no cover - trivial
+        return type(self).__name__
+
+
+@dataclass
+class FixedSamples(StoppingRule):
+    """Stop once ``k`` plans have been sampled and costed."""
+
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k <= 0:
+            raise ReproError(f"sample budget must be positive, got {self.k}")
+
+    @property
+    def required_samples(self) -> int:
+        return self.k
+
+    def update(self, samples: int, best_cost: float) -> bool:
+        return samples >= self.k
+
+    def describe(self) -> str:
+        return f"fixed-k (k={self.k})"
+
+
+class CostPlateau(StoppingRule):
+    """Stop after ``patience`` batches without relative improvement
+    greater than ``tolerance``; always take at least ``min_samples``."""
+
+    def __init__(
+        self,
+        patience: int = 2,
+        tolerance: float = 0.01,
+        min_samples: int = 128,
+    ):
+        if patience < 1:
+            raise ReproError("patience must be at least 1 batch")
+        if tolerance < 0:
+            raise ReproError("tolerance must be non-negative")
+        self.patience = patience
+        self.tolerance = tolerance
+        self.min_samples = min_samples
+        self._last_best = math.inf
+        self._flat_batches = 0
+
+    def start(self, total_plans: int) -> None:
+        self._last_best = math.inf
+        self._flat_batches = 0
+
+    def update(self, samples: int, best_cost: float) -> bool:
+        improved = best_cost < self._last_best * (1.0 - self.tolerance)
+        self._flat_batches = 0 if improved else self._flat_batches + 1
+        if best_cost < self._last_best:
+            self._last_best = best_cost
+        return (
+            samples >= self.min_samples
+            and self._flat_batches >= self.patience
+        )
+
+    def describe(self) -> str:
+        return (
+            f"cost-plateau (patience={self.patience}, "
+            f"tolerance={self.tolerance:g}, min_samples={self.min_samples})"
+        )
+
+
+class QuantileTarget(StoppingRule):
+    """Stop once the best sampled plan is in the best ``quantile``
+    fraction of the space with probability ``confidence``."""
+
+    def __init__(self, quantile: float = 1e-4, confidence: float = 0.95):
+        if not 0.0 < quantile < 1.0:
+            raise ReproError(f"quantile must be in (0, 1), got {quantile}")
+        if not 0.0 < confidence < 1.0:
+            raise ReproError(
+                f"confidence must be in (0, 1), got {confidence}"
+            )
+        self.quantile = quantile
+        self.confidence = confidence
+
+    @property
+    def required_samples(self) -> int:
+        """``k`` with ``1 - (1-q)^k >= confidence``."""
+        return math.ceil(
+            math.log(1.0 - self.confidence) / math.log(1.0 - self.quantile)
+        )
+
+    def update(self, samples: int, best_cost: float) -> bool:
+        return samples >= self.required_samples
+
+    def describe(self) -> str:
+        return (
+            f"quantile-target (q={self.quantile:g}, "
+            f"confidence={self.confidence:g}, k={self.required_samples})"
+        )
+
+
+def quantile_bound(samples: int, confidence: float = 0.95) -> float:
+    """The quality certificate ``k`` samples buy: with probability
+    ``confidence`` the best of ``k`` uniform samples lies within the best
+    ``q`` fraction of the space, where ``q = 1 - (1-confidence)^(1/k)``."""
+    if samples <= 0:
+        return 1.0
+    return 1.0 - (1.0 - confidence) ** (1.0 / samples)
+
+
+def make_rule(
+    name: str,
+    samples: int | None = None,
+    quantile: float = 1e-4,
+    confidence: float = 0.95,
+) -> StoppingRule:
+    """Build a rule from CLI-style arguments."""
+    if name == "fixed":
+        if samples is None:
+            raise ReproError("the fixed rule needs an explicit sample count")
+        return FixedSamples(samples)
+    if name == "plateau":
+        return CostPlateau()
+    if name == "quantile":
+        return QuantileTarget(quantile=quantile, confidence=confidence)
+    raise ReproError(
+        f"unknown stopping rule {name!r} (expected fixed, plateau or quantile)"
+    )
+
+
+# re-exported alongside the rules
+__all__.append("quantile_bound")

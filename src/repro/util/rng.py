@@ -28,6 +28,18 @@ bijection (asserted by the equivalence property suite), a seed uniquely
 identifies a set of *plans*, end-to-end through ``Session.iterate_plans``
 and the ``sample``/``validate`` CLI commands — materialized and implicit
 runs are interchangeable in experiment scripts.
+
+The stratified stream
+---------------------
+:class:`repro.sampledopt.strata.StratifiedSampler` is a *distinct*
+deterministic stream, not an instance of the contract above: each
+``sample_ranks(n)`` call visits the plan-shape strata in rank order and
+draws every allocated rank via ``rng.randrange(lo, hi)``.  The same seed
+over the same space and strata yields the same ranks — but never the
+plain samplers' ranks (stratification constrains which ranks can be
+drawn).  Code that must reproduce materialized experiments bit-for-bit
+uses the plain samplers; stratification is for variance reduction and
+search coverage.
 """
 
 from __future__ import annotations

@@ -129,3 +129,25 @@ class TestPlanCost:
             catalog, CostParameters(nlj_pair=0.001)
         ).operator_cost(NestedLoopJoin(None), 1.0, (10.0, 10.0))
         assert expensive_nl > cheap_nl * 100
+
+    def test_plan_cost_survives_deep_plans(self, model):
+        """plan_cost is iterative: a plan deeper than Python's recursion
+        limit still prices (deep chain-query plans must not crash)."""
+        depth = 3000
+        node = PlanNode(TableScan("nation", "n"), (), 0, 1, 25.0)
+        for local in range(2, depth + 2):
+            node = PlanNode(Sort((N_KEY,)), (node,), 0, local, 25.0)
+        total = model.plan_cost(node)
+        scan = model.operator_cost(TableScan("nation", "n"), 25.0, ())
+        sort = model.operator_cost(Sort((N_KEY,)), 25.0, (25.0,))
+        assert total == pytest.approx(scan + depth * sort)
+
+    def test_plan_costs_batches_match_singles(self, model):
+        scan_n = PlanNode(TableScan("nation", "n"), (), 0, 1, 25.0)
+        scan_r = PlanNode(TableScan("region", "r"), (), 1, 1, 5.0)
+        join = PlanNode(HashJoin((N_KEY,), (R_KEY,)), (scan_n, scan_r), 2, 1, 25.0)
+        plans = [scan_n, scan_r, join]
+        assert model.plan_costs(plans) == [
+            model.plan_cost(plan) for plan in plans
+        ]
+        assert model.plan_costs([]) == []

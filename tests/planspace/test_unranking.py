@@ -16,6 +16,26 @@ def unranker(paper_example):
     return Unranker(materialize_links(paper_example.memo))
 
 
+class TestCardinalityAnnotations:
+    def test_unranked_plans_carry_real_estimates(self, unranker):
+        for node in unranker.unrank(13).iter_nodes():
+            assert node.cardinality > 0.0
+
+    def test_unannotated_memo_fails_loudly(self, paper_example):
+        """No silent cardinality=0.0 fallback: a memo that reaches
+        unranking without annotations is a pipeline bug."""
+        memo = paper_example.memo
+        saved = [group.cardinality for group in memo.groups]
+        try:
+            memo.groups[0].cardinality = None
+            stripped = Unranker(materialize_links(memo))
+            with pytest.raises(PlanSpaceError, match="cardinality"):
+                stripped.unrank(13)
+        finally:
+            for group, cardinality in zip(memo.groups, saved):
+                group.cardinality = cardinality
+
+
 class TestPaperAppendix:
     """Unranking rank 13 from the root group, as in the paper's appendix."""
 

@@ -105,6 +105,7 @@ def _check_equivalence(shape: str, n: int, allow_cross: bool) -> None:
         ranks = sorted(
             {0, total - 1, *(rng.randrange(total) for _ in range(SAMPLED_RANKS))}
         )
+        cost_model = result.cost_model
         for rank in ranks:
             mat_plan = materialized.unrank(rank)
             imp_plan = implicit.unrank(rank)
@@ -112,6 +113,19 @@ def _check_equivalence(shape: str, n: int, allow_cross: bool) -> None:
             assert imp_plan.render() == mat_plan.render(), (tag, rank)
             assert implicit.rank(imp_plan) == rank, (tag, rank)
             assert materialized.rank(imp_plan) == rank, (tag, rank)
+            # cardinality parity: both engines annotate every node with
+            # the same real estimate (never a 0.0 placeholder), so both
+            # plans price identically under one cost model
+            for imp_node, mat_node in zip(
+                imp_plan.iter_nodes(), mat_plan.iter_nodes()
+            ):
+                assert imp_node.cardinality == pytest.approx(
+                    mat_node.cardinality, rel=1e-12
+                ), (tag, rank, imp_node.expr_id)
+                assert mat_node.cardinality > 0.0, (tag, rank)
+            assert cost_model.plan_cost(imp_plan) == pytest.approx(
+                cost_model.plan_cost(mat_plan), rel=1e-12
+            ), (tag, rank)
 
         # shared-seed sampler contract
         assert materialized.sample_ranks(40, seed=7) == implicit.sample_ranks(

@@ -1,0 +1,118 @@
+"""Memo-free cost-distribution analytics."""
+
+import pytest
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.experiments.distributions import distribution_from_result
+from repro.sampledopt import distribution_report, sampled_distribution
+from repro.workloads.synthetic import chain_query
+
+
+@pytest.fixture(scope="module")
+def chain4():
+    return chain_query(4, rows=5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def chain4_optimum(chain4):
+    return Optimizer(chain4.catalog, OptimizerOptions()).optimize_sql(chain4.sql)
+
+
+class TestSampledDistribution:
+    def test_matches_materialized_distribution_same_seed(
+        self, chain4, chain4_optimum
+    ):
+        """With the shared-contract (plain) sampler and costs scaled to
+        the same optimum, the memo-free distribution reproduces the
+        materialized experiment exactly: same ranks, same plans, same
+        costs."""
+        materialized = distribution_from_result(
+            chain4_optimum, "chain4", sample_size=200, seed=3
+        )
+        implicit = sampled_distribution(
+            chain4.catalog,
+            chain4.sql,
+            "chain4",
+            sample_size=200,
+            seed=3,
+            scale_to=chain4_optimum.best_cost,
+        )
+        assert implicit.total_plans == materialized.total_plans
+        assert implicit.scaled_costs == pytest.approx(
+            materialized.scaled_costs, rel=1e-12
+        )
+
+    def test_self_scaled_costs_are_at_least_one(self, chain4):
+        dist = sampled_distribution(
+            chain4.catalog, chain4.sql, "chain4", sample_size=150, seed=0
+        )
+        # scaled to the recombined best, which lower-bounds every sample
+        assert min(dist.scaled_costs) >= 1.0 - 1e-9
+        assert dist.sample_size == 150
+
+    def test_stratified_sampling(self, chain4):
+        dist = sampled_distribution(
+            chain4.catalog,
+            chain4.sql,
+            "chain4",
+            sample_size=100,
+            seed=1,
+            stratified=True,
+        )
+        assert dist.sample_size == 100
+        again = sampled_distribution(
+            chain4.catalog,
+            chain4.sql,
+            "chain4",
+            sample_size=100,
+            seed=1,
+            stratified=True,
+        )
+        assert dist.scaled_costs == again.scaled_costs  # deterministic
+
+
+class TestDistributionStatistics:
+    def test_quantiles_and_curve(self, chain4):
+        dist = sampled_distribution(
+            chain4.catalog, chain4.sql, "chain4", sample_size=200, seed=0
+        )
+        q50 = dist.quantile(0.5)
+        assert q50 == pytest.approx(dist.median(), rel=1e-9)
+        assert dist.quantile(0.0) == pytest.approx(dist.minimum())
+        assert dist.quantile(1.0) == pytest.approx(dist.maximum())
+        values = [v for _q, v in dist.quantiles([0.1, 0.5, 0.9])]
+        assert values == sorted(values)
+        curve = dist.fraction_within_curve([1.0, 2.0, 10.0, float("inf")])
+        fractions = [f for _factor, f in curve]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+        for factor, fraction in curve[:-1]:
+            assert fraction == pytest.approx(dist.fraction_within(factor))
+
+    def test_quantile_validation(self, chain4):
+        dist = sampled_distribution(
+            chain4.catalog, chain4.sql, "chain4", sample_size=20, seed=0
+        )
+        with pytest.raises(ValueError):
+            dist.quantile(1.5)
+
+    def test_nonpositive_sample_size_rejected(self, chain4):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            sampled_distribution(
+                chain4.catalog, chain4.sql, "chain4", sample_size=0
+            )
+
+
+class TestReport:
+    def test_report_renders(self, chain4):
+        dist = sampled_distribution(
+            chain4.catalog, chain4.sql, "chain4", sample_size=100, seed=0
+        )
+        text = distribution_report(dist)
+        assert "best known plan" in text
+        assert "quantiles:" in text
+        assert "within factor:" in text
+        optimum_text = distribution_report(dist, scaled_to_optimum=True)
+        assert "optimum" in optimum_text

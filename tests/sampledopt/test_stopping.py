@@ -1,0 +1,129 @@
+"""Stopping rules for sampled optimization."""
+
+import math
+
+import pytest
+
+from repro.errors import ReproError
+from repro.sampledopt.stopping import (
+    CostPlateau,
+    FixedSamples,
+    QuantileTarget,
+    make_rule,
+    quantile_bound,
+)
+
+
+class TestFixedSamples:
+    def test_stops_at_k(self):
+        rule = FixedSamples(100)
+        rule.start(10**9)
+        assert not rule.update(50, 10.0)
+        assert rule.update(100, 10.0)
+        assert rule.update(150, 10.0)
+
+    def test_required_samples(self):
+        assert FixedSamples(64).required_samples == 64
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ReproError):
+            FixedSamples(0)
+
+    def test_describe(self):
+        assert "k=100" in FixedSamples(100).describe()
+
+
+class TestCostPlateau:
+    def test_stops_after_flat_batches(self):
+        rule = CostPlateau(patience=2, tolerance=0.01, min_samples=0)
+        rule.start(10**9)
+        assert not rule.update(10, 100.0)  # first observation
+        assert not rule.update(20, 50.0)  # big improvement
+        assert not rule.update(30, 49.9)  # flat 1 (<1% better)
+        assert rule.update(40, 49.9)  # flat 2 -> stop
+
+    def test_improvement_resets_patience(self):
+        rule = CostPlateau(patience=2, tolerance=0.01, min_samples=0)
+        rule.start(10**9)
+        rule.update(10, 100.0)
+        assert not rule.update(20, 99.9)  # flat 1
+        assert not rule.update(30, 50.0)  # improved: reset
+        assert not rule.update(40, 49.9)  # flat 1 again
+        assert rule.update(50, 49.9)
+
+    def test_min_samples_floor(self):
+        rule = CostPlateau(patience=1, tolerance=0.01, min_samples=100)
+        rule.start(10**9)
+        assert not rule.update(10, 5.0)
+        assert not rule.update(20, 5.0)  # plateaued but below the floor
+        assert rule.update(100, 5.0)
+
+    def test_start_resets(self):
+        rule = CostPlateau(patience=1, tolerance=0.01, min_samples=0)
+        rule.start(10)
+        rule.update(10, 5.0)
+        rule.update(20, 5.0)
+        rule.start(10)
+        assert not rule.update(10, 5.0)  # fresh: first batch never stops
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            CostPlateau(patience=0)
+        with pytest.raises(ReproError):
+            CostPlateau(tolerance=-0.5)
+
+
+class TestQuantileTarget:
+    def test_required_samples_math(self):
+        rule = QuantileTarget(quantile=0.001, confidence=0.95)
+        k = rule.required_samples
+        # exactly enough: 1-(1-q)^k >= c, and k-1 is not
+        assert 1 - (1 - 0.001) ** k >= 0.95
+        assert 1 - (1 - 0.001) ** (k - 1) < 0.95
+
+    def test_stops_at_required(self):
+        rule = QuantileTarget(quantile=0.01, confidence=0.9)
+        rule.start(10**9)
+        k = rule.required_samples
+        assert not rule.update(k - 1, 1.0)
+        assert rule.update(k, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            QuantileTarget(quantile=0.0)
+        with pytest.raises(ReproError):
+            QuantileTarget(confidence=1.0)
+
+
+class TestQuantileBound:
+    def test_inverse_of_required_samples(self):
+        rule = QuantileTarget(quantile=1e-3, confidence=0.95)
+        q = quantile_bound(rule.required_samples, confidence=0.95)
+        assert q <= 1e-3 + 1e-9
+
+    def test_monotone_in_samples(self):
+        assert quantile_bound(1000) < quantile_bound(100) < quantile_bound(10)
+
+    def test_degenerate(self):
+        assert quantile_bound(0) == 1.0
+
+
+class TestMakeRule:
+    def test_fixed(self):
+        assert isinstance(make_rule("fixed", samples=10), FixedSamples)
+
+    def test_fixed_needs_samples(self):
+        with pytest.raises(ReproError):
+            make_rule("fixed")
+
+    def test_plateau(self):
+        assert isinstance(make_rule("plateau"), CostPlateau)
+
+    def test_quantile(self):
+        rule = make_rule("quantile", quantile=0.01, confidence=0.9)
+        assert isinstance(rule, QuantileTarget)
+        assert rule.quantile == 0.01
+
+    def test_unknown(self):
+        with pytest.raises(ReproError):
+            make_rule("entropy")

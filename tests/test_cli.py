@@ -86,6 +86,119 @@ class TestSampleAndExecute:
         assert code == 0
 
 
+class TestOptimize:
+    def test_exhaustive_default(self):
+        code, text = run_cli("optimize", "Q3")
+        assert code == 0
+        assert "best cost" in text
+        assert "sampled" not in text
+
+    def test_sampled(self):
+        code, text = run_cli(
+            "optimize", "Q3", "--sampled", "--samples", "40", "--seed", "1"
+        )
+        assert code == 0
+        assert "sampled optimization: 40 samples" in text
+        assert "best cost" in text
+        assert "recombined" in text
+
+    def test_sampled_seed_determinism(self):
+        _, first = run_cli(
+            "optimize", "Q3", "--sampled", "--samples", "30", "--seed", "5"
+        )
+        _, second = run_cli(
+            "optimize", "Q3", "--sampled", "--samples", "30", "--seed", "5"
+        )
+        assert first == second
+
+    def test_sampled_budget_flag(self):
+        code, text = run_cli(
+            "optimize", "Q3", "--sampled", "--budget-s", "0.0"
+        )
+        assert code == 0
+        assert "stopped: budget" in text
+
+    def test_sampled_rule_quantile(self):
+        code, text = run_cli(
+            "optimize",
+            "Q3",
+            "--sampled",
+            "--rule",
+            "quantile",
+            "--quantile",
+            "0.05",
+            "--confidence",
+            "0.9",
+        )
+        assert code == 0
+        assert "quantile-target" in text
+
+    def test_sampled_uniform_flag(self):
+        code, text = run_cli(
+            "optimize", "Q3", "--sampled", "--samples", "20", "--uniform"
+        )
+        assert code == 0
+        assert "sampled optimization: 20 samples" in text
+
+    def test_sampling_flags_require_sampled(self):
+        for flags in (
+            ["--samples", "10"],
+            ["--seed", "5"],
+            ["--budget-s", "1"],
+            ["--rule", "plateau"],
+            ["--quantile", "0.01"],
+            ["--confidence", "0.9"],
+            ["--uniform"],
+        ):
+            code, _ = run_cli("optimize", "Q3", *flags)
+            assert code == 2, flags
+
+    def test_fixed_rule_requires_samples(self):
+        code, _ = run_cli("optimize", "Q3", "--sampled", "--rule", "fixed")
+        assert code == 2
+
+    def test_quantile_flags_require_quantile_rule(self):
+        code, _ = run_cli(
+            "optimize", "Q3", "--sampled", "--samples", "10",
+            "--quantile", "0.01",
+        )
+        assert code == 2
+
+
+class TestDistribution:
+    def test_memo_free_default(self):
+        code, text = run_cli("distribution", "Q3", "--samples", "80")
+        assert code == 0
+        assert "best known plan" in text
+        assert "quantiles:" in text
+        assert "within factor:" in text
+
+    def test_materialized_scales_to_optimum(self):
+        code, text = run_cli(
+            "distribution", "Q3", "--samples", "80", "--materialized"
+        )
+        assert code == 0
+        assert "scaled to the optimum" in text
+
+    def test_stratified(self):
+        code, text = run_cli(
+            "distribution", "Q3", "--samples", "80", "--stratified"
+        )
+        assert code == 0
+        assert "N = " in text
+
+    def test_stratified_conflicts_with_materialized(self):
+        code, _ = run_cli(
+            "distribution", "Q3", "--materialized", "--stratified"
+        )
+        assert code == 2
+
+    def test_seed_determinism(self):
+        _, first = run_cli("distribution", "Q3", "--samples", "60", "--seed", "2")
+        _, second = run_cli("distribution", "Q3", "--samples", "60", "--seed", "2")
+        assert first == second
+
+
 class TestValidate:
     def test_validate_passes(self):
         code, text = run_cli("validate", TWO_TABLE, "--sample", "20")
