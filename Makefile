@@ -9,10 +9,11 @@ check:
 check-slow:
 	CI_SLOW=1 bash scripts/ci.sh
 
-# Regenerate all three perf-trajectory files in place (--merge keeps
+# Regenerate all four perf-trajectory files in place (--merge keeps
 # cells a restricted run does not touch, e.g. the minutes-long
 # materialized clique12 rows recorded with --full).
 bench:
 	PYTHONPATH=src python benchmarks/bench_exploration_scaling.py --merge
 	PYTHONPATH=src python benchmarks/bench_planspace.py --merge
 	PYTHONPATH=src python benchmarks/bench_sampledopt.py --merge
+	PYTHONPATH=src python benchmarks/bench_optimize.py --merge

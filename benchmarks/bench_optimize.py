@@ -1,0 +1,175 @@
+"""Exact-optimization benchmark: columnar vs object memo, across topologies.
+
+Times exact ``Session.optimize`` (full memo pipeline, best plan out) for
+chain/star/clique/cycle joins of n in {8, 10, 12}, no-cross and
+cross-product modes, on both physical-memo representations:
+
+* ``columnar`` — batched struct-of-arrays implementation + the layered
+  best-plan DP (the default serving path);
+* ``object`` — per-expression ``GroupExpr`` construction + the recursive
+  memoized search (the pre-columnar path, kept as fallback/oracle).
+
+Each record carries the end-to-end wall time and the memo-build vs
+best-plan phase split (``implement_s``/``bestplan_s``, plus
+``explore_s`` for context) so regressions localize immediately.  Writes
+``BENCH_optimize.json`` at the repository root.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_optimize.py
+    PYTHONPATH=src python benchmarks/bench_optimize.py --full
+
+By default the *object* engine skips the cells whose memos take minutes
+to build (no-cross clique above n=10, every cross-product cell above
+n=10) — making those cells serveable is the point of the columnar path;
+``--full`` lifts the caps.  Costs are asserted identical whenever both
+engines run a cell.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+)
+
+WORKLOADS = {
+    "chain": chain_query,
+    "star": star_query,
+    "clique": clique_query,
+    "cycle": cycle_query,
+}
+
+DEFAULT_SIZES = (8, 10, 12)
+#: object-engine caps (see module docstring); columnar runs all cells
+OBJ_NOCROSS_CLIQUE_CAP = 10
+OBJ_CROSS_CAP = 10
+
+
+def run_cell(shape: str, n: int, cross: bool, engine: str, repeat: int) -> dict:
+    workload = WORKLOADS[shape](n, rows=5, seed=0)
+    options = OptimizerOptions(
+        allow_cross_products=cross, columnar=(engine == "columnar")
+    )
+    bound = Binder(workload.catalog).bind(parse(workload.sql))
+    record: dict = {
+        "workload": shape,
+        "n": n,
+        "cross": cross,
+        "engine": engine,
+    }
+    best_total = float("inf")
+    for _ in range(repeat):
+        gc.collect()
+        start = time.perf_counter()
+        result = Optimizer(workload.catalog, options).optimize(bound)
+        total = time.perf_counter() - start
+        if total < best_total:
+            best_total = total
+            record["explore_s"] = round(result.timings["explore"], 4)
+            record["implement_s"] = round(result.timings["implement"], 4)
+            record["bestplan_s"] = round(result.timings["bestplan"], 4)
+            record["best_cost"] = result.best_cost
+            record["physical_ops"] = result.memo.physical_expression_count()
+    record["total_s"] = round(best_total, 4)
+    return record
+
+
+def object_skipped(shape: str, n: int, cross: bool, full: bool) -> bool:
+    if full:
+        return False
+    if cross and n > OBJ_CROSS_CAP:
+        return True
+    return not cross and shape == "clique" and n > OBJ_NOCROSS_CLIQUE_CAP
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1, help="runs per cell (best is kept)"
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="lift the object-engine caps"
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        choices=sorted(WORKLOADS),
+        default=list(WORKLOADS),
+        help="restrict to these topologies",
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it (incremental regeneration of expensive cells)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_optimize.json",
+    )
+    args = parser.parse_args(argv)
+
+    try:  # warm numpy up front: a process-level, not per-cell, cost
+        import numpy  # noqa: F401
+    except ImportError:
+        pass
+
+    records = []
+    costs: dict[tuple, float] = {}
+    for shape in args.workloads:
+        for n in args.sizes:
+            for cross in (False, True):
+                for engine in ("columnar", "object"):
+                    if engine == "object" and object_skipped(
+                        shape, n, cross, args.full
+                    ):
+                        print(
+                            f"skip {shape} n={n} cross={'on' if cross else 'off'}"
+                            f" object (pass --full to include)",
+                            flush=True,
+                        )
+                        continue
+                    record = run_cell(shape, n, cross, engine, args.repeat)
+                    records.append(record)
+                    cell = (shape, n, cross)
+                    prior = costs.setdefault(cell, record["best_cost"])
+                    assert prior == record["best_cost"], (
+                        f"engines disagree on the optimum for {cell}"
+                    )
+                    print(
+                        f"{shape:>6} n={n:>2} cross={'on ' if cross else 'off'} "
+                        f"{engine:>8} total={record['total_s']:>9.4f}s "
+                        f"implement={record['implement_s']:>8.4f}s "
+                        f"bestplan={record['bestplan_s']:>8.4f}s "
+                        f"ops={record['physical_ops']:>8}",
+                        flush=True,
+                    )
+
+    if args.merge and args.output.exists():
+        key = lambda r: (r["workload"], r["n"], r["cross"], r["engine"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,39 @@ WORKLOADS = {
 }
 
 
+def phase_comparison(workload, args) -> int:
+    """``--optimize-phases``: columnar vs object per-phase wall timings.
+
+    Both engines optimize the same bound query; per-phase numbers are the
+    best of ``--repeat`` runs, so they are directly comparable to the
+    default mode's phase line (same workload construction, same best-of-N
+    protocol).
+    """
+    results = {}
+    for engine, columnar in (("columnar", True), ("object", False)):
+        options = OptimizerOptions(
+            allow_cross_products=args.cross, columnar=columnar
+        )
+        session = Session(workload.database, options=options)
+        best_total = float("inf")
+        best_timings: dict[str, float] = {}
+        for _ in range(args.repeat):
+            start = time.perf_counter()
+            result = session.optimize(workload.sql)
+            total = time.perf_counter() - start
+            if total < best_total:
+                best_total = total
+                best_timings = dict(result.timings)
+        results[engine] = result.best_cost
+        print(
+            f"{workload.name} cross={'on' if args.cross else 'off'} "
+            f"[{engine}]: total {best_total:.4f}s  "
+            + "  ".join(f"{k} {v:.4f}s" for k, v in best_timings.items())
+        )
+    assert results["columnar"] == results["object"], "engines disagree"
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--shape", choices=sorted(WORKLOADS), default="star")
@@ -62,11 +95,21 @@ def main(argv: list[str] | None = None) -> int:
         help="profile the implicit (count-only) pipeline instead of the "
         "full optimizer",
     )
+    parser.add_argument(
+        "--optimize-phases",
+        action="store_true",
+        help="compare the columnar and object exact-optimization paths: "
+        "per-phase wall timings for both (best of --repeat), no cProfile "
+        "pass — the phase-split measurement optimization PRs quote",
+    )
     args = parser.parse_args(argv)
 
     workload = WORKLOADS[args.shape](args.n, rows=5, seed=0)
     options = OptimizerOptions(allow_cross_products=args.cross)
     session = Session(workload.database, options=options)
+
+    if args.optimize_phases:
+        return phase_comparison(workload, args)
 
     mode = " count-only" if args.count_only else ""
     if args.count_only:

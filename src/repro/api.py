@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from collections.abc import Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import PlanSpaceError
 from repro.executor.executor import PlanExecutor, QueryResult
@@ -136,12 +136,23 @@ class Session:
         return cls(generate_tpch(seed=seed, rows=rows), options=options)
 
     # ------------------------------------------------------------------
-    def optimize(self, sql: str, method: str = "exhaustive", **kwargs):
+    def optimize(
+        self,
+        sql: str,
+        method: str = "exhaustive",
+        prune_factor: float | None = None,
+        **kwargs,
+    ):
         """Optimize a statement.
 
         ``method="exhaustive"`` (the default) runs the full memo pipeline
-        and returns an :class:`OptimizationResult`.  ``method="sampled"``
-        runs the memo-free sampled optimizer
+        and returns an :class:`OptimizationResult`.  ``prune_factor``
+        additionally applies cost-bound pruning after implementation
+        (:func:`repro.optimizer.pruning.prune_memo`): every physical
+        alternative whose best achievable rooted cost exceeds
+        ``prune_factor`` x its group's best is dropped from the memo the
+        result carries — the optimum always survives (factor >= 1.0).
+        ``method="sampled"`` runs the memo-free sampled optimizer
         (:class:`repro.sampledopt.SampledOptimizer`) instead and returns
         a :class:`~repro.sampledopt.SampledOptimizationResult` — same
         ``best_plan``/``best_cost``/``explain()`` surface plus sampling
@@ -156,8 +167,21 @@ class Session:
                     "exhaustive optimization accepts no sampling arguments "
                     f"(got {sorted(kwargs)}); did you mean method='sampled'?"
                 )
-            return Optimizer(self.catalog, self.options).optimize_sql(sql)
+            options = self.options
+            if prune_factor is not None:
+                if prune_factor < 1.0:
+                    # Validate before any optimization work is spent.
+                    raise PlanSpaceError(
+                        f"prune_factor must be >= 1.0 (got {prune_factor:g})"
+                    )
+                options = replace(options, pruning_factor=prune_factor)
+            return Optimizer(self.catalog, options).optimize_sql(sql)
         if method == "sampled":
+            if prune_factor is not None:
+                raise PlanSpaceError(
+                    "prune_factor applies to exhaustive optimization only "
+                    "(the sampled path never builds the memo it would prune)"
+                )
             from repro.sampledopt import SampledOptimizer
 
             return SampledOptimizer(self.catalog, self.options).optimize_sql(

@@ -88,6 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
         "building the physical memo (seconds on clique-sized spaces)",
     )
     optimize.add_argument(
+        "--prune-factor",
+        type=float,
+        default=None,
+        help="apply cost-bound pruning after implementation: drop "
+        "physical alternatives whose best rooted cost exceeds FACTOR x "
+        "the group optimum (>= 1.0; the best plan always survives)",
+    )
+    optimize.add_argument(
         "--samples", type=int, default=None, help="sample budget (fixed-k)"
     )
     optimize.add_argument("--seed", type=int, default=None)
@@ -270,9 +278,20 @@ def _cmd_optimize(args, out) -> int:
                 f"{', '.join(offending)} require(s) --sampled "
                 "(the exhaustive optimizer takes no sampling arguments)"
             )
-        result = session.optimize(sql)
+        result = session.optimize(sql, prune_factor=args.prune_factor)
+        if args.prune_factor is not None:
+            out.write(
+                f"pruned to {result.memo.physical_expression_count()} "
+                f"physical operators (factor {args.prune_factor:g})\n"
+            )
         out.write(result.explain() + "\n")
         return 0
+
+    if args.prune_factor is not None:
+        raise ReproError(
+            "--prune-factor applies to the exhaustive optimizer only "
+            "(drop --sampled)"
+        )
 
     from repro.sampledopt import make_rule
 

@@ -1,0 +1,510 @@
+"""Struct-of-arrays physical memo: the columnar optimization core.
+
+The object memo stores one slotted :class:`~repro.memo.group.GroupExpr`
+per physical alternative — for a 12-relation clique that is ~2.9 million
+Python objects, and constructing them (operator dataclasses, fingerprint
+tuples, duplicate-detection dict probes) dominates exact optimization.
+This module stores the physical side of the memo as parallel integer
+arrays instead:
+
+====== ===================================================================
+column meaning
+====== ===================================================================
+tag    operator kind (``TAG_*`` op-code)
+gid    owning group id
+c0/c1  child group ids (-1 when unused; note an index-lookup join has
+       arity 1: ``c0`` is the outer input, ``a`` keeps the inner gid)
+a/b    per-tag payload: interned sort-order ids (*kids*) for merge keys
+       and delivered orders, or the ordinal into the group's generated
+       operator list (scans, unary operators, index-lookup joins)
+====== ===================================================================
+
+Rows are emitted in exactly the order :func:`~repro.optimizer.
+implementation.implement_memo` would have inserted expressions — group by
+group, logical expression by logical expression, rule order within — so
+``local_id`` arithmetic is positional: row ``r`` of group ``g`` has local
+id ``logical_count(g) + (r - start(g)) + 1``.  ``Sort`` enforcers are not
+rows; they are per-group kid lists in global requirement
+first-occurrence order, with the local ids that follow the group's block.
+
+Key identity is *bitmask* work, reused from the implicit engine
+(:mod:`repro.planspace.implicit.edges`): the equi-key sequences of a join
+``(left, right)`` are the oriented equality edges crossing the cut,
+``FROM[left] & TO[right]``, decoded once per distinct cut and interned to
+integer *kids*.  No predicate is walked and no key tuple is sorted per
+expression.
+
+The object ``Memo``/``GroupExpr`` API stays the facade: every group gets
+a ``_pending`` hook that rebuilds its :class:`GroupExpr` list on first
+access (same operators, same order, same local ids — the shared rule
+module guarantees identity, and the columnar property suite asserts it),
+so the plan-space toolkit, pruning, and explain work unchanged.  Counting
+(`expression_count` and friends) answers from the arrays without
+materializing anything.
+
+Works with or without numpy: columns are ``array.array`` buffers; the
+layered best-plan DP (:mod:`repro.optimizer.bestplan`) views them as
+numpy arrays when available and falls back to pure-Python loops when not,
+mirroring :mod:`repro.planspace.implicit.turbo` / ``counting``.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+from repro.algebra.logical import LogicalGet, LogicalJoin
+from repro.algebra.physical import Sort
+from repro.errors import MemoError
+from repro.memo.group import Group, GroupExpr
+from repro.optimizer.rules import (
+    ImplementationConfig,
+    index_nl_join_implementations,
+    join_implementations,
+    join_physical_kinds,
+    scan_implementations,
+    unary_implementations,
+)
+
+__all__ = [
+    "ColumnarPhysicalStore",
+    "ColumnarUnsupported",
+    "build_columnar_store",
+]
+
+# Physical row op-codes.  Joins use the contiguous NLJ/HASH/MERGE band so
+# the DP can mask them in one comparison.
+TAG_TABLE_SCAN = 0
+TAG_INDEX_SCAN = 1
+TAG_NLJ = 2
+TAG_HASH = 3
+TAG_MERGE = 4
+TAG_INLJ = 5
+TAG_FILTER = 6
+TAG_HASHAGG = 7
+TAG_STREAMAGG = 8
+TAG_PROJECT = 9
+
+_JOIN_KIND_TAGS = {"nlj": TAG_NLJ, "hash": TAG_HASH, "merge": TAG_MERGE}
+
+#: unary-operator tags in :func:`unary_implementations` class order
+_UNARY_TAGS = {
+    "PhysicalFilter": TAG_FILTER,
+    "HashAggregate": TAG_HASHAGG,
+    "StreamAggregate": TAG_STREAMAGG,
+    "PhysicalProject": TAG_PROJECT,
+}
+
+
+class ColumnarUnsupported(Exception):
+    """This memo/configuration cannot take the columnar path (caller
+    falls back to the object implementation)."""
+
+
+class _PendingPhysical:
+    """``Group._pending`` hook: materialize one group's physical block."""
+
+    __slots__ = ("store", "gid")
+
+    def __init__(self, store: "ColumnarPhysicalStore", gid: int):
+        self.store = store
+        self.gid = gid
+
+    def __call__(self, group: Group) -> None:
+        self.store.materialize_group(group)
+
+    def physical_count(self) -> int:
+        return self.store.group_physical_count(self.gid)
+
+
+class ColumnarPhysicalStore:
+    """Array-backed physical expressions of one memo."""
+
+    def __init__(self, memo, graph, catalog, config: ImplementationConfig, root_order):
+        self.memo = memo
+        self.graph = graph
+        self.catalog = catalog
+        self.config = config
+        self.root_order = tuple(root_order)
+
+        # Oriented-equality-edge machinery, shared with the implicit
+        # engine.  Deferred import: repro.planspace's package __init__
+        # reaches back into repro.optimizer.
+        from repro.planspace.implicit.edges import EdgeCatalog
+        from repro.errors import PlanSpaceError
+
+        try:
+            self.edges = EdgeCatalog(graph)
+        except PlanSpaceError as exc:  # >24 relations / >254 key columns
+            raise ColumnarUnsupported(str(exc)) from None
+
+        #: interned sort-order ids (kids) over packed key byte strings
+        self._kid_of: dict[bytes, int] = {}
+        self.kid_bytes: list[bytes] = []
+        self._cut_kids: dict[int, tuple[int, int]] = {}
+
+        # Parallel row columns (signed 32-bit ints on CPython/Linux).
+        self.tag = array("i")
+        self.gid = array("i")
+        self.c0 = array("i")
+        self.c1 = array("i")
+        self.a = array("i")
+        self.b = array("i")
+        #: per-group row range: rows of group g are [start[g], start[g+1])
+        self.group_start: list[int] = []
+        #: logical expression count per group at build time (local-id base)
+        self.logical_counts: list[int] = []
+
+        #: per-group Sort enforcer kids, in global first-occurrence order
+        self.sorts_by_gid: dict[int, list[int]] = {}
+        #: all (gid, kid) requirement states, first-occurrence order —
+        #: exactly the object path's enforcer-requirement dict
+        self.requirements: list[tuple[int, int]] = []
+        self.root_kid: int | None = None
+
+        #: operator caches for lazy per-row materialization
+        self._join_ops: dict[tuple[int, int], tuple] = {}
+        self._inlj_ops: dict[tuple[int, int], list] = {}
+        self._group_ops: dict[int, list] = {}
+        #: enabled join-rule tags in rule order (set by the builder)
+        self._keyed_tags: tuple[int, ...] = (TAG_NLJ, TAG_HASH, TAG_MERGE)
+
+    # ------------------------------------------------------------------
+    # kid interning
+    # ------------------------------------------------------------------
+    def kid(self, seq: bytes) -> int:
+        k = self._kid_of.get(seq)
+        if k is None:
+            k = len(self.kid_bytes)
+            self._kid_of[seq] = k
+            self.kid_bytes.append(seq)
+        return k
+
+    def kid_of_columns(self, columns) -> int:
+        return self.kid(self.edges.seq_bytes(tuple(columns)))
+
+    def columns_of(self, kid: int):
+        return self.edges.seq_columns(self.kid_bytes[kid])
+
+    def cut_kids(self, bits: int) -> tuple[int, int]:
+        pair = self._cut_kids.get(bits)
+        if pair is None:
+            left_seq, right_seq = self.edges.decode(bits)
+            pair = (self.kid(left_seq), self.kid(right_seq))
+            self._cut_kids[bits] = pair
+        return pair
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self.tag)
+
+    def sort_count(self) -> int:
+        return sum(len(kids) for kids in self.sorts_by_gid.values())
+
+    def physical_count(self) -> int:
+        return self.row_count + self.sort_count()
+
+    def group_rows(self, gid: int) -> tuple[int, int]:
+        return self.group_start[gid], self.group_start[gid + 1]
+
+    def group_physical_count(self, gid: int) -> int:
+        start, end = self.group_rows(gid)
+        sorts = self.sorts_by_gid.get(gid)
+        return (end - start) + (len(sorts) if sorts else 0)
+
+    def row_local_id(self, row: int) -> int:
+        g = self.gid[row]
+        return self.logical_counts[g] + (row - self.group_start[g]) + 1
+
+    def sort_local_id(self, gid: int, position: int) -> int:
+        start, end = self.group_rows(gid)
+        return self.logical_counts[gid] + (end - start) + position + 1
+
+    # ------------------------------------------------------------------
+    # lazy operator materialization
+    # ------------------------------------------------------------------
+    def _mask_pair(self, row: int) -> tuple[int, int]:
+        groups = self.memo.groups
+        left = groups[self.c0[row]].mask
+        tag = self.tag[row]
+        right_gid = self.a[row] if tag == TAG_INLJ else self.c1[row]
+        return left, groups[right_gid].mask
+
+    def join_ops(self, left_mask: int, right_mask: int) -> tuple:
+        """One orientation's generated join operators, in rule order —
+        identical to what ``implement_memo`` inserts (same construction
+        through the shared rule module)."""
+        key = (left_mask, right_mask)
+        ops = self._join_ops.get(key)
+        if ops is None:
+            universe = self.graph.universe
+            ops = join_implementations(
+                self.graph.join_predicate_m(left_mask, right_mask),
+                universe.names(left_mask),
+                universe.names(right_mask),
+                self.config,
+            ).ops
+            self._join_ops[key] = ops
+        return ops
+
+    def inlj_ops(self, left_mask: int, right_mask: int) -> list:
+        key = (left_mask, right_mask)
+        ops = self._inlj_ops.get(key)
+        if ops is None:
+            universe = self.graph.universe
+            predicate = self.graph.join_predicate_m(left_mask, right_mask)
+            ji = join_implementations(
+                predicate,
+                universe.names(left_mask),
+                universe.names(right_mask),
+                self.config,
+            )
+            inner = self.memo.group_for_mask(right_mask)
+            get = next(
+                (
+                    e.op
+                    for e in inner.logical_exprs()
+                    if isinstance(e.op, LogicalGet)
+                ),
+                None,
+            )
+            if get is None or not ji.left_keys:
+                ops = []
+            else:
+                ops = index_nl_join_implementations(
+                    get, self.catalog, predicate, ji.left_keys, ji.right_keys
+                )
+            self._inlj_ops[key] = ops
+        return ops
+
+    def group_ops(self, gid: int) -> list:
+        """Scan / unary operator list of a leaf or tower group (ordinals
+        in the ``a`` column index into it)."""
+        ops = self._group_ops.get(gid)
+        if ops is None:
+            group = self.memo.groups[gid]
+            op = group.logical_exprs()[0].op
+            if isinstance(op, LogicalGet):
+                ops = scan_implementations(op, self.catalog, self.config)
+            else:
+                ops = unary_implementations(op, self.config)
+            self._group_ops[gid] = ops
+        return ops
+
+    def row_op(self, row: int):
+        """The physical operator of one row, built on demand."""
+        tag = self.tag[row]
+        if tag in (TAG_NLJ, TAG_HASH, TAG_MERGE):
+            left_mask, right_mask = self._mask_pair(row)
+            ops = self.join_ops(left_mask, right_mask)
+            # ``_keyed_tags`` is the enabled-rule tag order; a keyless
+            # orientation generates the NLJ prefix only, whose position
+            # is the same.
+            return ops[self._keyed_tags.index(tag)]
+        if tag == TAG_INLJ:
+            left_mask, right_mask = self._mask_pair(row)
+            return self.inlj_ops(left_mask, right_mask)[self.b[row]]
+        if tag in (TAG_TABLE_SCAN, TAG_INDEX_SCAN) or tag in (
+            TAG_FILTER,
+            TAG_HASHAGG,
+            TAG_STREAMAGG,
+            TAG_PROJECT,
+        ):
+            return self.group_ops(self.gid[row])[self.a[row]]
+        raise MemoError(f"unknown columnar row tag {tag}")
+
+    def row_children(self, row: int) -> tuple[int, ...]:
+        tag = self.tag[row]
+        if tag in (TAG_NLJ, TAG_HASH, TAG_MERGE):
+            return (self.c0[row], self.c1[row])
+        if tag in (TAG_TABLE_SCAN, TAG_INDEX_SCAN):
+            return ()
+        return (self.c0[row],)
+
+    # ------------------------------------------------------------------
+    # group materialization (the lazy facade)
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Install the pending-materialization hooks on all groups."""
+        for group in self.memo.groups:
+            if self.group_physical_count(group.gid):
+                group._pending = _PendingPhysical(self, group.gid)
+
+    def materialize_group(self, group: Group) -> None:
+        """Rebuild the group's physical ``GroupExpr`` block — identical
+        operators, order and local ids as ``implement_memo`` would have
+        inserted (the columnar equivalence suite asserts byte identity)."""
+        exprs = group._exprs
+        gid = group.gid
+        local = self.logical_counts[gid] + 1
+        start, end = self.group_rows(gid)
+        append = exprs.append
+        for row in range(start, end):
+            append(
+                GroupExpr(self.row_op(row), self.row_children(row), gid, local)
+            )
+            local += 1
+        sorts = self.sorts_by_gid.get(gid)
+        if sorts:
+            for kid in sorts:
+                append(GroupExpr(Sort(self.columns_of(kid)), (gid,), gid, local))
+                local += 1
+
+
+def build_columnar_store(
+    memo,
+    graph,
+    catalog,
+    config: ImplementationConfig,
+    root_order=(),
+) -> ColumnarPhysicalStore:
+    """Populate a :class:`ColumnarPhysicalStore` by batched implementation.
+
+    One pass over the logical memo, group by group; each group's operator
+    block is accumulated in small per-group buffers and appended to the
+    flat columns in one ``extend`` per column.  Raises
+    :class:`ColumnarUnsupported` for memos the columnar path cannot
+    represent (no alias universe / too many relations or key columns) —
+    before any state is attached, so the caller can fall back cleanly.
+    """
+    for group in memo.groups:
+        if group.mask is None and group.key[0] == "rels":
+            raise ColumnarUnsupported("memo has unmasked relation groups")
+    if memo.universe is None:
+        raise ColumnarUnsupported("memo has no alias universe")
+
+    store = ColumnarPhysicalStore(memo, graph, catalog, config, root_order)
+    edges = store.edges
+    from_mask = edges.from_mask
+    to_mask = edges.to_mask
+    cut_kids = store.cut_kids
+
+    keyed_kinds, cross_kinds = join_physical_kinds(config)
+    keyed_tags = tuple(_JOIN_KIND_TAGS[kind] for kind in keyed_kinds)
+    cross_tags = tuple(_JOIN_KIND_TAGS[kind] for kind in cross_kinds)
+    store._keyed_tags = keyed_tags
+    n_keyed = len(keyed_tags)
+    n_cross = len(cross_tags)
+    enable_inlj = config.enable_index_nl_join
+
+    groups = memo.groups
+    tag_col, gid_col = store.tag, store.gid
+    c0_col, c1_col = store.c0, store.c1
+    a_col, b_col = store.a, store.b
+    group_start = store.group_start
+    logical_counts = store.logical_counts
+    #: merge-requirement stream, (gid, kid) interleaved left/right in
+    #: emission order — the object path's inline requirement collection
+    merge_reqs: list[tuple[int, int]] = []
+
+    # Per-group staging buffers, flushed with one extend per column.
+    g_tag: list[int] = []
+    g_c0: list[int] = []
+    g_c1: list[int] = []
+    g_a: list[int] = []
+    g_b: list[int] = []
+
+    for group in groups:
+        group_start.append(len(tag_col))
+        exprs = group.logical_exprs()
+        logical_counts.append(len(group._exprs))
+        if not exprs:
+            continue
+        g_tag.clear()
+        g_c0.clear()
+        g_c1.clear()
+        g_a.clear()
+        g_b.clear()
+        gid = group.gid
+        first = exprs[0].op
+        if type(first) is LogicalJoin:
+            for expr in exprs:
+                children = expr.children
+                l_gid, r_gid = children
+                l_mask = groups[l_gid].mask
+                r_mask = groups[r_gid].mask
+                bits = from_mask(l_mask) & to_mask(r_mask)
+                if bits:
+                    lk, rk = cut_kids(bits)
+                    g_tag.extend(keyed_tags)
+                    g_c0.extend((l_gid,) * n_keyed)
+                    g_c1.extend((r_gid,) * n_keyed)
+                    g_a.extend((lk,) * n_keyed)
+                    g_b.extend((rk,) * n_keyed)
+                    if "merge" in keyed_kinds:
+                        merge_reqs.append((l_gid, lk))
+                        merge_reqs.append((r_gid, rk))
+                    if enable_inlj and not r_mask & (r_mask - 1):
+                        for pos in range(len(store.inlj_ops(l_mask, r_mask))):
+                            g_tag.append(TAG_INLJ)
+                            g_c0.append(l_gid)
+                            g_c1.append(-1)
+                            g_a.append(r_gid)
+                            g_b.append(pos)
+                elif n_cross:
+                    g_tag.extend(cross_tags)
+                    g_c0.extend((l_gid,) * n_cross)
+                    g_c1.extend((r_gid,) * n_cross)
+                    g_a.extend((-1,) * n_cross)
+                    g_b.extend((-1,) * n_cross)
+        elif isinstance(first, LogicalGet):
+            for ordinal, scan in enumerate(store.group_ops(gid)):
+                order = scan.delivered_order()
+                g_tag.append(TAG_INDEX_SCAN if order else TAG_TABLE_SCAN)
+                g_c0.append(-1)
+                g_c1.append(-1)
+                g_a.append(ordinal)
+                g_b.append(store.kid_of_columns(order) if order else -1)
+        else:
+            child = exprs[0].children[0]
+            for ordinal, phys in enumerate(store.group_ops(gid)):
+                tag = _UNARY_TAGS.get(type(phys).__name__)
+                if tag is None:  # pragma: no cover - defensive
+                    raise ColumnarUnsupported(
+                        f"no columnar tag for operator {phys.name}"
+                    )
+                order = phys.delivered_order()
+                g_tag.append(tag)
+                g_c0.append(child)
+                g_c1.append(-1)
+                g_a.append(ordinal)
+                g_b.append(store.kid_of_columns(order) if order else -1)
+        tag_col.extend(g_tag)
+        gid_col.extend((gid,) * len(g_tag))
+        c0_col.extend(g_c0)
+        c1_col.extend(g_c1)
+        a_col.extend(g_a)
+        b_col.extend(g_b)
+    group_start.append(len(tag_col))
+
+    # ------------------------------------------------------------------
+    # requirement registration, in the object path's exact order: the
+    # interleaved merge stream first, then the enforcer scan's non-join
+    # requirements (stream aggregates, in group order), then ORDER BY.
+    # Stream aggregates live only in unary tower groups, so the scan
+    # skips relation-set groups (the bulk of the rows) entirely.
+    # ------------------------------------------------------------------
+    seen: dict[tuple[int, int], None] = {}
+    record = seen.setdefault
+    for req in merge_reqs:
+        record(req)
+    for group in groups:
+        if group.key[0] == "rels":
+            continue
+        start, end = store.group_rows(group.gid)
+        for row in range(start, end):
+            if tag_col[row] == TAG_STREAMAGG and b_col[row] >= 0:
+                record((c0_col[row], b_col[row]))
+    if store.root_order:
+        store.root_kid = store.kid_of_columns(store.root_order)
+        if memo.root_group_id is not None:
+            record((memo.root_group_id, store.root_kid))
+    store.requirements = list(seen)
+
+    if config.enable_sort_enforcers:
+        sorts_by_gid = store.sorts_by_gid
+        for req_gid, kid in store.requirements:
+            sorts_by_gid.setdefault(req_gid, []).append(kid)
+    return store

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.algebra.logical import LogicalOperator
 from repro.algebra.physical import PhysicalOperator
 from repro.errors import MemoError
@@ -63,7 +61,6 @@ class GroupExpr:
         return self.render()
 
 
-@dataclass
 class Group:
     """A set of equivalent expressions: one sub-goal of the query.
 
@@ -72,20 +69,74 @@ class Group:
     detects that two transformation paths arrived at the same sub-goal.
     ``relations`` is the alias set covered by the group — the unit the
     no-cross-products rule and cardinality estimation reason over.
+
+    ``exprs`` may be *partially lazy*: on the columnar optimization path
+    (:mod:`repro.memo.columnar`) the physical expressions live in the
+    struct-of-arrays store and are rebuilt as :class:`GroupExpr` objects
+    only when a consumer first touches ``exprs``/``physical_exprs()``.
+    The ``_pending`` hook carries that rebuild; everything that only needs
+    the *logical* side (:meth:`logical_exprs`, cardinality annotation, the
+    non-materializing counters) reads ``_exprs`` directly and never
+    triggers it.
     """
 
-    gid: int
-    key: tuple
-    relations: frozenset[str]
-    #: bitmask form of ``relations`` under the memo's alias universe;
-    #: ``None`` for memos built without one (hand-assembled examples)
-    mask: int | None = None
-    exprs: list[GroupExpr] = field(default_factory=list)
-    #: estimated output rows; filled in by the cardinality module
-    cardinality: float | None = None
+    __slots__ = ("gid", "key", "relations", "mask", "cardinality", "_exprs", "_pending")
 
+    def __init__(
+        self,
+        gid: int,
+        key: tuple,
+        relations: frozenset[str],
+        mask: int | None = None,
+        exprs: list[GroupExpr] | None = None,
+        cardinality: float | None = None,
+    ):
+        self.gid = gid
+        self.key = key
+        self.relations = relations
+        #: bitmask form of ``relations`` under the memo's alias universe;
+        #: ``None`` for memos built without one (hand-assembled examples)
+        self.mask = mask
+        self._exprs = exprs if exprs is not None else []
+        #: estimated output rows; filled in by the cardinality module
+        self.cardinality = cardinality
+        #: deferred physical materialization (columnar memos only)
+        self._pending = None
+
+    # ------------------------------------------------------------------
+    @property
+    def exprs(self) -> list[GroupExpr]:
+        """All expressions, materializing any pending physical block."""
+        pending = self._pending
+        if pending is not None:
+            self._pending = None
+            pending(self)
+        return self._exprs
+
+    def expr_count(self) -> int:
+        """Number of expressions, *without* materializing pending ones."""
+        count = len(self._exprs)
+        pending = self._pending
+        if pending is not None:
+            count += pending.physical_count()
+        return count
+
+    def logical_expr_count(self) -> int:
+        if self._pending is not None:
+            # Pending groups hold only logical expressions so far.
+            return len(self._exprs)
+        return sum(1 for e in self._exprs if not e.is_physical)
+
+    def physical_expr_count(self) -> int:
+        if self._pending is not None:
+            return self._pending.physical_count()
+        return sum(1 for e in self._exprs if e.is_physical)
+
+    # ------------------------------------------------------------------
     def logical_exprs(self) -> list[GroupExpr]:
-        return [e for e in self.exprs if not e.is_physical]
+        """Logical expressions only — never materializes the physical
+        block (pending groups hold exactly the logical prefix)."""
+        return [e for e in self._exprs if not e.is_physical]
 
     def physical_exprs(self) -> list[GroupExpr]:
         return [e for e in self.exprs if e.is_physical]
@@ -100,6 +151,12 @@ class Group:
         lines = [f"Group {self.gid}  rels={{{', '.join(sorted(self.relations))}}}"]
         lines.extend(f"  {expr.render()}" for expr in self.exprs)
         return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Group(gid={self.gid}, key={self.key!r}, "
+            f"exprs={self.expr_count()}, cardinality={self.cardinality})"
+        )
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.render()

@@ -39,6 +39,11 @@ __all__ = ["Memo"]
 class Memo:
     """A compact encoding of the plan search space."""
 
+    #: struct-of-arrays physical store when the memo was implemented by
+    #: the columnar path (see :mod:`repro.memo.columnar`); plain class
+    #: attribute default so object-path memos carry no extra field
+    columnar = None
+
     groups: list[Group] = field(default_factory=list)
     root_group_id: int | None = None
     #: alias interner for mask-keyed relation groups (None for memos
@@ -174,13 +179,15 @@ class Memo:
     # inspection
     # ------------------------------------------------------------------
     def expression_count(self) -> int:
-        return sum(len(g.exprs) for g in self.groups)
+        """Total expression count.  Never materializes lazy (columnar)
+        physical blocks — the per-group row counts answer it directly."""
+        return sum(g.expr_count() for g in self.groups)
 
     def logical_expression_count(self) -> int:
-        return sum(len(g.logical_exprs()) for g in self.groups)
+        return sum(g.logical_expr_count() for g in self.groups)
 
     def physical_expression_count(self) -> int:
-        return sum(len(g.physical_exprs()) for g in self.groups)
+        return sum(g.physical_expr_count() for g in self.groups)
 
     def render(self) -> str:
         """ASCII dump in the spirit of the paper's Figure 2."""

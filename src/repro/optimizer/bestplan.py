@@ -18,16 +18,34 @@ checks by exhaustive enumeration on small queries.
 
 from __future__ import annotations
 
+import math
+import os
+from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.algebra.physical import PhysicalOperator, Sort
 from repro.algebra.properties import SortOrder, order_satisfies
 from repro.errors import OptimizerError
+from repro.memo.columnar import (
+    TAG_HASH,
+    TAG_INDEX_SCAN,
+    TAG_INLJ,
+    TAG_MERGE,
+    TAG_NLJ,
+    TAG_STREAMAGG,
+    TAG_TABLE_SCAN,
+    ColumnarPhysicalStore,
+)
 from repro.memo.memo import Memo
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plan import PlanNode
 
-__all__ = ["BestPlanSearch", "find_best_plan"]
+__all__ = [
+    "BestPlanSearch",
+    "ColumnarBestPlanSearch",
+    "find_best_plan",
+    "find_best_plan_columnar",
+]
 
 _IN_PROGRESS = object()
 
@@ -341,3 +359,498 @@ def find_best_plan(
             "(are implementations/enforcers enabled?)"
         )
     return best.plan, best.cost
+
+
+# ======================================================================
+# the layered columnar DP
+# ======================================================================
+def _numpy_or_none():
+    """numpy, unless absent or disabled via REPRO_COLUMNAR_NUMPY=0."""
+    if os.environ.get("REPRO_COLUMNAR_NUMPY", "").strip() == "0":
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - numpy is available here
+        return None
+    return numpy
+
+
+class ColumnarBestPlanSearch:
+    """Layered best-plan DP over the struct-of-arrays physical store.
+
+    The recursive object search (:class:`BestPlanSearch`) and this sweep
+    compute the same function — the cheapest plan per ``(group, required
+    sort order)`` state — but the columnar store makes every state's
+    requirement known *up front* (the requirement set collected during
+    batched implementation is exactly the set of child orders any
+    candidate ever demands, plus the root ORDER BY).  So instead of
+    recursing over ``GroupExpr`` objects, the search sweeps groups
+    bottom-up in layers — leaves, then join groups by relation-set
+    popcount (children of a join strictly precede it), then the unary
+    tower — and resolves each group's order-free optimum and all its
+    ordered states from the arrays.  Join layers are vectorized with
+    numpy when available (cost formulas and candidate minima as array
+    expressions over the whole layer); the pure-Python fallback walks the
+    same arrays row by row.
+
+    Tie-breaking replicates the object search bit for bit: candidates
+    are considered in insertion (local-id) order with strict-``<``
+    improvement, ordered states consult only order-delivering candidates
+    plus the group's first satisfying Sort enforcer, and per-candidate
+    totals are accumulated in the same ``local + child0 + child1``
+    association — so the chosen plan, its local ids, and its cost are
+    byte-identical to the object path's (asserted by the columnar
+    property suite).
+    """
+
+    def __init__(self, store: ColumnarPhysicalStore, cost_model: CostModel):
+        self.store = store
+        self.memo = store.memo
+        self.cost_model = cost_model
+        groups = self.memo.groups
+        G = len(groups)
+        self._card = card = [0.0] * G
+        for group in groups:
+            if group.cardinality is None:
+                raise OptimizerError(
+                    f"group {group.gid} has no cardinality; "
+                    "run annotate_cardinalities first"
+                )
+            card[group.gid] = group.cardinality
+
+        self._best0 = [_INFINITY] * G
+        self._best0_row = [-1] * G
+
+        #: state table: one slot per collected (group, required kid)
+        self._state_index = {
+            state: sid for sid, state in enumerate(store.requirements)
+        }
+        S = len(store.requirements)
+        self._state_cost = [_INFINITY] * S
+        #: winner per state: row index, or ("sort", position), or None
+        self._state_winner: list = [None] * S
+        self._reqs_by_gid: dict[int, list[tuple[int, int]]] = {}
+        for sid, (gid, kid) in enumerate(store.requirements):
+            self._reqs_by_gid.setdefault(gid, []).append((sid, kid))
+
+        #: group layers: leaves and towers run scalar; join groups run
+        #: per popcount layer (vectorized when numpy is present)
+        self._leaf_gids: list[int] = []
+        self._tower_gids: list[int] = []
+        join_layers: dict[int, list[int]] = {}
+        for group in groups:
+            if group.key[0] == "rels":
+                if group.mask & (group.mask - 1):
+                    join_layers.setdefault(group.mask.bit_count(), []).append(
+                        group.gid
+                    )
+                else:
+                    self._leaf_gids.append(group.gid)
+            else:
+                self._tower_gids.append(group.gid)
+        self._join_layers = [join_layers[pc] for pc in sorted(join_layers)]
+
+    # ------------------------------------------------------------------
+    def run(self) -> "ColumnarBestPlanSearch":
+        np = _numpy_or_none()
+        for gid in self._leaf_gids:
+            self._process_group_scalar(gid)
+        if np is not None and self.store.row_count:
+            self._run_join_layers_numpy(np)
+        else:
+            for layer in self._join_layers:
+                for gid in layer:
+                    self._process_group_scalar(gid)
+        for gid in self._tower_gids:
+            self._process_group_scalar(gid)
+        return self
+
+    # ------------------------------------------------------------------
+    # shared scalar machinery (leaves, towers, and the no-numpy fallback)
+    # ------------------------------------------------------------------
+    def _local_cost(self, row: int) -> float:
+        """One row's operator-local cost — the same formulas (and the
+        same floating-point evaluation order) as ``CostModel``."""
+        store = self.store
+        tag = store.tag[row]
+        card = self._card
+        p = self.cost_model.params
+        if tag == TAG_NLJ:
+            outer = card[store.c0[row]]
+            inner = card[store.c1[row]]
+            return outer * p.nlj_outer_row + outer * inner * p.nlj_pair
+        if tag == TAG_HASH:
+            probe = card[store.c0[row]]
+            build = card[store.c1[row]]
+            out = card[store.gid[row]]
+            return (
+                build * p.hash_build_row
+                + probe * p.hash_probe_row
+                + out * p.join_output_row
+            )
+        if tag == TAG_MERGE:
+            left = card[store.c0[row]]
+            right = card[store.c1[row]]
+            out = card[store.gid[row]]
+            return (left + right) * p.merge_row + out * p.join_output_row
+        # Scans, unary operators and index-lookup joins price through the
+        # cost model itself (their formulas need catalog/operator state).
+        op = store.row_op(row)
+        out = card[store.gid[row]]
+        if tag in (TAG_TABLE_SCAN, TAG_INDEX_SCAN):
+            child_rows: tuple = ()
+        else:
+            child_rows = (card[store.c0[row]],)
+        return self.cost_model.operator_cost(op, out, child_rows)
+
+    def _sort_local(self, gid: int) -> float:
+        rows = self._card[gid]
+        return rows * math.log2(rows + 2.0) * self.cost_model.params.sort_row_log
+
+    def _row_total(self, row: int) -> float:
+        """Local cost plus the children's best state costs, accumulated
+        left to right — the object search's exact float association."""
+        store = self.store
+        tag = store.tag[row]
+        total = self._local_cost(row)
+        if tag in (TAG_NLJ, TAG_HASH):
+            total += self._best0[store.c0[row]]
+            total += self._best0[store.c1[row]]
+        elif tag == TAG_MERGE:
+            index = self._state_index
+            cost = self._state_cost
+            total += cost[index[(store.c0[row], store.a[row])]]
+            total += cost[index[(store.c1[row], store.b[row])]]
+        elif tag in (TAG_TABLE_SCAN, TAG_INDEX_SCAN):
+            pass
+        elif tag == TAG_STREAMAGG and store.b[row] >= 0:
+            total += self._state_cost[
+                self._state_index[(store.c0[row], store.b[row])]
+            ]
+        else:
+            total += self._best0[store.c0[row]]
+        return total
+
+    def _delivered_kid(self, row: int) -> int:
+        tag = self.store.tag[row]
+        if tag == TAG_MERGE:
+            return self.store.a[row]
+        if tag in (TAG_INDEX_SCAN, TAG_STREAMAGG):
+            return self.store.b[row]
+        return -1
+
+    def _process_group_scalar(self, gid: int) -> None:
+        store = self.store
+        start, end = store.group_rows(gid)
+        best = _INFINITY
+        best_row = -1
+        ordered: list[tuple[int, int, float]] = []
+        for row in range(start, end):
+            total = self._row_total(row)
+            dkid = self._delivered_kid(row)
+            if dkid >= 0:
+                ordered.append((dkid, row, total))
+            if total < best:
+                best = total
+                best_row = row
+        self._best0[gid] = best
+        self._best0_row[gid] = best_row
+        reqs = self._reqs_by_gid.get(gid)
+        if reqs:
+            kid_bytes = self.store.kid_bytes
+            for sid, rkid in reqs:
+                rb = kid_bytes[rkid]
+                rbest = _INFINITY
+                rrow = -1
+                for dkid, row, total in ordered:
+                    if kid_bytes[dkid].startswith(rb) and total < rbest:
+                        rbest = total
+                        rrow = row
+                self._resolve_state(gid, sid, rkid, rbest, rrow)
+
+    def _resolve_state(
+        self, gid: int, sid: int, rkid: int, cand_best: float, cand_row: int
+    ) -> None:
+        """Finish one ordered state: compare the best order-delivering
+        candidate against the group's Sort enforcer.
+
+        A state exists only for collected requirements, and the enforcer
+        pass creates one Sort per requirement — so whenever the group has
+        sorts at all, a satisfying one exists (at least the requirement's
+        own), and every sort of a group prices identically (sort cost
+        depends only on group cardinality).  Which satisfying sort wins
+        (the first, as in the object search) only matters for plan
+        identity, so it is resolved lazily during assembly.
+        """
+        winner = cand_row if cand_row >= 0 else None
+        best = cand_best
+        if gid in self.store.sorts_by_gid:
+            inner = self._best0[gid]
+            if inner < _INFINITY:
+                total = self._sort_local(gid) + inner
+                if winner is None or total < best:
+                    best = total
+                    winner = ("sort", rkid)
+        self._state_cost[sid] = best
+        self._state_winner[sid] = winner
+
+    # ------------------------------------------------------------------
+    # the vectorized join layers
+    # ------------------------------------------------------------------
+    def _run_join_layers_numpy(self, np) -> None:
+        store = self.store
+        intc = np.intc
+        tag = np.frombuffer(store.tag, dtype=intc)
+        gid_ = np.frombuffer(store.gid, dtype=intc)
+        c0 = np.frombuffer(store.c0, dtype=intc)
+        c1 = np.frombuffer(store.c1, dtype=intc)
+        a = np.frombuffer(store.a, dtype=intc)
+        b = np.frombuffer(store.b, dtype=intc)
+        card = np.asarray(self._card, dtype=np.float64)
+        p = self.cost_model.params
+        inf = _INFINITY
+
+        # Operator-local costs, whole memo at once.  Formula shape and
+        # term order match CostModel exactly (same IEEE rounding).
+        local = np.zeros(len(tag), dtype=np.float64)
+        m = tag == TAG_NLJ
+        outer = card[c0[m]]
+        inner = card[c1[m]]
+        local[m] = outer * p.nlj_outer_row + outer * inner * p.nlj_pair
+        m = tag == TAG_HASH
+        local[m] = (
+            card[c1[m]] * p.hash_build_row
+            + card[c0[m]] * p.hash_probe_row
+            + card[gid_[m]] * p.join_output_row
+        )
+        m = tag == TAG_MERGE
+        local[m] = (card[c0[m]] + card[c1[m]]) * p.merge_row + card[
+            gid_[m]
+        ] * p.join_output_row
+        for row in np.nonzero(tag == TAG_INLJ)[0]:
+            local[row] = self._local_cost(int(row))
+
+        # Merge rows' child states, resolved to dense state ids.
+        S = len(store.requirements)
+        state_cost = np.full(S, inf, dtype=np.float64)
+        mpos = np.nonzero(tag == TAG_MERGE)[0]
+        if S and mpos.size:
+            state_codes = np.fromiter(
+                ((g << 32) | k for g, k in store.requirements),
+                dtype=np.int64,
+                count=S,
+            )
+            order = np.argsort(state_codes)
+            sorted_codes = state_codes[order]
+
+            def to_sid(gids, kids):
+                codes = (gids.astype(np.int64) << 32) | kids.astype(np.int64)
+                return order[sorted_codes.searchsorted(codes)]
+
+            sid0 = to_sid(c0[mpos], a[mpos])
+            sid1 = to_sid(c1[mpos], b[mpos])
+            sid0_row = np.full(len(tag), -1, dtype=np.int64)
+            sid1_row = np.full(len(tag), -1, dtype=np.int64)
+            sid0_row[mpos] = sid0
+            sid1_row[mpos] = sid1
+        else:
+            sid0_row = sid1_row = np.full(len(tag), -1, dtype=np.int64)
+
+        # Requirement satisfaction as lexicographic kid-rank intervals:
+        # delivered satisfies required iff its bytes extend the required
+        # bytes, i.e. its kid's lex rank falls in [rank(rb), rank(rb+ff)).
+        kid_bytes = store.kid_bytes
+        lex_sorted = sorted(range(len(kid_bytes)), key=kid_bytes.__getitem__)
+        lexrank = np.zeros(len(kid_bytes), dtype=np.int64)
+        for rank, kid in enumerate(lex_sorted):
+            lexrank[kid] = rank
+        sorted_bytes = [kid_bytes[kid] for kid in lex_sorted]
+        req_bounds: dict[int, tuple[int, int]] = {}
+        for _gid, rkid in store.requirements:
+            if rkid not in req_bounds:
+                rb = kid_bytes[rkid]
+                req_bounds[rkid] = (
+                    bisect_left(sorted_bytes, rb),
+                    bisect_left(sorted_bytes, rb + b"\xff"),
+                )
+
+        best0 = np.full(len(card), inf, dtype=np.float64)
+        for gid in self._leaf_gids:  # already processed scalar
+            best0[gid] = self._best0[gid]
+        for sid in range(S):  # leaf ordered states resolved scalar
+            state_cost[sid] = self._state_cost[sid]
+
+        group_start = store.group_start
+        reqs_by_gid = self._reqs_by_gid
+        for layer in self._join_layers:
+            segments = [
+                (gid, group_start[gid], group_start[gid + 1])
+                for gid in layer
+                if group_start[gid + 1] > group_start[gid]
+            ]
+            if not segments:
+                continue
+            rows = np.concatenate(
+                [np.arange(s, e, dtype=np.int64) for _g, s, e in segments]
+            )
+            t = tag[rows]
+            tot = local[rows].copy()
+            m = (t == TAG_NLJ) | (t == TAG_HASH)
+            idx = rows[m]
+            tot[m] += best0[c0[idx]]
+            tot[m] += best0[c1[idx]]
+            m = t == TAG_MERGE
+            idx = rows[m]
+            tot[m] += state_cost[sid0_row[idx]]
+            tot[m] += state_cost[sid1_row[idx]]
+            m = t == TAG_INLJ
+            if m.any():
+                tot[m] += best0[c0[rows[m]]]
+
+            seg_lens = np.array([e - s for _g, s, e in segments])
+            seg_starts = np.zeros(len(segments), dtype=np.int64)
+            np.cumsum(seg_lens[:-1], out=seg_starts[1:])
+            mins = np.minimum.reduceat(tot, seg_starts)
+            pos = np.arange(len(tot), dtype=np.int64)
+            cand = np.where(tot == np.repeat(mins, seg_lens), pos, len(tot))
+            winners = np.minimum.reduceat(cand, seg_starts)
+            layer_gids = np.array([g for g, _s, _e in segments])
+            best0[layer_gids] = mins
+            for i, (gid, s, e) in enumerate(segments):
+                seg_min = mins[i]
+                if seg_min < inf:
+                    self._best0[gid] = float(seg_min)
+                    self._best0_row[gid] = int(rows[winners[i]])
+
+                reqs = reqs_by_gid.get(gid)
+                if not reqs:
+                    continue
+                off = seg_starts[i]
+                seg_tot = tot[off : off + (e - s)]
+                seg_merge = np.nonzero(t[off : off + (e - s)] == TAG_MERGE)[0]
+                if seg_merge.size:
+                    cand_tot = seg_tot[seg_merge]
+                    ranks = lexrank[a[s + seg_merge]]
+                    # Stable sort: equal delivered orders keep insertion
+                    # order, preserving the object search's tie-breaks.
+                    corder = np.argsort(ranks, kind="stable")
+                    sorted_ranks = ranks[corder]
+                else:
+                    cand_tot = corder = sorted_ranks = None
+                for sid, rkid in reqs:
+                    rbest = inf
+                    rrow = -1
+                    if cand_tot is not None:
+                        lo, hi = req_bounds[rkid]
+                        i0 = sorted_ranks.searchsorted(lo, "left")
+                        i1 = sorted_ranks.searchsorted(hi, "left")
+                        if i0 < i1:
+                            sel = corder[i0:i1]
+                            tvals = cand_tot[sel]
+                            seg_min = tvals.min()
+                            if seg_min < inf:
+                                first = int(sel[tvals == seg_min].min())
+                                rbest = float(seg_min)
+                                rrow = int(s + seg_merge[first])
+                    self._resolve_state(gid, sid, rkid, rbest, rrow)
+                    state_cost[sid] = self._state_cost[sid]
+
+    # ------------------------------------------------------------------
+    # plan assembly (winning path only)
+    # ------------------------------------------------------------------
+    def best_plan(self, required_order: SortOrder = ()) -> tuple[PlanNode, float]:
+        memo = self.memo
+        if memo.root_group_id is None:
+            raise OptimizerError("memo has no root group")
+        root = memo.root_group_id
+        required = tuple(required_order)
+        if required:
+            if required != self.store.root_order:
+                raise OptimizerError(
+                    "columnar best-plan search was built for root order "
+                    f"{self.store.root_order!r}, not {required!r}"
+                )
+            sid = self._state_index[(root, self.store.root_kid)]
+            cost = self._state_cost[sid]
+            if cost >= _INFINITY:
+                raise OptimizerError(
+                    "no physical plan satisfies the root requirement "
+                    "(are implementations/enforcers enabled?)"
+                )
+            return self._assemble(root, self.store.root_kid), cost
+        cost = self._best0[root]
+        if cost >= _INFINITY:
+            raise OptimizerError(
+                "no physical plan satisfies the root requirement "
+                "(are implementations/enforcers enabled?)"
+            )
+        return self._assemble(root, None), cost
+
+    def _assemble(self, gid: int, rkid: int | None) -> PlanNode:
+        store = self.store
+        if rkid is None:
+            row = self._best0_row[gid]
+            if row < 0:  # pragma: no cover - guarded by cost checks
+                raise OptimizerError(f"group {gid} has no feasible plan")
+            return self._plan_from_row(row)
+        winner = self._state_winner[self._state_index[(gid, rkid)]]
+        if winner is None:  # pragma: no cover - guarded by cost checks
+            raise OptimizerError(f"group {gid} has no feasible ordered plan")
+        if isinstance(winner, tuple):
+            _tag, winner_rkid = winner
+            # First satisfying sort in insertion order, as the object
+            # search picks — resolved here, on the winning path only.
+            rb = store.kid_bytes[winner_rkid]
+            kid_bytes = store.kid_bytes
+            position, skid = next(
+                (p, k)
+                for p, k in enumerate(store.sorts_by_gid[gid])
+                if kid_bytes[k].startswith(rb)
+            )
+            inner = self._assemble(gid, None)
+            return PlanNode(
+                op=Sort(store.columns_of(skid)),
+                children=(inner,),
+                group_id=gid,
+                local_id=store.sort_local_id(gid, position),
+                cardinality=self._card[gid],
+            )
+        return self._plan_from_row(winner)
+
+    def _plan_from_row(self, row: int) -> PlanNode:
+        store = self.store
+        tag = store.tag[row]
+        gid = store.gid[row]
+        if tag == TAG_MERGE:
+            slots = (
+                (store.c0[row], store.a[row]),
+                (store.c1[row], store.b[row]),
+            )
+        elif tag in (TAG_NLJ, TAG_HASH):
+            slots = ((store.c0[row], None), (store.c1[row], None))
+        elif tag in (TAG_TABLE_SCAN, TAG_INDEX_SCAN):
+            slots = ()
+        elif tag == TAG_STREAMAGG and store.b[row] >= 0:
+            slots = ((store.c0[row], store.b[row]),)
+        else:
+            slots = ((store.c0[row], None),)
+        children = tuple(self._assemble(cg, kid) for cg, kid in slots)
+        return PlanNode(
+            op=store.row_op(row),
+            children=children,
+            group_id=gid,
+            local_id=store.row_local_id(row),
+            cardinality=self._card[gid],
+        )
+
+
+def find_best_plan_columnar(
+    store: ColumnarPhysicalStore,
+    cost_model: CostModel,
+    required_order: SortOrder = (),
+) -> tuple[PlanNode, float]:
+    """The optimizer's chosen plan from a columnar memo — same plan, same
+    cost as :func:`find_best_plan` over the materialized memo."""
+    return ColumnarBestPlanSearch(store, cost_model).run().best_plan(
+        required_order
+    )

@@ -18,6 +18,12 @@ from repro.algebra.expressions import ColumnId
 from repro.algebra.logical import LogicalGet, LogicalJoin
 from repro.algebra.physical import HashJoin, MergeJoin, PhysicalOperator, Sort
 from repro.catalog.catalog import Catalog
+from repro.errors import PlanSpaceError
+from repro.memo.columnar import (
+    ColumnarPhysicalStore,
+    ColumnarUnsupported,
+    build_columnar_store,
+)
 from repro.memo.group import GroupExpr
 from repro.memo.memo import Memo
 from repro.optimizer.rules import (
@@ -29,7 +35,46 @@ from repro.optimizer.rules import (
     unary_implementations,
 )
 
-__all__ = ["ImplementationConfig", "implement_memo", "extract_equi_keys"]
+__all__ = [
+    "ImplementationConfig",
+    "ColumnarUnsupported",
+    "implement_memo",
+    "implement_memo_columnar",
+    "extract_equi_keys",
+]
+
+
+def implement_memo_columnar(
+    memo: Memo,
+    graph,
+    catalog: Catalog,
+    config: ImplementationConfig | None = None,
+    root_order: tuple[ColumnId, ...] = (),
+) -> ColumnarPhysicalStore:
+    """Batched implementation onto the struct-of-arrays physical store.
+
+    The columnar twin of :func:`implement_memo`: same operators, same
+    order, same enforcer requirements — but emitted as per-group array
+    blocks (:func:`repro.memo.columnar.build_columnar_store`) instead of
+    per-expression ``GroupExpr`` inserts.  Installs the lazy
+    materialization hooks so the object ``Memo`` facade keeps working,
+    and attaches the store as ``memo.columnar``.  Raises
+    :class:`ColumnarUnsupported` (memo untouched) when the memo cannot
+    take the columnar path; callers fall back to :func:`implement_memo`.
+    """
+    if config is None:
+        config = ImplementationConfig()
+    try:
+        store = build_columnar_store(memo, graph, catalog, config, root_order)
+    except PlanSpaceError as exc:
+        # EdgeCatalog capacity limits (>24 relations, >254 distinct key
+        # columns) can also trip mid-build while interning index / GROUP
+        # BY / ORDER BY orders; the memo is untouched either way, so the
+        # caller's object-path fallback is still clean.
+        raise ColumnarUnsupported(str(exc)) from None
+    store.attach()
+    memo.columnar = store
+    return store
 
 
 def _implement_index_nl_join(

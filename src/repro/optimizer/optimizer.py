@@ -16,7 +16,11 @@ from repro.catalog.catalog import Catalog
 from repro.errors import OptimizerError
 from repro.memo.memo import Memo
 from repro.optimizer.annotate import annotate_cardinalities
-from repro.optimizer.bestplan import find_best_plan
+from repro.optimizer.bestplan import (
+    BestPlanSearch,
+    find_best_plan,
+    find_best_plan_columnar,
+)
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel, CostParameters
 from repro.optimizer.explorer import (
@@ -25,7 +29,12 @@ from repro.optimizer.explorer import (
     RuleSet,
     TransformationExplorer,
 )
-from repro.optimizer.implementation import ImplementationConfig, implement_memo
+from repro.optimizer.implementation import (
+    ColumnarUnsupported,
+    ImplementationConfig,
+    implement_memo,
+    implement_memo_columnar,
+)
 from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.plan import PlanNode
 from repro.optimizer.pruning import prune_memo
@@ -39,6 +48,19 @@ __all__ = [
     "OptimizationResult",
     "Optimizer",
 ]
+
+
+def _extract_best(search: BestPlanSearch, memo: Memo, required_order):
+    """Root extraction from an existing (reusable) object search."""
+    if memo.root_group_id is None:
+        raise OptimizerError("memo has no root group")
+    best = search.best(memo.root_group_id, required_order)
+    if best is None:
+        raise OptimizerError(
+            "no physical plan satisfies the root requirement "
+            "(are implementations/enforcers enabled?)"
+        )
+    return best.plan, best.cost
 
 
 class ExplorationStrategy(enum.Enum):
@@ -55,6 +77,12 @@ class OptimizerOptions:
     ``allow_cross_products`` selects between the two spaces of the paper's
     Table 1.  ``pruning_factor`` (off by default, as the paper recommends
     for testing) applies cost-bound pruning after optimization.
+    ``columnar`` selects the physical-memo representation for exact
+    optimization: ``None`` (default) takes the struct-of-arrays columnar
+    path whenever the memo supports it, falling back to the object path
+    otherwise; ``False`` forces the object path (equivalence tests,
+    ablations); ``True`` requires the columnar path and errors when it is
+    unsupported.
     """
 
     allow_cross_products: bool = False
@@ -63,6 +91,7 @@ class OptimizerOptions:
     implementation: ImplementationConfig = field(default_factory=ImplementationConfig)
     cost_params: CostParameters = field(default_factory=CostParameters)
     pruning_factor: float | None = None
+    columnar: bool | None = None
 
 
 @dataclass
@@ -139,13 +168,34 @@ class Optimizer:
         explorer.explore(memo, graph, opts.allow_cross_products)
         timings["explore"] = time.perf_counter() - start
 
+        # Implementation: the columnar (struct-of-arrays) path by
+        # default — batched operator blocks, no GroupExpr objects — with
+        # the object path as the forced/fallback alternative.  Both
+        # produce the identical memo facade.
         start = time.perf_counter()
-        implement_memo(
-            memo,
-            self.catalog,
-            opts.implementation,
-            root_order=query.order_by,
-        )
+        store = None
+        if opts.columnar is not False:
+            try:
+                store = implement_memo_columnar(
+                    memo,
+                    graph,
+                    self.catalog,
+                    opts.implementation,
+                    root_order=query.order_by,
+                )
+            except ColumnarUnsupported:
+                if opts.columnar is True:
+                    raise OptimizerError(
+                        "columnar optimization was requested but this "
+                        "memo does not support it"
+                    ) from None
+        if store is None:
+            implement_memo(
+                memo,
+                self.catalog,
+                opts.implementation,
+                root_order=query.order_by,
+            )
         timings["implement"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -156,14 +206,30 @@ class Optimizer:
         cost_model = CostModel(self.catalog, opts.cost_params)
 
         start = time.perf_counter()
-        best_plan, best_cost = find_best_plan(
-            memo, cost_model, required_order=query.order_by
-        )
+        search = None
+        if store is not None:
+            best_plan, best_cost = find_best_plan_columnar(
+                store, cost_model, required_order=query.order_by
+            )
+        else:
+            search = BestPlanSearch(memo, cost_model)
+            best_plan, best_cost = _extract_best(
+                search, memo, required_order=query.order_by
+            )
         timings["bestplan"] = time.perf_counter() - start
 
         if opts.pruning_factor is not None:
             start = time.perf_counter()
-            prune_memo(memo, cost_model, opts.pruning_factor)
+            # Reuse the best-plan search's memoized state table on the
+            # object path (the columnar DP has no object-level table;
+            # pruning materializes the memo and builds one).
+            prune_memo(
+                memo,
+                cost_model,
+                opts.pruning_factor,
+                search=search,
+                root_order=query.order_by,
+            )
             timings["prune"] = time.perf_counter() - start
             # The best plan always survives pruning (factor >= 1), but we
             # re-extract so node local_ids refer to surviving expressions.

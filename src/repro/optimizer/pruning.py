@@ -1,71 +1,166 @@
-"""Cost-bound pruning (ablation, experiment E11).
+"""Cost-bound pruning (experiment E11, and a serving-path option).
 
 The paper notes that production optimizers employ "a cost based pruning
 heuristic [that] helps avoid expansion of very costly alternatives", and
 that for the sampling technique to see the whole space "it is useful to
 have the optimizer keep each alternative generated".  This module lets us
 quantify that remark: it removes from the memo every physical expression
-whose *best achievable* rooted cost exceeds ``factor`` times its group's
-best cost, and the pruning benchmark then measures how the count of plans
-collapses (and that the optimum survives).
+whose *best achievable* rooted cost exceeds ``factor`` times the best
+cost of every ``(group, requirement)`` context the expression can serve,
+and the pruning benchmark then measures how the count of plans collapses
+(and that the optimum survives).  Beyond the ablation, pruning is wired
+into serving: ``Session.optimize(sql, prune_factor=...)`` and ``repro
+optimize --prune-factor`` run it after implementation.
+
+Judging survival per *qualifying context* — not against the order-free
+group best alone — is what makes the ``factor >= 1.0`` guarantee sound:
+an index scan (or Sort enforcer) is usually beaten order-free by a plain
+table scan, but it may be the cheapest supplier of an ordered state some
+surviving merge join requires.  Every state's own best plan satisfies
+``rooted == best(state) <= factor * best(state)``, so the optimum of
+every reachable state (including the root's ORDER BY state, when
+``root_order`` is passed) survives intact.
+
+Costing reuses one :class:`~repro.optimizer.bestplan.BestPlanSearch`
+memoized state table for the whole sweep — pass the search that already
+solved the memo (the optimizer does) and no group best is re-derived at
+all.  Survivors are decided for *every* group before any group is
+mutated: the search's cached states stay coherent throughout, instead of
+being invalidated and rebuilt once per mutated group as the old
+interleaved loop did — that re-resolution was O(groups x expressions) of
+redundant candidate-table scans on large memos.
 """
 
 from __future__ import annotations
 
+from repro.algebra.physical import PhysicalOperator
+from repro.algebra.properties import order_satisfies
 from repro.memo.memo import Memo
 from repro.optimizer.bestplan import BestPlanSearch
 from repro.optimizer.cost import CostModel
 
 __all__ = ["prune_memo"]
 
+_NO_CHILD_ORDER = PhysicalOperator.required_child_order
+_NO_DELIVERED_ORDER = PhysicalOperator.delivered_order
 
-def prune_memo(memo: Memo, cost_model: CostModel, factor: float) -> int:
-    """Drop physical expressions costing more than ``factor`` x group best.
+
+def prune_memo(
+    memo: Memo,
+    cost_model: CostModel,
+    factor: float,
+    search: BestPlanSearch | None = None,
+    root_order: tuple = (),
+) -> int:
+    """Drop physical expressions costing more than ``factor`` x the best
+    of every state they can serve.
 
     Returns the number of expressions removed.  ``factor`` is >= 1.0; a
-    factor of 1.0 keeps only best-cost operators, larger factors keep
+    factor of 1.0 keeps only state-best operators, larger factors keep
     progressively more of the space.  Logical expressions are never
-    removed (they carry the group structure).
+    removed (they carry the group structure).  ``search`` may be an
+    existing best-plan search over this memo (its memoized table is
+    reused); omitted, a fresh one is built.  ``root_order`` protects the
+    root group's ORDER BY state the same way parent-imposed orders are.
     """
     if factor < 1.0:
         raise ValueError("pruning factor must be >= 1.0")
-    search = BestPlanSearch(memo, cost_model)
+    if search is None:
+        search = BestPlanSearch(memo, cost_model)
+    best = search.best
+    operator_cost = cost_model.operator_cost
+    groups = memo.groups
+
+    # Phase 0: the ordered contexts each group serves — exactly the
+    # child requirements any physical operator imposes, plus ORDER BY.
+    reqs_by_gid: dict[int, dict[tuple, None]] = {}
+    for group in groups:
+        for expr in group.exprs:
+            if not expr.is_physical or expr.is_enforcer:
+                continue
+            op = expr.op
+            if type(op).required_child_order is _NO_CHILD_ORDER:
+                continue
+            for child_pos, child_gid in enumerate(expr.children):
+                required = op.required_child_order(child_pos)
+                if required:
+                    reqs_by_gid.setdefault(child_gid, {}).setdefault(required)
+    if root_order and memo.root_group_id is not None:
+        reqs_by_gid.setdefault(memo.root_group_id, {}).setdefault(
+            tuple(root_order)
+        )
+
+    # Phase 1: decide survivors everywhere, mutating nothing — every
+    # best() call below lands in (or fills) the shared memo table.
+    survivors_by_gid: list[tuple[int, list]] = []
     removed = 0
-    for group in memo.groups:
-        group_best = search.best(group.gid, ())
+    for group in groups:
+        group_best = best(group.gid, ())
         if group_best is None:
             continue
-        budget = group_best.cost * factor
+        ordered_costs: list[tuple[tuple, float]] = []
+        for required in reqs_by_gid.get(group.gid, ()):
+            state_best = best(group.gid, required)
+            if state_best is not None:
+                ordered_costs.append((required, state_best.cost))
+        cardinality = group.cardinality
         survivors = []
+        dropped = 0
         for expr in group.exprs:
             if not expr.is_physical:
                 survivors.append(expr)
                 continue
-            rooted = _best_rooted_cost(expr, memo, search, cost_model)
-            if rooted is not None and rooted <= budget:
+            op = expr.op
+            if expr.is_enforcer:
+                # Enforcers root the group's order-free optimum.
+                rooted = operator_cost(op, cardinality, (cardinality,))
+                rooted += group_best.cost
+            else:
+                rooted = 0.0
+                trivial_reqs = type(op).required_child_order is _NO_CHILD_ORDER
+                for child_pos, child_gid in enumerate(expr.children):
+                    child_best = best(
+                        child_gid,
+                        () if trivial_reqs else op.required_child_order(child_pos),
+                    )
+                    if child_best is None:
+                        rooted = None
+                        break
+                    rooted += child_best.cost
+                if rooted is not None:
+                    rooted += operator_cost(
+                        op,
+                        cardinality,
+                        tuple(
+                            groups[cgid].cardinality for cgid in expr.children
+                        ),
+                    )
+            if rooted is None:
+                dropped += 1
+                continue
+            allowance = group_best.cost
+            if ordered_costs and (
+                type(op).delivered_order is not _NO_DELIVERED_ORDER
+            ):
+                delivered = op.delivered_order()
+                if delivered:
+                    for required, state_cost in ordered_costs:
+                        if state_cost > allowance and order_satisfies(
+                            delivered, required
+                        ):
+                            allowance = state_cost
+            if rooted <= allowance * factor:
                 survivors.append(expr)
             else:
-                removed += 1
-        group.exprs[:] = survivors
+                dropped += 1
+        if dropped:
+            survivors_by_gid.append((group.gid, survivors))
+            removed += dropped
+
+    # Phase 2: apply.  Mutation invalidates any columnar array store
+    # still attached (its rows no longer describe the memo).
+    if survivors_by_gid:
+        for gid, survivors in survivors_by_gid:
+            groups[gid].exprs[:] = survivors
+        memo.columnar = None
     return removed
-
-
-def _best_rooted_cost(expr, memo: Memo, search: BestPlanSearch, cost_model: CostModel):
-    """Cheapest complete sub-plan rooted in ``expr``, or None if infeasible."""
-    group = memo.group(expr.group_id)
-    if expr.is_enforcer:
-        inner = search.best(expr.group_id, ())
-        if inner is None:
-            return None
-        local = cost_model.operator_cost(
-            expr.op, group.cardinality, (group.cardinality,)
-        )
-        return local + inner.cost
-    total = 0.0
-    for child_pos, child_gid in enumerate(expr.children):
-        child_best = search.best(child_gid, expr.op.required_child_order(child_pos))
-        if child_best is None:
-            return None
-        total += child_best.cost
-    child_rows = tuple(memo.group(cgid).cardinality for cgid in expr.children)
-    return total + cost_model.operator_cost(expr.op, group.cardinality, child_rows)

@@ -72,6 +72,7 @@ __all__ = [
     "extract_equi_keys",
     "index_nl_join_implementations",
     "join_implementations",
+    "join_physical_kinds",
     "join_rule_arity",
     "nested_loop_join",
     "scan_implementations",
@@ -269,6 +270,28 @@ def join_implementations(
         if config.enable_merge_join:
             ops.append(MergeJoin(left_keys, right_keys, residual))
     return JoinImplementations(tuple(ops), left_keys, right_keys)
+
+
+def join_physical_kinds(
+    config: ImplementationConfig,
+) -> tuple[tuple[str, ...], tuple[str, ...]]:
+    """The batched mirror of :func:`join_implementations`: the operator
+    *kind* sequence one orientation generates, as ``(with equi-keys,
+    without)``.  The columnar implementation path
+    (:mod:`repro.memo.columnar`) emits one whole block per logical join
+    from these patterns instead of constructing operators; the order must
+    stay identical to :func:`join_implementations` or columnar local ids
+    diverge from the object memo.
+    """
+    keyed: list[str] = []
+    if config.enable_nested_loop_join:
+        keyed.append("nlj")
+    if config.enable_hash_join:
+        keyed.append("hash")
+    if config.enable_merge_join:
+        keyed.append("merge")
+    cross = ("nlj",) if config.enable_nested_loop_join else ()
+    return tuple(keyed), cross
 
 
 def join_rule_arity(

@@ -46,6 +46,102 @@ class TestPruneMemo:
         with pytest.raises(ValueError):
             prune_memo(result.memo, result.cost_model, factor=0.5)
 
+    def test_reused_search_matches_fresh(self, catalog):
+        """Passing the already-solved search (the serving path does)
+        prunes the same expressions as a from-scratch search."""
+        from repro.optimizer.bestplan import BestPlanSearch
+
+        fresh = _fresh_result(catalog, allow_cross_products=False)
+        reused = _fresh_result(catalog, allow_cross_products=False)
+        search = BestPlanSearch(reused.memo, reused.cost_model)
+        search.best(reused.memo.root_group_id, reused.root_order)
+        removed_fresh = prune_memo(fresh.memo, fresh.cost_model, factor=2.0)
+        removed_reused = prune_memo(
+            reused.memo, reused.cost_model, factor=2.0, search=search
+        )
+        assert removed_fresh == removed_reused
+        assert fresh.memo.render() == reused.memo.render()
+
+
+class TestServingPathPruning:
+    """``Session.optimize(sql, prune_factor=...)`` (satellite wiring)."""
+
+    def test_session_prune_factor_shrinks_and_keeps_optimum(self):
+        from repro.api import Session
+        from repro.optimizer.bestplan import find_best_plan
+
+        session = Session.tpch(seed=0)
+        plain = session.optimize(JOIN2)
+        pruned = session.optimize(JOIN2, prune_factor=1.5)
+        assert pruned.best_cost == pytest.approx(plain.best_cost)
+        assert (
+            pruned.memo.physical_expression_count()
+            < plain.memo.physical_expression_count()
+        )
+        # The optimum is still extractable from the pruned memo.
+        _, cost = find_best_plan(pruned.memo, pruned.cost_model)
+        assert cost == pytest.approx(plain.best_cost)
+
+    def test_factor_one_keeps_ordered_suppliers(self):
+        """At factor 1.0 the merge-join optimum survives with its
+        order-delivering suppliers: survival is judged per qualifying
+        (group, requirement) context, not against the order-free best
+        alone — the configuration that used to leave an infeasible memo."""
+        from repro.api import Session
+
+        session = Session.tpch(seed=0)
+        sql = (
+            "SELECT o.o_orderkey FROM orders o, lineitem l "
+            "WHERE o.o_orderkey = l.l_orderkey"
+        )
+        plain = session.optimize(sql)
+        pruned = session.optimize(sql, prune_factor=1.0)
+        assert pruned.best_cost == pytest.approx(plain.best_cost)
+
+    def test_session_prune_factor_validates_before_optimizing(self):
+        from repro.api import Session
+        from repro.errors import PlanSpaceError
+
+        session = Session.tpch(seed=0)
+        with pytest.raises(PlanSpaceError):
+            session.optimize(JOIN2, prune_factor=0.5)
+
+    def test_pruning_detaches_stale_columnar_store(self):
+        from repro.api import Session
+
+        session = Session.tpch(seed=0)
+        pruned = session.optimize(JOIN2, prune_factor=1.2)
+        assert pruned.memo.columnar is None
+
+    def test_session_prune_factor_rejects_sampled(self):
+        from repro.api import Session
+        from repro.errors import PlanSpaceError
+
+        session = Session.tpch(seed=0)
+        with pytest.raises(PlanSpaceError):
+            session.optimize(JOIN2, method="sampled", prune_factor=2.0)
+
+    def test_cli_prune_factor(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["optimize", "Q3", "--prune-factor", "1.5"], out=out)
+        assert code == 0
+        assert "pruned to" in out.getvalue()
+
+    def test_cli_prune_factor_rejects_sampled(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["optimize", "Q3", "--sampled", "--prune-factor", "1.5"], out=out
+        )
+        assert code == 2
+
     def test_pruned_space_plans_still_valid(self, catalog, micro_db):
         from repro.executor.executor import PlanExecutor
         from repro.testing.diff import canonical_rows

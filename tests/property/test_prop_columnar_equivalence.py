@@ -1,0 +1,199 @@
+"""Equivalence of the columnar optimization path against the object memo.
+
+The struct-of-arrays physical memo (:mod:`repro.memo.columnar`), batched
+implementation, and the layered best-plan DP must reproduce the object
+pipeline *exactly*: same best plan (byte-identical render, same local
+ids, same cost), same plan-space total ``N``, same per-operator census —
+and, through the lazy materialization facade, a byte-identical memo
+render.  These tests sweep chain/star/clique/cycle shapes in both
+cross-product modes; n in {7, 8} runs under ``-m slow``.
+
+The pure-Python array fallback (numpy disabled via
+``REPRO_COLUMNAR_NUMPY=0``) is asserted against the same oracle on a
+representative subset.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.api import Session
+from repro.optimizer.implementation import ImplementationConfig
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.planspace.space import PlanSpace
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    cycle_query,
+    star_query,
+)
+from repro.workloads.tpch_queries import TPCH_QUERIES
+
+SHAPES = {
+    "chain": chain_query,
+    "star": star_query,
+    "clique": clique_query,
+    "cycle": cycle_query,
+}
+
+FAST_CASES = [
+    (shape, n, cross)
+    for shape in SHAPES
+    for n in (3, 4, 5, 6)
+    for cross in (False, True)
+    if not (shape == "clique" and cross and n > 5)  # keep the smoke tier quick
+]
+
+SLOW_CASES = [
+    (shape, n, cross)
+    for shape in SHAPES
+    for n in (7, 8)
+    for cross in (False, True)
+    if not (shape == "clique" and cross and n > 7)
+]
+
+
+def _operator_census(memo) -> Counter:
+    """Physical expression counts per operator name (forces the lazy
+    materialization of a columnar memo)."""
+    census: Counter = Counter()
+    for group in memo.groups:
+        for expr in group.physical_exprs():
+            census[expr.op.name] += 1
+    return census
+
+
+def _optimize_both(workload, cross: bool, implementation=None):
+    kwargs = {"allow_cross_products": cross}
+    if implementation is not None:
+        kwargs["implementation"] = implementation
+    columnar = Session(
+        workload.database, options=OptimizerOptions(columnar=True, **kwargs)
+    ).optimize(workload.sql)
+    objectpath = Session(
+        workload.database, options=OptimizerOptions(columnar=False, **kwargs)
+    ).optimize(workload.sql)
+    assert columnar.memo.columnar is not None
+    assert objectpath.memo.columnar is None
+    return columnar, objectpath
+
+
+def _check_equivalence(shape: str, n: int, cross: bool) -> None:
+    workload = SHAPES[shape](n, rows=5, seed=0)
+    columnar, objectpath = _optimize_both(workload, cross)
+
+    # Best plan: byte-identical (operators, shape, group/local ids), same
+    # cost to the bit.
+    assert columnar.best_cost == objectpath.best_cost
+    assert columnar.best_plan.render() == objectpath.best_plan.render()
+
+    # Counts answered from the arrays, before anything materializes.
+    assert (
+        columnar.memo.expression_count() == objectpath.memo.expression_count()
+    )
+    assert (
+        columnar.memo.physical_expression_count()
+        == objectpath.memo.physical_expression_count()
+    )
+
+    # Plan-space N through the lazy facade.
+    n_columnar = PlanSpace.from_result(columnar).count()
+    n_object = PlanSpace.from_result(objectpath).count()
+    assert n_columnar == n_object
+
+    # Per-operator census and, strongest of all, the full memo dump.
+    assert _operator_census(columnar.memo) == _operator_census(objectpath.memo)
+    assert columnar.memo.render() == objectpath.memo.render()
+
+
+@pytest.mark.parametrize("shape,n,cross", FAST_CASES)
+def test_columnar_matches_object_path(shape, n, cross):
+    _check_equivalence(shape, n, cross)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("shape,n,cross", SLOW_CASES)
+def test_columnar_matches_object_path_large(shape, n, cross):
+    _check_equivalence(shape, n, cross)
+
+
+@pytest.mark.parametrize("query", ["Q3", "Q5", "Q9", "Q10"])
+@pytest.mark.parametrize("cross", [False, True])
+def test_columnar_matches_object_path_tpch(query, cross):
+    sql = TPCH_QUERIES[query].sql
+    columnar = Session.tpch(
+        options=OptimizerOptions(allow_cross_products=cross, columnar=True)
+    ).optimize(sql)
+    objectpath = Session.tpch(
+        options=OptimizerOptions(allow_cross_products=cross, columnar=False)
+    ).optimize(sql)
+    assert columnar.best_cost == objectpath.best_cost
+    assert columnar.best_plan.render() == objectpath.best_plan.render()
+    assert columnar.memo.render() == objectpath.memo.render()
+
+
+@pytest.mark.parametrize(
+    "shape,n,cross", [("clique", 5, False), ("star", 6, True), ("chain", 6, False)]
+)
+def test_columnar_python_fallback_matches(shape, n, cross, monkeypatch):
+    """The pure-Python array sweep (numpy absent) is the same function."""
+    monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+    _check_equivalence(shape, n, cross)
+
+
+@pytest.mark.parametrize(
+    "implementation",
+    [
+        ImplementationConfig(enable_merge_join=False),
+        ImplementationConfig(enable_hash_join=False),
+        ImplementationConfig(enable_index_scans=False),
+        ImplementationConfig(enable_sort_enforcers=False),
+        ImplementationConfig(enable_index_nl_join=True),
+        ImplementationConfig(enable_nested_loop_join=False),
+    ],
+)
+def test_columnar_matches_object_path_ablations(implementation):
+    """Rule ablations (including index-lookup joins) keep the paths
+    identical — the configurations the diff tooling exercises."""
+    workload = SHAPES["cycle"](5, rows=5, seed=0)
+    columnar, objectpath = _optimize_both(
+        workload, False, implementation=implementation
+    )
+    assert columnar.best_cost == objectpath.best_cost
+    assert columnar.best_plan.render() == objectpath.best_plan.render()
+    assert columnar.memo.render() == objectpath.memo.render()
+
+
+def test_columnar_auto_falls_back_when_unsupported():
+    """Beyond the EdgeCatalog limits (>24 relations) the default options
+    silently fall back to the object path; columnar=True errors."""
+    from repro.errors import OptimizerError
+
+    workload = chain_query(25, rows=5, seed=0)
+    result = Session(
+        workload.database, options=OptimizerOptions(columnar=None)
+    ).optimize(workload.sql)
+    assert result.memo.columnar is None
+    assert result.best_plan is not None
+    with pytest.raises(OptimizerError):
+        Session(
+            workload.database, options=OptimizerOptions(columnar=True)
+        ).optimize(workload.sql)
+
+
+def test_columnar_counts_do_not_materialize():
+    """Counting a columnar memo must not rebuild GroupExpr objects."""
+    workload = SHAPES["star"](6, rows=5, seed=0)
+    result = Session(
+        workload.database, options=OptimizerOptions(columnar=True)
+    ).optimize(workload.sql)
+    memo = result.memo
+    assert memo.expression_count() > 0
+    assert memo.physical_expression_count() > 0
+    assert all(
+        group._pending is not None
+        for group in memo.groups
+        if group.physical_expr_count()
+    )
