@@ -1,0 +1,48 @@
+"""Regenerate the committed golden-plan corpus fixture.
+
+Builds :func:`repro.testing.corpus.default_golden_sections` into
+``tests/data/golden_corpus.json``: per section, the optimizer's chosen
+plan (full render + cost + plan-space size) and result digests for a
+seeded sample of plans.  The tier-1 replay test
+(``tests/testing/test_golden_corpus.py``) verifies every later build
+against this file, so best-plan or cost changes surface as explicit
+diffs — rerun this script (and review the diff!) only when a change is
+*intended* to alter plan choice, costing, or the plan space::
+
+    PYTHONPATH=src python scripts/build_golden_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.testing.corpus import build_corpus, default_golden_sections
+
+PLANS_PER_QUERY = 12
+SEED = 1
+
+OUTPUT = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
+
+
+def main() -> int:
+    payload = {}
+    for name, (session, queries) in default_golden_sections().items():
+        corpus = build_corpus(
+            session, queries, plans_per_query=PLANS_PER_QUERY, seed=SEED
+        )
+        payload[name] = json.loads(corpus.to_json())
+        print(
+            f"{name}: {len(corpus.plans)} queries, "
+            f"{len(corpus.records)} golden plan digests"
+        )
+    OUTPUT.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT / "golden_corpus.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

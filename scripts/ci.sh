@@ -92,6 +92,48 @@ assert best < budget, (
 )
 EOF
 
+echo "== batched exploration smoke =="
+python - <<'EOF'
+import os
+import time
+
+from repro.optimizer.explorer import EnumerationExplorer
+from repro.optimizer.setup import build_initial_memo
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.workloads.synthetic import clique_query
+
+# Building the clique12 no-cross logical memo (523k join expressions,
+# 4k groups) must stay on the batched columnar path: whole csg-cmp
+# buckets emitted as child-gid array blocks, ~0.35s on this machine
+# vs ~15s for the per-expression object insert loop.  The budget has
+# ~10x headroom over the batched time while sitting far below the
+# object path, so a miss means batching silently regressed.
+budget = float(os.environ.get("CI_EXPLORE_BUDGET_S", "4"))
+workload = clique_query(12, rows=5, seed=0)
+bound = Binder(workload.catalog).bind(parse(workload.sql))
+best = float("inf")
+for _ in range(3):
+    setup = build_initial_memo(bound, False)
+    start = time.perf_counter()
+    EnumerationExplorer().explore(setup.memo, setup.graph, False)
+    best = min(best, time.perf_counter() - start)
+memo = setup.memo
+logical = memo.logical_expression_count()
+print(
+    f"clique12 no-cross: explore {best:.3f}s (budget {budget:g}s, "
+    f"{logical} logical exprs, batched={memo.columnar_logical is not None})"
+)
+assert memo.columnar_logical is not None, (
+    "EnumerationExplorer no longer takes the batched columnar path on clique12"
+)
+assert logical == 523264, f"clique12 logical memo changed: {logical}"
+assert best < budget, (
+    f"exploration took {best:.3f}s (> {budget:g}s budget) — did the batched "
+    "logical path regress to per-expression inserts?"
+)
+EOF
+
 echo "== sampled optimize smoke =="
 python - <<'EOF'
 import os

@@ -34,11 +34,25 @@ Key identity is *bitmask* work, reused from the implicit engine
 integer *kids*.  No predicate is walked and no key tuple is sorted per
 expression.
 
+The memo also has a *logical* columnar side
+(:class:`ColumnarLogicalStore`, built by batched exploration): for every
+relation-mask group of two or more aliases, the valid unordered csg–cmp
+splits are two parallel child-gid columns (``sl``/``sr``, bucket order,
+blocks contiguous per group in enumeration-universe order) plus the
+group's initial left-deep orientation when the setup pass seeded one.
+Both orientations of every split — minus the initial duplicate, exactly
+what the object explorer's per-expression ``memo.insert`` loop would
+have kept — are derived positionally, so a 12-relation clique's ~1M
+logical joins are two ``array('i')`` buffers instead of a million
+``GroupExpr``/``LogicalJoin`` constructions and fingerprint probes.
+
 The object ``Memo``/``GroupExpr`` API stays the facade: every group gets
 a ``_pending`` hook that rebuilds its :class:`GroupExpr` list on first
 access (same operators, same order, same local ids — the shared rule
 module guarantees identity, and the columnar property suite asserts it),
-so the plan-space toolkit, pruning, and explain work unchanged.  Counting
+so the plan-space toolkit, pruning, and explain work unchanged.  The
+hook materializes in logical-then-physical order, and
+``Group.logical_exprs()`` fires only the logical half.  Counting
 (`expression_count` and friends) answers from the arrays without
 materializing anything.
 
@@ -66,9 +80,11 @@ from repro.optimizer.rules import (
 )
 
 __all__ = [
+    "ColumnarLogicalStore",
     "ColumnarPhysicalStore",
     "ColumnarUnsupported",
     "build_columnar_store",
+    "build_logical_store",
 ]
 
 # Physical row op-codes.  Joins use the contiguous NLJ/HASH/MERGE band so
@@ -100,20 +116,238 @@ class ColumnarUnsupported(Exception):
     falls back to the object implementation)."""
 
 
-class _PendingPhysical:
-    """``Group._pending`` hook: materialize one group's physical block."""
+class _PendingExprs:
+    """``Group._pending`` hook: materialize a group's deferred blocks.
 
-    __slots__ = ("store", "gid")
+    Carries up to two array stores — the logical join block (batched
+    exploration) and the physical operator block (batched
+    implementation).  Materialization is always logical-then-physical, so
+    ``local_id`` arithmetic stays positional whichever half fires first.
+    """
 
-    def __init__(self, store: "ColumnarPhysicalStore", gid: int):
-        self.store = store
+    __slots__ = ("gid", "logical", "physical")
+
+    def __init__(
+        self,
+        gid: int,
+        logical: "ColumnarLogicalStore | None" = None,
+        physical: "ColumnarPhysicalStore | None" = None,
+    ):
         self.gid = gid
+        self.logical = logical
+        self.physical = physical
 
     def __call__(self, group: Group) -> None:
-        self.store.materialize_group(group)
+        if self.logical is not None:
+            self.logical.materialize_group(group)
+            self.logical = None
+        if self.physical is not None:
+            self.physical.materialize_group(group)
+
+    def logical_count(self) -> int:
+        if self.logical is None:
+            return 0
+        return self.logical.pending_count(self.gid)
 
     def physical_count(self) -> int:
-        return self.store.group_physical_count(self.gid)
+        if self.physical is None:
+            return 0
+        return self.physical.group_physical_count(self.gid)
+
+    def materialize_logical(self, group: Group) -> None:
+        """Rebuild only the logical block; keep the physical one lazy."""
+        if self.logical is not None:
+            self.logical.materialize_group(group)
+            self.logical = None
+            if self.physical is None:
+                group._pending = None
+
+
+class ColumnarLogicalStore:
+    """Array-backed explored logical joins of one memo.
+
+    Rows are the *unordered* valid splits of every relation-mask group —
+    left side holding the subset's name-smallest alias, historical bucket
+    order — as parallel child-gid columns.  Ordered orientations (what
+    ``Group.exprs`` holds) are derived positionally: the group's initial
+    left-deep expression first (it was inserted by setup and survives as
+    the object prefix), then both orientations of each split minus that
+    duplicate — byte-identical to the object explorer's insert stream.
+    """
+
+    def __init__(self, memo, graph, allow_cross_products: bool):
+        self.memo = memo
+        self.graph = graph
+        self.allow_cross_products = allow_cross_products
+        #: unordered split child gids (left = name-smallest side)
+        self.sl = array("i")
+        self.sr = array("i")
+        #: gid -> [start, end) split-row range, in emission order
+        self._range_by_gid: dict[int, tuple[int, int]] = {}
+        #: gid -> ordered (left_gid, right_gid) of the setup-seeded join
+        self.initial_by_gid: dict[int, tuple[int, int]] = {}
+        #: the enumeration universe the blocks were emitted over
+        self.subset_masks: list[int] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return len(self.sl)
+
+    def split_rows(self, gid: int) -> tuple[int, int] | None:
+        """The group's split-row range, or ``None`` for non-join groups."""
+        return self._range_by_gid.get(gid)
+
+    def split_count(self, gid: int) -> int:
+        rng = self._range_by_gid.get(gid)
+        return 0 if rng is None else rng[1] - rng[0]
+
+    def logical_join_count(self, gid: int) -> int:
+        """Total logical expressions of the group (both orientations of
+        every split; the initial expression is one of them)."""
+        return 2 * self.split_count(gid)
+
+    def pending_count(self, gid: int) -> int:
+        """Rows the batched explorer added beyond the object prefix."""
+        count = self.logical_join_count(gid)
+        if count and gid in self.initial_by_gid:
+            count -= 1
+        return count
+
+    def expression_total(self) -> int:
+        """Logical joins the batched build contributed (the number the
+        object explorer's insert loop would have reported)."""
+        return 2 * self.row_count - len(self.initial_by_gid)
+
+    # ------------------------------------------------------------------
+    def explored_pairs(self, gid: int):
+        """Ordered ``(left_gid, right_gid)`` orientations beyond the
+        object prefix, in local-id order."""
+        rng = self._range_by_gid.get(gid)
+        if rng is None:
+            return
+        init = self.initial_by_gid.get(gid)
+        sl, sr = self.sl, self.sr
+        for row in range(rng[0], rng[1]):
+            left, right = sl[row], sr[row]
+            if (left, right) != init:
+                yield (left, right)
+            if (right, left) != init:
+                yield (right, left)
+
+    def ordered_pairs(self, gid: int):
+        """All ordered orientations in local-id order: the initial
+        left-deep expression first, then :meth:`explored_pairs`."""
+        init = self.initial_by_gid.get(gid)
+        if init is not None:
+            yield init
+        yield from self.explored_pairs(gid)
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        """Install the pending-materialization hooks and register the
+        store on the memo."""
+        memo = self.memo
+        memo.columnar_logical = self
+        groups = memo.groups
+        for gid in self._range_by_gid:
+            if self.pending_count(gid):
+                groups[gid]._pending = _PendingExprs(gid, logical=self)
+
+    def materialize_group(self, group: Group) -> None:
+        """Append the group's explored logical joins — identical
+        operators (interned per mask cut), order and local ids as the
+        object explorer would have inserted.  Fingerprints are registered
+        with the memo, so later ``memo.insert`` calls (a re-exploration,
+        a transformation pass) deduplicate against rebuilt expressions
+        exactly as they would against inserted ones."""
+        exprs = group._exprs
+        gid = group.gid
+        local = len(exprs) + 1
+        groups = self.memo.groups
+        join_op = self.graph.join_operator_m
+        fingerprints = self.memo._expr_fingerprints
+        append = exprs.append
+        for left, right in self.explored_pairs(gid):
+            op = join_op(groups[left].mask, groups[right].mask)
+            children = (left, right)
+            append(GroupExpr(op, children, gid, local))
+            fingerprints[(op.key(), children)] = (gid, local)
+            local += 1
+
+
+def build_logical_store(
+    memo, graph, allow_cross_products: bool
+) -> ColumnarLogicalStore:
+    """Batched exploration: emit whole per-subset csg–cmp buckets into a
+    :class:`ColumnarLogicalStore`.
+
+    Walks the enumeration universe in the object explorer's order,
+    creating (or finding) each subset's group and appending its bucket as
+    one block of child-gid columns — no per-expression ``memo.insert``,
+    no ``GroupExpr``/fingerprint work.  Raises
+    :class:`ColumnarUnsupported` (memo untouched beyond group creation)
+    when the memo is not a freshly seeded one — a group already holding
+    anything but its single setup-inserted left-deep join — so the caller
+    can fall back to object exploration.
+    """
+    if memo.universe is None:
+        raise ColumnarUnsupported("memo has no alias universe")
+    store = ColumnarLogicalStore(memo, graph, allow_cross_products)
+    subsets, buckets = graph.enumeration_universe(allow_cross_products)
+    store.subset_masks = subsets
+
+    get_group = memo.get_or_create_rels_group
+    gid_of = memo._rels_gid_by_mask
+    sl, sr = store.sl, store.sr
+    range_by_gid = store._range_by_gid
+    initial_by_gid = store.initial_by_gid
+    block_l: list[int] = []
+    block_r: list[int] = []
+    for subset in subsets:
+        if not subset & (subset - 1):
+            continue
+        group = get_group(subset)
+        gid = group.gid
+        prefix = group._exprs
+        init = None
+        if prefix or group._pending is not None:
+            if (
+                group._pending is not None
+                or len(prefix) > 1
+                or type(prefix[0].op) is not LogicalJoin
+            ):
+                raise ColumnarUnsupported(
+                    "batched exploration requires a freshly seeded memo"
+                )
+            init = prefix[0].children
+            initial_by_gid[gid] = init
+        if buckets is None:
+            splits = graph.cross_splits_m(subset)
+        else:
+            splits = buckets.get(subset, ())
+        block_l.clear()
+        block_r.clear()
+        init_seen = init is None
+        for left, right in splits:
+            left_gid = gid_of[left]
+            right_gid = gid_of[right]
+            block_l.append(left_gid)
+            block_r.append(right_gid)
+            if not init_seen and init in (
+                (left_gid, right_gid),
+                (right_gid, left_gid),
+            ):
+                init_seen = True
+        if not init_seen:
+            raise ColumnarUnsupported(
+                f"initial join of group {gid} missing from its splits"
+            )
+        start = len(sl)
+        sl.extend(block_l)
+        sr.extend(block_r)
+        range_by_gid[gid] = (start, len(sl))
+    return store
 
 
 class ColumnarPhysicalStore:
@@ -327,10 +561,14 @@ class ColumnarPhysicalStore:
     # group materialization (the lazy facade)
     # ------------------------------------------------------------------
     def attach(self) -> None:
-        """Install the pending-materialization hooks on all groups."""
+        """Install the pending-materialization hooks on all groups,
+        merging with any logical pending left by batched exploration."""
         for group in self.memo.groups:
-            if self.group_physical_count(group.gid):
-                group._pending = _PendingPhysical(self, group.gid)
+            pending = group._pending
+            if pending is not None:
+                pending.physical = self
+            elif self.group_physical_count(group.gid):
+                group._pending = _PendingExprs(group.gid, physical=self)
 
     def materialize_group(self, group: Group) -> None:
         """Rebuild the group's physical ``GroupExpr`` block — identical
@@ -406,23 +644,36 @@ def build_columnar_store(
     g_a: list[int] = []
     g_b: list[int] = []
 
+    logical_store = memo.columnar_logical
     for group in groups:
         group_start.append(len(tag_col))
-        exprs = group.logical_exprs()
-        logical_counts.append(len(group._exprs))
-        if not exprs:
-            continue
+        gid = group.gid
+        pairs = None
+        first = None
+        if logical_store is not None and logical_store.split_rows(gid) is not None:
+            # Batched exploration left this group's logical joins in the
+            # arrays: feed the ordered child-gid stream straight through
+            # without rebuilding (or ever having built) GroupExprs.
+            n_logical = logical_store.logical_join_count(gid)
+            logical_counts.append(n_logical)
+            if not n_logical:
+                continue
+            pairs = logical_store.ordered_pairs(gid)
+        else:
+            exprs = group.logical_exprs()
+            logical_counts.append(len(group._exprs))
+            if not exprs:
+                continue
+            first = exprs[0].op
+            if type(first) is LogicalJoin:
+                pairs = (expr.children for expr in exprs)
         g_tag.clear()
         g_c0.clear()
         g_c1.clear()
         g_a.clear()
         g_b.clear()
-        gid = group.gid
-        first = exprs[0].op
-        if type(first) is LogicalJoin:
-            for expr in exprs:
-                children = expr.children
-                l_gid, r_gid = children
+        if pairs is not None:
+            for l_gid, r_gid in pairs:
                 l_mask = groups[l_gid].mask
                 r_mask = groups[r_gid].mask
                 bits = from_mask(l_mask) & to_mask(r_mask)

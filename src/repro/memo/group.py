@@ -71,13 +71,18 @@ class Group:
     no-cross-products rule and cardinality estimation reason over.
 
     ``exprs`` may be *partially lazy*: on the columnar optimization path
-    (:mod:`repro.memo.columnar`) the physical expressions live in the
-    struct-of-arrays store and are rebuilt as :class:`GroupExpr` objects
-    only when a consumer first touches ``exprs``/``physical_exprs()``.
-    The ``_pending`` hook carries that rebuild; everything that only needs
-    the *logical* side (:meth:`logical_exprs`, cardinality annotation, the
-    non-materializing counters) reads ``_exprs`` directly and never
-    triggers it.
+    (:mod:`repro.memo.columnar`) the explored logical joins and the
+    physical expressions live in struct-of-arrays stores and are rebuilt
+    as :class:`GroupExpr` objects only when a consumer first touches
+    ``exprs``/``physical_exprs()`` (or, for the logical block alone,
+    :meth:`logical_exprs`).  The ``_pending`` hook carries that rebuild:
+    an object exposing ``__call__(group)`` (materialize everything, in
+    logical-then-physical order), ``logical_count()``/``physical_count()``
+    (non-materializing row counts), and ``materialize_logical(group)``
+    (rebuild only the logical block, clearing ``_pending`` when nothing
+    physical remains).  While a pending hook is installed, ``_exprs``
+    holds only already-materialized *logical* expressions — physical
+    expressions are never objects before the hook fires.
     """
 
     __slots__ = ("gid", "key", "relations", "mask", "cardinality", "_exprs", "_pending")
@@ -118,13 +123,14 @@ class Group:
         count = len(self._exprs)
         pending = self._pending
         if pending is not None:
-            count += pending.physical_count()
+            count += pending.logical_count() + pending.physical_count()
         return count
 
     def logical_expr_count(self) -> int:
-        if self._pending is not None:
-            # Pending groups hold only logical expressions so far.
-            return len(self._exprs)
+        pending = self._pending
+        if pending is not None:
+            # While pending, ``_exprs`` holds only logical expressions.
+            return len(self._exprs) + pending.logical_count()
         return sum(1 for e in self._exprs if not e.is_physical)
 
     def physical_expr_count(self) -> int:
@@ -134,8 +140,11 @@ class Group:
 
     # ------------------------------------------------------------------
     def logical_exprs(self) -> list[GroupExpr]:
-        """Logical expressions only — never materializes the physical
-        block (pending groups hold exactly the logical prefix)."""
+        """Logical expressions only — materializes a pending *logical*
+        block, but never the physical one."""
+        pending = self._pending
+        if pending is not None:
+            pending.materialize_logical(self)
         return [e for e in self._exprs if not e.is_physical]
 
     def physical_exprs(self) -> list[GroupExpr]:

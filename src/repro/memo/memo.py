@@ -43,6 +43,11 @@ class Memo:
     #: the columnar path (see :mod:`repro.memo.columnar`); plain class
     #: attribute default so object-path memos carry no extra field
     columnar = None
+    #: struct-of-arrays *logical* store when exploration was batched
+    #: (:func:`repro.memo.columnar.build_logical_store`); same class
+    #: attribute convention.  Logical rows stay accurate for the memo's
+    #: lifetime — nothing removes logical expressions, pruning included.
+    columnar_logical = None
 
     groups: list[Group] = field(default_factory=list)
     root_group_id: int | None = None

@@ -98,21 +98,52 @@ class EnumerationExplorer:
     the join graph's csg–cmp enumeration as mask pairs, and child groups
     are resolved by mask key — the hot loop never touches an alias name.
     The resulting memo contains the complete bushy search space.
+
+    ``batched`` selects the memo representation: ``None`` (default) emits
+    whole per-subset buckets into the columnar logical store
+    (:func:`repro.memo.columnar.build_logical_store`) whenever the memo
+    supports it — no per-expression ``memo.insert``, ``Group.exprs``
+    rebuilds the identical ``GroupExpr`` list lazily — falling back to
+    the object loop otherwise; ``False`` forces the object loop
+    (equivalence tests, ablations); ``True`` requires the batched path
+    and errors when it is unsupported.  Both paths produce byte-identical
+    memos — group ids, expression order, local ids, renders.
     """
 
     name = "enumeration"
 
+    def __init__(self, batched: bool | None = None):
+        self.batched = batched
+
     def explore(
         self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
     ) -> int:
+        if self.batched is not False:
+            # Deferred import: repro.memo.columnar reaches back into
+            # repro.optimizer.rules.
+            from repro.memo.columnar import (
+                ColumnarUnsupported,
+                build_logical_store,
+            )
+
+            try:
+                store = build_logical_store(memo, graph, allow_cross_products)
+            except ColumnarUnsupported as exc:
+                if self.batched is True:
+                    raise OptimizerError(
+                        f"batched exploration was requested but this memo "
+                        f"does not support it: {exc}"
+                    ) from None
+            else:
+                store.attach()
+                return store.expression_total()
+        return self._explore_objects(memo, graph, allow_cross_products)
+
+    def _explore_objects(
+        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
+    ) -> int:
         inserted = 0
-        if allow_cross_products:
-            universe = graph.all_subset_masks()
-            buckets = None
-        else:
-            universe = graph.connected_subset_masks()
-            # All valid splits, produced once globally by csg–cmp pairing.
-            buckets = graph.csg_cmp_buckets()
+        universe, buckets = graph.enumeration_universe(allow_cross_products)
         get_group = memo.get_or_create_rels_group
         group_for_mask = memo.group_for_mask
         insert = memo.insert

@@ -329,22 +329,14 @@ class JoinGraph:
         )
         return out
 
-    @staticmethod
-    def _split_index(subset: int, left: int) -> int:
-        """The historical enumeration index of the split ``left`` within
-        ``subset``: the value of ``left``'s bits over the name-sorted
-        members of ``subset`` minus its smallest member (which is always
-        on the left)."""
-        index = 0
-        position = 0
-        rest = subset ^ (subset & -subset)
-        while rest:
-            bit = rest & -rest
-            if left & bit:
-                index |= 1 << position
-            position += 1
-            rest ^= bit
-        return index
+    # NOTE on split ordering: the historical generate-and-test loop
+    # emitted a subset's splits in ascending *split index* — the value of
+    # the left side's bits compressed over the subset's name-sorted
+    # members.  Bit compression over a fixed subset is order-preserving
+    # (it maps bit positions monotonically), so for splits of the same
+    # subset ``index(a) < index(b)  <=>  a < b`` as plain integers:
+    # sorting by the left mask reproduces the historical order without
+    # computing an index per split.
 
     def partitions_m(
         self, subset: int, allow_cross_products: bool
@@ -353,8 +345,9 @@ class JoinGraph:
         join under the cross-product policy, as mask pairs.
 
         Emission order matches the historical generate-and-test loop:
-        unordered splits ascend by :meth:`_split_index`, each immediately
-        followed by its mirror.
+        unordered splits ascend by split index (equivalently, by left
+        mask — see the ordering note above), each immediately followed by
+        its mirror.
         """
         if allow_cross_products:
             out: list[tuple[int, int]] = []
@@ -371,7 +364,7 @@ class JoinGraph:
         only_binary = self._only_binary
         is_connected = self.is_connected_m
         masks = self._conjunct_masks
-        valid: list[tuple[int, int, int]] = []
+        valid: list[tuple[int, int]] = []
         for left, left_nbr in self._connected_within(subset, lowest):
             right = subset ^ left
             if not right:
@@ -391,9 +384,9 @@ class JoinGraph:
                         break
                 else:
                     continue
-            valid.append((self._split_index(subset, left), left, right))
+            valid.append((left, right))
         valid.sort()
-        for _, left, right in valid:
+        for left, right in valid:
             out.append((left, right))
             out.append((right, left))
         return out
@@ -440,13 +433,12 @@ class JoinGraph:
             }
 
         adjacency = self._adjacency
-        split_index = self._split_index
         grow = self._grow_connected
-        buckets: dict[int, list[tuple[int, int, int]]] = {}
+        buckets: dict[int, list[tuple[int, int]]] = {}
 
         def record(s1: int, s2: int) -> None:
             union = s1 | s2
-            entry = (split_index(union, s1), s1, s2)
+            entry = (s1, s2)
             bucket = buckets.get(union)
             if bucket is None:
                 buckets[union] = [entry]
@@ -487,11 +479,11 @@ class JoinGraph:
                 lambda s1, s1_nbr, p0=prohibited0: enumerate_cmp(s1, s1_nbr, p0),
             )
 
-        out: dict[int, list[tuple[int, int]]] = {}
-        for union, entries in buckets.items():
+        for entries in buckets.values():
+            # left masks are unique per bucket (the right side is the
+            # complement), so sorting pairs sorts by historical index
             entries.sort()
-            out[union] = [(left, right) for _, left, right in entries]
-        return out
+        return buckets
 
     def partitions(
         self, subset: frozenset[str], allow_cross_products: bool
@@ -563,6 +555,22 @@ class JoinGraph:
             subsets.sort(key=self._size_name_key)
             self._all_subsets_cache = subsets
         return self._all_subsets_cache
+
+    def enumeration_universe(
+        self, allow_cross_products: bool
+    ) -> tuple[list[int], dict[int, list[tuple[int, int]]] | None]:
+        """The explorer's subset universe plus per-subset split buckets.
+
+        One definition for every consumer that must walk the search space
+        in the canonical order — the object explorer, the batched
+        columnar builder, and (through it) the implicit engine — so the
+        byte-identical-memo guarantee cannot drift between them.  In the
+        cross-products space ``buckets`` is ``None``: every split is
+        valid, and callers take :meth:`cross_splits_m` per subset.
+        """
+        if allow_cross_products:
+            return self.all_subset_masks(), None
+        return self.connected_subset_masks(), self.csg_cmp_buckets()
 
     def connected_subsets(self) -> list[frozenset[str]]:
         """All connected alias subsets, smallest first (by size, then name).

@@ -82,7 +82,11 @@ class OptimizerOptions:
     path whenever the memo supports it, falling back to the object path
     otherwise; ``False`` forces the object path (equivalence tests,
     ablations); ``True`` requires the columnar path and errors when it is
-    unsupported.
+    unsupported.  ``batched_exploration`` is the same tri-state for the
+    *logical* side (enumeration strategy only): ``None`` lets the
+    explorer emit whole csg–cmp buckets into the columnar logical store
+    when the memo supports it, ``False`` forces per-expression object
+    inserts, ``True`` requires batching.
     """
 
     allow_cross_products: bool = False
@@ -92,6 +96,7 @@ class OptimizerOptions:
     cost_params: CostParameters = field(default_factory=CostParameters)
     pruning_factor: float | None = None
     columnar: bool | None = None
+    batched_exploration: bool | None = None
 
 
 @dataclass
@@ -253,7 +258,7 @@ class Optimizer:
     # ------------------------------------------------------------------
     def _make_explorer(self):
         if self.options.exploration is ExplorationStrategy.ENUMERATION:
-            return EnumerationExplorer()
+            return EnumerationExplorer(batched=self.options.batched_exploration)
         if self.options.exploration is ExplorationStrategy.TRANSFORMATION:
             return TransformationExplorer(self.options.rules)
         raise OptimizerError(

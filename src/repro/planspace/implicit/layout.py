@@ -5,18 +5,23 @@ initial copy-in seeds singles, the left-deep prefix chain and the unary
 tower, then exploration inserts one logical join per valid ordered
 partition.  The resulting layout — group ids in creation order, logical
 expressions in insertion order — is fully determined by the bound query
-and the join graph, so the implicit engine *simulates* it instead:
+and the join graph.  Since PR 5 that determination lives in *one* place:
+:func:`repro.memo.columnar.build_logical_store`, the batched explorer's
+builder.  The implicit engine runs the same builder over the initial memo
+and consumes the resulting child-gid arrays directly:
 
 * groups of the initial memo keep their ids (``build_initial_memo`` runs
   as-is: it is O(query) and supplies the leaf ``Get`` operators, the
   left-deep prefix joins, and the unary tower);
-* every further subset of the enumeration universe (connected subsets, or
-  all subsets with cross products) gets the next id, in universe order —
-  exactly the order ``EnumerationExplorer`` calls ``get_or_create``;
+* every further subset of the enumeration universe gets the next id, in
+  universe order — the builder calls ``get_or_create`` exactly as the
+  explorer does;
 * a join group's logical expressions are its valid splits in bucket
   order, both orientations, with the initial left-deep expression (if the
-  group has one) first — the memo's duplicate elimination would have
-  skipped its re-insertion.
+  group has one) first — read positionally from the store's ``sl``/``sr``
+  columns; :attr:`ImplicitGroup.splits` rebuilds the mask-pair list
+  lazily for the per-group Python passes, while the turbo counting path
+  (:mod:`.turbo`) gathers the columns wholesale without ever building it.
 
 ``local_id`` arithmetic follows: logical expressions occupy ``1..L``, the
 physical operators the implicit engine *counts without creating* would
@@ -31,6 +36,11 @@ from typing import Iterator
 
 from repro.algebra.logical import LogicalGet
 from repro.errors import PlanSpaceError
+from repro.memo.columnar import (
+    ColumnarLogicalStore,
+    ColumnarUnsupported,
+    build_logical_store,
+)
 from repro.optimizer.joingraph import JoinGraph
 from repro.optimizer.setup import build_initial_memo
 from repro.sql.binder import BoundQuery
@@ -44,9 +54,11 @@ class ImplicitGroup:
 
     ``kind`` is ``leaf`` (single relation), ``join`` (relation set of two
     or more), or the unary-tower tags ``select``/``agg``/``proj``.  Join
-    groups carry their valid unordered ``splits`` (left side holding the
-    subset's name-smallest alias, historical order) and, for groups seeded
-    by the initial left-deep plan, the ``initial`` ordered pair.
+    groups read their valid unordered ``splits`` (left side holding the
+    subset's name-smallest alias, historical order) from the shared
+    columnar logical ``store``; the mask-pair list is built lazily on
+    first access.  Groups seeded by the initial left-deep plan carry the
+    ``initial`` ordered pair.
     """
 
     gid: int
@@ -55,8 +67,28 @@ class ImplicitGroup:
     relations: frozenset[str] = frozenset()
     op: object | None = None  # leaf Get / tower logical operator
     child_gid: int | None = None  # tower groups
-    splits: list[tuple[int, int]] = field(default_factory=list)
     initial: tuple[int, int] | None = None
+    store: ColumnarLogicalStore | None = field(default=None, repr=False)
+    _splits: list[tuple[int, int]] | None = field(default=None, repr=False)
+
+    @property
+    def splits(self) -> list[tuple[int, int]]:
+        """The group's unordered splits as mask pairs (lazy)."""
+        splits = self._splits
+        if splits is None:
+            store = self.store
+            rng = None if store is None else store.split_rows(self.gid)
+            if rng is None:
+                splits = []
+            else:
+                groups = store.memo.groups
+                sl, sr = store.sl, store.sr
+                splits = [
+                    (groups[sl[row]].mask, groups[sr[row]].mask)
+                    for row in range(rng[0], rng[1])
+                ]
+            self._splits = splits
+        return splits
 
     @property
     def logical_count(self) -> int:
@@ -64,6 +96,9 @@ class ImplicitGroup:
         if self.kind == "join":
             # both orientations of every split; the initial expression is
             # one of them (inserted first, deduplicated later)
+            store = self.store
+            if store is not None:
+                return store.logical_join_count(self.gid)
             return 2 * len(self.splits)
         return 1
 
@@ -100,37 +135,49 @@ class ImplicitLayout:
         memo = setup.memo
         self.root_gid: int = memo.root_group_id
         self.groups: list[ImplicitGroup] = []
-        self.gid_by_mask: dict[int, int] = {}
         self.tower_gids: list[int] = []
 
+        # One shared builder determines the layout: the columnar logical
+        # store appends the enumeration universe's groups to the initial
+        # memo (explorer gid order) and holds every bucket as child-gid
+        # columns.  The simulation below is just views over it.
+        n_initial = len(memo.groups)
+        try:
+            store = build_logical_store(memo, self.graph, allow_cross_products)
+        except ColumnarUnsupported as exc:  # pragma: no cover - defensive
+            raise PlanSpaceError(str(exc)) from None
+        self.store = store
+        self.subset_masks = store.subset_masks
+        self.gid_by_mask: dict[int, int] = memo._rels_gid_by_mask
+
         # 1. Groups of the initial memo keep their ids.
-        for group in memo.groups:
+        memo_groups = memo.groups
+        for group in memo_groups[:n_initial]:
             tag = group.key[0]
             if tag == "rels":
                 mask = group.mask
-                exprs = group.logical_exprs()
                 if len(group.relations) == 1:
                     record = ImplicitGroup(
                         gid=group.gid,
                         kind="leaf",
                         mask=mask,
                         relations=group.relations,
-                        op=exprs[0].op,
+                        op=group.logical_exprs()[0].op,
                     )
                     assert isinstance(record.op, LogicalGet)
                 else:
-                    join = exprs[0]
+                    init = store.initial_by_gid[group.gid]
                     record = ImplicitGroup(
                         gid=group.gid,
                         kind="join",
                         mask=mask,
                         relations=group.relations,
                         initial=(
-                            memo.group(join.children[0]).mask,
-                            memo.group(join.children[1]).mask,
+                            memo_groups[init[0]].mask,
+                            memo_groups[init[1]].mask,
                         ),
+                        store=store,
                     )
-                self.gid_by_mask[mask] = group.gid
             elif tag in ("select", "agg", "proj"):
                 expr = group.logical_exprs()[0]
                 record = ImplicitGroup(
@@ -146,45 +193,17 @@ class ImplicitLayout:
                 raise PlanSpaceError(f"unknown group key tag {tag!r}")
             self.groups.append(record)
 
-        # 2. The enumeration universe, in explorer order.
-        graph = self.graph
-        if allow_cross_products:
-            subset_masks = graph.all_subset_masks()
-            buckets = {
-                mask: graph.cross_splits_m(mask)
-                for mask in subset_masks
-                if mask & (mask - 1)
-            }
-        else:
-            subset_masks = graph.connected_subset_masks()
-            buckets = graph.csg_cmp_buckets()
-        self.subset_masks = subset_masks
-
-        for mask in subset_masks:
-            if not mask & (mask - 1):
-                continue  # singles: seeded by the initial memo
-            splits = buckets.get(mask, [])
-            gid = self.gid_by_mask.get(mask)
-            if gid is None:
-                gid = len(self.groups)
-                record = ImplicitGroup(
-                    gid=gid,
+        # 2. The enumeration universe, in builder (= explorer) order.
+        for group in memo_groups[n_initial:]:
+            self.groups.append(
+                ImplicitGroup(
+                    gid=group.gid,
                     kind="join",
-                    mask=mask,
-                    relations=self.universe.names(mask),
-                    splits=splits,
+                    mask=group.mask,
+                    relations=group.relations,
+                    store=store,
                 )
-                self.groups.append(record)
-                self.gid_by_mask[mask] = gid
-            else:
-                record = self.groups[gid]
-                record.splits = splits
-                if record.initial is not None and not any(
-                    record.initial in ((l, r), (r, l)) for l, r in splits
-                ):  # pragma: no cover - defensive
-                    raise PlanSpaceError(
-                        f"initial join of group {gid} missing from its splits"
-                    )
+            )
 
     # ------------------------------------------------------------------
     def group(self, gid: int) -> ImplicitGroup:

@@ -125,14 +125,34 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
     # ------------------------------------------------------------------
     # flatten splits, gid-major (the materializer's registration order)
     # ------------------------------------------------------------------
-    join_groups = [g for g in layout.join_groups() if g.splits]
-    M = sum(len(g.splits) for g in join_groups)
-    Ls = np.fromiter(
-        (l for g in join_groups for l, _r in g.splits), np.int64, count=M
+    # Columnar logical store: gather the child-gid columns directly
+    # (gid-major via per-group ranges) and map gids to masks through one
+    # lookup table — no per-split Python tuples are ever built.
+    store = layout.store
+    join_groups = []
+    split_counts = []
+    for g in layout.join_groups():
+        count = store.split_count(g.gid)
+        if count:
+            join_groups.append(g)
+            split_counts.append(count)
+    M = sum(split_counts)
+    mask_lut = np.fromiter(
+        (g.mask if g.mask is not None else 0 for g in layout.groups),
+        np.int64,
+        count=len(layout.groups),
     )
-    Rs = np.fromiter(
-        (r for g in join_groups for _l, r in g.splits), np.int64, count=M
-    )
+    if M:
+        gather = np.concatenate(
+            [np.arange(*store.split_rows(g.gid)) for g in join_groups]
+        )
+        sl_col = np.frombuffer(store.sl, dtype=np.intc)
+        sr_col = np.frombuffer(store.sr, dtype=np.intc)
+        Ls = mask_lut[sl_col[gather]]
+        Rs = mask_lut[sr_col[gather]]
+    else:
+        Ls = np.zeros(0, np.int64)
+        Rs = np.zeros(0, np.int64)
     Ss = Ls | Rs
 
     # ------------------------------------------------------------------
@@ -297,22 +317,23 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
         regs[3::4] = Ls * KS + rk_rl
         keep = np.repeat(has_keys, 4)
         # materializer emission order: a group's initial left-deep join
-        # registers before its bucket splits
+        # registers before its bucket splits.  Only the few groups seeded
+        # by the initial plan materialize their split lists here.
         perm = np.arange(4 * M)
         base = 0
-        for g in join_groups:
+        for g, count in zip(join_groups, split_counts):
             if g.initial is not None:
                 lo = 4 * base
                 for j, (l, r) in enumerate(g.splits):
                     if (l, r) == g.initial or (r, l) == g.initial:
                         src = lo + 4 * j + (0 if (l, r) == g.initial else 2)
-                        hi = lo + 4 * len(g.splits)
+                        hi = lo + 4 * count
                         seg = list(range(lo, hi))
                         seg.remove(src)
                         seg.remove(src + 1)
                         perm[lo:hi] = [src, src + 1] + seg
                         break
-            base += len(g.splits)
+            base += count
         regs_o = regs[perm][keep[perm]]
         if len(extra_packed):
             regs_o = np.concatenate([regs_o, extra_packed])

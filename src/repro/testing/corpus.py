@@ -22,7 +22,14 @@ from repro.api import Session
 from repro.planspace.space import PlanSpace
 from repro.testing.diff import canonical_result
 
-__all__ = ["CorpusRecord", "PlanCorpus", "build_corpus", "verify_corpus"]
+__all__ = [
+    "CorpusRecord",
+    "QueryPlanRecord",
+    "PlanCorpus",
+    "build_corpus",
+    "verify_corpus",
+    "default_golden_sections",
+]
 
 
 def _digest(columns: list[str], rows: list[tuple]) -> str:
@@ -41,16 +48,33 @@ class CorpusRecord:
     row_count: int
 
 
+@dataclass(frozen=True)
+class QueryPlanRecord:
+    """The golden *optimizer decision* for one query: the chosen plan
+    (full render, so a regression shows as an explicit plan diff, not
+    just a digest mismatch), its cost, and the plan-space size."""
+
+    query: str
+    best_cost: float
+    best_plan: str
+    plan_count: int
+
+
 @dataclass
 class PlanCorpus:
     """A replayable set of golden plan results."""
 
     records: list[CorpusRecord] = field(default_factory=list)
+    plans: list[QueryPlanRecord] = field(default_factory=list)
     seed: int = 0
 
     def to_json(self) -> str:
         return json.dumps(
-            {"seed": self.seed, "records": [asdict(r) for r in self.records]},
+            {
+                "seed": self.seed,
+                "records": [asdict(r) for r in self.records],
+                "plans": [asdict(p) for p in self.plans],
+            },
             indent=2,
         )
 
@@ -60,6 +84,7 @@ class PlanCorpus:
         return cls(
             seed=data.get("seed", 0),
             records=[CorpusRecord(**record) for record in data["records"]],
+            plans=[QueryPlanRecord(**plan) for plan in data.get("plans", [])],
         )
 
     def save(self, path: str) -> None:
@@ -78,15 +103,20 @@ class CorpusVerification:
 
     checked: int = 0
     failures: list[tuple[CorpusRecord, str]] = field(default_factory=list)
+    plan_failures: list[tuple[QueryPlanRecord, str]] = field(
+        default_factory=list
+    )
 
     @property
     def passed(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.plan_failures
 
     def render(self) -> str:
         lines = [f"replayed {self.checked} golden plans"]
         if self.passed:
             lines.append("all digests match")
+        for plan, reason in self.plan_failures:
+            lines.append(f"PLAN DIFF for {plan.query[:60]!r}: {reason}")
         for record, reason in self.failures:
             lines.append(
                 f"FAIL rank {record.rank} of {record.query[:60]!r}: {reason} "
@@ -110,6 +140,14 @@ def build_corpus(
         result = session.optimize(sql)
         space = PlanSpace.from_result(result)
         total = space.count()
+        corpus.plans.append(
+            QueryPlanRecord(
+                query=sql,
+                best_cost=result.best_cost,
+                best_plan=result.best_plan.render(),
+                plan_count=total,
+            )
+        )
         if total <= plans_per_query:
             ranks = list(range(total))
         else:
@@ -128,10 +166,52 @@ def build_corpus(
     return corpus
 
 
+#: relative tolerance for golden-cost comparison: plan choice and shape
+#: must match exactly, but ``math.log2`` in the cost formulas may differ
+#: in the last few bits across platforms/libms
+_COST_RTOL = 1e-9
+
+
 def verify_corpus(session: Session, corpus: PlanCorpus) -> CorpusVerification:
-    """Replay every record against ``session``'s engine."""
+    """Replay every record against ``session``'s engine.
+
+    Golden best plans are compared render-for-render — a best-plan or
+    cost regression surfaces as an explicit plan diff, not merely a
+    result-digest mismatch further down.
+    """
     verification = CorpusVerification()
     spaces: dict[str, PlanSpace] = {}
+    for plan in corpus.plans:
+        result = session.optimize(plan.query)
+        spaces[plan.query] = PlanSpace.from_result(result)
+        if result.best_plan.render() != plan.best_plan:
+            verification.plan_failures.append(
+                (
+                    plan,
+                    "best plan changed:\n--- golden ---\n"
+                    f"{plan.best_plan}\n--- current ---\n"
+                    f"{result.best_plan.render()}",
+                )
+            )
+        elif abs(result.best_cost - plan.best_cost) > _COST_RTOL * max(
+            abs(plan.best_cost), 1.0
+        ):
+            verification.plan_failures.append(
+                (
+                    plan,
+                    f"best cost changed: golden {plan.best_cost!r}, "
+                    f"current {result.best_cost!r}",
+                )
+            )
+        current_count = spaces[plan.query].count()
+        if current_count != plan.plan_count:
+            verification.plan_failures.append(
+                (
+                    plan,
+                    f"plan-space size changed: golden {plan.plan_count}, "
+                    f"current {current_count}",
+                )
+            )
     for record in corpus.records:
         verification.checked += 1
         space = spaces.get(record.query)
@@ -161,3 +241,47 @@ def verify_corpus(session: Session, corpus: PlanCorpus) -> CorpusVerification:
                 )
             )
     return verification
+
+
+def default_golden_sections() -> dict[str, tuple[Session, list[str]]]:
+    """The repository's committed golden corpus: TPC-H plus synthetic
+    topologies (chain, cycle, and a seeded random graph).
+
+    ``scripts/build_golden_corpus.py`` builds
+    ``tests/data/golden_corpus.json`` from these sections and the tier-1
+    replay test verifies against them; both must construct the
+    *identical* sessions, so the definition lives here.
+    """
+    from repro.optimizer.optimizer import OptimizerOptions
+    from repro.workloads.synthetic import (
+        chain_query,
+        cycle_query,
+        random_query,
+    )
+
+    def options() -> OptimizerOptions:
+        return OptimizerOptions(allow_cross_products=False)
+
+    sections: dict[str, tuple[Session, list[str]]] = {
+        "tpch": (
+            Session.tpch(seed=0, options=options()),
+            [
+                "SELECT n.n_name, r.r_name FROM nation n, region r "
+                "WHERE n.n_regionkey = r.r_regionkey",
+                "SELECT n.n_name, COUNT(*) AS customers "
+                "FROM nation n, region r, customer c "
+                "WHERE n.n_regionkey = r.r_regionkey "
+                "AND c.c_nationkey = n.n_nationkey GROUP BY n.n_name",
+            ],
+        )
+    }
+    for workload in (
+        chain_query(5, rows=8, seed=3),
+        cycle_query(5, rows=8, seed=4),
+        random_query(6, edge_density=0.4, seed=7, rows=8),
+    ):
+        sections[workload.name] = (
+            Session(workload.database, options=options()),
+            [workload.sql],
+        )
+    return sections

@@ -26,6 +26,7 @@ __all__ = [
     "star_query",
     "clique_query",
     "cycle_query",
+    "random_query",
 ]
 
 _INT = ColumnType.INTEGER
@@ -33,13 +34,19 @@ _INT = ColumnType.INTEGER
 
 @dataclass
 class SyntheticWorkload:
-    """A self-contained synthetic scenario."""
+    """A self-contained synthetic scenario.
+
+    ``edges`` is the join graph as ``(a, b)`` table-index pairs — the
+    ground truth topology, so tests sweeping random graphs can assert
+    against the known edge list.
+    """
 
     name: str
     catalog: Catalog
     database: Database
     sql: str
     relations: int
+    edges: tuple[tuple[int, int], ...] = ()
 
 
 def _make_table(
@@ -127,6 +134,7 @@ def _build(
         database=database,
         sql=sql,
         relations=n_tables,
+        edges=tuple((min(a, b), max(a, b)) for a, b in edges),
     )
 
 
@@ -171,6 +179,59 @@ def clique_query(
     ]
     return _build(
         f"clique{n_tables}", n_tables, edges, rows, with_indexes, seed, aggregate
+    )
+
+
+def random_query(
+    n_tables: int,
+    edge_density: float = 0.3,
+    seed: int = 0,
+    rows: int = 20,
+    with_indexes: bool = True,
+    aggregate: bool = True,
+) -> SyntheticWorkload:
+    """A seeded random *connected* join graph over ``n_tables`` tables.
+
+    The graph is a uniform random spanning tree (each table ``i`` attaches
+    to a random earlier table under a seeded permutation — always
+    connected, so the no-cross-products space is never empty) plus extra
+    non-tree edges: ``edge_density`` interpolates between a tree (0.0) and
+    the clique (1.0).  Identical ``(n_tables, edge_density, seed)``
+    arguments produce the identical edge list — recorded on the returned
+    workload's ``edges`` — so property tests can sweep arbitrary
+    topologies beyond chain/star/clique/cycle reproducibly.
+    """
+    if n_tables < 1:
+        raise ReproError("need at least one table")
+    if not 0.0 <= edge_density <= 1.0:
+        raise ReproError("edge_density must be within [0, 1]")
+    rng = make_rng(("random_query", n_tables, edge_density, seed))
+    order = list(range(n_tables))
+    rng.shuffle(order)
+    edges: list[tuple[int, int]] = []
+    for position in range(1, n_tables):
+        anchor = order[rng.randrange(position)]
+        table = order[position]
+        edges.append((min(anchor, table), max(anchor, table)))
+    tree = set(edges)
+    candidates = [
+        (a, b)
+        for a in range(n_tables)
+        for b in range(a + 1, n_tables)
+        if (a, b) not in tree
+    ]
+    extra = round(edge_density * len(candidates))
+    if extra:
+        rng.shuffle(candidates)
+        edges.extend(sorted(candidates[:extra]))
+    return _build(
+        f"random{n_tables}d{edge_density:g}s{seed}",
+        n_tables,
+        edges,
+        rows,
+        with_indexes,
+        seed,
+        aggregate,
     )
 
 

@@ -144,6 +144,64 @@ def test_columnar_python_fallback_matches(shape, n, cross, monkeypatch):
 
 
 @pytest.mark.parametrize(
+    "shape,n,cross",
+    [("cycle", 5, False), ("clique", 5, False), ("star", 6, True)],
+)
+@pytest.mark.parametrize("numpy_off", [False, True])
+def test_batched_exploration_matrix(shape, n, cross, numpy_off, monkeypatch):
+    """The batched logical path forced on and off — crossed with the
+    numpy-disabled best-plan fallback — yields identical best plans,
+    counts and memo renders end-to-end."""
+    if numpy_off:
+        monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+    workload = SHAPES[shape](n, rows=5, seed=0)
+    results = {}
+    for batched in (True, False):
+        results[batched] = Session(
+            workload.database,
+            options=OptimizerOptions(
+                allow_cross_products=cross, batched_exploration=batched
+            ),
+        ).optimize(workload.sql)
+    on, off = results[True], results[False]
+    assert on.memo.columnar_logical is not None
+    assert off.memo.columnar_logical is None
+    assert on.best_cost == off.best_cost
+    assert on.best_plan.render() == off.best_plan.render()
+    # Logical counts answer from the arrays before anything materializes.
+    assert (
+        on.memo.logical_expression_count()
+        == off.memo.logical_expression_count()
+    )
+    assert on.memo.expression_count() == off.memo.expression_count()
+    assert on.memo.render() == off.memo.render()
+
+
+def test_batched_exploration_counts_do_not_materialize():
+    """Logical counting on a batched memo must not rebuild GroupExprs."""
+    workload = SHAPES["cycle"](6, rows=5, seed=0)
+    result = Session(
+        workload.database,
+        options=OptimizerOptions(batched_exploration=True, columnar=True),
+    ).optimize(workload.sql)
+    memo = result.memo
+    store = memo.columnar_logical
+    assert store is not None
+    assert memo.logical_expression_count() > 0
+    join_gids = [
+        gid for gid in range(len(memo.groups)) if store.pending_count(gid)
+    ]
+    assert join_gids
+    assert all(memo.groups[gid]._pending is not None for gid in join_gids)
+    # Materializing just the logical block keeps the physical one lazy.
+    group = memo.groups[join_gids[0]]
+    logical = group.logical_exprs()
+    assert len(logical) == store.logical_join_count(group.gid)
+    assert group._pending is not None
+    assert group.physical_expr_count() > 0
+
+
+@pytest.mark.parametrize(
     "implementation",
     [
         ImplementationConfig(enable_merge_join=False),

@@ -103,13 +103,20 @@ class TestOptimize:
         assert "recombined" in text
 
     def test_sampled_seed_determinism(self):
+        import re
+
+        def strip_timings(text: str) -> str:
+            # The report embeds wall-clock seconds ("; 0.06s"), which are
+            # genuinely nondeterministic — everything else must match.
+            return re.sub(r"\d+\.\d+s", "_s", text)
+
         _, first = run_cli(
             "optimize", "Q3", "--sampled", "--samples", "30", "--seed", "5"
         )
         _, second = run_cli(
             "optimize", "Q3", "--sampled", "--samples", "30", "--seed", "5"
         )
-        assert first == second
+        assert strip_timings(first) == strip_timings(second)
 
     def test_sampled_budget_flag(self):
         code, text = run_cli(

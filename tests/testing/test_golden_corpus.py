@@ -1,0 +1,63 @@
+"""Replay of the committed golden-plan corpus (tier-1 regression net).
+
+``tests/data/golden_corpus.json`` was built by
+``scripts/build_golden_corpus.py`` from a known-good engine: for TPC-H
+and synthetic sections it records the optimizer's chosen plan (full
+render + cost + plan-space size) and result digests for a seeded sample
+of plans.  Any later change to best-plan choice, costing, plan-space
+shape, or executor semantics fails here with an explicit diff.  If a
+change is *intended*, regenerate the fixture with the script and review
+the plan diffs in the commit.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.testing.corpus import (
+    PlanCorpus,
+    default_golden_sections,
+    verify_corpus,
+)
+
+FIXTURE = pathlib.Path(__file__).resolve().parent.parent / "data" / "golden_corpus.json"
+
+
+@pytest.fixture(scope="module")
+def sections():
+    return default_golden_sections()
+
+
+@pytest.fixture(scope="module")
+def fixture_payload():
+    return json.loads(FIXTURE.read_text())
+
+
+def test_fixture_covers_every_section(sections, fixture_payload):
+    assert set(fixture_payload) == set(sections), (
+        "golden fixture sections drifted from default_golden_sections(); "
+        "regenerate with scripts/build_golden_corpus.py"
+    )
+
+
+def test_fixture_has_plan_records(fixture_payload):
+    for name, data in fixture_payload.items():
+        corpus = PlanCorpus.from_json(json.dumps(data))
+        assert corpus.plans, f"section {name} has no golden plan records"
+        assert corpus.records, f"section {name} has no golden digests"
+
+
+# Parametrized from the fixture itself (cheap to read at collection), so
+# a section added to default_golden_sections() and regenerated is
+# replayed automatically; test_fixture_covers_every_section guarantees
+# the fixture's key set tracks the section definitions.
+@pytest.mark.parametrize("name", sorted(json.loads(FIXTURE.read_text())))
+def test_replay_section(name, sections, fixture_payload):
+    session, _queries = sections[name]
+    corpus = PlanCorpus.from_json(json.dumps(fixture_payload[name]))
+    verification = verify_corpus(session, corpus)
+    assert verification.passed, "\n" + verification.render()
+    assert verification.checked == len(corpus.records)

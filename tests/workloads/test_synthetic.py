@@ -2,10 +2,16 @@
 
 import pytest
 
+from repro.errors import ReproError
 from repro.optimizer.joingraph import JoinGraph
 from repro.sql.binder import bind
 from repro.sql.parser import parse
-from repro.workloads.synthetic import chain_query, clique_query, star_query
+from repro.workloads.synthetic import (
+    chain_query,
+    clique_query,
+    random_query,
+    star_query,
+)
 
 
 class TestShapes:
@@ -34,6 +40,50 @@ class TestShapes:
         workload = chain_query(1)
         bound = bind(parse(workload.sql), workload.catalog)
         assert len(bound.quantifiers) == 1
+
+    def test_known_edge_list(self):
+        workload = star_query(4)
+        assert workload.edges == ((0, 1), (0, 2), (0, 3))
+
+
+class TestRandom:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("density", [0.0, 0.4, 1.0])
+    def test_connected(self, seed, density):
+        workload = random_query(6, edge_density=density, seed=seed)
+        bound = bind(parse(workload.sql), workload.catalog)
+        graph = JoinGraph(bound.aliases(), list(bound.where_conjuncts))
+        assert graph.is_connected(bound.aliases())
+        assert len(graph.conjuncts) == len(workload.edges)
+
+    def test_density_bounds(self):
+        n = 6
+        tree = random_query(n, edge_density=0.0, seed=3)
+        assert len(tree.edges) == n - 1
+        clique = random_query(n, edge_density=1.0, seed=3)
+        assert len(clique.edges) == n * (n - 1) // 2
+
+    def test_deterministic_edges(self):
+        a = random_query(7, edge_density=0.5, seed=11)
+        b = random_query(7, edge_density=0.5, seed=11)
+        assert a.edges == b.edges
+        assert a.sql == b.sql
+        assert a.database.table("t1").rows == b.database.table("t1").rows
+
+    def test_seeds_diverge(self):
+        topologies = {
+            random_query(7, edge_density=0.3, seed=s).edges for s in range(6)
+        }
+        assert len(topologies) > 1
+
+    def test_edges_normalized_and_unique(self):
+        workload = random_query(8, edge_density=0.5, seed=2)
+        assert all(a < b for a, b in workload.edges)
+        assert len(set(workload.edges)) == len(workload.edges)
+
+    def test_invalid_density_rejected(self):
+        with pytest.raises(ReproError):
+            random_query(4, edge_density=1.5)
 
 
 class TestData:
