@@ -17,3 +17,4 @@ bench:
 	PYTHONPATH=src python benchmarks/bench_planspace.py --merge
 	PYTHONPATH=src python benchmarks/bench_sampledopt.py --merge
 	PYTHONPATH=src python benchmarks/bench_optimize.py --merge
+	PYTHONPATH=src python benchmarks/bench_robustness.py --merge

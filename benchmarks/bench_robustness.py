@@ -1,0 +1,176 @@
+"""Robustness benchmark: plan quality vs deadline, and budget overhead.
+
+Two families of records, written to ``BENCH_robustness.json``:
+
+* ``deadline_sweep`` — clique joins (the hostile topology: exact takes
+  seconds to minutes) optimized under a sweep of wall-clock deadlines
+  through the degradation ladder.  Each record reports which tier
+  served, what triggered degradation, the wall time, and the cost ratio
+  against the exact optimum — the robustness story in one table: how
+  much plan quality a given deadline buys.
+* ``overhead`` — the same query optimized unbudgeted and under a
+  deadline generous enough never to bite.  The delta is the end-to-end
+  price of budget checkpoints on the serving path (expected: a few
+  percent at most).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_robustness.py
+    PYTHONPATH=src python benchmarks/bench_robustness.py --merge
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.resilience import Budget
+from repro.resilience.degrade import optimize_resilient
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.workloads.synthetic import clique_query
+
+DEFAULT_SIZES = (10, 12)
+DEFAULT_DEADLINES = (0.1, 0.5, 1.0)
+
+
+def _bound(workload):
+    return Binder(workload.catalog).bind(parse(workload.sql))
+
+
+def exact_baseline(n: int, options) -> tuple[float, float]:
+    """Unbudgeted exact optimum and wall time for clique ``n``."""
+    workload = clique_query(n, rows=5, seed=0)
+    bound = _bound(workload)
+    gc.collect()
+    start = time.perf_counter()
+    result = Optimizer(workload.catalog, options).optimize(bound)
+    return result.best_cost, time.perf_counter() - start
+
+
+def sweep_cell(n: int, deadline_s: float, exact_cost: float, options) -> dict:
+    workload = clique_query(n, rows=5, seed=0)
+    bound = _bound(workload)
+    gc.collect()
+    start = time.perf_counter()
+    result = optimize_resilient(
+        workload.catalog,
+        bound,
+        options,
+        budget=Budget(deadline_s=deadline_s),
+    )
+    wall = time.perf_counter() - start
+    report = result.resilience
+    return {
+        "mode": "deadline_sweep",
+        "workload": "clique",
+        "n": n,
+        "deadline_s": deadline_s,
+        "tier": report.tier,
+        "trigger": report.trigger,
+        "wall_s": round(wall, 4),
+        "best_cost": result.best_cost,
+        "cost_ratio": round(result.best_cost / exact_cost, 4),
+        "attempts": [a.to_dict() for a in report.attempts],
+    }
+
+
+def overhead_cell(n: int, unbudgeted_s: float, options) -> dict:
+    """The same exact run under a never-binding deadline."""
+    workload = clique_query(n, rows=5, seed=0)
+    bound = _bound(workload)
+    gc.collect()
+    start = time.perf_counter()
+    result = optimize_resilient(
+        workload.catalog,
+        bound,
+        options,
+        budget=Budget(deadline_s=3600.0),
+    )
+    budgeted_s = time.perf_counter() - start
+    assert result.resilience.tier == "exact"
+    return {
+        "mode": "overhead",
+        "workload": "clique",
+        "n": n,
+        "deadline_s": None,
+        "unbudgeted_s": round(unbudgeted_s, 4),
+        "budgeted_s": round(budgeted_s, 4),
+        "overhead_pct": round(100.0 * (budgeted_s / unbudgeted_s - 1.0), 2),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES)
+    )
+    parser.add_argument(
+        "--deadlines",
+        type=float,
+        nargs="+",
+        default=list(DEFAULT_DEADLINES),
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_robustness.json",
+    )
+    args = parser.parse_args(argv)
+
+    try:  # warm numpy up front: a process-level, not per-cell, cost
+        import numpy  # noqa: F401
+    except ImportError:
+        pass
+
+    options = OptimizerOptions(allow_cross_products=False)
+    records = []
+    for n in args.sizes:
+        exact_cost, exact_s = exact_baseline(n, options)
+        print(
+            f"clique n={n:>2} exact optimum {exact_cost:,.1f} "
+            f"in {exact_s:.2f}s",
+            flush=True,
+        )
+        for deadline_s in args.deadlines:
+            record = sweep_cell(n, deadline_s, exact_cost, options)
+            records.append(record)
+            print(
+                f"clique n={n:>2} deadline={deadline_s:>5.2f}s "
+                f"tier={record['tier']:>9} wall={record['wall_s']:>7.3f}s "
+                f"cost_ratio={record['cost_ratio']:>7.4f}",
+                flush=True,
+            )
+        record = overhead_cell(n, exact_s, options)
+        records.append(record)
+        print(
+            f"clique n={n:>2} checkpoint overhead "
+            f"{record['overhead_pct']:+.2f}% "
+            f"({record['unbudgeted_s']}s -> {record['budgeted_s']}s)",
+            flush=True,
+        )
+
+    if args.merge and args.output.exists():
+        key = lambda r: (r["mode"], r["n"], r["deadline_s"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

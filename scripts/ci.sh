@@ -178,4 +178,51 @@ assert elapsed < budget, (
 )
 EOF
 
+echo "== deadline degradation smoke =="
+python - <<'EOF'
+import os
+import time
+
+from repro.executor.executor import PlanExecutor
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.resilience import Budget
+from repro.resilience.degrade import optimize_resilient
+from repro.sql.binder import Binder
+from repro.sql.parser import parse
+from repro.workloads.synthetic import clique_query
+
+# A 1s deadline on clique12 no-cross (exact needs ~10s) must still
+# serve an executable, costed plan, and must honour the deadline with
+# only checkpoint-granularity overshoot: the wall-clock cap (default
+# 2s = 2x the deadline) guards both the degradation ladder's dispatch
+# and the cooperative-cancellation latency of the hot-loop checkpoints.
+deadline = float(os.environ.get("CI_DEADLINE_S", "1.0"))
+wall_cap = float(os.environ.get("CI_DEADLINE_WALL_CAP_S", "2.0"))
+workload = clique_query(12, rows=5, seed=0)
+bound = Binder(workload.catalog).bind(parse(workload.sql))
+start = time.perf_counter()
+result = optimize_resilient(
+    workload.catalog,
+    bound,
+    OptimizerOptions(),
+    budget=Budget(deadline_s=deadline),
+)
+elapsed = time.perf_counter() - start
+report = result.resilience
+print(
+    f"clique12 no-cross: {report.describe()} "
+    f"(wall {elapsed:.2f}s, cap {wall_cap:g}s)"
+)
+assert report.tier != "exact", (
+    f"a {deadline:g}s deadline on clique12 served the exact tier — "
+    "the deadline is not being enforced"
+)
+assert elapsed < wall_cap, (
+    f"degraded optimization took {elapsed:.2f}s (> {wall_cap:g}s cap) — "
+    "checkpoints are too sparse or the ladder is re-doing work"
+)
+rows = PlanExecutor(workload.database).execute(result.best_plan).rows
+assert rows, "the degraded plan did not execute"
+EOF
+
 echo "CI OK"

@@ -141,6 +141,11 @@ class Session:
         sql: str,
         method: str = "exhaustive",
         prune_factor: float | None = None,
+        deadline_s: float | None = None,
+        on_budget: str = "degrade",
+        cancellation=None,
+        max_expressions: int | None = None,
+        max_memory_mb: float | None = None,
         **kwargs,
     ):
         """Optimize a statement.
@@ -152,6 +157,17 @@ class Session:
         alternative whose best achievable rooted cost exceeds
         ``prune_factor`` x its group's best is dropped from the memo the
         result carries — the optimum always survives (factor >= 1.0).
+
+        ``deadline_s`` (exhaustive only) bounds the optimization's wall
+        clock; ``max_expressions``/``max_memory_mb`` cap memo size and
+        process peak RSS; ``cancellation`` takes a
+        :class:`~repro.resilience.CancellationToken` another thread may
+        trip.  When any bound bites, ``on_budget="degrade"`` (default)
+        falls back exact → sampled → greedy heuristic and reports how on
+        ``result.resilience``; ``on_budget="raise"`` propagates the
+        budget error instead.  Without any of these arguments the
+        historical unbudgeted path runs unchanged.
+
         ``method="sampled"`` runs the memo-free sampled optimizer
         (:class:`repro.sampledopt.SampledOptimizer`) instead and returns
         a :class:`~repro.sampledopt.SampledOptimizationResult` — same
@@ -161,6 +177,12 @@ class Session:
         clique-sized join spaces the sampled path answers in seconds
         where the memo takes minutes.
         """
+        resilience_args = (
+            deadline_s is not None
+            or cancellation is not None
+            or max_expressions is not None
+            or max_memory_mb is not None
+        )
         if method == "exhaustive":
             if kwargs:
                 raise PlanSpaceError(
@@ -175,12 +197,35 @@ class Session:
                         f"prune_factor must be >= 1.0 (got {prune_factor:g})"
                     )
                 options = replace(options, pruning_factor=prune_factor)
+            if resilience_args:
+                from repro.resilience.budget import Budget
+                from repro.resilience.degrade import optimize_resilient
+
+                bound = Binder(self.catalog).bind(parse(sql))
+                return optimize_resilient(
+                    self.catalog,
+                    bound,
+                    options=options,
+                    budget=Budget(
+                        deadline_s=deadline_s,
+                        max_expressions=max_expressions,
+                        max_memory_mb=max_memory_mb,
+                    ),
+                    token=cancellation,
+                    on_budget=on_budget,
+                )
             return Optimizer(self.catalog, options).optimize_sql(sql)
         if method == "sampled":
             if prune_factor is not None:
                 raise PlanSpaceError(
                     "prune_factor applies to exhaustive optimization only "
                     "(the sampled path never builds the memo it would prune)"
+                )
+            if resilience_args:
+                raise PlanSpaceError(
+                    "deadline_s/cancellation/ceilings apply to exhaustive "
+                    "optimization (the degradation ladder); the sampled "
+                    "method takes its own budget_s/samples arguments"
                 )
             from repro.sampledopt import SampledOptimizer
 
@@ -263,11 +308,19 @@ class Session:
         return self.optimize(sql).explain()
 
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> QueryResult:
-        """Execute a statement (honours ``OPTION (USEPLAN n)``)."""
-        return self.execute_detailed(sql).result
+    def execute(self, sql: str, max_rows: int | None = None) -> QueryResult:
+        """Execute a statement (honours ``OPTION (USEPLAN n)``).
 
-    def execute_detailed(self, sql: str) -> ExecutedQuery:
+        ``max_rows`` arms the executor's runaway guard: any operator
+        producing more rows raises
+        :class:`~repro.errors.ResourceExhausted` instead of materializing
+        an exploding intermediate result.
+        """
+        return self.execute_detailed(sql, max_rows=max_rows).result
+
+    def execute_detailed(
+        self, sql: str, max_rows: int | None = None
+    ) -> ExecutedQuery:
         statement = parse(sql)
         bound = Binder(self.catalog).bind(statement)
         optimization = Optimizer(self.catalog, self.options).optimize(bound)
@@ -284,7 +337,7 @@ class Session:
                     f"{total} plans (0..{total - 1})"
                 )
             plan = space.unrank(useplan)
-        result = self.executor.execute(plan)
+        result = self.executor.execute(plan, max_rows=max_rows)
         return ExecutedQuery(
             result=result, optimization=optimization, used_rank=useplan
         )

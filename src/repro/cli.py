@@ -20,7 +20,13 @@ import argparse
 import sys
 
 from repro.api import Session
-from repro.errors import ReproError
+from repro.errors import (
+    BudgetError,
+    Cancelled,
+    ReproError,
+    ResourceExhausted,
+    TimeoutExceeded,
+)
 from repro.experiments.analysis import analyze_plans
 from repro.experiments.distributions import distribution_from_result
 from repro.experiments.figure4 import figure4_histogram
@@ -127,6 +133,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--uniform",
         action="store_true",
         help="plain uniform sampling instead of stratified batches",
+    )
+    optimize.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="wall-clock deadline for exhaustive optimization; on expiry "
+        "the degradation ladder (exact -> sampled -> greedy) still serves "
+        "an executable plan",
+    )
+    optimize.add_argument(
+        "--on-budget",
+        choices=("degrade", "raise"),
+        default="degrade",
+        help="what to do when the deadline bites: serve a degraded plan "
+        "(default) or fail with a budget error",
     )
 
     distribution = sub.add_parser(
@@ -278,7 +299,15 @@ def _cmd_optimize(args, out) -> int:
                 f"{', '.join(offending)} require(s) --sampled "
                 "(the exhaustive optimizer takes no sampling arguments)"
             )
-        result = session.optimize(sql, prune_factor=args.prune_factor)
+        result = session.optimize(
+            sql,
+            prune_factor=args.prune_factor,
+            deadline_s=args.deadline_s,
+            on_budget=args.on_budget,
+        )
+        report = getattr(result, "resilience", None)
+        if report is not None:
+            out.write(report.describe() + "\n")
         if args.prune_factor is not None:
             out.write(
                 f"pruned to {result.memo.physical_expression_count()} "
@@ -291,6 +320,11 @@ def _cmd_optimize(args, out) -> int:
         raise ReproError(
             "--prune-factor applies to the exhaustive optimizer only "
             "(drop --sampled)"
+        )
+    if args.deadline_s is not None:
+        raise ReproError(
+            "--deadline-s drives the exhaustive degradation ladder; the "
+            "sampled path takes --budget-s (drop --sampled or use that)"
         )
 
     from repro.sampledopt import make_rule
@@ -552,8 +586,23 @@ def main(argv: list[str] | None = None, out=None) -> int:
         out = sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    # Each error class maps to a distinct exit code so scripts can react
+    # (retry with a longer deadline, shed load, ...) without parsing
+    # stderr.  Subclasses are matched before their bases.
     try:
         return _COMMANDS[args.command](args, out)
+    except Cancelled as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except TimeoutExceeded as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 5
+    except ResourceExhausted as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 6
+    except BudgetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -68,6 +68,32 @@ class RankOutOfRangeError(PlanSpaceError):
         super().__init__(f"rank {rank} out of range for a space of {count} plans")
 
 
+class BudgetError(ReproError):
+    """Base class for budget problems: invalid budget arguments as well
+    as budgets exhausted mid-optimization (see the subclasses)."""
+
+
+class TimeoutExceeded(BudgetError):
+    """A wall-clock deadline expired before the work completed."""
+
+    def __init__(self, message: str, deadline_s: float | None = None):
+        self.deadline_s = deadline_s
+        super().__init__(message)
+
+
+class ResourceExhausted(BudgetError):
+    """A resource ceiling (memo expressions, memory, executor rows) was
+    hit before the work completed."""
+
+    def __init__(self, message: str, resource: str | None = None):
+        self.resource = resource
+        super().__init__(message)
+
+
+class Cancelled(ReproError):
+    """The caller cancelled the operation via a CancellationToken."""
+
+
 class ExecutionError(ReproError):
     """Runtime failure while executing a physical plan."""
 

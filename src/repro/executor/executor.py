@@ -33,8 +33,9 @@ from repro.algebra.physical import (
     StreamAggregate,
     TableScan,
 )
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, ResourceExhausted
 from repro.executor.scalar import compile_predicate, compile_scalar
+from repro.resilience.faults import fault_point
 from repro.executor.schema import RowSchema, output_schema
 from repro.optimizer.plan import PlanNode
 from repro.storage.database import Database
@@ -112,20 +113,53 @@ class _Accumulator:
 class PlanExecutor:
     """Executes physical plans against a database."""
 
-    def __init__(self, database: Database, check_orders: bool = False):
+    def __init__(
+        self,
+        database: Database,
+        check_orders: bool = False,
+        max_rows: int | None = None,
+    ):
         self.database = database
         self.catalog = database.catalog
         self.check_orders = check_orders
+        #: runaway guard: no operator may produce more than this many
+        #: rows (``None`` = unbounded); a cross-product explosion raises
+        #: ResourceExhausted instead of eating the heap
+        self.max_rows = max_rows
 
     # ------------------------------------------------------------------
-    def execute(self, plan: PlanNode) -> QueryResult:
-        schema, rows = self._run(plan)
+    def execute(self, plan: PlanNode, max_rows: int | None = None) -> QueryResult:
+        if max_rows is not None:
+            previous = self.max_rows
+            self.max_rows = max_rows
+            try:
+                schema, rows = self._run(plan)
+            finally:
+                self.max_rows = previous
+        else:
+            schema, rows = self._run(plan)
         return QueryResult(
             columns=[_column_label(c) for c in schema], rows=rows
         )
 
     # ------------------------------------------------------------------
     def _run(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        """Dispatch one operator, then apply the per-operator guards:
+        the injected-fault hook and the row-ceiling check.  Recursive
+        calls for children come back through here, so the ceiling bounds
+        every intermediate result, not just the root's."""
+        schema, rows = self._dispatch(plan)
+        fault_point("execute.operator", rows)
+        max_rows = self.max_rows
+        if max_rows is not None and len(rows) > max_rows:
+            raise ResourceExhausted(
+                f"operator {plan.op.name} produced {len(rows)} rows, "
+                f"over the ceiling of {max_rows}",
+                resource="rows",
+            )
+        return schema, rows
+
+    def _dispatch(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
         op = plan.op
         if isinstance(op, (TableScan, IndexScan)):
             return self._run_scan(plan)

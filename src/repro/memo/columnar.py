@@ -70,6 +70,7 @@ from repro.algebra.logical import LogicalGet, LogicalJoin
 from repro.algebra.physical import Sort
 from repro.errors import MemoError
 from repro.memo.group import Group, GroupExpr
+from repro.resilience.faults import fault_point
 from repro.optimizer.rules import (
     ImplementationConfig,
     index_nl_join_implementations,
@@ -179,6 +180,9 @@ class ColumnarLogicalStore:
         self.memo = memo
         self.graph = graph
         self.allow_cross_products = allow_cross_products
+        #: set by the builder once every block is emitted; an interrupted
+        #: build leaves it False and the store can never attach
+        self.complete = False
         #: unordered split child gids (left = name-smallest side)
         self.sl = array("i")
         self.sr = array("i")
@@ -247,6 +251,11 @@ class ColumnarLogicalStore:
     def attach(self) -> None:
         """Install the pending-materialization hooks and register the
         store on the memo."""
+        if not self.complete:
+            raise MemoError(
+                "refusing to attach an incomplete columnar logical store "
+                "(the build was interrupted)"
+            )
         memo = self.memo
         memo.columnar_logical = self
         groups = memo.groups
@@ -277,7 +286,7 @@ class ColumnarLogicalStore:
 
 
 def build_logical_store(
-    memo, graph, allow_cross_products: bool
+    memo, graph, allow_cross_products: bool, scope=None
 ) -> ColumnarLogicalStore:
     """Batched exploration: emit whole per-subset csg–cmp buckets into a
     :class:`ColumnarLogicalStore`.
@@ -304,9 +313,13 @@ def build_logical_store(
     initial_by_gid = store.initial_by_gid
     block_l: list[int] = []
     block_r: list[int] = []
+    checkpoint = scope.checkpoint if scope is not None else None
     for subset in subsets:
         if not subset & (subset - 1):
             continue
+        fault_point("explore.batch", store)
+        if checkpoint is not None:
+            checkpoint("explore.batch", 2 * len(block_l))
         group = get_group(subset)
         gid = group.gid
         prefix = group._exprs
@@ -347,6 +360,7 @@ def build_logical_store(
         sl.extend(block_l)
         sr.extend(block_r)
         range_by_gid[gid] = (start, len(sl))
+    store.complete = True
     return store
 
 
@@ -359,6 +373,9 @@ class ColumnarPhysicalStore:
         self.catalog = catalog
         self.config = config
         self.root_order = tuple(root_order)
+        #: set by the builder once every group's rows are emitted; an
+        #: interrupted build leaves it False and the store cannot attach
+        self.complete = False
 
         # Oriented-equality-edge machinery, shared with the implicit
         # engine.  Deferred import: repro.planspace's package __init__
@@ -563,6 +580,11 @@ class ColumnarPhysicalStore:
     def attach(self) -> None:
         """Install the pending-materialization hooks on all groups,
         merging with any logical pending left by batched exploration."""
+        if not self.complete:
+            raise MemoError(
+                "refusing to attach an incomplete columnar physical store "
+                "(the build was interrupted)"
+            )
         for group in self.memo.groups:
             pending = group._pending
             if pending is not None:
@@ -597,6 +619,7 @@ def build_columnar_store(
     catalog,
     config: ImplementationConfig,
     root_order=(),
+    scope=None,
 ) -> ColumnarPhysicalStore:
     """Populate a :class:`ColumnarPhysicalStore` by batched implementation.
 
@@ -645,7 +668,11 @@ def build_columnar_store(
     g_b: list[int] = []
 
     logical_store = memo.columnar_logical
+    checkpoint = scope.checkpoint if scope is not None else None
     for group in groups:
+        fault_point("implement.columnar", store)
+        if checkpoint is not None:
+            checkpoint("implement.columnar", len(g_tag))
         group_start.append(len(tag_col))
         gid = group.gid
         pairs = None
@@ -758,4 +785,5 @@ def build_columnar_store(
         sorts_by_gid = store.sorts_by_gid
         for req_gid, kid in store.requirements:
             sorts_by_gid.setdefault(req_gid, []).append(kid)
+    store.complete = True
     return store

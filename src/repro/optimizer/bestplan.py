@@ -39,6 +39,7 @@ from repro.memo.columnar import (
 from repro.memo.memo import Memo
 from repro.optimizer.cost import CostModel
 from repro.optimizer.plan import PlanNode
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "BestPlanSearch",
@@ -78,9 +79,10 @@ class BestPlanSearch:
     Operator-local costs are computed exactly once per expression.
     """
 
-    def __init__(self, memo: Memo, cost_model: CostModel):
+    def __init__(self, memo: Memo, cost_model: CostModel, scope=None):
         self.memo = memo
         self.cost_model = cost_model
+        self.scope = scope
         #: ordered states only; the order-free state lives in ``_best0``
         self._cache: dict[tuple[int, SortOrder], _Best | None | object] = {}
         #: order-free state per gid, indexed directly (no tuple keys on
@@ -181,6 +183,9 @@ class BestPlanSearch:
     # ------------------------------------------------------------------
     def _best_unordered(self, gid: int) -> _Best | None:
         """The order-free state, fused with candidate-table construction."""
+        fault_point("bestplan.object", self)
+        if self.scope is not None:
+            self.scope.checkpoint("bestplan.object")
         group = self.memo.group(gid)
         cardinality = group.cardinality
         if cardinality is None:
@@ -346,10 +351,10 @@ class BestPlanSearch:
 
 
 def find_best_plan(
-    memo: Memo, cost_model: CostModel, required_order: SortOrder = ()
+    memo: Memo, cost_model: CostModel, required_order: SortOrder = (), scope=None
 ) -> tuple[PlanNode, float]:
     """The optimizer's chosen plan and its cost."""
-    search = BestPlanSearch(memo, cost_model)
+    search = BestPlanSearch(memo, cost_model, scope=scope)
     if memo.root_group_id is None:
         raise OptimizerError("memo has no root group")
     best = search.best(memo.root_group_id, required_order)
@@ -403,10 +408,13 @@ class ColumnarBestPlanSearch:
     property suite).
     """
 
-    def __init__(self, store: ColumnarPhysicalStore, cost_model: CostModel):
+    def __init__(
+        self, store: ColumnarPhysicalStore, cost_model: CostModel, scope=None
+    ):
         self.store = store
         self.memo = store.memo
         self.cost_model = cost_model
+        self.scope = scope
         groups = self.memo.groups
         G = len(groups)
         self._card = card = [0.0] * G
@@ -453,14 +461,22 @@ class ColumnarBestPlanSearch:
     # ------------------------------------------------------------------
     def run(self) -> "ColumnarBestPlanSearch":
         np = _numpy_or_none()
+        checkpoint = self.scope.checkpoint if self.scope is not None else None
+        if checkpoint is not None:
+            checkpoint("bestplan.layer", len(self._leaf_gids))
         for gid in self._leaf_gids:
             self._process_group_scalar(gid)
         if np is not None and self.store.row_count:
             self._run_join_layers_numpy(np)
         else:
             for layer in self._join_layers:
+                fault_point("bestplan.layer", self)
+                if checkpoint is not None:
+                    checkpoint("bestplan.layer", len(layer))
                 for gid in layer:
                     self._process_group_scalar(gid)
+        if checkpoint is not None:
+            checkpoint("bestplan.layer", len(self._tower_gids))
         for gid in self._tower_gids:
             self._process_group_scalar(gid)
         return self
@@ -682,7 +698,11 @@ class ColumnarBestPlanSearch:
 
         group_start = store.group_start
         reqs_by_gid = self._reqs_by_gid
+        checkpoint = self.scope.checkpoint if self.scope is not None else None
         for layer in self._join_layers:
+            fault_point("bestplan.layer", self)
+            if checkpoint is not None:
+                checkpoint("bestplan.layer", len(layer))
             segments = [
                 (gid, group_start[gid], group_start[gid + 1])
                 for gid in layer
@@ -848,9 +868,10 @@ def find_best_plan_columnar(
     store: ColumnarPhysicalStore,
     cost_model: CostModel,
     required_order: SortOrder = (),
+    scope=None,
 ) -> tuple[PlanNode, float]:
     """The optimizer's chosen plan from a columnar memo — same plan, same
     cost as :func:`find_best_plan` over the materialized memo."""
-    return ColumnarBestPlanSearch(store, cost_model).run().best_plan(
+    return ColumnarBestPlanSearch(store, cost_model, scope=scope).run().best_plan(
         required_order
     )

@@ -36,6 +36,7 @@ from repro.errors import OptimizerError
 from repro.memo.group import Group, GroupExpr
 from repro.memo.memo import Memo
 from repro.optimizer.joingraph import JoinGraph
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "EnumerationExplorer",
@@ -116,7 +117,7 @@ class EnumerationExplorer:
         self.batched = batched
 
     def explore(
-        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
+        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool, scope=None
     ) -> int:
         if self.batched is not False:
             # Deferred import: repro.memo.columnar reaches back into
@@ -127,7 +128,9 @@ class EnumerationExplorer:
             )
 
             try:
-                store = build_logical_store(memo, graph, allow_cross_products)
+                store = build_logical_store(
+                    memo, graph, allow_cross_products, scope=scope
+                )
             except ColumnarUnsupported as exc:
                 if self.batched is True:
                     raise OptimizerError(
@@ -137,10 +140,10 @@ class EnumerationExplorer:
             else:
                 store.attach()
                 return store.expression_total()
-        return self._explore_objects(memo, graph, allow_cross_products)
+        return self._explore_objects(memo, graph, allow_cross_products, scope=scope)
 
     def _explore_objects(
-        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
+        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool, scope=None
     ) -> int:
         inserted = 0
         universe, buckets = graph.enumeration_universe(allow_cross_products)
@@ -148,9 +151,15 @@ class EnumerationExplorer:
         group_for_mask = memo.group_for_mask
         insert = memo.insert
         join_operator = graph.join_operator_m
+        checkpoint = scope.checkpoint if scope is not None else None
+        last_inserted = 0
         for subset in universe:
             if subset.bit_count() < 2:
                 continue
+            fault_point("explore.object", memo)
+            if checkpoint is not None:
+                checkpoint("explore.object", inserted - last_inserted)
+                last_inserted = inserted
             # Materialize the group even if some partition orders repeat
             # expressions already seeded by the initial plan.
             group = get_group(subset)
@@ -224,7 +233,7 @@ class TransformationExplorer:
 
     # ------------------------------------------------------------------
     def explore(
-        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool
+        self, memo: Memo, graph: JoinGraph, allow_cross_products: bool, scope=None
     ) -> int:
         queue: deque[GroupExpr] = deque()
         for group in memo.groups:
@@ -232,11 +241,14 @@ class TransformationExplorer:
                 if isinstance(expr.op, LogicalJoin):
                     queue.append(expr)
         inserted = 0
+        checkpoint = scope.checkpoint if scope is not None else None
         while queue:
             expr = queue.popleft()
-            for new_expr in self._apply_rules(expr, memo, graph, allow_cross_products):
-                inserted += 1
-                queue.append(new_expr)
+            new_exprs = self._apply_rules(expr, memo, graph, allow_cross_products)
+            inserted += len(new_exprs)
+            queue.extend(new_exprs)
+            if checkpoint is not None:
+                checkpoint("explore.object", len(new_exprs))
         return inserted
 
     # ------------------------------------------------------------------

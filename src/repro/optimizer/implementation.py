@@ -34,6 +34,7 @@ from repro.optimizer.rules import (
     scan_implementations,
     unary_implementations,
 )
+from repro.resilience.faults import fault_point
 
 __all__ = [
     "ImplementationConfig",
@@ -50,6 +51,7 @@ def implement_memo_columnar(
     catalog: Catalog,
     config: ImplementationConfig | None = None,
     root_order: tuple[ColumnId, ...] = (),
+    scope=None,
 ) -> ColumnarPhysicalStore:
     """Batched implementation onto the struct-of-arrays physical store.
 
@@ -65,7 +67,9 @@ def implement_memo_columnar(
     if config is None:
         config = ImplementationConfig()
     try:
-        store = build_columnar_store(memo, graph, catalog, config, root_order)
+        store = build_columnar_store(
+            memo, graph, catalog, config, root_order, scope=scope
+        )
     except PlanSpaceError as exc:
         # EdgeCatalog capacity limits (>24 relations, >254 distinct key
         # columns) can also trip mid-build while interning index / GROUP
@@ -113,6 +117,7 @@ def implement_memo(
     catalog: Catalog,
     config: ImplementationConfig | None = None,
     root_order: tuple[ColumnId, ...] = (),
+    scope=None,
 ) -> int:
     """Generate physical operators for every logical expression, then add
     the Sort enforcers the physical operators (and ORDER BY) require.
@@ -146,7 +151,13 @@ def implement_memo(
         for expr in group.exprs
         if not expr.is_physical
     ]
+    checkpoint = scope.checkpoint if scope is not None else None
+    last_inserted = 0
     for expr in logical:
+        fault_point("implement.object", memo)
+        if checkpoint is not None:
+            checkpoint("implement.object", inserted - last_inserted)
+            last_inserted = inserted
         op = expr.op
         if type(op) is LogicalJoin:
             group = groups[expr.group_id]

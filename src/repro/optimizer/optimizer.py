@@ -50,6 +50,24 @@ __all__ = [
 ]
 
 
+def _detach_stale_stores(memo: Memo) -> None:
+    """Drop incomplete columnar stores from the memo.
+
+    A store whose build was interrupted never attaches (the builders set
+    ``complete`` only on full success, and ``attach`` refuses otherwise),
+    but a fault between attach and the phase's return — or deliberate
+    corruption in the fault-injection matrix — could leave a broken store
+    installed.  Resilience invariant: after any failed optimization the
+    memo's columnar references are either complete or gone.
+    """
+    store = getattr(memo, "columnar", None)
+    if store is not None and not getattr(store, "complete", False):
+        memo.columnar = None
+    logical = getattr(memo, "columnar_logical", None)
+    if logical is not None and not getattr(logical, "complete", False):
+        memo.columnar_logical = None
+
+
 def _extract_best(search: BestPlanSearch, memo: Memo, required_order):
     """Root extraction from an existing (reusable) object search."""
     if memo.root_group_id is None:
@@ -118,6 +136,14 @@ class OptimizationResult:
     estimator: CardinalityEstimator
     options: OptimizerOptions
     timings: dict[str, float] = field(default_factory=dict)
+    #: which physical-memo engine served: "columnar", "object", or (from
+    #: the degradation ladder) "sampled" / "heuristic"
+    engine: str = "columnar"
+    #: why the fast path was not taken, when auto-selection fell back
+    fallback_reason: str | None = None
+    #: :class:`repro.resilience.degrade.ResilienceReport` when the run
+    #: went through a budgeted ``Session.optimize``; ``None`` otherwise
+    resilience: object | None = None
 
     def explain(self) -> str:
         """EXPLAIN-style description of the chosen plan."""
@@ -142,8 +168,13 @@ class Optimizer:
         bound = Binder(self.catalog).bind(statement)
         return self.optimize(bound)
 
-    def optimize(self, query: BoundQuery) -> OptimizationResult:
+    def optimize(self, query: BoundQuery, scope=None) -> OptimizationResult:
         """Optimize a bound query: returns the memo and the best plan.
+
+        ``scope`` is an optional :class:`repro.resilience.budget.BudgetScope`
+        consulted at checkpoints in every phase's hot loop; ``None`` (the
+        default) skips the checkpoints entirely, so the unbudgeted path
+        is unchanged.
 
         The cycle collector is paused for the duration: optimization
         allocates hundreds of thousands of short-lived tuples and memo
@@ -154,12 +185,12 @@ class Optimizer:
         if gc_was_enabled:
             gc.disable()
         try:
-            return self._optimize(query)
+            return self._optimize(query, scope=scope)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
-    def _optimize(self, query: BoundQuery) -> OptimizationResult:
+    def _optimize(self, query: BoundQuery, scope=None) -> OptimizationResult:
         opts = self.options
         timings: dict[str, float] = {}
 
@@ -168,9 +199,27 @@ class Optimizer:
         memo, graph = setup.memo, setup.graph
         timings["setup"] = time.perf_counter() - start
 
+        # Any interruption below (budget, cancellation, injected fault)
+        # must not leave a half-built columnar store reachable through
+        # the memo: detach anything incomplete before re-raising.  The
+        # builders only attach *after* marking themselves complete, so
+        # this is a backstop for corruption between attach and return.
+        try:
+            return self._optimize_phases(
+                query, memo, graph, timings, scope=scope
+            )
+        except BaseException:
+            _detach_stale_stores(memo)
+            raise
+
+    def _optimize_phases(
+        self, query: BoundQuery, memo: Memo, graph: JoinGraph, timings, scope=None
+    ) -> OptimizationResult:
+        opts = self.options
+
         start = time.perf_counter()
         explorer = self._make_explorer()
-        explorer.explore(memo, graph, opts.allow_cross_products)
+        explorer.explore(memo, graph, opts.allow_cross_products, scope=scope)
         timings["explore"] = time.perf_counter() - start
 
         # Implementation: the columnar (struct-of-arrays) path by
@@ -179,6 +228,7 @@ class Optimizer:
         # produce the identical memo facade.
         start = time.perf_counter()
         store = None
+        fallback_reason: str | None = None
         if opts.columnar is not False:
             try:
                 store = implement_memo_columnar(
@@ -187,19 +237,24 @@ class Optimizer:
                     self.catalog,
                     opts.implementation,
                     root_order=query.order_by,
+                    scope=scope,
                 )
-            except ColumnarUnsupported:
+            except ColumnarUnsupported as exc:
                 if opts.columnar is True:
                     raise OptimizerError(
                         "columnar optimization was requested but this "
                         "memo does not support it"
                     ) from None
+                fallback_reason = str(exc)
         if store is None:
+            if fallback_reason is None and opts.columnar is False:
+                fallback_reason = "columnar disabled by options"
             implement_memo(
                 memo,
                 self.catalog,
                 opts.implementation,
                 root_order=query.order_by,
+                scope=scope,
             )
         timings["implement"] = time.perf_counter() - start
 
@@ -214,10 +269,10 @@ class Optimizer:
         search = None
         if store is not None:
             best_plan, best_cost = find_best_plan_columnar(
-                store, cost_model, required_order=query.order_by
+                store, cost_model, required_order=query.order_by, scope=scope
             )
         else:
-            search = BestPlanSearch(memo, cost_model)
+            search = BestPlanSearch(memo, cost_model, scope=scope)
             best_plan, best_cost = _extract_best(
                 search, memo, required_order=query.order_by
             )
@@ -253,6 +308,8 @@ class Optimizer:
             estimator=estimator,
             options=opts,
             timings=timings,
+            engine="columnar" if store is not None else "object",
+            fallback_reason=fallback_reason,
         )
 
     # ------------------------------------------------------------------

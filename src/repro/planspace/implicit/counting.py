@@ -48,6 +48,7 @@ from repro.optimizer.rules import (
 from repro.planspace.implicit.edges import EdgeCatalog
 from repro.planspace.implicit.keys import KeyTable, OrderIndex
 from repro.planspace.implicit.layout import ImplicitGroup, ImplicitLayout
+from repro.resilience.faults import fault_point
 
 __all__ = ["CountState", "TowerOp"]
 
@@ -71,6 +72,8 @@ class CountState:
     config: ImplementationConfig
     include_redundant_sorts: bool = True
     use_turbo: bool | None = None  # None = auto
+    #: optional BudgetScope checkpointed per phase / subset / tower group
+    scope: object = None
 
     edges: EdgeCatalog = None
     keys: KeyTable = None
@@ -99,10 +102,18 @@ class CountState:
     turbo_used: bool = False
 
     # ------------------------------------------------------------------
+    def _checkpoint(self, units: int = 0) -> None:
+        scope = self.scope
+        if scope is not None:
+            scope.checkpoint("implicit.count", units)
+
     def compute(self) -> "CountState":
+        fault_point("implicit.count", self)
+        self._checkpoint()
         self.edges = EdgeCatalog(self.layout.graph)
         self.keys = KeyTable(self.edges)
         rels_extra, tower_extra, root_seq = self._tower_requirement_seqs()
+        self._checkpoint()
         if self._turbo_enabled():
             from repro.planspace.implicit.turbo import turbo_rels_pass
 
@@ -110,11 +121,13 @@ class CountState:
         if not self.turbo_used:
             extra = [(mask, self.keys.kid(seq)) for mask, seq in rels_extra]
             self._register_merge_requirements(extra)
+            self._checkpoint()
             self._count_rels_groups()
         for gid, seq in tower_extra:
             self.tower_required.setdefault(gid, {}).setdefault(self.keys.kid(seq))
         if root_seq is not None:
             self.root_kid = self.keys.kid(root_seq)
+        self._checkpoint()
         self._count_tower()
         return self
 
@@ -211,7 +224,10 @@ class CountState:
         kid_bytes = self.keys.kid_bytes
         A, nonenf, sord = self.A, self.nonenf, self.sord
 
+        scope = self.scope
         for mask in layout.subset_masks:
+            if scope is not None:
+                scope.checkpoint("implicit.count")
             group = layout.group_for_mask(mask)
             deliveries: dict[bytes, int] = {}
             if group.kind == "leaf":
@@ -340,7 +356,10 @@ class CountState:
         layout = self.layout
         keys = self.keys
         enforcers = self.config.enable_sort_enforcers
+        scope = self.scope
         for gid in layout.tower_gids:
+            if scope is not None:
+                scope.checkpoint("implicit.count")
             group = layout.group(gid)
             ops: list[TowerOp] = []
             nonenf = 0

@@ -123,7 +123,7 @@ class ImplicitGroup:
 class ImplicitLayout:
     """Simulated memo layout for one query."""
 
-    def __init__(self, bound: BoundQuery, allow_cross_products: bool):
+    def __init__(self, bound: BoundQuery, allow_cross_products: bool, scope=None):
         setup = build_initial_memo(bound, allow_cross_products)
         self.bound = bound
         self.allow_cross_products = allow_cross_products
@@ -143,7 +143,9 @@ class ImplicitLayout:
         # columns.  The simulation below is just views over it.
         n_initial = len(memo.groups)
         try:
-            store = build_logical_store(memo, self.graph, allow_cross_products)
+            store = build_logical_store(
+                memo, self.graph, allow_cross_products, scope=scope
+            )
         except ColumnarUnsupported as exc:  # pragma: no cover - defensive
             raise PlanSpaceError(str(exc)) from None
         self.store = store

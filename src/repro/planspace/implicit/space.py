@@ -56,12 +56,15 @@ class ImplicitPlanSpace:
         options=None,
         include_redundant_sorts: bool = True,
         use_turbo: bool | None = None,
+        scope=None,
     ) -> "ImplicitPlanSpace":
         """Build the implicit space for a bound query.
 
         ``options`` is an :class:`~repro.optimizer.optimizer.OptimizerOptions`
         (cross-product policy + implementation config); defaults apply when
-        omitted.
+        omitted.  ``scope`` is an optional
+        :class:`~repro.resilience.budget.BudgetScope` checkpointed during
+        layout and counting.
         """
         from repro.optimizer.optimizer import ExplorationStrategy, OptimizerOptions
 
@@ -80,7 +83,7 @@ class ImplicitPlanSpace:
             )
         timings: dict[str, float] = {}
         start = time.perf_counter()
-        layout = ImplicitLayout(bound, options.allow_cross_products)
+        layout = ImplicitLayout(bound, options.allow_cross_products, scope=scope)
         timings["layout"] = time.perf_counter() - start
         start = time.perf_counter()
         state = CountState(
@@ -89,6 +92,7 @@ class ImplicitPlanSpace:
             config=options.implementation,
             include_redundant_sorts=include_redundant_sorts,
             use_turbo=use_turbo,
+            scope=scope,
         ).compute()
         timings["count"] = time.perf_counter() - start
         state.timings = timings

@@ -118,6 +118,8 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
     layout = state.layout
     config = state.config
     edges = state.edges
+    scope = getattr(state, "scope", None)
+    checkpoint = scope.checkpoint if scope is not None else None
     plain_keys, merge = join_rule_arity(config, True)
     plain_cross, _ = join_rule_arity(config, False)
     enforcers = config.enable_sort_enforcers
@@ -179,6 +181,8 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
         FROM_w[sel] |= from_bits_w[i]
         TO_w[sel] |= to_bits_w[i]
     del has_bit
+    if checkpoint is not None:
+        checkpoint("implicit.count", int(M))
     ebits = np.concatenate(
         [FROM_w[Ls] & TO_w[Rs], FROM_w[Rs] & TO_w[Ls]], axis=0
     )
@@ -192,6 +196,8 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
     rcol_lut = np.frombuffer(edges.right_col, dtype=np.uint8)
     left_chunks, right_chunks, chunk_maxlens = [], [], []
     for lo in range(0, U, _DECODE_CHUNK):
+        if checkpoint is not None:
+            checkpoint("implicit.count")
         chunk = u_ebits[lo : lo + _DECODE_CHUNK]
         if E:
             bits = np.unpackbits(
@@ -438,6 +444,8 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
     answer_queries(layer_req)
 
     for size in range(2, layout.universe.size + 1):
+        if checkpoint is not None:
+            checkpoint("implicit.count")
         sel = np.flatnonzero(split_sizes == size)
         if len(sel):
             ls, rs, ss = Ls[sel], Rs[sel], Ss[sel]

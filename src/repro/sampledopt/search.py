@@ -37,6 +37,8 @@ from repro.catalog.catalog import Catalog
 from repro.errors import PlanSpaceError, ReproError
 from repro.optimizer.plan import PlanNode
 from repro.planspace.implicit.space import ImplicitPlanSpace
+from repro.resilience.budget import validate_budget_s, validate_samples
+from repro.resilience.faults import fault_point
 from repro.sampledopt.costing import SampledPlanCoster
 from repro.sampledopt.stopping import (
     CostPlateau,
@@ -196,6 +198,9 @@ class SampledOptimizationResult:
     confidence: float = 0.95
     history: list[BatchPoint] = field(default_factory=list)
     timings: dict[str, float] = field(default_factory=dict)
+    #: :class:`repro.resilience.degrade.ResilienceReport` when the run
+    #: was served by a budgeted ``Session.optimize``; ``None`` otherwise
+    resilience: object | None = None
 
     @property
     def elapsed_s(self) -> float:
@@ -263,6 +268,7 @@ class SampledOptimizer:
         batch_size: int = DEFAULT_BATCH_SIZE,
         stratified: bool | None = None,
         space: ImplicitPlanSpace | None = None,
+        scope=None,
     ) -> SampledOptimizationResult:
         """See :meth:`_optimize`; the cycle collector is paused for the
         duration (as in ``Optimizer.optimize``): sampling allocates many
@@ -282,6 +288,7 @@ class SampledOptimizer:
                 batch_size=batch_size,
                 stratified=stratified,
                 space=space,
+                scope=scope,
             )
         finally:
             if gc_was_enabled:
@@ -297,6 +304,7 @@ class SampledOptimizer:
         batch_size: int = DEFAULT_BATCH_SIZE,
         stratified: bool | None = None,
         space: ImplicitPlanSpace | None = None,
+        scope=None,
     ) -> SampledOptimizationResult:
         """Sampled-optimize a bound query.
 
@@ -315,19 +323,14 @@ class SampledOptimizer:
         """
         from repro.sampledopt.stopping import FixedSamples, QuantileTarget
 
-        if samples is not None and samples <= 0:
-            raise ReproError(
-                f"sample budget must be positive, got {samples}"
-            )
-        if batch_size <= 0:
-            raise ReproError(
-                f"batch size must be positive, got {batch_size}"
-            )
+        validate_samples(samples)
+        validate_budget_s(budget_s)
+        validate_samples(batch_size, name="batch_size")
         start = time.perf_counter()
         timings: dict[str, float] = {}
         if space is None:
             space = ImplicitPlanSpace.from_query(
-                self.catalog, query, options=self.options
+                self.catalog, query, options=self.options, scope=scope
             )
         timings["space"] = time.perf_counter() - start
 
@@ -378,6 +381,9 @@ class SampledOptimizer:
         total = space.count()
         while drawn < max_samples:
             batch = min(batch_size, max_samples - drawn)
+            fault_point("sampled.batch", pool)
+            if scope is not None:
+                scope.checkpoint("sampled.batch", batch)
             tick = time.perf_counter()
             ranks = draw(batch)
             plans, costs = coster.cost_ranks(ranks)

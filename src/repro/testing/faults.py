@@ -13,6 +13,12 @@ methodology actually detects the class of bug it was designed for.
 * :class:`UnsortedMergeExecutor` — index scans return heap order while
   merge join trusts the sort contract (a *planner* property bug surfacing
   only in plans that pair a merge join with an index scan).
+
+The *dynamic* fault-injection harness — named fault sites inside the
+optimizer's and executor's hot loops, armed per-test via
+:func:`inject` — lives in :mod:`repro.resilience.faults` (so production
+modules can import the hook without dragging in these executor
+subclasses) and is re-exported here as the harness's public entry.
 """
 
 from __future__ import annotations
@@ -23,11 +29,25 @@ from repro.executor.schema import RowSchema
 from repro.executor.scalar import compile_predicate
 from repro.optimizer.plan import PlanNode
 from repro.executor.schema import output_schema
+from repro.resilience.faults import (
+    FAULT_SITES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    fault_point,
+    inject,
+)
 
 __all__ = [
     "DroppedRowExecutor",
     "IgnoredResidualExecutor",
     "UnsortedMergeExecutor",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "fault_point",
+    "inject",
 ]
 
 

@@ -192,10 +192,18 @@ class TestDriverLoop:
             chain3.sql,
             samples=10_000,
             batch_size=8,
-            budget_s=0.0,  # expires after the first batch
+            budget_s=1e-9,  # expires after the first batch
         )
         assert result.stopped_because == "budget"
         assert result.samples == 8
+
+    def test_invalid_wallclock_budget_rejected(self, chain3):
+        from repro.errors import BudgetError
+
+        optimizer = SampledOptimizer(chain3.catalog)
+        for bad in (0.0, -1.0, float("nan"), float("inf"), "1.0", True):
+            with pytest.raises(BudgetError):
+                optimizer.optimize_sql(chain3.sql, samples=8, budget_s=bad)
 
     def test_history_is_anytime(self, chain3):
         result = SampledOptimizer(chain3.catalog).optimize_sql(

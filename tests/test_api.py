@@ -114,7 +114,7 @@ class TestSampledOptimize:
 
     def test_sampled_budget_keyword(self, session):
         result = session.optimize(
-            SQL, method="sampled", samples=10_000, budget_s=0.0, seed=0
+            SQL, method="sampled", samples=10_000, budget_s=1e-9, seed=0
         )
         assert result.stopped_because == "budget"
 

@@ -119,8 +119,10 @@ class TestOptimize:
         assert strip_timings(first) == strip_timings(second)
 
     def test_sampled_budget_flag(self):
+        # A deadline that has already passed when the first batch's
+        # post-batch check runs: one batch completes, then the run stops.
         code, text = run_cli(
-            "optimize", "Q3", "--sampled", "--budget-s", "0.0"
+            "optimize", "Q3", "--sampled", "--budget-s", "1e-9"
         )
         assert code == 0
         assert "stopped: budget" in text
