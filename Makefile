@@ -9,12 +9,13 @@ check:
 check-slow:
 	CI_SLOW=1 bash scripts/ci.sh
 
-# Regenerate all four perf-trajectory files in place (--merge keeps
-# cells a restricted run does not touch, e.g. the minutes-long
-# materialized clique12 rows recorded with --full).
+# Regenerate the perf-trajectory files in place (--merge keeps cells a
+# restricted run does not touch, e.g. the minutes-long materialized
+# clique12 rows recorded with --full).
 bench:
 	PYTHONPATH=src python benchmarks/bench_exploration_scaling.py --merge
 	PYTHONPATH=src python benchmarks/bench_planspace.py --merge
 	PYTHONPATH=src python benchmarks/bench_sampledopt.py --merge
 	PYTHONPATH=src python benchmarks/bench_optimize.py --merge
 	PYTHONPATH=src python benchmarks/bench_robustness.py --merge
+	PYTHONPATH=src python benchmarks/bench_observability.py --merge

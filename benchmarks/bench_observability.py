@@ -1,0 +1,142 @@
+"""Observability overhead benchmark: traced vs untraced optimization.
+
+Two families of records, written to ``BENCH_observability.json``:
+
+* ``disabled_overhead`` — the same exact optimization through
+  ``Session.optimize`` with instrumentation off versus the bare
+  ``Optimizer`` call.  The delta is the price every ordinary
+  (untraced) call pays for the observability layer existing at all —
+  the ≤2% guarantee ``scripts/ci.sh`` enforces.
+* ``traced_overhead`` — ``Session.optimize(trace=True)`` versus the
+  untraced session call: what turning tracing *on* costs (spans per
+  phase plus metrics fed from every checkpoint poll).
+
+Both report best-of-``--repeat`` wall times — the stable estimator for
+sub-second runs.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_observability.py
+    PYTHONPATH=src python benchmarks/bench_observability.py --merge
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+from repro.api import Session
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.workloads.synthetic import clique_query, star_query
+
+WORKLOADS = {"star": star_query, "clique": clique_query}
+DEFAULT_CELLS = (("star", 12), ("clique", 10))
+
+
+def _best_of(fn, repeat: int) -> float:
+    best = float("inf")
+    for _ in range(repeat):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_cell(shape: str, n: int, repeat: int) -> list[dict]:
+    workload = WORKLOADS[shape](n, rows=5, seed=0)
+    options = OptimizerOptions(allow_cross_products=False)
+    session = Session(workload.database, options=options)
+    sql = workload.sql
+
+    bare_s = _best_of(
+        lambda: Optimizer(workload.catalog, options).optimize_sql(sql), repeat
+    )
+    untraced_s = _best_of(lambda: session.optimize(sql), repeat)
+    traced_s = _best_of(lambda: session.optimize(sql, trace=True), repeat)
+
+    return [
+        {
+            "mode": "disabled_overhead",
+            "workload": shape,
+            "n": n,
+            "bare_s": round(bare_s, 4),
+            "session_s": round(untraced_s, 4),
+            "overhead_pct": round(100.0 * (untraced_s / bare_s - 1.0), 2),
+        },
+        {
+            "mode": "traced_overhead",
+            "workload": shape,
+            "n": n,
+            "untraced_s": round(untraced_s, 4),
+            "traced_s": round(traced_s, 4),
+            "overhead_pct": round(100.0 * (traced_s / untraced_s - 1.0), 2),
+        },
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cells",
+        nargs="+",
+        default=[f"{shape}{n}" for shape, n in DEFAULT_CELLS],
+        help="workload cells as <shape><n>, e.g. star12 clique10",
+    )
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_observability.json",
+    )
+    args = parser.parse_args(argv)
+
+    try:  # warm numpy up front: a process-level, not per-cell, cost
+        import numpy  # noqa: F401
+    except ImportError:
+        pass
+
+    records = []
+    for cell in args.cells:
+        shape = cell.rstrip("0123456789")
+        n = int(cell[len(shape):])
+        if shape not in WORKLOADS:
+            raise SystemExit(f"unknown workload shape {shape!r}")
+        for record in bench_cell(shape, n, args.repeat):
+            records.append(record)
+            if record["mode"] == "disabled_overhead":
+                print(
+                    f"{cell:>9} disabled: bare {record['bare_s']:.4f}s "
+                    f"session {record['session_s']:.4f}s "
+                    f"({record['overhead_pct']:+.2f}%)",
+                    flush=True,
+                )
+            else:
+                print(
+                    f"{cell:>9} traced:   untraced {record['untraced_s']:.4f}s "
+                    f"traced {record['traced_s']:.4f}s "
+                    f"({record['overhead_pct']:+.2f}%)",
+                    flush=True,
+                )
+
+    if args.merge and args.output.exists():
+        key = lambda r: (r["mode"], r["workload"], r["n"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -225,4 +225,90 @@ rows = PlanExecutor(workload.database).execute(result.best_plan).rows
 assert rows, "the degraded plan did not execute"
 EOF
 
+echo "== observability overhead smoke =="
+python - <<'EOF'
+import gc
+import os
+import statistics
+import time
+
+from repro.api import Session
+from repro.optimizer.optimizer import Optimizer, OptimizerOptions
+from repro.workloads.synthetic import star_query
+
+# With tracing off, the observability layer must cost nothing: the
+# instrumented Session.optimize path vs the bare Optimizer call on
+# star12 exact optimize.  Single timings jitter by several percent on a
+# ~0.15s run, so each sample is a back-to-back bare/session pair (each
+# side min-of-2, since timer noise is one-sided) and the estimator is
+# the median of the per-pair ratios — pairing cancels machine drift,
+# min-of-2 trims scheduler pauses, the median discards what remains.
+# The true delta is one module-global read per *phase* (seven per
+# optimize), which measures as ~0%; the cap (default 2%) flags any
+# per-expression work leaking onto the untraced path.
+cap_pct = float(os.environ.get("CI_OBS_OVERHEAD_PCT", "2.0"))
+pairs = int(os.environ.get("CI_OBS_OVERHEAD_PAIRS", "11"))
+workload = star_query(12, rows=5, seed=0)
+options = OptimizerOptions()
+session = Session(workload.database, options=options)
+sql = workload.sql
+
+def timed(fn):
+    best = float("inf")
+    for _ in range(2):
+        gc.collect()
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+bare = lambda: Optimizer(workload.catalog, options).optimize_sql(sql)
+traced_off = lambda: session.optimize(sql)
+bare(); traced_off()  # warm caches outside the measurement
+ratios = [timed(traced_off) / timed(bare) for _ in range(pairs)]
+overhead_pct = 100.0 * (statistics.median(ratios) - 1.0)
+print(
+    f"star12 no-cross: disabled-instrumentation overhead "
+    f"{overhead_pct:+.2f}% (median of {pairs} min-of-2 pairs, "
+    f"cap {cap_pct:g}%)"
+)
+assert overhead_pct <= cap_pct, (
+    f"the untraced optimize path is {overhead_pct:+.2f}% slower than the "
+    f"bare optimizer (> {cap_pct:g}% cap) — instrumentation is leaking "
+    "onto the disabled fast path"
+)
+EOF
+
+echo "== explain analyze smoke =="
+python - <<'EOF'
+import io
+import json
+
+from repro.cli import main
+
+# repro explain --analyze --json on a TPC-H query must emit valid JSON
+# whose per-operator actuals are populated.
+out = io.StringIO()
+code = main(["explain", "Q3", "--analyze", "--json"], out=out)
+assert code == 0, f"explain --analyze --json exited {code}"
+payload = json.loads(out.getvalue())
+root = payload["stats"]["root"]
+assert payload["best_cost"] > 0
+assert payload["stats"]["operators"] >= 1
+assert root["est_rows"] > 0
+def walk(node):
+    yield node
+    for child in node.get("children", []):
+        yield from walk(child)
+
+scans = [n for n in walk(root) if n["op"].endswith("Scan")]
+assert scans and all(n["actual_rows"] > 0 for n in scans), (
+    "no scan operator reported actual rows"
+)
+print(
+    f"Q3 explain analyze: {payload['stats']['operators']} operators, "
+    f"root actual={root['actual_rows']} rows, valid JSON"
+)
+EOF
+
 echo "CI OK"

@@ -9,10 +9,13 @@ reproduce the measurements this PR's numbers were taken with::
     PYTHONPATH=src python scripts/profile_explore.py --cross --sort tottime
     PYTHONPATH=src python scripts/profile_explore.py --shape clique --n 12 --count-only
 
-It also prints the optimizer's own per-phase wall timings (un-profiled,
-best of ``--repeat`` runs) — cProfile inflates everything several-fold,
-so treat the profile as *where* the time goes and the phase timings as
-*how much* time there is.
+It also prints the per-phase wall timings (un-profiled, best of
+``--repeat`` runs), read off the observability layer's span tree
+(``repro.obs``): every mode runs traced and reports the root span's
+direct children, so the phase split here and the output of
+``repro trace`` are the same measurement by construction — cProfile
+inflates everything several-fold, so treat the profile as *where* the
+time goes and the span timings as *how much* time there is.
 
 ``--count-only`` profiles the implicit plan-space pipeline instead of the
 full optimizer: layout simulation + analytic counting, no physical memo.
@@ -27,9 +30,9 @@ import argparse
 import cProfile
 import pstats
 import sys
-import time
 
 from repro.api import Session
+from repro.obs import Span, Tracer, tracing
 from repro.optimizer.optimizer import OptimizerOptions
 from repro.workloads.synthetic import (
     chain_query,
@@ -46,13 +49,33 @@ WORKLOADS = {
 }
 
 
+def _phase_line(root: Span) -> str:
+    """One line of ``phase elapsed`` pairs from the root's children."""
+    return "  ".join(
+        f"{name} {seconds:.4f}s"
+        for name, seconds in root.phase_seconds().items()
+    )
+
+
+def _best_of(run, repeat: int) -> tuple[object, Span]:
+    """Run ``run`` (returning ``(outcome, root span)``) ``repeat`` times;
+    keep the outcome of the last run and the span tree of the fastest."""
+    best_root = None
+    outcome = None
+    for _ in range(repeat):
+        outcome, root = run()
+        if best_root is None or root.elapsed_s < best_root.elapsed_s:
+            best_root = root
+    return outcome, best_root
+
+
 def phase_comparison(workload, args) -> int:
     """``--optimize-phases``: columnar vs object per-phase wall timings.
 
-    Both engines optimize the same bound query; per-phase numbers are the
-    best of ``--repeat`` runs, so they are directly comparable to the
-    default mode's phase line (same workload construction, same best-of-N
-    protocol).
+    Both engines optimize the same query under tracing; the per-phase
+    numbers are the fastest run's span tree, so they are directly
+    comparable to the default mode's phase line (same workload
+    construction, same best-of-N protocol).
     """
     results = {}
     for engine, columnar in (("columnar", True), ("object", False)):
@@ -60,20 +83,16 @@ def phase_comparison(workload, args) -> int:
             allow_cross_products=args.cross, columnar=columnar
         )
         session = Session(workload.database, options=options)
-        best_total = float("inf")
-        best_timings: dict[str, float] = {}
-        for _ in range(args.repeat):
-            start = time.perf_counter()
-            result = session.optimize(workload.sql)
-            total = time.perf_counter() - start
-            if total < best_total:
-                best_total = total
-                best_timings = dict(result.timings)
+
+        def run():
+            result = session.optimize(workload.sql, trace=True)
+            return result, result.trace
+
+        result, root = _best_of(run, args.repeat)
         results[engine] = result.best_cost
         print(
             f"{workload.name} cross={'on' if args.cross else 'off'} "
-            f"[{engine}]: total {best_total:.4f}s  "
-            + "  ".join(f"{k} {v:.4f}s" for k, v in best_timings.items())
+            f"[{engine}]: total {root.elapsed_s:.4f}s  {_phase_line(root)}"
         )
     assert results["columnar"] == results["object"], "engines disagree"
     return 0
@@ -116,9 +135,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.planspace.implicit import ImplicitPlanSpace
 
         def run():
-            return ImplicitPlanSpace.from_sql(
-                workload.catalog, workload.sql, options=options
-            )
+            tracer = Tracer()
+            with tracing(tracer), tracer.span("count"):
+                space = ImplicitPlanSpace.from_sql(
+                    workload.catalog, workload.sql, options=options
+                )
+            return space, tracer.root
 
         def summarize(space):
             return (
@@ -130,7 +152,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
 
         def run():
-            return session.optimize(workload.sql)
+            result = session.optimize(workload.sql, trace=True)
+            return result, result.trace
 
         def summarize(result):
             return (
@@ -138,22 +161,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"{result.memo.expression_count()} expressions\n"
             )
 
-    # Un-profiled phase timings first (best of N; both run() results carry
-    # a .timings dict of per-phase seconds).
-    best_total = float("inf")
-    best_timings: dict[str, float] = {}
-    outcome = None
-    for _ in range(args.repeat):
-        start = time.perf_counter()
-        outcome = run()
-        total = time.perf_counter() - start
-        if total < best_total:
-            best_total = total
-            best_timings = dict(outcome.timings)
+    # Un-profiled span timings first (best of N; the root span's children
+    # are the per-phase split).
+    outcome, root = _best_of(run, args.repeat)
     print(
         f"{workload.name} cross={'on' if args.cross else 'off'}{mode}: "
-        f"total {best_total:.4f}s  "
-        + "  ".join(f"{k} {v:.4f}s" for k, v in best_timings.items())
+        f"total {root.elapsed_s:.4f}s  {_phase_line(root)}"
     )
     print(summarize(outcome))
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass, replace
 
 from repro.errors import PlanSpaceError
 from repro.executor.executor import PlanExecutor, QueryResult
+from repro.obs import Metrics, Tracer, phase as obs_phase, tracing
 from repro.optimizer.optimizer import (
     OptimizationResult,
     Optimizer,
@@ -123,6 +124,10 @@ class Session:
         self.catalog = database.catalog
         self.options = options if options is not None else OptimizerOptions()
         self.executor = PlanExecutor(database, check_orders=check_orders)
+        #: the session's metrics registry: fresh (empty) per session,
+        #: fed by traced calls (``optimize(..., trace=True)``,
+        #: ``explain(analyze=True)``); ``metrics.reset()`` clears it
+        self.metrics = Metrics()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -146,6 +151,7 @@ class Session:
         cancellation=None,
         max_expressions: int | None = None,
         max_memory_mb: float | None = None,
+        trace: bool = False,
         **kwargs,
     ):
         """Optimize a statement.
@@ -176,7 +182,67 @@ class Session:
         ``seed``, ``rule``, ``stratified``) are forwarded.  On
         clique-sized join spaces the sampled path answers in seconds
         where the memo takes minutes.
+
+        ``trace=True`` runs the call under the observability layer
+        (:mod:`repro.obs`): ``result.trace`` carries the nested phase
+        span tree (``parse`` → ``bind`` → ``setup`` → ``explore`` → ...,
+        or the sampled / degradation-tier phases), and the session's
+        ``metrics`` registry accumulates hot-loop counters from the same
+        checkpoint sites the resilience layer polls.  The default
+        (``trace=False``) path carries no instrumentation.
         """
+        if trace:
+            tracer = Tracer()
+            with tracing(tracer):
+                with tracer.span("optimize"):
+                    result = self._optimize(
+                        sql,
+                        method=method,
+                        prune_factor=prune_factor,
+                        deadline_s=deadline_s,
+                        on_budget=on_budget,
+                        cancellation=cancellation,
+                        max_expressions=max_expressions,
+                        max_memory_mb=max_memory_mb,
+                        observed=True,
+                        **kwargs,
+                    )
+            result.trace = tracer.root
+            self._record_result_metrics(result)
+            return result
+        return self._optimize(
+            sql,
+            method=method,
+            prune_factor=prune_factor,
+            deadline_s=deadline_s,
+            on_budget=on_budget,
+            cancellation=cancellation,
+            max_expressions=max_expressions,
+            max_memory_mb=max_memory_mb,
+            **kwargs,
+        )
+
+    def _optimize(
+        self,
+        sql: str,
+        method: str = "exhaustive",
+        prune_factor: float | None = None,
+        deadline_s: float | None = None,
+        on_budget: str = "degrade",
+        cancellation=None,
+        max_expressions: int | None = None,
+        max_memory_mb: float | None = None,
+        observed: bool = False,
+        **kwargs,
+    ):
+        """The untraced dispatch behind :meth:`optimize`.  ``observed``
+        threads a metrics-observing (budget-free) scope through paths
+        that would otherwise run scope-less."""
+        obs_scope = None
+        if observed:
+            from repro.resilience.budget import BudgetScope
+
+            obs_scope = BudgetScope(observer=self.metrics)
         resilience_args = (
             deadline_s is not None
             or cancellation is not None
@@ -201,7 +267,10 @@ class Session:
                 from repro.resilience.budget import Budget
                 from repro.resilience.degrade import optimize_resilient
 
-                bound = Binder(self.catalog).bind(parse(sql))
+                with obs_phase("parse"):
+                    statement = parse(sql)
+                with obs_phase("bind"):
+                    bound = Binder(self.catalog).bind(statement)
                 return optimize_resilient(
                     self.catalog,
                     bound,
@@ -213,8 +282,11 @@ class Session:
                     ),
                     token=cancellation,
                     on_budget=on_budget,
+                    observer=self.metrics if observed else None,
                 )
-            return Optimizer(self.catalog, options).optimize_sql(sql)
+            return Optimizer(self.catalog, options).optimize_sql(
+                sql, scope=obs_scope
+            )
         if method == "sampled":
             if prune_factor is not None:
                 raise PlanSpaceError(
@@ -229,6 +301,8 @@ class Session:
                 )
             from repro.sampledopt import SampledOptimizer
 
+            if obs_scope is not None and "scope" not in kwargs:
+                kwargs["scope"] = obs_scope
             return SampledOptimizer(self.catalog, self.options).optimize_sql(
                 sql, **kwargs
             )
@@ -236,6 +310,34 @@ class Session:
             f"unknown optimization method {method!r} "
             "(expected 'exhaustive' or 'sampled')"
         )
+
+    def _record_result_metrics(self, result) -> None:
+        """Gauge the result's search-space size into the metrics registry.
+
+        Defensive by design: the three result flavours (exact, sampled,
+        heuristic tier) carry different attributes, and a degraded
+        resilient result may carry none of them.
+        """
+        metrics = self.metrics
+        memo = getattr(result, "memo", None)
+        if memo is not None:
+            groups = getattr(memo, "groups", None)
+            if groups is not None:
+                metrics.set_gauge("memo.groups", len(groups))
+            count = getattr(memo, "logical_expression_count", None)
+            if callable(count):
+                metrics.set_gauge("memo.logical_exprs", count())
+            count = getattr(memo, "physical_expression_count", None)
+            if callable(count):
+                metrics.set_gauge("memo.physical_exprs", count())
+        samples = getattr(result, "samples", None)
+        if samples is not None:
+            metrics.inc("sampler.draws", samples)
+        resilience = getattr(result, "resilience", None)
+        if resilience is not None:
+            metrics.set_gauge(
+                "resilience.attempts", len(resilience.attempts)
+            )
 
     def plan_space(
         self, sql: str, count_only: bool = False
@@ -304,8 +406,24 @@ class Session:
             stratified=stratified,
         )
 
-    def explain(self, sql: str) -> str:
-        return self.optimize(sql).explain()
+    def explain(self, sql: str, analyze: bool = False) -> str:
+        """The best plan, rendered.
+
+        ``analyze=True`` additionally *executes* the plan with operator
+        instrumentation and renders estimated-vs-actual cardinality (and
+        the q-error) per plan node — the classic ``EXPLAIN ANALYZE``.
+        """
+        if not analyze:
+            return self.optimize(sql).explain()
+        from repro.obs import render_analyze
+
+        executed = self.execute_detailed(sql, analyze=True)
+        header = (
+            f"best cost: {executed.optimization.best_cost:,.1f}"
+            if getattr(executed.optimization, "best_cost", None) is not None
+            else "best cost: (unknown)"
+        )
+        return header + "\n" + render_analyze(executed.result.stats)
 
     # ------------------------------------------------------------------
     def execute(self, sql: str, max_rows: int | None = None) -> QueryResult:
@@ -319,8 +437,14 @@ class Session:
         return self.execute_detailed(sql, max_rows=max_rows).result
 
     def execute_detailed(
-        self, sql: str, max_rows: int | None = None
+        self, sql: str, max_rows: int | None = None, analyze: bool = False
     ) -> ExecutedQuery:
+        """Execute and keep the optimization alongside the rows.
+
+        ``analyze=True`` collects per-operator runtime statistics
+        (actual rows, wall time) on ``result.stats`` — see
+        :class:`repro.obs.ExecutionStats`.
+        """
         statement = parse(sql)
         bound = Binder(self.catalog).bind(statement)
         optimization = Optimizer(self.catalog, self.options).optimize(bound)
@@ -337,7 +461,9 @@ class Session:
                     f"{total} plans (0..{total - 1})"
                 )
             plan = space.unrank(useplan)
-        result = self.executor.execute(plan, max_rows=max_rows)
+        result = self.executor.execute(
+            plan, max_rows=max_rows, collect_stats=analyze
+        )
         return ExecutedQuery(
             result=result, optimization=optimization, used_rank=useplan
         )

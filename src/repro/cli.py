@@ -149,6 +149,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="what to do when the deadline bites: serve a degraded plan "
         "(default) or fail with a budget error",
     )
+    optimize.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print engine, phase timings, and — when a deadline "
+        "triggered degradation — the tier-by-tier attempt log",
+    )
+
+    trace = sub.add_parser(
+        "trace",
+        help="optimize under the observability layer: nested phase spans "
+        "with wall time and counters, plus hot-loop metrics",
+    )
+    trace.add_argument("query", help="TPC-H query name or SQL")
+    trace.add_argument(
+        "--sampled",
+        action="store_true",
+        help="trace the memo-free sampled optimizer instead",
+    )
+    trace.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="run under a deadline (traces the degradation ladder's tiers)",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit {trace, metrics} as JSON instead of rendered tables",
+    )
 
     distribution = sub.add_parser(
         "distribution",
@@ -175,6 +205,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose",
         action="store_true",
         help="include per-operator cardinalities and costs",
+    )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the plan with operator instrumentation and show "
+        "estimated vs. actual rows (and the q-error) per node",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="with --analyze: emit the per-operator stats as JSON",
     )
 
     unrank = sub.add_parser("unrank", help="print plan number RANK")
@@ -308,6 +349,32 @@ def _cmd_optimize(args, out) -> int:
         report = getattr(result, "resilience", None)
         if report is not None:
             out.write(report.describe() + "\n")
+        if args.verbose:
+            engine = getattr(result, "engine", None)
+            if engine is not None:
+                line = f"engine: {engine}"
+                reason = getattr(result, "fallback_reason", None)
+                if reason:
+                    line += f" (fallback: {reason})"
+                out.write(line + "\n")
+            timings = getattr(result, "timings", None)
+            if timings:
+                rendered = "  ".join(
+                    f"{name} {seconds * 1000.0:.1f}ms"
+                    for name, seconds in timings.items()
+                )
+                out.write(f"timings: {rendered}\n")
+            if report is not None:
+                out.write(
+                    f"resilience: tier={report.tier} "
+                    f"trigger={report.trigger or '(none)'}\n"
+                )
+                for attempt in report.attempts:
+                    detail = f"  {attempt.detail}" if attempt.detail else ""
+                    out.write(
+                        f"  {attempt.tier}: {attempt.outcome} "
+                        f"({attempt.elapsed_s:.3f}s){detail}\n"
+                    )
         if args.prune_factor is not None:
             out.write(
                 f"pruned to {result.memo.physical_expression_count()} "
@@ -357,7 +424,47 @@ def _cmd_optimize(args, out) -> int:
         stratified=False if args.uniform else None,
     )
     out.write(result.describe() + "\n")
+    if args.verbose and result.timings:
+        rendered = "  ".join(
+            f"{name} {seconds * 1000.0:.1f}ms"
+            for name, seconds in result.timings.items()
+        )
+        out.write(f"timings: {rendered}\n")
     out.write(result.explain() + "\n")
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    import json
+
+    session = _session(args)
+    sql = _resolve_sql(args.query)
+    if args.sampled:
+        if args.deadline_s is not None:
+            raise ReproError(
+                "--deadline-s drives the exhaustive degradation ladder; "
+                "drop --sampled to trace it"
+            )
+        result = session.optimize(sql, method="sampled", trace=True)
+    else:
+        result = session.optimize(
+            sql, deadline_s=args.deadline_s, trace=True
+        )
+    span = result.trace
+    if args.json:
+        payload = {
+            "trace": span.to_dict(),
+            "metrics": session.metrics.snapshot(),
+        }
+        out.write(json.dumps(payload, indent=2) + "\n")
+        return 0
+    out.write(span.render() + "\n")
+    metrics = session.metrics
+    if metrics:
+        out.write("\n" + metrics.render() + "\n")
+    report = getattr(result, "resilience", None)
+    if report is not None:
+        out.write("\n" + report.describe() + "\n")
     return 0
 
 
@@ -388,13 +495,31 @@ def _cmd_distribution(args, out) -> int:
 
 def _cmd_explain(args, out) -> int:
     session = _session(args)
+    sql = _resolve_sql(args.query)
+    if args.json and not args.analyze:
+        raise ReproError("--json requires --analyze")
+    if args.analyze:
+        if args.verbose:
+            raise ReproError("--analyze and --verbose are mutually exclusive")
+        if args.json:
+            import json
+
+            executed = session.execute_detailed(sql, analyze=True)
+            payload = {
+                "best_cost": executed.optimization.best_cost,
+                "stats": executed.result.stats.to_dict(),
+            }
+            out.write(json.dumps(payload, indent=2) + "\n")
+            return 0
+        out.write(session.explain(sql, analyze=True) + "\n")
+        return 0
     if args.verbose:
         from repro.optimizer.explain import explain_plan
 
-        result = session.optimize(_resolve_sql(args.query))
+        result = session.optimize(sql)
         out.write(explain_plan(result.best_plan, result.cost_model) + "\n")
         return 0
-    out.write(session.explain(_resolve_sql(args.query)) + "\n")
+    out.write(session.explain(sql) + "\n")
     return 0
 
 
@@ -565,6 +690,7 @@ def _cmd_corpus_verify(args, out) -> int:
 _COMMANDS = {
     "count": _cmd_count,
     "optimize": _cmd_optimize,
+    "trace": _cmd_trace,
     "distribution": _cmd_distribution,
     "explain": _cmd_explain,
     "unrank": _cmd_unrank,

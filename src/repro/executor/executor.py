@@ -17,6 +17,7 @@ to expose.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.algebra.expressions import AggFunc, AggregateCall, ColumnId
@@ -35,6 +36,7 @@ from repro.algebra.physical import (
 )
 from repro.errors import ExecutionError, ResourceExhausted
 from repro.executor.scalar import compile_predicate, compile_scalar
+from repro.obs.analyze import ExecutionStats, OperatorStats
 from repro.resilience.faults import fault_point
 from repro.executor.schema import RowSchema, output_schema
 from repro.optimizer.plan import PlanNode
@@ -45,10 +47,17 @@ __all__ = ["QueryResult", "PlanExecutor", "execute_plan"]
 
 @dataclass
 class QueryResult:
-    """Rows plus column names, as a client would see them."""
+    """Rows plus column names, as a client would see them.
+
+    ``stats`` is populated only by an instrumented execution
+    (``collect_stats=True``): a tree of per-operator
+    :class:`~repro.obs.analyze.OperatorStats` — rows in/out, wall time,
+    actual cardinality — mirroring the executed plan.
+    """
 
     columns: list[str]
     rows: list[tuple]
+    stats: ExecutionStats | None = None
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -126,28 +135,80 @@ class PlanExecutor:
         #: rows (``None`` = unbounded); a cross-product explosion raises
         #: ResourceExhausted instead of eating the heap
         self.max_rows = max_rows
+        #: per-operator stats collection: ``None`` on the fast path, a
+        #: stack of open :class:`OperatorStats` frames while instrumented
+        self._stats_stack: list[OperatorStats] | None = None
+        self._root_stats: OperatorStats | None = None
 
     # ------------------------------------------------------------------
-    def execute(self, plan: PlanNode, max_rows: int | None = None) -> QueryResult:
-        if max_rows is not None:
-            previous = self.max_rows
-            self.max_rows = max_rows
-            try:
+    def execute(
+        self,
+        plan: PlanNode,
+        max_rows: int | None = None,
+        collect_stats: bool = False,
+    ) -> QueryResult:
+        """Execute ``plan``.  ``collect_stats=True`` additionally times
+        every operator and records rows in/out (the EXPLAIN ANALYZE
+        raw material) on the result's ``stats``."""
+        stats = None
+        if collect_stats:
+            self._stats_stack = []
+            self._root_stats = None
+        started = time.perf_counter()
+        try:
+            if max_rows is not None:
+                previous = self.max_rows
+                self.max_rows = max_rows
+                try:
+                    schema, rows = self._run(plan)
+                finally:
+                    self.max_rows = previous
+            else:
                 schema, rows = self._run(plan)
-            finally:
-                self.max_rows = previous
-        else:
-            schema, rows = self._run(plan)
+            if collect_stats:
+                stats = ExecutionStats(
+                    root=self._root_stats,
+                    wall_s=time.perf_counter() - started,
+                )
+        finally:
+            if collect_stats:
+                self._stats_stack = None
+                self._root_stats = None
         return QueryResult(
-            columns=[_column_label(c) for c in schema], rows=rows
+            columns=[_column_label(c) for c in schema], rows=rows, stats=stats
         )
 
     # ------------------------------------------------------------------
     def _run(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
+        """One operator, through the stats collector when instrumented."""
+        stack = self._stats_stack
+        if stack is None:
+            return self._run_guarded(plan)
+        frame = OperatorStats(
+            op=plan.op.name,
+            detail=plan.op.render(),
+            group_id=plan.group_id,
+            est_rows=plan.cardinality,
+        )
+        if stack:
+            stack[-1].children.append(frame)
+        else:
+            self._root_stats = frame
+        stack.append(frame)
+        started = time.perf_counter()
+        try:
+            schema, rows = self._run_guarded(plan)
+        finally:
+            frame.wall_s = time.perf_counter() - started
+            stack.pop()
+        frame.actual_rows = len(rows)
+        return schema, rows
+
+    def _run_guarded(self, plan: PlanNode) -> tuple[RowSchema, list[tuple]]:
         """Dispatch one operator, then apply the per-operator guards:
         the injected-fault hook and the row-ceiling check.  Recursive
-        calls for children come back through here, so the ceiling bounds
-        every intermediate result, not just the root's."""
+        calls for children come back through ``_run``, so the ceiling
+        bounds every intermediate result, not just the root's."""
         schema, rows = self._dispatch(plan)
         fault_point("execute.operator", rows)
         max_rows = self.max_rows

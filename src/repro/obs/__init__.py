@@ -1,0 +1,43 @@
+"""Unified observability: phase spans, metrics, and EXPLAIN ANALYZE.
+
+Three pieces, one contract (see ``README.md`` in this package):
+
+* :mod:`repro.obs.trace` — nested phase spans over one optimization
+  (``optimize`` → ``parse``/``bind``/``setup``/``explore``/... on the
+  exact path; ``space``/``sample``/``recombine``/``assemble`` on the
+  sampled path; ``tier.*`` under the degradation ladder);
+* :mod:`repro.obs.metrics` — a per-session registry of counters, gauges
+  and summary histograms, fed from the resilience layer's existing
+  ``BudgetScope.checkpoint`` sites;
+* :mod:`repro.obs.analyze` — per-operator execution stats (rows in/out,
+  wall time) and the estimated-vs-actual cardinality rendering behind
+  ``Session.explain(sql, analyze=True)``.
+
+Everything is disabled by default: with no tracer active and no metrics
+observer attached, instrumented code pays one module-global read per
+*phase* (never per expression) and the hot loops are untouched.
+"""
+
+from repro.obs.analyze import ExecutionStats, OperatorStats, render_analyze
+from repro.obs.metrics import Metrics
+from repro.obs.trace import (
+    PhaseTimer,
+    Span,
+    Tracer,
+    active_tracer,
+    phase,
+    tracing,
+)
+
+__all__ = [
+    "ExecutionStats",
+    "Metrics",
+    "OperatorStats",
+    "PhaseTimer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "phase",
+    "render_analyze",
+    "tracing",
+]

@@ -1,0 +1,144 @@
+"""EXPLAIN ANALYZE: estimated vs actual cardinality per plan node.
+
+The executor (``collect_stats=True``) records one :class:`OperatorStats`
+per plan node — rows out, inclusive wall time, and the optimizer's row
+estimate carried on the :class:`~repro.optimizer.plan.PlanNode` — in a
+tree mirroring the executed plan.  :func:`render_analyze` lays the two
+side by side with the q-error (``max(est/actual, actual/est)``), the
+standard figure of merit for cardinality estimates; ``actual`` columns
+are the raw material for the ROADMAP's execution-feedback loop (true
+per-group cardinalities keyed by the plan's memo groups).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExecutionStats", "OperatorStats", "render_analyze"]
+
+
+@dataclass
+class OperatorStats:
+    """Measured execution of one plan operator (inclusive of children)."""
+
+    op: str  # operator name, e.g. "HashJoin"
+    detail: str  # full op.render() text
+    group_id: int  # memo group (the feedback loop's cardinality key)
+    est_rows: float  # optimizer estimate for the node's group
+    actual_rows: int = 0
+    wall_s: float = 0.0  # inclusive: children counted in
+    children: list["OperatorStats"] = field(default_factory=list)
+
+    @property
+    def self_s(self) -> float:
+        """Wall time net of children (never negative)."""
+        return max(0.0, self.wall_s - sum(c.wall_s for c in self.children))
+
+    @property
+    def rows_in(self) -> int:
+        """Rows consumed from plan children (0 for leaves)."""
+        return sum(c.actual_rows for c in self.children)
+
+    @property
+    def q_error(self) -> float | None:
+        """``max(est/actual, actual/est)``; ``None`` when either side is
+        zero (no meaningful ratio)."""
+        if self.est_rows <= 0 or self.actual_rows <= 0:
+            return None
+        ratio = self.est_rows / self.actual_rows
+        return ratio if ratio >= 1.0 else 1.0 / ratio
+
+    def iter_nodes(self):
+        yield self
+        for child in self.children:
+            yield from child.iter_nodes()
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "detail": self.detail,
+            "group_id": self.group_id,
+            "est_rows": self.est_rows,
+            "actual_rows": self.actual_rows,
+            "rows_in": self.rows_in,
+            "wall_s": self.wall_s,
+            "q_error": self.q_error,
+            "children": [c.to_dict() for c in self.children],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OperatorStats":
+        return cls(
+            op=data["op"],
+            detail=data["detail"],
+            group_id=data["group_id"],
+            est_rows=data["est_rows"],
+            actual_rows=data["actual_rows"],
+            wall_s=data["wall_s"],
+            children=[cls.from_dict(c) for c in data.get("children", ())],
+        )
+
+
+@dataclass
+class ExecutionStats:
+    """Everything one instrumented execution measured."""
+
+    root: OperatorStats
+    wall_s: float  # whole execution, including stats bookkeeping
+
+    @property
+    def operators(self) -> int:
+        return sum(1 for _ in self.root.iter_nodes())
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "operators": self.operators,
+            "root": self.root.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionStats":
+        return cls(
+            root=OperatorStats.from_dict(data["root"]),
+            wall_s=data["wall_s"],
+        )
+
+
+def render_analyze(stats: ExecutionStats) -> str:
+    """The EXPLAIN ANALYZE table: one row per operator, indented by
+    depth — estimated rows, actual rows, q-error, wall milliseconds."""
+    rows: list[tuple[str, float, int, float | None, float]] = []
+
+    def collect(node: OperatorStats, depth: int) -> None:
+        rows.append(
+            (
+                "  " * depth + node.detail,
+                node.est_rows,
+                node.actual_rows,
+                node.q_error,
+                node.wall_s,
+            )
+        )
+        for child in node.children:
+            collect(child, depth + 1)
+
+    collect(stats.root, 0)
+    label_width = max(len(label) for label, *_ in rows)
+    header = (
+        f"{'operator':<{label_width}}  {'est. rows':>12}  {'actual':>12}  "
+        f"{'q-err':>8}  {'time ms':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for label, est, actual, q_error, wall_s in rows:
+        q_text = f"{q_error:.2f}x" if q_error is not None else "-"
+        lines.append(
+            f"{label:<{label_width}}  {est:>12,.0f}  {actual:>12,}  "
+            f"{q_text:>8}  {wall_s * 1000.0:>10,.2f}"
+        )
+    lines.append(
+        f"{'TOTAL':<{label_width}}  {'':>12}  "
+        f"{stats.root.actual_rows:>12,}  {'':>8}  "
+        f"{stats.wall_s * 1000.0:>10,.2f}"
+    )
+    return "\n".join(lines)

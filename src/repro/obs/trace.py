@@ -1,0 +1,246 @@
+"""Phase spans: where one optimization's wall clock went.
+
+A :class:`Span` is one timed phase — name, elapsed seconds, a small
+counter dict, and nested children — and a :class:`Tracer` collects a
+tree of them over one operation (``optimize`` → ``parse`` / ``bind`` /
+``setup`` / ``explore`` / ...).  Tracers are *ambient*: activating one
+(:func:`tracing`) installs it in a module-level slot, and instrumented
+code asks for it through :func:`phase`, the same pattern
+:mod:`repro.resilience.faults` uses for its injector.  With no tracer
+active, :func:`phase` returns a :class:`PhaseTimer` — a slotted
+two-``perf_counter`` stopwatch, the same cost the optimizer's historical
+``timings`` dict already paid per phase — so the disabled path adds one
+module-global read per phase and nothing per expression.
+
+The span *durations* and the optimizer's ``timings`` dict come from the
+same measurement (phases read ``elapsed_s`` off the span they just
+closed), so traces and perf harnesses report identical numbers by
+construction.
+
+Determinism contract: for a fixed query and configuration the span tree
+*shape* — names, counter keys and values, child order — is stable across
+runs; only ``elapsed_s`` varies.  :meth:`Span.shape` is that invariant,
+and :meth:`Span.to_dict` / :meth:`Span.from_dict` round-trip through
+JSON losslessly.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "PhaseTimer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "phase",
+    "tracing",
+]
+
+
+class Span:
+    """One named, timed phase with counters and nested children."""
+
+    __slots__ = ("name", "elapsed_s", "counters", "children", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.elapsed_s = 0.0
+        self.counters: dict[str, int | float] = {}
+        self.children: list[Span] = []
+        self._t0: float | None = None
+
+    # ------------------------------------------------------------------
+    def add(self, counter: str, value: int | float = 1) -> None:
+        """Accumulate ``value`` onto a named counter."""
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with ``name``, pre-order."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def phase_seconds(self) -> dict[str, float]:
+        """``{child name: elapsed_s}`` over direct children — the span
+        tree's equivalent of the optimizer's ``timings`` dict."""
+        return {child.name: child.elapsed_s for child in self.children}
+
+    # ------------------------------------------------------------------
+    def shape(self) -> tuple:
+        """The run-invariant part of the tree: names, counters (keys and
+        values), and child order — everything except wall times."""
+        return (
+            self.name,
+            tuple(sorted(self.counters.items())),
+            tuple(child.shape() for child in self.children),
+        )
+
+    def to_dict(self) -> dict:
+        out: dict = {"name": self.name, "elapsed_s": self.elapsed_s}
+        if self.counters:
+            out["counters"] = dict(self.counters)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        span = cls(data["name"])
+        span.elapsed_s = data.get("elapsed_s", 0.0)
+        span.counters = dict(data.get("counters", {}))
+        span.children = [cls.from_dict(c) for c in data.get("children", ())]
+        return span
+
+    def render(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        counters = (
+            "  " + " ".join(f"{k}={v}" for k, v in sorted(self.counters.items()))
+            if self.counters
+            else ""
+        )
+        lines = [f"{pad}{self.name}: {self.elapsed_s * 1000.0:,.1f}ms{counters}"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.elapsed_s:.4f}s, {len(self.children)} children)"
+
+
+class PhaseTimer:
+    """The disabled-path stand-in for a span: a stopwatch with the same
+    ``elapsed_s``/``add`` surface, attached to nothing."""
+
+    __slots__ = ("name", "elapsed_s", "_t0")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.elapsed_s = 0.0
+        self._t0 = 0.0
+
+    def add(self, counter: str, value: int | float = 1) -> None:
+        pass
+
+    def __enter__(self) -> "PhaseTimer":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed_s = time.perf_counter() - self._t0
+
+
+class _SpanContext:
+    """Context manager that opens/closes one live span on a tracer."""
+
+    __slots__ = ("tracer", "span")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self.tracer = tracer
+        self.span = Span(name)
+
+    def __enter__(self) -> Span:
+        self.tracer._push(self.span)
+        self.span._t0 = time.perf_counter()
+        return self.span
+
+    def __exit__(self, *exc) -> None:
+        self.span.elapsed_s = time.perf_counter() - self.span._t0
+        self.tracer._pop(self.span)
+
+
+class Tracer:
+    """Collects one span tree.
+
+    Live spans open with :meth:`span` (a ``with`` block; nesting follows
+    the call structure).  Phases whose time is *accumulated* across an
+    interleaved loop (the sampled optimizer's per-batch sample/recombine
+    split) attach post-hoc with :meth:`record`, which takes an elapsed
+    measurement instead of taking one.
+    """
+
+    def __init__(self):
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # ------------------------------------------------------------------
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        assert self._stack and self._stack[-1] is span, "unbalanced span exit"
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str) -> _SpanContext:
+        """Open a live child span under the current one."""
+        return _SpanContext(self, name)
+
+    def record(
+        self,
+        name: str,
+        elapsed_s: float,
+        counters: dict[str, int | float] | None = None,
+    ) -> Span:
+        """Attach an already-measured span under the current one."""
+        span = Span(name)
+        span.elapsed_s = elapsed_s
+        if counters:
+            span.counters.update(counters)
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        return span
+
+    @property
+    def root(self) -> Span | None:
+        """The single root span (``None`` before any span closed)."""
+        return self.roots[0] if self.roots else None
+
+
+#: the ambient tracer; ``None`` (the default) keeps the fast path bare.
+_ACTIVE: Tracer | None = None
+
+
+def active_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the ambient tracer for the block.
+
+    Nested activation is rejected: one operation owns one span tree
+    (the resilient ladder and the sampled tier already nest *spans*
+    within a single tracer).
+    """
+    global _ACTIVE
+    if _ACTIVE is not None:
+        raise RuntimeError("a tracer is already active")
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = None
+
+
+def phase(name: str):
+    """A phase context: a live span when a tracer is active, a bare
+    :class:`PhaseTimer` otherwise.  Either way the object exposes
+    ``elapsed_s`` (after exit) and ``add`` — instrumented code does not
+    branch on whether tracing is on."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return PhaseTimer(name)
+    return tracer.span(name)

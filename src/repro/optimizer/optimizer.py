@@ -9,12 +9,12 @@ from __future__ import annotations
 
 import enum
 import gc
-import time
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
 from repro.errors import OptimizerError
 from repro.memo.memo import Memo
+from repro.obs.trace import active_tracer, phase as obs_phase
 from repro.optimizer.annotate import annotate_cardinalities
 from repro.optimizer.bestplan import (
     BestPlanSearch,
@@ -144,6 +144,10 @@ class OptimizationResult:
     #: :class:`repro.resilience.degrade.ResilienceReport` when the run
     #: went through a budgeted ``Session.optimize``; ``None`` otherwise
     resilience: object | None = None
+    #: root :class:`repro.obs.trace.Span` when the run was traced
+    #: (``Session.optimize(trace=True)`` / ``repro trace``); ``None``
+    #: otherwise
+    trace: object | None = None
 
     def explain(self) -> str:
         """EXPLAIN-style description of the chosen plan."""
@@ -162,11 +166,13 @@ class Optimizer:
         self.options = options if options is not None else OptimizerOptions()
 
     # ------------------------------------------------------------------
-    def optimize_sql(self, sql: str) -> OptimizationResult:
+    def optimize_sql(self, sql: str, scope=None) -> OptimizationResult:
         """Parse, bind, and optimize one SELECT statement."""
-        statement = parse(sql)
-        bound = Binder(self.catalog).bind(statement)
-        return self.optimize(bound)
+        with obs_phase("parse"):
+            statement = parse(sql)
+        with obs_phase("bind"):
+            bound = Binder(self.catalog).bind(statement)
+        return self.optimize(bound, scope=scope)
 
     def optimize(self, query: BoundQuery, scope=None) -> OptimizationResult:
         """Optimize a bound query: returns the memo and the best plan.
@@ -194,10 +200,10 @@ class Optimizer:
         opts = self.options
         timings: dict[str, float] = {}
 
-        start = time.perf_counter()
-        setup = build_initial_memo(query, opts.allow_cross_products)
-        memo, graph = setup.memo, setup.graph
-        timings["setup"] = time.perf_counter() - start
+        with obs_phase("setup") as span:
+            setup = build_initial_memo(query, opts.allow_cross_products)
+            memo, graph = setup.memo, setup.graph
+        timings["setup"] = span.elapsed_s
 
         # Any interruption below (budget, cancellation, injected fault)
         # must not leave a half-built columnar store reachable through
@@ -216,81 +222,87 @@ class Optimizer:
         self, query: BoundQuery, memo: Memo, graph: JoinGraph, timings, scope=None
     ) -> OptimizationResult:
         opts = self.options
+        traced = active_tracer() is not None
 
-        start = time.perf_counter()
-        explorer = self._make_explorer()
-        explorer.explore(memo, graph, opts.allow_cross_products, scope=scope)
-        timings["explore"] = time.perf_counter() - start
+        with obs_phase("explore") as span:
+            explorer = self._make_explorer()
+            explorer.explore(memo, graph, opts.allow_cross_products, scope=scope)
+            if traced:
+                span.add("groups", len(memo.groups))
+                span.add("logical_exprs", memo.logical_expression_count())
+        timings["explore"] = span.elapsed_s
 
         # Implementation: the columnar (struct-of-arrays) path by
         # default — batched operator blocks, no GroupExpr objects — with
         # the object path as the forced/fallback alternative.  Both
         # produce the identical memo facade.
-        start = time.perf_counter()
-        store = None
-        fallback_reason: str | None = None
-        if opts.columnar is not False:
-            try:
-                store = implement_memo_columnar(
+        with obs_phase("implement") as span:
+            store = None
+            fallback_reason: str | None = None
+            if opts.columnar is not False:
+                try:
+                    store = implement_memo_columnar(
+                        memo,
+                        graph,
+                        self.catalog,
+                        opts.implementation,
+                        root_order=query.order_by,
+                        scope=scope,
+                    )
+                except ColumnarUnsupported as exc:
+                    if opts.columnar is True:
+                        raise OptimizerError(
+                            "columnar optimization was requested but this "
+                            "memo does not support it"
+                        ) from None
+                    fallback_reason = str(exc)
+            if store is None:
+                if fallback_reason is None and opts.columnar is False:
+                    fallback_reason = "columnar disabled by options"
+                implement_memo(
                     memo,
-                    graph,
                     self.catalog,
                     opts.implementation,
                     root_order=query.order_by,
                     scope=scope,
                 )
-            except ColumnarUnsupported as exc:
-                if opts.columnar is True:
-                    raise OptimizerError(
-                        "columnar optimization was requested but this "
-                        "memo does not support it"
-                    ) from None
-                fallback_reason = str(exc)
-        if store is None:
-            if fallback_reason is None and opts.columnar is False:
-                fallback_reason = "columnar disabled by options"
-            implement_memo(
-                memo,
-                self.catalog,
-                opts.implementation,
-                root_order=query.order_by,
-                scope=scope,
-            )
-        timings["implement"] = time.perf_counter() - start
+            if traced:
+                span.add("physical_exprs", memo.physical_expression_count())
+        timings["implement"] = span.elapsed_s
 
-        start = time.perf_counter()
-        estimator = CardinalityEstimator(self.catalog, query)
-        annotate_cardinalities(memo, graph, estimator)
-        timings["annotate"] = time.perf_counter() - start
+        with obs_phase("annotate") as span:
+            estimator = CardinalityEstimator(self.catalog, query)
+            annotate_cardinalities(memo, graph, estimator)
+        timings["annotate"] = span.elapsed_s
 
         cost_model = CostModel(self.catalog, opts.cost_params)
 
-        start = time.perf_counter()
-        search = None
-        if store is not None:
-            best_plan, best_cost = find_best_plan_columnar(
-                store, cost_model, required_order=query.order_by, scope=scope
-            )
-        else:
-            search = BestPlanSearch(memo, cost_model, scope=scope)
-            best_plan, best_cost = _extract_best(
-                search, memo, required_order=query.order_by
-            )
-        timings["bestplan"] = time.perf_counter() - start
+        with obs_phase("bestplan") as span:
+            search = None
+            if store is not None:
+                best_plan, best_cost = find_best_plan_columnar(
+                    store, cost_model, required_order=query.order_by, scope=scope
+                )
+            else:
+                search = BestPlanSearch(memo, cost_model, scope=scope)
+                best_plan, best_cost = _extract_best(
+                    search, memo, required_order=query.order_by
+                )
+        timings["bestplan"] = span.elapsed_s
 
         if opts.pruning_factor is not None:
-            start = time.perf_counter()
-            # Reuse the best-plan search's memoized state table on the
-            # object path (the columnar DP has no object-level table;
-            # pruning materializes the memo and builds one).
-            prune_memo(
-                memo,
-                cost_model,
-                opts.pruning_factor,
-                search=search,
-                root_order=query.order_by,
-            )
-            timings["prune"] = time.perf_counter() - start
+            with obs_phase("prune") as span:
+                # Reuse the best-plan search's memoized state table on the
+                # object path (the columnar DP has no object-level table;
+                # pruning materializes the memo and builds one).
+                prune_memo(
+                    memo,
+                    cost_model,
+                    opts.pruning_factor,
+                    search=search,
+                    root_order=query.order_by,
+                )
+            timings["prune"] = span.elapsed_s
             # The best plan always survives pruning (factor >= 1), but we
             # re-extract so node local_ids refer to surviving expressions.
             best_plan, best_cost = find_best_plan(

@@ -18,11 +18,11 @@ materialized path would assign.
 from __future__ import annotations
 
 import random
-import time
 from collections.abc import Iterator
 
 from repro.catalog.catalog import Catalog
 from repro.errors import PlanSpaceError, RankOutOfRangeError
+from repro.obs.trace import phase as obs_phase
 from repro.optimizer.plan import PlanNode
 from repro.planspace.implicit.counting import CountState
 from repro.planspace.implicit.layout import ImplicitLayout
@@ -82,19 +82,22 @@ class ImplicitPlanSpace:
                 "pruned memos must use the materialized PlanSpace"
             )
         timings: dict[str, float] = {}
-        start = time.perf_counter()
-        layout = ImplicitLayout(bound, options.allow_cross_products, scope=scope)
-        timings["layout"] = time.perf_counter() - start
-        start = time.perf_counter()
-        state = CountState(
-            layout=layout,
-            catalog=catalog,
-            config=options.implementation,
-            include_redundant_sorts=include_redundant_sorts,
-            use_turbo=use_turbo,
-            scope=scope,
-        ).compute()
-        timings["count"] = time.perf_counter() - start
+        with obs_phase("implicit.layout") as span:
+            layout = ImplicitLayout(
+                bound, options.allow_cross_products, scope=scope
+            )
+        timings["layout"] = span.elapsed_s
+        with obs_phase("implicit.count") as span:
+            state = CountState(
+                layout=layout,
+                catalog=catalog,
+                config=options.implementation,
+                include_redundant_sorts=include_redundant_sorts,
+                use_turbo=use_turbo,
+                scope=scope,
+            ).compute()
+            span.add("groups", len(layout.groups))
+        timings["count"] = span.elapsed_s
         state.timings = timings
         return cls(state, include_redundant_sorts=include_redundant_sorts)
 

@@ -220,29 +220,40 @@ class Budget:
 
 
 class BudgetScope:
-    """What the hot loops actually carry: budget + token, one call.
+    """What the hot loops actually carry: budget + token + observer.
 
-    ``checkpoint(site, units)`` raises :class:`~repro.errors.Cancelled`
-    first (cancellation wins over an expired deadline), then delegates
-    to the budget's bound checks.  A scope with neither budget nor token
-    is never constructed by ``Session`` — callers pass ``None`` and the
-    loops skip the call entirely, so the unbudgeted path stays
-    byte-identical to the historical one.
+    ``checkpoint(site, units)`` feeds the observer first (an enabled
+    :class:`~repro.obs.metrics.Metrics` registry turns every poll into
+    ``<site>.polls``/``<site>.units`` counters — observation rides the
+    checkpoints the loops already carry), then raises
+    :class:`~repro.errors.Cancelled` (cancellation wins over an expired
+    deadline), then delegates to the budget's bound checks.  A scope
+    with neither budget, token nor observer is never constructed by
+    ``Session`` — callers pass ``None`` and the loops skip the call
+    entirely, so the unobserved, unbudgeted path stays byte-identical
+    to the historical one.
     """
 
-    __slots__ = ("budget", "token")
+    __slots__ = ("budget", "token", "observer")
 
     def __init__(
         self,
         budget: Budget | None = None,
         token: CancellationToken | None = None,
+        observer=None,
     ):
         self.budget = budget
         self.token = token
+        #: anything with ``record_checkpoint(site, units)``; fed before
+        #: the bound checks so cancelled/expired runs are still counted
+        self.observer = observer
         if budget is not None:
             budget.start()
 
     def checkpoint(self, site: str = "", units: int = 0) -> None:
+        observer = self.observer
+        if observer is not None:
+            observer.record_checkpoint(site, units)
         token = self.token
         if token is not None and token.cancelled:
             raise Cancelled(

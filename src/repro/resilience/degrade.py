@@ -40,6 +40,7 @@ from repro.errors import (
     ResourceExhausted,
     TimeoutExceeded,
 )
+from repro.obs.trace import phase as obs_phase
 from repro.resilience.budget import Budget, BudgetScope, CancellationToken
 from repro.sql.binder import BoundQuery
 
@@ -144,9 +145,11 @@ def _child_scope(
     budget: Budget,
     token: CancellationToken | None,
     deadline_fraction: float | None,
+    observer=None,
 ) -> BudgetScope:
     """A per-tier scope: its own deadline slice and a fresh expression
-    counter, sharing the parent's ceilings and the cancellation token."""
+    counter, sharing the parent's ceilings, the cancellation token, and
+    the metrics observer."""
     remaining = budget.remaining_s()
     deadline = None
     if remaining is not None:
@@ -159,7 +162,7 @@ def _child_scope(
         max_expressions=budget.max_expressions,
         max_memory_mb=budget.max_memory_mb,
     )
-    return BudgetScope(child, token)
+    return BudgetScope(child, token, observer=observer)
 
 
 def optimize_resilient(
@@ -170,6 +173,7 @@ def optimize_resilient(
     token: CancellationToken | None = None,
     on_budget: str = "degrade",
     policy: DegradationPolicy | None = None,
+    observer=None,
 ):
     """Optimize under ``budget``; degrade through the tiers as needed.
 
@@ -180,6 +184,8 @@ def optimize_resilient(
     ``on_budget="raise"`` the first budget error (or cancellation)
     propagates instead of degrading; non-budget faults still degrade —
     a broken tier is not the caller's deadline policy's business.
+    ``observer`` (a :class:`~repro.obs.metrics.Metrics` registry) rides
+    the per-tier scopes' checkpoints and counts degradation triggers.
     """
     # Deferred imports: this module is reachable from repro.resilience,
     # which the optimizer stack imports for fault_point.
@@ -224,10 +230,14 @@ def optimize_resilient(
     started = time.perf_counter()
     has_fallback_budget = budget.deadline_s is not None
     scope = _child_scope(
-        budget, token, policy.exact_fraction if has_fallback_budget else None
+        budget,
+        token,
+        policy.exact_fraction if has_fallback_budget else None,
+        observer,
     )
     try:
-        result = Optimizer(catalog, options).optimize(query, scope=scope)
+        with obs_phase("tier.exact"):
+            result = Optimizer(catalog, options).optimize(query, scope=scope)
     except Exception as exc:
         outcome = _classify(exc)
         if on_budget == "raise" and isinstance(exc, (BudgetError, Cancelled)):
@@ -241,6 +251,8 @@ def optimize_resilient(
             )
         )
         trigger = outcome
+        if observer is not None:
+            observer.inc("degrade.triggers")
         if outcome == "cancelled":
             skip_sampled_reason = "cancellation token is set"
         elif (
@@ -265,16 +277,17 @@ def optimize_resilient(
             )
         )
     else:
-        scope = _child_scope(budget, token, None)
+        scope = _child_scope(budget, token, None, observer)
         try:
-            result = SampledOptimizer(catalog, options).optimize(
-                query,
-                budget_s=remaining,
-                seed=policy.sampled_seed,
-                batch_size=policy.sampled_batch_size,
-                stratified=True,
-                scope=scope,
-            )
+            with obs_phase("tier.sampled"):
+                result = SampledOptimizer(catalog, options).optimize(
+                    query,
+                    budget_s=remaining,
+                    seed=policy.sampled_seed,
+                    batch_size=policy.sampled_batch_size,
+                    stratified=True,
+                    scope=scope,
+                )
         except Exception as exc:
             outcome = _classify(exc)
             if on_budget == "raise" and isinstance(exc, (BudgetError, Cancelled)):
@@ -288,11 +301,14 @@ def optimize_resilient(
                 )
             )
             trigger = outcome
+            if observer is not None:
+                observer.inc("degrade.triggers")
         else:
             return finish(result, "sampled", started)
 
     # -------------------------------------------------------- heuristic
     # Unbudgeted by design: always serves.
     started = time.perf_counter()
-    result = optimize_heuristic(catalog, query, options)
+    with obs_phase("tier.heuristic"):
+        result = optimize_heuristic(catalog, query, options)
     return finish(result, "heuristic", started)

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
 from repro.errors import PlanSpaceError, ReproError
+from repro.obs.trace import active_tracer, phase as obs_phase
 from repro.optimizer.plan import PlanNode
 from repro.planspace.implicit.space import ImplicitPlanSpace
 from repro.resilience.budget import validate_budget_s, validate_samples
@@ -201,6 +202,9 @@ class SampledOptimizationResult:
     #: :class:`repro.resilience.degrade.ResilienceReport` when the run
     #: was served by a budgeted ``Session.optimize``; ``None`` otherwise
     resilience: object | None = None
+    #: root :class:`repro.obs.trace.Span` when the run was traced;
+    #: ``None`` otherwise
+    trace: object | None = None
 
     @property
     def elapsed_s(self) -> float:
@@ -255,7 +259,10 @@ class SampledOptimizer:
 
     # ------------------------------------------------------------------
     def optimize_sql(self, sql: str, **kwargs) -> SampledOptimizationResult:
-        bound = Binder(self.catalog).bind(parse(sql))
+        with obs_phase("parse"):
+            statement = parse(sql)
+        with obs_phase("bind"):
+            bound = Binder(self.catalog).bind(statement)
         return self.optimize(bound, **kwargs)
 
     def optimize(
@@ -328,11 +335,12 @@ class SampledOptimizer:
         validate_samples(batch_size, name="batch_size")
         start = time.perf_counter()
         timings: dict[str, float] = {}
-        if space is None:
-            space = ImplicitPlanSpace.from_query(
-                self.catalog, query, options=self.options, scope=scope
-            )
-        timings["space"] = time.perf_counter() - start
+        with obs_phase("space") as span:
+            if space is None:
+                space = ImplicitPlanSpace.from_query(
+                    self.catalog, query, options=self.options, scope=scope
+                )
+        timings["space"] = span.elapsed_s
 
         if rule is None:
             rule = (
@@ -417,10 +425,23 @@ class SampledOptimizer:
             stopped = "samples"
         timings["sample"] = sample_time
         timings["recombine"] = solve_time
+        tracer = active_tracer()
+        if tracer is not None:
+            # The sample/recombine phases interleave per batch, so their
+            # spans attach post-hoc from the accumulated wall times — the
+            # same numbers the timings dict reports.
+            tracer.record(
+                "sample",
+                sample_time,
+                counters={"samples": drawn, "batches": batches},
+            )
+            tracer.record(
+                "recombine", solve_time, counters={"fragments": len(pool)}
+            )
 
-        tick = time.perf_counter()
-        best_plan = pool.assemble(choice)
-        timings["assemble"] = time.perf_counter() - tick
+        with obs_phase("assemble") as span:
+            best_plan = pool.assemble(choice)
+        timings["assemble"] = span.elapsed_s
 
         return SampledOptimizationResult(
             best_plan=best_plan,

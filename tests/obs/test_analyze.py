@@ -1,0 +1,104 @@
+"""EXPLAIN ANALYZE: per-operator actuals match plain execution, stats
+round-trip, and the untraced executor path stays bare."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.obs import ExecutionStats, OperatorStats, render_analyze
+from repro.workloads.tpch_queries import tpch_query
+
+Q3 = tpch_query("Q3").sql
+TWO_TABLE = (
+    "SELECT n.n_name, r.r_name FROM nation n, region r "
+    "WHERE n.n_regionkey = r.r_regionkey"
+)
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session.tpch(seed=0)
+
+
+class TestCollectedStats:
+    def test_row_counts_match_plain_execute(self, session):
+        plain = session.execute(TWO_TABLE)
+        executed = session.execute_detailed(TWO_TABLE, analyze=True)
+        assert executed.result.rows == plain.rows
+        stats = executed.result.stats
+        assert stats is not None
+        assert stats.root.actual_rows == len(plain.rows)
+
+    def test_tree_mirrors_plan(self, session):
+        executed = session.execute_detailed(TWO_TABLE, analyze=True)
+        plan = executed.optimization.best_plan
+        stats = executed.result.stats
+
+        def shape(node):
+            return (node.op.name, tuple(shape(c) for c in node.children))
+
+        def stats_shape(node):
+            return (node.op, tuple(stats_shape(c) for c in node.children))
+
+        assert stats_shape(stats.root) == shape(plan)
+        # Estimated rows come straight off the plan's cardinalities.
+        assert stats.root.est_rows == plan.cardinality
+
+    def test_wall_time_nests(self, session):
+        executed = session.execute_detailed(Q3, analyze=True)
+        for node in executed.result.stats.root.iter_nodes():
+            assert node.wall_s >= sum(c.wall_s for c in node.children)
+            assert node.self_s >= 0.0
+
+    def _node(self, est, actual):
+        return OperatorStats(
+            op="Scan", detail="Scan(t)", group_id=0,
+            est_rows=est, actual_rows=actual,
+        )
+
+    def test_q_error(self):
+        assert self._node(100, 25).q_error == 4.0
+        assert self._node(25, 100).q_error == 4.0
+        assert self._node(100, 0).q_error is None
+
+    def test_stats_round_trip(self, session):
+        executed = session.execute_detailed(Q3, analyze=True)
+        stats = executed.result.stats
+        restored = ExecutionStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert [n.op for n in restored.root.iter_nodes()] == [
+            n.op for n in stats.root.iter_nodes()
+        ]
+        assert [n.actual_rows for n in restored.root.iter_nodes()] == [
+            n.actual_rows for n in stats.root.iter_nodes()
+        ]
+        assert restored.wall_s == stats.wall_s
+        assert restored.operators == stats.operators
+
+    def test_render_lists_each_operator(self, session):
+        executed = session.execute_detailed(TWO_TABLE, analyze=True)
+        text = render_analyze(executed.result.stats)
+        assert "est. rows" in text and "actual" in text
+        for node in executed.result.stats.root.iter_nodes():
+            assert node.detail in text
+        assert "TOTAL" in text
+
+
+class TestDisabledPath:
+    def test_plain_execute_collects_nothing(self, session):
+        result = session.execute(TWO_TABLE)
+        assert result.stats is None
+
+    def test_explain_analyze_session_surface(self, session):
+        text = session.explain(TWO_TABLE, analyze=True)
+        assert "best cost" in text
+        assert "actual" in text
+
+    def test_useplan_respected_under_analyze(self, session):
+        executed = session.execute_detailed(
+            TWO_TABLE + " OPTION (USEPLAN 1)", analyze=True
+        )
+        assert executed.used_rank == 1
+        assert executed.result.stats is not None

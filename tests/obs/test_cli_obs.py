@@ -1,0 +1,96 @@
+"""CLI surface of the observability layer: ``repro trace``,
+``repro explain --analyze`` and ``repro optimize -v``."""
+
+import io
+import json
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestTraceCommand:
+    def test_exact(self):
+        code, text = run_cli("trace", "Q3")
+        assert code == 0
+        assert text.startswith("optimize:")
+        for phase in ("parse", "bind", "explore", "implement", "bestplan"):
+            assert phase in text
+        assert "checkpoint.polls" in text
+        assert "memo.groups" in text
+
+    def test_sampled(self):
+        code, text = run_cli("trace", "Q3", "--sampled")
+        assert code == 0
+        for phase in ("space", "sample", "recombine", "assemble"):
+            assert phase in text
+
+    def test_deadline_traces_tiers(self):
+        code, text = run_cli("trace", "Q3", "--deadline-s", "30")
+        assert code == 0
+        assert "tier.exact" in text
+        assert "served from the" in text
+
+    def test_json_round_trips(self):
+        code, text = run_cli("trace", "Q3", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["trace"]["name"] == "optimize"
+        names = [c["name"] for c in payload["trace"]["children"]]
+        assert "bestplan" in names
+        assert payload["metrics"]["counters"]["checkpoint.polls"] > 0
+
+    def test_sampled_rejects_deadline(self):
+        code, _ = run_cli("trace", "Q3", "--sampled", "--deadline-s", "1")
+        assert code == 2
+
+
+class TestExplainAnalyze:
+    def test_table(self):
+        code, text = run_cli("explain", "Q3", "--analyze")
+        assert code == 0
+        assert "best cost" in text
+        assert "actual" in text and "q-err" in text and "TOTAL" in text
+
+    def test_json(self):
+        code, text = run_cli("explain", "Q3", "--analyze", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["best_cost"] > 0
+        root = payload["stats"]["root"]
+        assert root["actual_rows"] >= 0
+        assert root["est_rows"] > 0
+        assert payload["stats"]["operators"] >= 1
+
+    def test_json_requires_analyze(self):
+        code, _ = run_cli("explain", "Q3", "--json")
+        assert code == 2
+
+    def test_analyze_excludes_verbose(self):
+        code, _ = run_cli("explain", "Q3", "--analyze", "--verbose")
+        assert code == 2
+
+
+class TestOptimizeVerbose:
+    def test_exact_verbose(self):
+        code, text = run_cli("optimize", "Q3", "-v")
+        assert code == 0
+        assert "engine: columnar" in text
+        assert "timings:" in text and "bestplan" in text
+
+    def test_resilient_verbose_lists_attempts(self):
+        code, text = run_cli(
+            "optimize", "Q3", "-v", "--deadline-s", "30"
+        )
+        assert code == 0
+        assert "resilience: tier=" in text
+        assert "exact: served" in text
+
+    def test_sampled_verbose(self):
+        code, text = run_cli("optimize", "Q3", "--sampled", "-v")
+        assert code == 0
+        assert "timings:" in text

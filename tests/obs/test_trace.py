@@ -1,0 +1,187 @@
+"""The span-tree contract: shape determinism, JSON round-trips, and the
+disabled-by-default fast path."""
+
+import json
+
+import pytest
+
+from repro.api import Session
+from repro.obs import PhaseTimer, Span, Tracer, active_tracer, phase, tracing
+from repro.workloads.tpch_queries import tpch_query
+
+Q3 = tpch_query("Q3").sql
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session.tpch(seed=0)
+
+
+class TestSpanPrimitives:
+    def test_live_span_nesting(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracer.span("outer") as outer:
+                with tracer.span("inner") as inner:
+                    inner.add("widgets", 3)
+                outer.add("calls")
+        root = tracer.root
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert root.counters == {"calls": 1}
+        assert root.children[0].counters == {"widgets": 3}
+        assert root.elapsed_s >= root.children[0].elapsed_s
+
+    def test_record_attaches_posthoc(self):
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracer.span("outer"):
+                tracer.record("batched", 0.25, counters={"batches": 4})
+        child = tracer.root.children[0]
+        assert child.name == "batched"
+        assert child.elapsed_s == 0.25
+        assert child.counters == {"batches": 4}
+
+    def test_find_and_phase_seconds(self):
+        root = Span("optimize")
+        child = Span("explore")
+        child.elapsed_s = 0.5
+        root.children.append(child)
+        assert root.find("explore") is child
+        assert root.find("missing") is None
+        assert root.phase_seconds() == {"explore": 0.5}
+
+    def test_nested_tracing_rejected(self):
+        with tracing(Tracer()):
+            with pytest.raises(RuntimeError):
+                with tracing(Tracer()):
+                    pass  # pragma: no cover
+        assert active_tracer() is None
+
+    def test_tracer_cleared_after_exception(self):
+        with pytest.raises(ValueError):
+            with tracing(Tracer()):
+                raise ValueError("boom")
+        assert active_tracer() is None
+
+    def test_phase_without_tracer_is_a_timer(self):
+        timer = phase("explore")
+        assert isinstance(timer, PhaseTimer)
+        with timer as t:
+            t.add("ignored", 10)
+        assert t.elapsed_s >= 0.0
+
+
+class TestTraceShapeDeterminism:
+    """For a fixed query the span tree is identical across runs except
+    for wall times — the contract tooling diffs against."""
+
+    def _trace(self, sql, **kwargs):
+        result = Session.tpch(seed=0).optimize(sql, trace=True, **kwargs)
+        return result.trace
+
+    def test_exact_shape_stable(self):
+        assert self._trace(Q3).shape() == self._trace(Q3).shape()
+
+    def test_exact_phase_names(self, session):
+        result = session.optimize(Q3, trace=True)
+        names = [c.name for c in result.trace.children]
+        assert names == [
+            "parse",
+            "bind",
+            "setup",
+            "explore",
+            "implement",
+            "annotate",
+            "bestplan",
+        ]
+
+    def test_sampled_shape_stable(self):
+        first = self._trace(Q3, method="sampled", samples=64, seed=7)
+        second = self._trace(Q3, method="sampled", samples=64, seed=7)
+        assert first.shape() == second.shape()
+        names = [c.name for c in first.children]
+        assert names == [
+            "parse",
+            "bind",
+            "space",
+            "sample",
+            "recombine",
+            "assemble",
+        ]
+        assert [c.name for c in first.find("space").children] == [
+            "implicit.layout",
+            "implicit.count",
+        ]
+
+    def test_resilient_trace_has_tier_spans(self, session):
+        result = session.optimize(Q3, deadline_s=30.0, trace=True)
+        tier = result.trace.find("tier.exact")
+        assert tier is not None
+        assert tier.find("bestplan") is not None
+
+    def test_counters_match_memo(self, session):
+        result = session.optimize(Q3, trace=True)
+        explore = result.trace.find("explore")
+        implement = result.trace.find("implement")
+        assert explore.counters["groups"] == len(result.memo.groups)
+        assert (
+            explore.counters["logical_exprs"]
+            == result.memo.logical_expression_count()
+        )
+        assert (
+            implement.counters["physical_exprs"]
+            == result.memo.physical_expression_count()
+        )
+
+    def test_trace_durations_match_timings(self, session):
+        """Spans and the optimizer's timings dict are the same
+        measurement, not two clocks that drift."""
+        result = session.optimize(Q3, trace=True)
+        seconds = result.trace.phase_seconds()
+        for name, elapsed in result.timings.items():
+            assert seconds[name] == elapsed
+
+
+class TestJsonRoundTrip:
+    def test_span_round_trip(self, session):
+        result = session.optimize(Q3, trace=True)
+        root = result.trace
+        restored = Span.from_dict(json.loads(json.dumps(root.to_dict())))
+        assert restored.shape() == root.shape()
+        assert restored.elapsed_s == root.elapsed_s
+        assert restored.find("bestplan").elapsed_s == (
+            root.find("bestplan").elapsed_s
+        )
+
+    def test_render_has_one_line_per_span(self, session):
+        result = session.optimize(Q3, trace=True)
+        lines = result.trace.render().splitlines()
+        count = sum(1 for _ in _iter(result.trace))
+        assert len(lines) == count
+
+
+def _iter(span):
+    yield span
+    for child in span.children:
+        yield from _iter(child)
+
+
+class TestDisabledPath:
+    def test_untraced_result_has_no_trace(self, session):
+        result = session.optimize(Q3)
+        assert result.trace is None
+
+    def test_untraced_call_leaves_metrics_empty(self):
+        fresh = Session.tpch(seed=0)
+        fresh.optimize(Q3)
+        assert not fresh.metrics
+        assert fresh.metrics.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+    def test_no_ambient_tracer_outside_traced_call(self, session):
+        session.optimize(Q3, trace=True)
+        assert active_tracer() is None
