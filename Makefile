@@ -19,3 +19,4 @@ bench:
 	PYTHONPATH=src python benchmarks/bench_optimize.py --merge
 	PYTHONPATH=src python benchmarks/bench_robustness.py --merge
 	PYTHONPATH=src python benchmarks/bench_observability.py --merge
+	PYTHONPATH=src python benchmarks/bench_feedback.py --merge

@@ -22,6 +22,12 @@ from dataclasses import dataclass, replace
 from repro.errors import PlanSpaceError
 from repro.executor.executor import PlanExecutor, QueryResult
 from repro.obs import Metrics, Tracer, phase as obs_phase, tracing
+from repro.obs.feedback import (
+    CardinalityLedger,
+    FeedbackReport,
+    accuracy_report,
+    plan_cost_under_ledger,
+)
 from repro.optimizer.optimizer import (
     OptimizationResult,
     Optimizer,
@@ -128,6 +134,12 @@ class Session:
         #: fed by traced calls (``optimize(..., trace=True)``,
         #: ``explain(analyze=True)``); ``metrics.reset()`` clears it
         self.metrics = Metrics()
+        #: the session's cardinality ledger: observed per-subplan
+        #: cardinalities keyed by relation bitmask, fed automatically by
+        #: every analyzing execution (``execute_detailed(analyze=True)``,
+        #: ``execute(feedback=True)``); consumed by
+        #: ``optimize(feedback=True)`` and ``estimation_report()``
+        self.ledger = CardinalityLedger()
 
     # ------------------------------------------------------------------
     @classmethod
@@ -152,6 +164,7 @@ class Session:
         max_expressions: int | None = None,
         max_memory_mb: float | None = None,
         trace: bool = False,
+        feedback=None,
         **kwargs,
     ):
         """Optimize a statement.
@@ -190,7 +203,23 @@ class Session:
         ``metrics`` registry accumulates hot-loop counters from the same
         checkpoint sites the resilience layer polls.  The default
         (``trace=False``) path carries no instrumentation.
+
+        ``feedback`` (exhaustive only) re-costs the search under
+        execution-observed cardinalities: ``True`` consults the
+        session's own ledger (fed by ``execute(feedback=True)`` /
+        ``execute_detailed(analyze=True)``), a
+        :class:`~repro.obs.CardinalityLedger` is used as given, and a
+        path loads a saved ledger JSON.  Every join-level subplan the
+        ledger covers is costed at its observed (EWMA) cardinality;
+        everything unobserved keeps the static estimate.
+        ``result.feedback`` then carries the chosen-plan delta
+        (:class:`~repro.obs.FeedbackReport`): whether the plan changed
+        versus the estimate-only baseline, and both plans' costs under
+        the observed assignment.  It stays ``None`` when the ledger
+        covers nothing of this query.  ``feedback=None`` (the default)
+        is byte-identical to the historical path.
         """
+        ledger = self._resolve_feedback(feedback, method)
         if trace:
             tracer = Tracer()
             with tracing(tracer):
@@ -205,21 +234,104 @@ class Session:
                         max_expressions=max_expressions,
                         max_memory_mb=max_memory_mb,
                         observed=True,
+                        ledger=ledger,
                         **kwargs,
                     )
             result.trace = tracer.root
             self._record_result_metrics(result)
-            return result
-        return self._optimize(
-            sql,
-            method=method,
-            prune_factor=prune_factor,
-            deadline_s=deadline_s,
-            on_budget=on_budget,
-            cancellation=cancellation,
-            max_expressions=max_expressions,
-            max_memory_mb=max_memory_mb,
-            **kwargs,
+        else:
+            result = self._optimize(
+                sql,
+                method=method,
+                prune_factor=prune_factor,
+                deadline_s=deadline_s,
+                on_budget=on_budget,
+                cancellation=cancellation,
+                max_expressions=max_expressions,
+                max_memory_mb=max_memory_mb,
+                ledger=ledger,
+                **kwargs,
+            )
+        if ledger is not None:
+            self._attach_feedback_report(sql, result, ledger)
+        return result
+
+    def _resolve_feedback(self, feedback, method: str):
+        """Normalize ``optimize``'s ``feedback`` argument to a ledger.
+
+        ``None``/``False`` → no feedback; ``True`` → the session's own
+        ledger; a :class:`~repro.obs.CardinalityLedger` → itself; a
+        path → :meth:`CardinalityLedger.load`.  An *empty* ledger
+        resolves to ``None``: nothing could be substituted, so the
+        byte-identical default path runs and ``result.feedback`` stays
+        unset.
+        """
+        if feedback is None or feedback is False:
+            return None
+        if method != "exhaustive":
+            raise PlanSpaceError(
+                "feedback re-costing applies to exhaustive optimization "
+                "(the sampled path rebuilds its estimates per batch from "
+                "catalog statistics)"
+            )
+        if feedback is True:
+            ledger = self.ledger
+        elif isinstance(feedback, CardinalityLedger):
+            ledger = feedback
+        else:
+            ledger = CardinalityLedger.load(feedback)
+        return ledger if ledger else None
+
+    def _attach_feedback_report(self, sql: str, result, ledger) -> None:
+        """Compute the chosen-plan delta and set ``result.feedback``.
+
+        Re-optimizes the statement *without* the ledger and prices both
+        chosen plans under the same observed-cardinality assignment
+        (:func:`repro.obs.plan_cost_under_ledger`), so the factor
+        measures plan quality under measured reality rather than
+        estimate drift.  Skipped (``result.feedback`` stays ``None``)
+        when the resilient ladder degraded off the exact tier — the
+        served plan never saw the ledger.
+        """
+        memo = getattr(result, "memo", None)
+        graph = getattr(result, "graph", None)
+        cost_model = getattr(result, "cost_model", None)
+        if memo is None or graph is None or cost_model is None:
+            return
+        resilience = getattr(result, "resilience", None)
+        if resilience is not None and resilience.tier != "exact":
+            return
+        substituted = getattr(
+            getattr(result, "estimator", None), "feedback_hits", 0
+        )
+        if not substituted:
+            # The ledger covered nothing of this query (e.g. it holds a
+            # different universe): the chosen plan IS the baseline, so
+            # there is no delta to report — and no baseline to re-derive.
+            return
+        options = getattr(result, "options", None) or self.options
+        baseline = Optimizer(self.catalog, options).optimize_sql(sql)
+        binding = ledger.binding(graph.universe.order)
+        baseline_cost_feedback = plan_cost_under_ledger(
+            baseline.best_plan, baseline.memo, binding, cost_model
+        )
+        feedback_cost = plan_cost_under_ledger(
+            result.best_plan, memo, binding, cost_model
+        )
+        result.feedback = FeedbackReport(
+            plan_changed=(
+                result.best_plan.fingerprint()
+                != baseline.best_plan.fingerprint()
+            ),
+            substituted=substituted,
+            baseline_cost=baseline.best_cost,
+            baseline_cost_feedback=baseline_cost_feedback,
+            feedback_cost=feedback_cost,
+            improvement_factor=(
+                baseline_cost_feedback / feedback_cost
+                if feedback_cost > 0
+                else 1.0
+            ),
         )
 
     def _optimize(
@@ -233,11 +345,14 @@ class Session:
         max_expressions: int | None = None,
         max_memory_mb: float | None = None,
         observed: bool = False,
+        ledger=None,
         **kwargs,
     ):
         """The untraced dispatch behind :meth:`optimize`.  ``observed``
         threads a metrics-observing (budget-free) scope through paths
-        that would otherwise run scope-less."""
+        that would otherwise run scope-less; ``ledger`` (already
+        resolved by :meth:`_resolve_feedback`) feedback-recosts the
+        exhaustive paths."""
         obs_scope = None
         if observed:
             from repro.resilience.budget import BudgetScope
@@ -283,9 +398,10 @@ class Session:
                     token=cancellation,
                     on_budget=on_budget,
                     observer=self.metrics if observed else None,
+                    ledger=ledger,
                 )
             return Optimizer(self.catalog, options).optimize_sql(
-                sql, scope=obs_scope
+                sql, scope=obs_scope, ledger=ledger
             )
         if method == "sampled":
             if prune_factor is not None:
@@ -426,25 +542,48 @@ class Session:
         return header + "\n" + render_analyze(executed.result.stats)
 
     # ------------------------------------------------------------------
-    def execute(self, sql: str, max_rows: int | None = None) -> QueryResult:
+    def execute(
+        self,
+        sql: str,
+        max_rows: int | None = None,
+        feedback: bool = False,
+    ) -> QueryResult:
         """Execute a statement (honours ``OPTION (USEPLAN n)``).
 
         ``max_rows`` arms the executor's runaway guard: any operator
         producing more rows raises
         :class:`~repro.errors.ResourceExhausted` instead of materializing
         an exploding intermediate result.
+
+        ``feedback=True`` executes with operator instrumentation and
+        folds every observed join-level cardinality into the session's
+        ledger (``self.ledger``) — the feeding half of the feedback
+        loop that ``optimize(sql, feedback=True)`` consumes.
         """
-        return self.execute_detailed(sql, max_rows=max_rows).result
+        return self.execute_detailed(
+            sql, max_rows=max_rows, feedback=True if feedback else None
+        ).result
 
     def execute_detailed(
-        self, sql: str, max_rows: int | None = None, analyze: bool = False
+        self,
+        sql: str,
+        max_rows: int | None = None,
+        analyze: bool = False,
+        feedback: bool | None = None,
     ) -> ExecutedQuery:
         """Execute and keep the optimization alongside the rows.
 
         ``analyze=True`` collects per-operator runtime statistics
         (actual rows, wall time) on ``result.stats`` — see
-        :class:`repro.obs.ExecutionStats`.
+        :class:`repro.obs.ExecutionStats` — and feeds the observed
+        join-level cardinalities into the session's ledger
+        (``self.ledger``).  ``feedback`` refines that default:
+        ``True`` forces instrumentation (implies ``analyze=True``),
+        ``False`` analyzes without feeding the ledger, ``None`` (the
+        default) feeds exactly when analyzing.
         """
+        if feedback:
+            analyze = True
         statement = parse(sql)
         bound = Binder(self.catalog).bind(statement)
         optimization = Optimizer(self.catalog, self.options).optimize(bound)
@@ -461,12 +600,37 @@ class Session:
                     f"{total} plans (0..{total - 1})"
                 )
             plan = space.unrank(useplan)
+        scope = None
+        if analyze:
+            # Instrumented executions also feed the metrics registry
+            # (the `execute.operator` checkpoint site), mirroring what
+            # traced optimizations do for the optimizer-side sites.
+            from repro.resilience.budget import BudgetScope
+
+            scope = BudgetScope(observer=self.metrics)
         result = self.executor.execute(
-            plan, max_rows=max_rows, collect_stats=analyze
+            plan, max_rows=max_rows, collect_stats=analyze, scope=scope
         )
+        if analyze and feedback is not False and result.stats is not None:
+            self.ledger.record_execution(
+                result.stats,
+                optimization.memo,
+                optimization.graph.universe.order,
+            )
         return ExecutedQuery(
             result=result, optimization=optimization, used_rank=useplan
         )
+
+    def estimation_report(self, worst_limit: int = 5):
+        """Estimation accuracy against this session's observed actuals.
+
+        Summarizes the ledger's q-errors — count/median/p90/max over the
+        latest q-error of every observed subplan, plus the worst
+        offenders — as an :class:`repro.obs.AccuracyReport`.  Feed the
+        ledger first (``execute(feedback=True)`` or
+        ``execute_detailed(analyze=True)``).
+        """
+        return accuracy_report(self.ledger, worst_limit=worst_limit)
 
     # ------------------------------------------------------------------
     def iterate_plans(

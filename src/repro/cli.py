@@ -150,11 +150,20 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) or fail with a budget error",
     )
     optimize.add_argument(
+        "--feedback",
+        metavar="LEDGER.json",
+        default=None,
+        help="re-cost under a saved cardinality ledger (see `execute "
+        "--feedback-out` / `accuracy`): observed subplan cardinalities "
+        "replace the estimates, and the chosen-plan delta is reported",
+    )
+    optimize.add_argument(
         "-v",
         "--verbose",
         action="store_true",
-        help="also print engine, phase timings, and — when a deadline "
-        "triggered degradation — the tier-by-tier attempt log",
+        help="also print engine, phase timings, the feedback re-costing "
+        "delta (with --feedback), and — when a deadline triggered "
+        "degradation — the tier-by-tier attempt log",
     )
 
     trace = sub.add_parser(
@@ -178,6 +187,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit {trace, metrics} as JSON instead of rendered tables",
+    )
+    trace.add_argument(
+        "--chrome-trace",
+        metavar="OUT.json",
+        default=None,
+        help="additionally write the span tree as Chrome trace-event "
+        "JSON (load in chrome://tracing or ui.perfetto.dev)",
+    )
+
+    accuracy = sub.add_parser(
+        "accuracy",
+        help="estimation-accuracy report (q-error summary and worst "
+        "subplans) from a cardinality ledger",
+    )
+    accuracy.add_argument(
+        "--ledger",
+        metavar="LEDGER.json",
+        default=None,
+        help="report on a saved ledger instead of executing --queries",
+    )
+    accuracy.add_argument(
+        "--queries",
+        default="Q3",
+        help="comma-separated queries to execute instrumented when no "
+        "--ledger is given (default: Q3)",
+    )
+    accuracy.add_argument(
+        "--worst", type=int, default=5, help="worst offenders to list"
+    )
+    accuracy.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the report as JSON instead of a rendered summary",
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="optimize a query instrumented and dump the session metrics "
+        "registry (Prometheus text exposition by default)",
+    )
+    metrics.add_argument("query", help="TPC-H query name or SQL")
+    metrics.add_argument(
+        "--execute",
+        action="store_true",
+        help="also execute the chosen plan instrumented (adds the "
+        "execute.operator series)",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the registry snapshot as JSON instead of Prometheus "
+        "text",
     )
 
     distribution = sub.add_parser(
@@ -245,6 +306,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     execute.add_argument("query")
     execute.add_argument("--limit", type=int, default=20, help="rows to print")
+    execute.add_argument(
+        "--feedback-out",
+        metavar="LEDGER.json",
+        default=None,
+        help="execute instrumented and save the observed subplan "
+        "cardinalities as a ledger (consumed by `optimize --feedback`); "
+        "an existing ledger at the path is folded into, not replaced",
+    )
 
     validate = sub.add_parser(
         "validate", help="execute many plans, verify identical results"
@@ -345,10 +414,18 @@ def _cmd_optimize(args, out) -> int:
             prune_factor=args.prune_factor,
             deadline_s=args.deadline_s,
             on_budget=args.on_budget,
+            feedback=args.feedback,
         )
         report = getattr(result, "resilience", None)
         if report is not None:
             out.write(report.describe() + "\n")
+        feedback = getattr(result, "feedback", None)
+        if feedback is not None:
+            out.write(feedback.describe() + "\n")
+        elif args.feedback is not None:
+            out.write(
+                "feedback: ledger holds no observations for this query\n"
+            )
         if args.verbose:
             engine = getattr(result, "engine", None)
             if engine is not None:
@@ -364,6 +441,16 @@ def _cmd_optimize(args, out) -> int:
                     for name, seconds in timings.items()
                 )
                 out.write(f"timings: {rendered}\n")
+            if feedback is not None:
+                out.write(
+                    f"feedback: plan_changed={feedback.plan_changed} "
+                    f"substituted={feedback.substituted} "
+                    f"baseline_cost={feedback.baseline_cost:,.1f} "
+                    f"baseline_under_observed="
+                    f"{feedback.baseline_cost_feedback:,.1f} "
+                    f"chosen_under_observed={feedback.feedback_cost:,.1f} "
+                    f"improvement={feedback.improvement_factor:.2f}x\n"
+                )
             if report is not None:
                 out.write(
                     f"resilience: tier={report.tier} "
@@ -392,6 +479,11 @@ def _cmd_optimize(args, out) -> int:
         raise ReproError(
             "--deadline-s drives the exhaustive degradation ladder; the "
             "sampled path takes --budget-s (drop --sampled or use that)"
+        )
+    if args.feedback is not None:
+        raise ReproError(
+            "--feedback applies to the exhaustive optimizer only "
+            "(the sampled path re-estimates per batch; drop --sampled)"
         )
 
     from repro.sampledopt import make_rule
@@ -451,6 +543,17 @@ def _cmd_trace(args, out) -> int:
             sql, deadline_s=args.deadline_s, trace=True
         )
     span = result.trace
+    if args.chrome_trace is not None:
+        import pathlib
+
+        payload = {"traceEvents": span.to_chrome_trace()}
+        pathlib.Path(args.chrome_trace).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        out.write(
+            f"wrote {len(payload['traceEvents'])} trace events to "
+            f"{args.chrome_trace}\n"
+        )
     if args.json:
         payload = {
             "trace": span.to_dict(),
@@ -571,9 +674,60 @@ def _cmd_sample(args, out) -> int:
 
 
 def _cmd_execute(args, out) -> int:
+    import pathlib
+
     session = _session(args)
+    if args.feedback_out is not None:
+        from repro.obs import CardinalityLedger
+
+        # Fold into an existing ledger so repeated runs accumulate EWMA
+        # history instead of starting over.
+        if pathlib.Path(args.feedback_out).exists():
+            session.ledger = CardinalityLedger.load(args.feedback_out)
+        result = session.execute(_resolve_sql(args.query), feedback=True)
+        session.ledger.save(args.feedback_out)
+        out.write(result.render(limit=args.limit) + "\n")
+        out.write(
+            f"ledger: {len(session.ledger)} subplans -> {args.feedback_out}\n"
+        )
+        return 0
     result = session.execute(_resolve_sql(args.query))
     out.write(result.render(limit=args.limit) + "\n")
+    return 0
+
+
+def _cmd_accuracy(args, out) -> int:
+    import json
+
+    from repro.obs import CardinalityLedger, accuracy_report
+
+    if args.ledger is not None:
+        ledger = CardinalityLedger.load(args.ledger)
+        report = accuracy_report(ledger, worst_limit=args.worst)
+    else:
+        session = _session(args)
+        for name in args.queries.split(","):
+            session.execute(_resolve_sql(name.strip()), feedback=True)
+        report = session.estimation_report(worst_limit=args.worst)
+    if args.json:
+        out.write(json.dumps(report.to_dict(), indent=2) + "\n")
+        return 0
+    out.write(report.render() + "\n")
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    import json
+
+    session = _session(args)
+    sql = _resolve_sql(args.query)
+    session.optimize(sql, trace=True)
+    if args.execute:
+        session.execute_detailed(sql, analyze=True)
+    if args.json:
+        out.write(json.dumps(session.metrics.snapshot(), indent=2) + "\n")
+        return 0
+    out.write(session.metrics.render_prometheus())
     return 0
 
 
@@ -691,6 +845,8 @@ _COMMANDS = {
     "count": _cmd_count,
     "optimize": _cmd_optimize,
     "trace": _cmd_trace,
+    "accuracy": _cmd_accuracy,
+    "metrics": _cmd_metrics,
     "distribution": _cmd_distribution,
     "explain": _cmd_explain,
     "unrank": _cmd_unrank,

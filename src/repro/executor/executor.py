@@ -139,6 +139,11 @@ class PlanExecutor:
         #: stack of open :class:`OperatorStats` frames while instrumented
         self._stats_stack: list[OperatorStats] | None = None
         self._root_stats: OperatorStats | None = None
+        #: optional :class:`repro.resilience.budget.BudgetScope` polled
+        #: once per operator result (the ``execute.operator`` site —
+        #: budget ceilings, cancellation, and metrics observers all ride
+        #: the same checkpoint); ``None`` keeps the fast path bare
+        self._scope = None
 
     # ------------------------------------------------------------------
     def execute(
@@ -146,14 +151,18 @@ class PlanExecutor:
         plan: PlanNode,
         max_rows: int | None = None,
         collect_stats: bool = False,
+        scope=None,
     ) -> QueryResult:
         """Execute ``plan``.  ``collect_stats=True`` additionally times
         every operator and records rows in/out (the EXPLAIN ANALYZE
-        raw material) on the result's ``stats``."""
+        raw material) on the result's ``stats``.  ``scope`` threads a
+        budget/metrics scope through the per-operator
+        ``execute.operator`` checkpoint."""
         stats = None
         if collect_stats:
             self._stats_stack = []
             self._root_stats = None
+        self._scope = scope
         started = time.perf_counter()
         try:
             if max_rows is not None:
@@ -171,6 +180,7 @@ class PlanExecutor:
                     wall_s=time.perf_counter() - started,
                 )
         finally:
+            self._scope = None
             if collect_stats:
                 self._stats_stack = None
                 self._root_stats = None
@@ -211,6 +221,9 @@ class PlanExecutor:
         bounds every intermediate result, not just the root's."""
         schema, rows = self._dispatch(plan)
         fault_point("execute.operator", rows)
+        scope = self._scope
+        if scope is not None:
+            scope.checkpoint("execute.operator", len(rows))
         max_rows = self.max_rows
         if max_rows is not None and len(rows) > max_rows:
             raise ResourceExhausted(

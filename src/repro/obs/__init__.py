@@ -1,6 +1,6 @@
-"""Unified observability: phase spans, metrics, and EXPLAIN ANALYZE.
+"""Unified observability: spans, metrics, EXPLAIN ANALYZE, and feedback.
 
-Three pieces, one contract (see ``README.md`` in this package):
+Four pieces, one contract (see ``README.md`` in this package):
 
 * :mod:`repro.obs.trace` — nested phase spans over one optimization
   (``optimize`` → ``parse``/``bind``/``setup``/``explore``/... on the
@@ -11,7 +11,11 @@ Three pieces, one contract (see ``README.md`` in this package):
   ``BudgetScope.checkpoint`` sites;
 * :mod:`repro.obs.analyze` — per-operator execution stats (rows in/out,
   wall time) and the estimated-vs-actual cardinality rendering behind
-  ``Session.explain(sql, analyze=True)``.
+  ``Session.explain(sql, analyze=True)``;
+* :mod:`repro.obs.feedback` — the cardinality ledger: observed actuals
+  keyed by relation bitmask, accuracy reporting
+  (``Session.estimation_report()`` / ``repro accuracy``), and
+  feedback-driven re-costing (``Session.optimize(sql, feedback=...)``).
 
 Everything is disabled by default: with no tracer active and no metrics
 observer attached, instrumented code pays one module-global read per
@@ -19,6 +23,15 @@ observer attached, instrumented code pays one module-global read per
 """
 
 from repro.obs.analyze import ExecutionStats, OperatorStats, render_analyze
+from repro.obs.feedback import (
+    AccuracyReport,
+    CardinalityLedger,
+    FeedbackReport,
+    LedgerEntry,
+    accuracy_report,
+    plan_cost_under_ledger,
+    true_cardinality_ledger,
+)
 from repro.obs.metrics import Metrics
 from repro.obs.trace import (
     PhaseTimer,
@@ -30,14 +43,21 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AccuracyReport",
+    "CardinalityLedger",
     "ExecutionStats",
+    "FeedbackReport",
+    "LedgerEntry",
     "Metrics",
     "OperatorStats",
     "PhaseTimer",
     "Span",
     "Tracer",
+    "accuracy_report",
     "active_tracer",
     "phase",
+    "plan_cost_under_ledger",
     "render_analyze",
     "tracing",
+    "true_cardinality_ledger",
 ]

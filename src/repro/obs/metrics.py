@@ -102,6 +102,39 @@ class Metrics:
         self._gauges.clear()
         self._histograms.clear()
 
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition (format 0.0.4) of the registry.
+
+        Dotted series names become underscore-separated metric names
+        under ``prefix``; counters carry the conventional ``_total``
+        suffix, histograms are exposed summary-style (``_count`` /
+        ``_sum``, plus ``_min``/``_max`` gauges — the registry keeps no
+        quantiles).  Deterministic: series are sorted by name.
+        """
+
+        def metric(name: str) -> str:
+            return prefix + "_" + name.replace(".", "_").replace("-", "_")
+
+        lines: list[str] = []
+        for name in sorted(self._counters):
+            m = metric(name) + "_total"
+            lines.append(f"# TYPE {m} counter")
+            lines.append(f"{m} {self._counters[name]:g}")
+        for name in sorted(self._gauges):
+            m = metric(name)
+            lines.append(f"# TYPE {m} gauge")
+            lines.append(f"{m} {self._gauges[name]:g}")
+        for name in sorted(self._histograms):
+            s = self._histograms[name]
+            m = metric(name)
+            lines.append(f"# TYPE {m} summary")
+            lines.append(f"{m}_count {s['count']:g}")
+            lines.append(f"{m}_sum {s['sum']:g}")
+            for bound in ("min", "max"):
+                lines.append(f"# TYPE {m}_{bound} gauge")
+                lines.append(f"{m}_{bound} {s[bound]:g}")
+        return "\n".join(lines) + "\n" if lines else ""
+
     def render(self) -> str:
         lines = []
         if self._counters:

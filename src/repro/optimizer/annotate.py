@@ -3,6 +3,14 @@
 Cardinality is a *logical* property: every expression in a group produces
 the same rows, so the estimate lives on the group (as in Volcano/Cascades).
 Groups are created children-first, so a single in-order pass suffices.
+
+Execution feedback plugs in here: an optional
+:class:`~repro.obs.feedback.CardinalityLedger` overrides the static
+estimate of every join-level (``("rels", mask)``) group the ledger holds
+an observation for — keyed by the relation bitmask, which is stable
+across re-optimizations, unlike group ids.  Groups without an
+observation keep their estimates, so a partially-populated ledger
+degrades gracefully to the static path.
 """
 
 from __future__ import annotations
@@ -17,12 +25,29 @@ __all__ = ["annotate_cardinalities"]
 
 
 def annotate_cardinalities(
-    memo: Memo, graph: JoinGraph, estimator: CardinalityEstimator
-) -> None:
-    """Fill ``group.cardinality`` for every group in ``memo``."""
+    memo: Memo, graph: JoinGraph, estimator: CardinalityEstimator, ledger=None
+) -> int:
+    """Fill ``group.cardinality`` for every group in ``memo``.
+
+    ``ledger`` (optional) substitutes observed cardinalities for
+    join-level groups the ledger covers; an estimator constructed with
+    its own ledger performs the same substitution internally, so passing
+    the ledger in either place is equivalent.  Returns the number of
+    groups annotated from an observation rather than the estimate.
+    """
+    binding = (
+        ledger.binding(graph.universe.order) if ledger is not None else None
+    )
+    substituted = 0
     for group in memo.groups:
         tag = group.key[0]
         if tag == "rels":
+            if binding is not None:
+                observed = binding.rows_for_mask(group.key[1])
+                if observed is not None:
+                    group.cardinality = observed
+                    substituted += 1
+                    continue
             # The key holds the alias mask; ``relations`` is the derived view.
             relations = group.relations
             if group.mask is not None:
@@ -30,9 +55,11 @@ def annotate_cardinalities(
             else:
                 conjuncts = graph.internal_conjuncts(relations)
             internal = [c.expr for c in conjuncts]
+            before = estimator.feedback_hits
             group.cardinality = estimator.relation_set_cardinality(
                 relations, internal
             )
+            substituted += estimator.feedback_hits - before
         elif tag == "select":
             child = memo.group(group.key[1])
             predicate = _unary_op(group, LogicalSelect).predicate
@@ -50,6 +77,7 @@ def annotate_cardinalities(
             group.cardinality = _require(child)
         else:  # pragma: no cover - defensive
             raise OptimizerError(f"unknown group key tag {tag!r}")
+    return substituted
 
 
 def _require(group) -> float:

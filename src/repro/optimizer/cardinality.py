@@ -66,14 +66,33 @@ def _as_number(value) -> float | None:
 
 
 class CardinalityEstimator:
-    """Estimates selectivities and group cardinalities."""
+    """Estimates selectivities and group cardinalities.
 
-    def __init__(self, catalog: Catalog, query: BoundQuery):
+    ``ledger`` (optional) is a
+    :class:`~repro.obs.feedback.CardinalityLedger` of execution-observed
+    cardinalities: :meth:`relation_set_cardinality` substitutes the
+    observed rows wherever the ledger holds an observation for the
+    relation set (under the query's alias universe) and leaves the
+    static estimate untouched everywhere else.  ``feedback_hits`` counts
+    substitutions performed.  With no ledger (the default) estimation is
+    byte-identical to the historical path.
+    """
+
+    def __init__(self, catalog: Catalog, query: BoundQuery, ledger=None):
         self.catalog = catalog
         self.query = query
         self._quantifier_table = {q.alias: q.table for q in query.quantifiers}
         self._base_cards: dict[str, float] = {}
         self._sel_cache: dict[tuple, float] = {}
+        #: ledger binding under this query's universe; ``None`` disables
+        #: feedback entirely (one attribute read per relation-set call)
+        self._feedback = None
+        self.feedback_hits = 0
+        if ledger is not None:
+            universe = tuple(sorted(q.alias for q in query.quantifiers))
+            binding = ledger.binding(universe)
+            if len(binding):
+                self._feedback = binding
 
     # ------------------------------------------------------------------
     # column statistics lookups
@@ -208,8 +227,16 @@ class CardinalityEstimator:
         """Cardinality of the join of ``relations``.
 
         ``internal_conjuncts`` are the multi-table conjuncts applicable
-        entirely inside the set.
+        entirely inside the set.  An attached feedback ledger overrides
+        the estimate with the observed cardinality when the set was
+        measured by a previous execution.
         """
+        feedback = self._feedback
+        if feedback is not None:
+            observed = feedback.rows_for(relations)
+            if observed is not None:
+                self.feedback_hits += 1
+                return observed
         card = 1.0
         for alias in relations:
             card *= self.base_cardinality(alias)

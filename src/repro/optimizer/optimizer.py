@@ -148,6 +148,10 @@ class OptimizationResult:
     #: (``Session.optimize(trace=True)`` / ``repro trace``); ``None``
     #: otherwise
     trace: object | None = None
+    #: :class:`repro.obs.feedback.FeedbackReport` when the run re-costed
+    #: under an execution-feedback ledger (``Session.optimize(sql,
+    #: feedback=...)``); ``None`` otherwise
+    feedback: object | None = None
 
     def explain(self) -> str:
         """EXPLAIN-style description of the chosen plan."""
@@ -166,21 +170,31 @@ class Optimizer:
         self.options = options if options is not None else OptimizerOptions()
 
     # ------------------------------------------------------------------
-    def optimize_sql(self, sql: str, scope=None) -> OptimizationResult:
+    def optimize_sql(self, sql: str, scope=None, ledger=None) -> OptimizationResult:
         """Parse, bind, and optimize one SELECT statement."""
         with obs_phase("parse"):
             statement = parse(sql)
         with obs_phase("bind"):
             bound = Binder(self.catalog).bind(statement)
-        return self.optimize(bound, scope=scope)
+        return self.optimize(bound, scope=scope, ledger=ledger)
 
-    def optimize(self, query: BoundQuery, scope=None) -> OptimizationResult:
+    def optimize(
+        self, query: BoundQuery, scope=None, ledger=None
+    ) -> OptimizationResult:
         """Optimize a bound query: returns the memo and the best plan.
 
         ``scope`` is an optional :class:`repro.resilience.budget.BudgetScope`
         consulted at checkpoints in every phase's hot loop; ``None`` (the
         default) skips the checkpoints entirely, so the unbudgeted path
         is unchanged.
+
+        ``ledger`` is an optional
+        :class:`~repro.obs.feedback.CardinalityLedger`: the annotate
+        phase substitutes execution-observed cardinalities for every
+        join-level group the ledger covers, so costing — and hence the
+        chosen plan — reflects measured reality instead of the static
+        estimate.  ``None`` (the default) is byte-identical to the
+        historical path.
 
         The cycle collector is paused for the duration: optimization
         allocates hundreds of thousands of short-lived tuples and memo
@@ -191,12 +205,14 @@ class Optimizer:
         if gc_was_enabled:
             gc.disable()
         try:
-            return self._optimize(query, scope=scope)
+            return self._optimize(query, scope=scope, ledger=ledger)
         finally:
             if gc_was_enabled:
                 gc.enable()
 
-    def _optimize(self, query: BoundQuery, scope=None) -> OptimizationResult:
+    def _optimize(
+        self, query: BoundQuery, scope=None, ledger=None
+    ) -> OptimizationResult:
         opts = self.options
         timings: dict[str, float] = {}
 
@@ -212,14 +228,20 @@ class Optimizer:
         # this is a backstop for corruption between attach and return.
         try:
             return self._optimize_phases(
-                query, memo, graph, timings, scope=scope
+                query, memo, graph, timings, scope=scope, ledger=ledger
             )
         except BaseException:
             _detach_stale_stores(memo)
             raise
 
     def _optimize_phases(
-        self, query: BoundQuery, memo: Memo, graph: JoinGraph, timings, scope=None
+        self,
+        query: BoundQuery,
+        memo: Memo,
+        graph: JoinGraph,
+        timings,
+        scope=None,
+        ledger=None,
     ) -> OptimizationResult:
         opts = self.options
         traced = active_tracer() is not None
@@ -271,8 +293,10 @@ class Optimizer:
         timings["implement"] = span.elapsed_s
 
         with obs_phase("annotate") as span:
-            estimator = CardinalityEstimator(self.catalog, query)
+            estimator = CardinalityEstimator(self.catalog, query, ledger=ledger)
             annotate_cardinalities(memo, graph, estimator)
+            if traced and estimator.feedback_hits:
+                span.add("feedback_substituted", estimator.feedback_hits)
         timings["annotate"] = span.elapsed_s
 
         cost_model = CostModel(self.catalog, opts.cost_params)

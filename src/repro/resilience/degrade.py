@@ -174,6 +174,7 @@ def optimize_resilient(
     on_budget: str = "degrade",
     policy: DegradationPolicy | None = None,
     observer=None,
+    ledger=None,
 ):
     """Optimize under ``budget``; degrade through the tiers as needed.
 
@@ -186,6 +187,9 @@ def optimize_resilient(
     a broken tier is not the caller's deadline policy's business.
     ``observer`` (a :class:`~repro.obs.metrics.Metrics` registry) rides
     the per-tier scopes' checkpoints and counts degradation triggers.
+    ``ledger`` (a :class:`~repro.obs.feedback.CardinalityLedger`)
+    feedback-recosts the exact tier; the sampled and heuristic tiers
+    ignore it (their estimators are rebuilt from catalog statistics).
     """
     # Deferred imports: this module is reachable from repro.resilience,
     # which the optimizer stack imports for fault_point.
@@ -237,7 +241,9 @@ def optimize_resilient(
     )
     try:
         with obs_phase("tier.exact"):
-            result = Optimizer(catalog, options).optimize(query, scope=scope)
+            result = Optimizer(catalog, options).optimize(
+                query, scope=scope, ledger=ledger
+            )
     except Exception as exc:
         outcome = _classify(exc)
         if on_budget == "raise" and isinstance(exc, (BudgetError, Cancelled)):

@@ -6,6 +6,12 @@ from repro.workloads.tpch_queries import (
     TpchQuery,
     tpch_query,
 )
+from repro.workloads.misestimated import (
+    corrupt_statistics,
+    misestimated_chain,
+    misestimated_star,
+    misestimated_tpch,
+)
 from repro.workloads.synthetic import (
     SyntheticWorkload,
     chain_query,
@@ -21,4 +27,8 @@ __all__ = [
     "chain_query",
     "clique_query",
     "star_query",
+    "corrupt_statistics",
+    "misestimated_chain",
+    "misestimated_star",
+    "misestimated_tpch",
 ]

@@ -86,6 +86,88 @@ class TestCollectedStats:
         assert "TOTAL" in text
 
 
+class TestEdgeCases:
+    EMPTY = (
+        "SELECT n.n_name, r.r_name FROM nation n, region r "
+        "WHERE n.n_regionkey = r.r_regionkey AND n.n_nationkey < 0"
+    )
+
+    def test_zero_actual_rows_q_error_none(self, session):
+        """Operators that produce nothing have no measurable q-error:
+        ``max(est/actual, actual/est)`` would be infinite, so the
+        contract is ``None`` — never ``inf`` — all the way up."""
+        executed = session.execute_detailed(self.EMPTY, analyze=True)
+        stats = executed.result.stats
+        assert executed.result.rows == []
+        assert stats.root.actual_rows == 0
+        assert stats.root.q_error is None
+        for node in stats.root.iter_nodes():
+            q = node.q_error
+            assert q is None or q > 0
+            assert q != float("inf")
+
+    def test_empty_result_renders_and_round_trips(self, session):
+        executed = session.execute_detailed(self.EMPTY, analyze=True)
+        stats = executed.result.stats
+        text = render_analyze(stats)
+        assert "TOTAL" in text
+        restored = ExecutionStats.from_dict(
+            json.loads(json.dumps(stats.to_dict()))
+        )
+        assert restored.root.actual_rows == 0
+        assert restored.operators == stats.operators
+
+    def test_zero_actual_rows_feed_ledger_without_q_error(self, session):
+        """Zero-row observations still enter the ledger (the *observed
+        cardinality* is real information) but contribute no q-error."""
+        from repro.obs import CardinalityLedger
+
+        executed = session.execute_detailed(
+            self.EMPTY, analyze=True, feedback=False
+        )
+        opt = executed.optimization
+        ledger = CardinalityLedger()
+        recorded = ledger.record_execution(
+            executed.result.stats, opt.memo, opt.graph.universe.order
+        )
+        assert recorded > 0
+        entries = {e.relations: e for _, e in ledger.entries()}
+        join = entries[("n", "r")]
+        assert join.observed_rows == 0.0
+        assert join.last_q_error is None
+        # Substitution floors at one row: a zero estimate would zero
+        # out every dependent cost.
+        assert ledger.binding(opt.graph.universe.order).rows_for_mask(
+            join.mask
+        ) == 1.0
+
+    def test_ledger_round_trip_on_pruned_memo(self, tmp_path):
+        """Plans from a cost-pruned memo still feed the ledger: pruning
+        drops physical alternatives, not groups, so every stats node's
+        ``group_id`` resolves and the masks match the unpruned run."""
+        from repro.obs import CardinalityLedger
+
+        session = Session.tpch(seed=0)
+        result = session.optimize(Q3, prune_factor=1.0)
+        executed_result = session.executor.execute(
+            result.best_plan, collect_stats=True
+        )
+        ledger = CardinalityLedger()
+        recorded = ledger.record_execution(
+            executed_result.stats, result.memo, result.graph.universe.order
+        )
+        assert recorded == len(ledger) > 0
+        path = tmp_path / "pruned.json"
+        ledger.save(path)
+        restored = CardinalityLedger.load(path)
+        assert restored.to_dict() == ledger.to_dict()
+        # The pruned-memo masks are the same logical keys an unpruned
+        # optimization uses — feedback from a pruned run re-costs it.
+        followup = session.optimize(Q3, feedback=restored)
+        assert followup.feedback is not None
+        assert followup.feedback.substituted > 0
+
+
 class TestDisabledPath:
     def test_plain_execute_collects_nothing(self, session):
         result = session.execute(TWO_TABLE)

@@ -1,5 +1,6 @@
 """CLI surface of the observability layer: ``repro trace``,
-``repro explain --analyze`` and ``repro optimize -v``."""
+``repro explain --analyze``, ``repro optimize -v``, and the feedback
+commands (``accuracy``, ``metrics``, ``optimize --feedback``)."""
 
 import io
 import json
@@ -47,6 +48,107 @@ class TestTraceCommand:
     def test_sampled_rejects_deadline(self):
         code, _ = run_cli("trace", "Q3", "--sampled", "--deadline-s", "1")
         assert code == 2
+
+    def test_chrome_trace_export(self, tmp_path):
+        out = tmp_path / "trace.json"
+        code, text = run_cli("trace", "Q3", "--chrome-trace", str(out))
+        assert code == 0
+        assert "wrote" in text and str(out) in text
+        payload = json.loads(out.read_text())
+        events = payload["traceEvents"]
+        assert events[0]["name"] == "optimize"
+        assert events[0]["ph"] == "X"
+        assert {"parse", "bind", "explore", "bestplan"} <= {
+            e["name"] for e in events
+        }
+
+
+class TestFeedbackCommands:
+    def test_execute_feedback_out_then_optimize_feedback(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        code, text = run_cli("execute", "Q3", "--feedback-out", str(path))
+        assert code == 0
+        assert "ledger:" in text and str(path) in text
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["spaces"][0]["entries"]
+
+        code, text = run_cli("optimize", "Q3", "--feedback", str(path), "-v")
+        assert code == 0
+        assert "feedback:" in text
+        assert "plan_changed=" in text and "improvement=" in text
+
+    def test_feedback_out_folds_into_existing(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        run_cli("execute", "Q3", "--feedback-out", str(path))
+        first = json.loads(path.read_text())
+        run_cli("execute", "Q3", "--feedback-out", str(path))
+        second = json.loads(path.read_text())
+        hits = lambda p: p["spaces"][0]["entries"][0]["hits"]
+        assert hits(second) == hits(first) + 1
+
+    def test_optimize_feedback_foreign_ledger_reports_no_observations(
+        self, tmp_path
+    ):
+        path = tmp_path / "ledger.json"
+        run_cli("execute", "Q3", "--feedback-out", str(path))
+        code, text = run_cli("optimize", "Q5", "--feedback", str(path))
+        assert code == 0
+        assert "no observations" in text
+
+    def test_optimize_feedback_missing_ledger_errors(self, tmp_path):
+        code, _ = run_cli(
+            "optimize", "Q3", "--feedback", str(tmp_path / "absent.json")
+        )
+        assert code == 2
+
+    def test_sampled_rejects_feedback(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        run_cli("execute", "Q3", "--feedback-out", str(path))
+        code, _ = run_cli(
+            "optimize", "Q3", "--sampled", "--feedback", str(path)
+        )
+        assert code == 2
+
+
+class TestAccuracyCommand:
+    def test_from_queries(self):
+        code, text = run_cli("accuracy", "--queries", "Q3")
+        assert code == 0
+        assert "observations:" in text
+        assert "q-error:" in text
+
+    def test_from_ledger_json(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        run_cli("execute", "Q3", "--feedback-out", str(path))
+        code, text = run_cli(
+            "accuracy", "--ledger", str(path), "--worst", "2", "--json"
+        )
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["subplans"] > 0
+        assert len(payload["worst"]) <= 2
+        assert set(payload["summary"]) == {"count", "median", "p90", "max"}
+
+
+class TestMetricsCommand:
+    def test_prometheus_text(self):
+        code, text = run_cli("metrics", "Q3")
+        assert code == 0
+        assert "# TYPE repro_checkpoint_polls_total counter" in text
+        assert "repro_memo_groups" in text
+
+    def test_execute_adds_operator_series(self):
+        code, text = run_cli("metrics", "Q3", "--execute")
+        assert code == 0
+        assert "repro_execute_operator_polls_total" in text
+
+    def test_json_snapshot(self):
+        code, text = run_cli("metrics", "Q3", "--json")
+        assert code == 0
+        payload = json.loads(text)
+        assert payload["counters"]["checkpoint.polls"] > 0
+        assert payload["gauges"]["memo.groups"] > 0
 
 
 class TestExplainAnalyze:

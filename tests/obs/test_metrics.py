@@ -1,11 +1,13 @@
 """The metrics registry: checkpoint-fed counters, session lifecycle,
-and clean resets."""
+clean resets, Prometheus rendering, and the metrics/fault-site lockstep."""
 
 import pytest
 
 from repro.api import Session
 from repro.obs import Metrics
+from repro.optimizer.optimizer import OptimizerOptions
 from repro.resilience.budget import BudgetScope
+from repro.resilience.faults import FAULT_SITES
 from repro.workloads.tpch_queries import tpch_query
 
 Q3 = tpch_query("Q3").sql
@@ -50,6 +52,37 @@ class TestRegistry:
         assert "size = 5" in text
         assert "batch: count=1" in text
 
+    def test_render_prometheus_exposition(self):
+        m = Metrics()
+        assert m.render_prometheus() == ""
+        m.inc("explore.batch.polls", 3)
+        m.set_gauge("memo.groups", 12)
+        m.observe("batch.size", 64)
+        m.observe("batch.size", 16)
+        text = m.render_prometheus()
+        assert text.endswith("\n")
+        assert "# TYPE repro_explore_batch_polls_total counter" in text
+        assert "repro_explore_batch_polls_total 3" in text
+        assert "# TYPE repro_memo_groups gauge" in text
+        assert "repro_memo_groups 12" in text
+        assert "# TYPE repro_batch_size summary" in text
+        assert "repro_batch_size_count 2" in text
+        assert "repro_batch_size_sum 80" in text
+        assert "repro_batch_size_min 16" in text
+        assert "repro_batch_size_max 64" in text
+        # Every non-comment line is "<name> <value>" — parseable exposition.
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.split(" ")
+            assert name.startswith("repro_")
+            float(value)
+
+    def test_render_prometheus_custom_prefix(self):
+        m = Metrics()
+        m.inc("a.b", 1)
+        assert "opt_a_b_total 1" in m.render_prometheus(prefix="opt")
+
 
 class TestCheckpointObserver:
     def test_scope_feeds_observer_before_budget_checks(self):
@@ -80,6 +113,53 @@ class TestCheckpointObserver:
         result = session.optimize(Q3, method="sampled", trace=True, samples=64)
         assert session.metrics.counter("sampler.draws") == result.samples
         assert session.metrics.counter("implicit.count.polls") > 0
+
+
+class TestFaultSiteLockstep:
+    def test_every_fault_site_reports_metrics(self):
+        """The metrics counter-name site set equals ``FAULT_SITES``.
+
+        Both registries ride the same ``BudgetScope.checkpoint`` /
+        ``fault_point`` instrumentation, so a hot loop visible to fault
+        injection must be visible to metrics and vice versa.  A sweep
+        covering every engine — exact columnar, exact object, sampled,
+        implicit counting, instrumented execution — must poll exactly
+        the sites the fault registry names; a mismatch means one layer
+        gained an instrumentation point the other lost.
+        """
+        observed: set[str] = set()
+
+        def harvest(metrics: Metrics) -> None:
+            for name, value in metrics.snapshot()["counters"].items():
+                if name.endswith(".polls") and value > 0:
+                    site = name[: -len(".polls")]
+                    if site != "checkpoint":
+                        observed.add(site)
+
+        # Exact, columnar engine (explore.batch / implement.columnar /
+        # bestplan.layer) plus instrumented execution (execute.operator).
+        session = Session.tpch(seed=0)
+        session.optimize(Q3, trace=True)
+        session.execute_detailed(Q3, analyze=True)
+        harvest(session.metrics)
+
+        # Exact, object engine (explore.object / implement.object /
+        # bestplan.object).
+        object_session = Session.tpch(
+            seed=0,
+            options=OptimizerOptions(
+                columnar=False, batched_exploration=False
+            ),
+        )
+        object_session.optimize(Q3, trace=True)
+        harvest(object_session.metrics)
+
+        # Sampled engine (implicit.count / sampled.batch).
+        sampled_session = Session.tpch(seed=0)
+        sampled_session.optimize(Q3, method="sampled", trace=True, samples=64)
+        harvest(sampled_session.metrics)
+
+        assert observed == set(FAULT_SITES)
 
 
 class TestSessionLifecycle:

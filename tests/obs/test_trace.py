@@ -167,6 +167,63 @@ def _iter(span):
         yield from _iter(child)
 
 
+class TestChromeTrace:
+    def _tree(self):
+        root = Span("optimize")
+        root.elapsed_s = 0.010
+        first = Span("parse")
+        first.elapsed_s = 0.002
+        second = Span("explore")
+        second.elapsed_s = 0.006
+        second.add("groups", 7)
+        root.children = [first, second]
+        return root
+
+    def test_events_one_per_span(self):
+        events = self._tree().to_chrome_trace()
+        assert [e["name"] for e in events] == ["optimize", "parse", "explore"]
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["pid"] == 1 and e["tid"] == 1
+            assert e["dur"] >= 0
+
+    def test_synthesized_timeline_nests(self):
+        events = {e["name"]: e for e in self._tree().to_chrome_trace()}
+        root, parse, explore = (
+            events["optimize"],
+            events["parse"],
+            events["explore"],
+        )
+        assert root["ts"] == 0.0
+        assert parse["ts"] == 0.0
+        # The second child starts where the first ended...
+        assert explore["ts"] == pytest.approx(parse["dur"])
+        # ...and every child fits inside the root's extent.
+        for child in (parse, explore):
+            assert child["ts"] + child["dur"] <= root["ts"] + root["dur"] + 1e-6
+
+    def test_counters_become_args(self):
+        events = self._tree().to_chrome_trace()
+        explore = next(e for e in events if e["name"] == "explore")
+        assert explore["args"] == {"groups": 7}
+        assert "args" not in next(e for e in events if e["name"] == "parse")
+
+    def test_json_serializable_from_real_trace(self, session):
+        result = session.optimize(Q3, trace=True)
+        events = result.trace.to_chrome_trace(pid=7, tid=3)
+        payload = json.loads(json.dumps({"traceEvents": events}))
+        assert len(payload["traceEvents"]) == sum(
+            1 for _ in _iter_spans(result.trace)
+        )
+        assert all(e["pid"] == 7 for e in payload["traceEvents"])
+
+
+def _iter_spans(span):
+    yield span
+    for child in span.children:
+        yield from _iter_spans(child)
+
+
 class TestDisabledPath:
     def test_untraced_result_has_no_trace(self, session):
         result = session.optimize(Q3)
