@@ -69,7 +69,11 @@ def run_cell(shape: str, n: int, cross: bool, engine: str, repeat: int) -> dict:
         "engine": engine,
     }
     best_total = float("inf")
+    result = None
     for _ in range(repeat):
+        # Drop the previous run's memo before collecting: tearing down a
+        # multi-hundred-MB store inside the timed window doubles a sample.
+        del result
         gc.collect()
         start = time.perf_counter()
         result = Optimizer(workload.catalog, options).optimize(bound)
@@ -79,6 +83,9 @@ def run_cell(shape: str, n: int, cross: bool, engine: str, repeat: int) -> dict:
             record["explore_s"] = round(result.timings["explore"], 4)
             record["implement_s"] = round(result.timings["implement"], 4)
             record["bestplan_s"] = round(result.timings["bestplan"], 4)
+            if "fused" in result.timings:
+                record["fused_s"] = round(result.timings["fused"], 4)
+            record["kernel"] = result.timings.get("kernel", "pure")
             record["best_cost"] = result.best_cost
             record["physical_ops"] = result.memo.physical_expression_count()
     record["total_s"] = round(best_total, 4)

@@ -67,10 +67,11 @@ from repro.workloads.synthetic import star_query
 
 # Exact optimization must stay on the columnar path.  The
 # memo.columnar assert below is the authoritative path check; the
-# wall-clock budget is a coarse end-to-end guard with ~5x headroom
-# over the measured ~0.21s (star12 no-cross, SQL -> best plan over a
-# 92k-expression space; the object path needs ~0.54s on the same
-# machine), so loaded/slower runners do not flake.
+# wall-clock budget is a coarse end-to-end guard with >10x headroom
+# over the measured ~0.07s (star12 no-cross, SQL -> best plan over a
+# 92k-expression space under the fused implement+DP pass; the object
+# path needs ~0.54s on the same machine), so loaded/slower runners do
+# not flake.
 budget = float(os.environ.get("CI_OPTIMIZE_BUDGET_S", "1.0"))
 workload = star_query(12, rows=5, seed=0)
 session = Session(workload.database, options=OptimizerOptions())
@@ -89,6 +90,53 @@ assert result.memo.columnar is not None, (
 assert best < budget, (
     f"exact optimization took {best:.3f}s (> {budget:g}s budget) — did the "
     "columnar memo path regress to object construction?"
+)
+EOF
+
+echo "== clique12 exact-optimize smoke =="
+python - <<'EOF'
+import gc
+import os
+import time
+
+from repro.api import Session
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.workloads.synthetic import clique_query
+
+# The fused implement+DP pass must keep the *hardest* exact workload
+# interactive: clique12 no-cross is a 2.9M-physical-expression space
+# that the pre-fusion pipeline optimized in ~12.5s and the fused
+# columnar kernel in ~2.4s (warm min).  Best-of-N wall clock against a
+# 2.5s budget; the known optimal cost pins byte-identical planning.
+# GC between runs, with the previous result dropped first — collecting
+# a live multi-hundred-MB store mid-measurement doubles a sample.
+budget = float(os.environ.get("CI_CLIQUE12_BUDGET_S", "2.5"))
+runs = int(os.environ.get("CI_CLIQUE12_RUNS", "6"))
+workload = clique_query(12, rows=5, seed=0)
+session = Session(workload.database, options=OptimizerOptions())
+best = float("inf")
+result = None
+for _ in range(runs):
+    del result
+    gc.collect()
+    start = time.perf_counter()
+    result = session.optimize(workload.sql)
+    best = min(best, time.perf_counter() - start)
+print(
+    f"clique12 no-cross: exact optimize min {best:.3f}s of {runs} "
+    f"(budget {budget:g}s, kernel={result.kernel}, "
+    f"pruned_states={result.timings.get('pruned_states')})"
+)
+assert result.memo.columnar is not None, (
+    "Session.optimize no longer takes the columnar path on clique12"
+)
+assert result.best_cost == 156.56, (
+    f"clique12 optimal cost changed: {result.best_cost!r} != 156.56 — "
+    "the fused pass is no longer byte-identical"
+)
+assert best < budget, (
+    f"clique12 exact optimization took {best:.3f}s (> {budget:g}s "
+    "budget) — the fused implement+DP kernel regressed"
 )
 EOF
 

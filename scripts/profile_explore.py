@@ -50,11 +50,20 @@ WORKLOADS = {
 
 
 def _phase_line(root: Span) -> str:
-    """One line of ``phase elapsed`` pairs from the root's children."""
-    return "  ".join(
-        f"{name} {seconds:.4f}s"
-        for name, seconds in root.phase_seconds().items()
-    )
+    """One line of ``phase elapsed`` pairs from the root's children.
+
+    The fused implement+bestplan pass keeps its sub-phases as children of
+    a ``fused`` span; flatten those so the phase names (and therefore the
+    columns of this report) stay comparable across fused/unfused runs."""
+    parts = []
+    for child in root.children:
+        if child.name == "fused" and child.children:
+            parts.extend(
+                (sub.name, sub.elapsed_s) for sub in child.children
+            )
+        else:
+            parts.append((child.name, child.elapsed_s))
+    return "  ".join(f"{name} {seconds:.4f}s" for name, seconds in parts)
 
 
 def _best_of(run, repeat: int) -> tuple[object, Span]:
@@ -90,9 +99,11 @@ def phase_comparison(workload, args) -> int:
 
         result, root = _best_of(run, args.repeat)
         results[engine] = result.best_cost
+        kernel = getattr(result, "kernel", "pure")
         print(
             f"{workload.name} cross={'on' if args.cross else 'off'} "
-            f"[{engine}]: total {root.elapsed_s:.4f}s  {_phase_line(root)}"
+            f"[{engine} kernel={kernel}]: total {root.elapsed_s:.4f}s  "
+            f"{_phase_line(root)}"
         )
     assert results["columnar"] == results["object"], "engines disagree"
     return 0

@@ -434,11 +434,21 @@ def _cmd_optimize(args, out) -> int:
                 if reason:
                     line += f" (fallback: {reason})"
                 out.write(line + "\n")
+            kernel = getattr(result, "kernel", None)
+            if kernel is not None:
+                out.write(f"kernel: {kernel}\n")
+            dp_stats = getattr(result, "dp_stats", None)
+            if dp_stats is not None:
+                out.write(
+                    f"dp: states={dp_stats['states']} "
+                    f"pruned_states={dp_stats['pruned']}\n"
+                )
             timings = getattr(result, "timings", None)
             if timings:
                 rendered = "  ".join(
                     f"{name} {seconds * 1000.0:.1f}ms"
                     for name, seconds in timings.items()
+                    if isinstance(seconds, float)
                 )
                 out.write(f"timings: {rendered}\n")
             if feedback is not None:
@@ -520,6 +530,7 @@ def _cmd_optimize(args, out) -> int:
         rendered = "  ".join(
             f"{name} {seconds * 1000.0:.1f}ms"
             for name, seconds in result.timings.items()
+            if isinstance(seconds, float)
         )
         out.write(f"timings: {rendered}\n")
     out.write(result.explain() + "\n")

@@ -1,0 +1,57 @@
+"""Optional numba backend: jitted inner loops on top of the numpy forms.
+
+Strictly opt-in (``REPRO_KERNEL=native``) and auto-detected: when numba
+is not importable — it is not part of the container image — selection
+degrades to the numpy backend and nothing here runs.  The jitted
+surface is intentionally tiny: the one loop numpy cannot express flat
+(the LCP monotonic-stack sweep of :func:`repro.kernel.vector.
+prefix_intervals`); everything else is already memory-bound array code
+where a jit buys nothing.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AVAILABLE", "prefix_intervals"]
+
+try:  # pragma: no cover - numba is absent from the pinned image
+    import numba
+
+    AVAILABLE = True
+except ImportError:
+    numba = None
+    AVAILABLE = False
+
+_jitted = None
+
+
+def _compile():  # pragma: no cover - requires numba
+    global _jitted
+
+    @numba.njit(cache=True)
+    def _sweep(hi_rank, lcp, lengths):
+        K = len(hi_rank)
+        stack = []
+        for k in range(1, K):
+            boundary = lcp[k - 1]
+            while stack and lengths[stack[-1]] > boundary:
+                hi_rank[stack.pop()] = k
+            if lengths[k - 1] > boundary:
+                hi_rank[k - 1] = k
+            else:
+                stack.append(k - 1)
+        return hi_rank
+
+    _jitted = _sweep
+    return _sweep
+
+
+def prefix_intervals(np, sorted_mat, lengths, pad_width):  # pragma: no cover
+    """Jitted twin of :func:`repro.kernel.vector.prefix_intervals`."""
+    K = len(sorted_mat)
+    hi_rank = np.full(K, K, np.int64)
+    if K > 1:
+        diff = sorted_mat[1:] != sorted_mat[:-1]
+        lcp = np.where(diff.any(axis=1), diff.argmax(axis=1), pad_width)
+        sweep = _jitted if _jitted is not None else _compile()
+        sweep(hi_rank, lcp.astype(np.int64), np.asarray(lengths, np.int64))
+    return hi_rank

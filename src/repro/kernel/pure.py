@@ -1,0 +1,44 @@
+"""Pure-Python reference forms of the kernel primitives.
+
+These are the semantics the vectorized kernels are tested against
+(``tests/kernel/``); the hot paths themselves fall back to their own
+row-by-row loops (in :mod:`repro.memo.columnar`,
+:mod:`repro.optimizer.bestplan`, :mod:`repro.planspace.implicit.counting`)
+rather than calling through here, so the ``pure`` backend adds no
+indirection on top of the historical scalar code.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "first_occurrence_order",
+    "prefix_interval",
+    "range_min_pairs",
+]
+
+
+def first_occurrence_order(codes):
+    """Distinct values in first-occurrence order, plus first indices."""
+    seen: dict = {}
+    for i, code in enumerate(codes):
+        if code not in seen:
+            seen[code] = i
+    return list(seen), list(seen.values())
+
+
+def prefix_interval(sorted_rows, k):
+    """``hi_rank`` of one row in a byte-lex-sorted list: the first index
+    after ``k`` whose row does not start with ``sorted_rows[k]``."""
+    prefix = sorted_rows[k]
+    for j in range(k + 1, len(sorted_rows)):
+        if not sorted_rows[j].startswith(prefix):
+            return j
+    return len(sorted_rows)
+
+
+def range_min_pairs(values, lo, hi):
+    """Per-interval minima; ``inf`` for empty intervals."""
+    inf = float("inf")
+    return [
+        min(values[a:b]) if a < b else inf for a, b in zip(lo, hi)
+    ]

@@ -1,0 +1,302 @@
+"""numpy kernel primitives shared by implement, the DP, and turbo.
+
+Every function takes the numpy module as its first argument (the
+callers already hold it from :func:`repro.kernel.active_numpy`), so this
+module imports cleanly even where numpy is absent.
+
+The interning/ranking primitives originated in the implicit engine's
+turbo counting pass and are exact by construction:
+
+* :func:`intern_rows` verifies every row against its representative, so
+  a mix-hash collision raises :class:`HashCollision` instead of
+  corrupting the result;
+* :func:`byte_words` + a big-endian word lexsort give byte-
+  lexicographic row order, and 0-padded rows sort a key directly before
+  its extensions, which is what makes :func:`prefix_intervals` a single
+  LCP sweep.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "HashCollision",
+    "DECODE_CHUNK",
+    "intern_rows",
+    "byte_words",
+    "lex_rank_rows",
+    "lex_unique_rows",
+    "prefix_intervals",
+    "prefix_interval_ends",
+    "decode_bit_rows",
+    "union_words_by_mask",
+    "first_occurrence_order",
+    "range_min_pairs",
+]
+
+DECODE_CHUNK = 1 << 18
+
+_MIX = 0x9E3779B97F4A7C15
+_MIX2 = 0xFF51AFD7ED558CCD
+
+
+class HashCollision(Exception):
+    """A mix-hash collision (astronomically rare): retry unvectorized."""
+
+
+def intern_rows(np, words):
+    """Exact row interning: ``(ids, representative row indices)``.
+
+    ``ids`` are arbitrary dense ints; representatives are the first
+    occurrence of each distinct row.  Rows are compared to their
+    representative afterwards, so a hash collision cannot corrupt the
+    result — it raises instead.
+    """
+    n, w = words.shape
+
+    def avalanche(x):
+        # splitmix64 finalizer: full bit diffusion per word, so sparse
+        # single-bit cut masks cannot cancel across the combine step
+        x = x ^ (x >> np.uint64(30))
+        x = x * np.uint64(0xBF58476D1CE4E5B9)
+        x = x ^ (x >> np.uint64(27))
+        x = x * np.uint64(0x94D049BB133111EB)
+        return x ^ (x >> np.uint64(31))
+
+    h = np.zeros(n, np.uint64)
+    for i in range(w):
+        seed = np.uint64(((i + 1) * _MIX2) & 0xFFFFFFFFFFFFFFFF)
+        h = (h * np.uint64(_MIX)) ^ avalanche(words[:, i] + seed)
+    _uniq, ids = np.unique(h, return_inverse=True)
+    ids = ids.reshape(-1)
+    count = len(_uniq)
+    rep = np.empty(count, np.int64)
+    rep[ids[::-1]] = np.arange(n - 1, -1, -1)
+    if not (words == words[rep[ids]]).all():
+        raise HashCollision
+    return ids, rep
+
+
+def byte_words(np, mat):
+    """View a 0-padded (n, width) uint8 matrix as big-endian uint64 words
+    — numeric word order equals byte-lexicographic row order."""
+    width = mat.shape[1]
+    padded_width = (width + 7) // 8 * 8
+    if padded_width != width:
+        out = np.zeros((mat.shape[0], padded_width), np.uint8)
+        out[:, :width] = mat
+        mat = out
+    return np.ascontiguousarray(mat).view(">u8").astype(np.uint64)
+
+
+def lex_rank_rows(np, mat):
+    """Byte-lexicographic row ranks of a 0-padded uint8 matrix:
+    ``(order, rank)`` with ``mat[order]`` sorted and ``rank[i]`` the
+    position of row ``i`` in that order."""
+    words = byte_words(np, mat)
+    order = np.lexsort(words.T[::-1])
+    rank = np.empty(len(mat), np.int64)
+    rank[order] = np.arange(len(mat))
+    return order, rank
+
+
+def prefix_intervals(np, sorted_mat, lengths, pad_width):
+    """``hi_rank`` over byte-lex-sorted 0-padded rows: ``hi_rank[k]`` is
+    the first rank after ``k`` whose row does not extend row ``k`` — so
+    the extensions of row ``k`` (itself included) are exactly the
+    contiguous rank interval ``[k, hi_rank[k])``.  One LCP sweep plus a
+    monotonic stack."""
+    K = len(sorted_mat)
+    hi_rank = np.full(K, K, np.int64)
+    if K > 1:
+        diff = sorted_mat[1:] != sorted_mat[:-1]
+        lcp = np.where(diff.any(axis=1), diff.argmax(axis=1), pad_width)
+        lens = np.asarray(lengths, np.int64)
+        # hi_rank[k] = 1 + (first boundary i >= k with lcp[i] < len[k]),
+        # or K when the extension run reaches the end of the table.  Row
+        # lengths are small (<= pad_width), so resolve one length
+        # threshold at a time: the break positions for threshold T are
+        # exactly lcp < T, and one searchsorted per threshold hands every
+        # row of that length its first break at or after it.
+        for T in np.unique(lens[:-1]):
+            if T <= 0:
+                continue  # empty prefix: extended to the end of the table
+            sel = np.flatnonzero(lens[:-1] == T)
+            drops = np.flatnonzero(lcp < T)
+            pos = np.searchsorted(drops, sel)
+            hit = pos < len(drops)
+            out = np.full(len(sel), K, np.int64)
+            out[hit] = drops[pos[hit]] + 1
+            hi_rank[sel] = out
+        # the last row trivially ends at K (already the fill value)
+    return hi_rank
+
+
+def lex_unique_rows(np, mat):
+    """Distinct rows of a 0-padded uint8 matrix in byte-lex order, plus
+    each input row's rank in that order: ``(distinct_sorted, rank)``
+    with ``distinct_sorted`` the deduplicated sorted matrix and
+    ``rank[i]`` the position of row ``i``'s value in it.
+
+    One lexsort over all rows — exact by construction (no hashing), and
+    cheaper than interning to distinct rows first and sorting those:
+    the duplicate-collapse rides the same sort.
+    """
+    n = len(mat)
+    if not n:
+        return mat, np.zeros(0, np.int64)
+    words = byte_words(np, mat)
+    order = np.lexsort(words.T[::-1])
+    sw = words[order]
+    is_new = np.empty(n, dtype=bool)
+    is_new[0] = True
+    if n > 1:
+        is_new[1:] = (sw[1:] != sw[:-1]).any(axis=1)
+    rank_sorted = np.cumsum(is_new) - 1
+    rank = np.empty(n, np.int64)
+    rank[order] = rank_sorted
+    return mat[order[is_new]], rank
+
+
+def prefix_interval_ends(np, sorted_mat, lengths, pad_width, ranks):
+    """:func:`prefix_intervals` evaluated at selected ranks only.
+
+    The DP needs interval ends for the *required* kids — a small
+    multiset of ranks — not for every row of the kid table.  For one
+    prefix length ``T`` the break boundaries are exactly the adjacent
+    row pairs whose first ``T`` bytes differ, which a masked big-endian
+    word compare answers without materializing the full LCP column:
+    per distinct required length this is a couple of whole-array uint64
+    ops instead of a ``(K, width)`` byte sweep.
+    """
+    out = np.full(len(ranks), len(sorted_mat), np.int64)
+    K = len(sorted_mat)
+    if K <= 1 or not len(ranks):
+        return out
+    words = byte_words(np, sorted_mat)
+    prev = words[:-1]
+    nxt = words[1:]
+    rlen = np.asarray(lengths, np.int64)[ranks]
+    for T in np.unique(rlen):
+        T = int(T)
+        if T <= 0:
+            continue  # empty prefix: extended to the end of the table
+        sel = np.flatnonzero(rlen == T)
+        neq = np.zeros(K - 1, dtype=bool)
+        for wi in range((T + 7) // 8):
+            tail = T - wi * 8
+            if tail >= 8:
+                neq |= nxt[:, wi] != prev[:, wi]
+            else:
+                shift = np.uint64(64 - 8 * tail)
+                neq |= (nxt[:, wi] >> shift) != (prev[:, wi] >> shift)
+        drops = np.flatnonzero(neq)
+        pos = np.searchsorted(drops, ranks[sel])
+        hit = pos < len(drops)
+        vals = np.full(len(sel), K, np.int64)
+        vals[hit] = drops[pos[hit]] + 1
+        out[sel] = vals
+    return out
+
+
+def decode_bit_rows(
+    np, bit_rows, nbits, left_lut, right_lut, chunk_size=DECODE_CHUNK, on_chunk=None
+):
+    """Decode packed little-endian bit rows into padded byte matrices.
+
+    ``bit_rows`` is an (n, W) uint64 matrix of bitmasks; each set bit
+    ``p`` contributes ``left_lut[p]`` / ``right_lut[p]`` to that row's
+    left/right output, in ascending bit order.  Returns
+    ``(left_chunks, right_chunks, chunk_maxlens)`` — 0-padded uint8
+    matrices per decode chunk (pad widths differ per chunk; callers
+    re-pad to a common width).  ``on_chunk`` is polled once per chunk
+    for budget checkpoints.
+    """
+    left_chunks, right_chunks, chunk_maxlens = [], [], []
+    for lo in range(0, len(bit_rows), chunk_size):
+        if on_chunk is not None:
+            on_chunk()
+        chunk = bit_rows[lo : lo + chunk_size]
+        if nbits:
+            # Unpack only the bytes that can hold set bits, and take
+            # flatnonzero over the contiguous result — far faster than
+            # 2-D nonzero over a strided column slice.  Bits past
+            # ``nbits`` inside the last byte are guaranteed zero (masks
+            # fit in ``nbits``).
+            nbytes = (nbits + 7) // 8
+            bits = np.unpackbits(
+                np.ascontiguousarray(chunk.view(np.uint8)[:, :nbytes]),
+                axis=1,
+                bitorder="little",
+            )
+        else:
+            bits = np.zeros((len(chunk), 0), np.uint8)
+        ncols = bits.shape[1] if nbits else 1
+        flat = np.flatnonzero(bits)
+        if len(chunk) * ncols < 1 << 32:
+            # Chunks fit 32-bit flat indices (chunk_size * ncols stays
+            # far under 2**32), and uint32 division/scatter indexing run
+            # ~2x faster than int64.
+            flat = flat.astype(np.uint32)
+            rows = flat // np.uint32(ncols)
+            poss = flat - rows * np.uint32(ncols)
+        else:  # pragma: no cover - needs a >4G-bit chunk
+            rows = flat // ncols
+            poss = flat - rows * ncols
+        lengths = np.bincount(rows, minlength=len(chunk))
+        maxlen = max(int(lengths.max()) if lengths.size else 0, 1)
+        starts = np.zeros(len(chunk), np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        offs = (np.arange(len(rows)) - np.repeat(starts, lengths)).astype(
+            rows.dtype
+        )
+        idx = rows * rows.dtype.type(maxlen) + offs
+        lmat = np.zeros(len(chunk) * maxlen, np.uint8)
+        rmat = np.zeros(len(chunk) * maxlen, np.uint8)
+        lmat[idx] = left_lut[poss]
+        rmat[idx] = right_lut[poss]
+        left_chunks.append(lmat.reshape(len(chunk), maxlen))
+        right_chunks.append(rmat.reshape(len(chunk), maxlen))
+        chunk_maxlens.append(maxlen)
+    return left_chunks, right_chunks, chunk_maxlens
+
+
+def union_words_by_mask(np, bit_words, masks, nbits):
+    """Per-mask unions of per-bit word rows: ``out[i] = OR of
+    bit_words[b] over set bits b of masks[i]``.  One vectorized OR sweep
+    per universe bit (``nbits`` ≤ 24 everywhere the columnar path
+    runs)."""
+    W = bit_words.shape[1] if nbits else 1
+    out = np.zeros((len(masks), W), np.uint64)
+    for i in range(nbits):
+        sel = (masks >> i) & 1 == 1
+        if sel.any():
+            out[sel] |= bit_words[i]
+    return out
+
+
+def first_occurrence_order(np, codes):
+    """Distinct values of ``codes`` in first-occurrence order, plus the
+    index of each first occurrence."""
+    uniq, first = np.unique(codes, return_index=True)
+    order = np.argsort(first, kind="stable")
+    return uniq[order], first[order]
+
+
+def range_min_pairs(np, values, lo, hi):
+    """Per-interval minima over a 1-D float array: ``out[k] =
+    min(values[lo[k]:hi[k]])``, ``+inf`` for empty intervals.  The
+    classic interleaved-``reduceat`` trick: only the even slots of the
+    boundary array are segment results."""
+    inf = float("inf")
+    out = np.full(len(lo), inf, dtype=np.float64)
+    ok = lo < hi
+    if not ok.any():
+        return out
+    vals = np.append(values, inf)  # sentinel keeps reduceat in range
+    sel_lo = lo[ok]
+    sel_hi = hi[ok]
+    bounds = np.empty(2 * len(sel_lo), np.int64)
+    bounds[0::2] = sel_lo
+    bounds[1::2] = sel_hi
+    out[ok] = np.minimum.reduceat(vals, bounds)[0::2]
+    return out

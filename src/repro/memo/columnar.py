@@ -69,6 +69,15 @@ from array import array
 from repro.algebra.logical import LogicalGet, LogicalJoin
 from repro.algebra.physical import Sort
 from repro.errors import MemoError
+from repro.kernel import active_numpy
+from repro.kernel.vector import (
+    HashCollision,
+    decode_bit_rows,
+    first_occurrence_order,
+    intern_rows,
+    lex_unique_rows,
+    union_words_by_mask,
+)
 from repro.memo.group import Group, GroupExpr
 from repro.resilience.faults import fault_point
 from repro.optimizer.rules import (
@@ -381,6 +390,7 @@ class ColumnarPhysicalStore:
         # engine.  Deferred import: repro.planspace's package __init__
         # reaches back into repro.optimizer.
         from repro.planspace.implicit.edges import EdgeCatalog
+        from repro.planspace.implicit.keys import KeyTable
         from repro.errors import PlanSpaceError
 
         try:
@@ -388,10 +398,12 @@ class ColumnarPhysicalStore:
         except PlanSpaceError as exc:  # >24 relations / >254 key columns
             raise ColumnarUnsupported(str(exc)) from None
 
-        #: interned sort-order ids (kids) over packed key byte strings
-        self._kid_of: dict[bytes, int] = {}
-        self.kid_bytes: list[bytes] = []
-        self._cut_kids: dict[int, tuple[int, int]] = {}
+        #: interned sort-order ids (kids) over packed key byte strings —
+        #: the implicit engine's hybrid table: dict-backed for scalar
+        #: builds, a preloaded lex-sorted byte matrix (row = kid = lex
+        #: rank) when the vectorized emitter interned the cut universe
+        self._keys = KeyTable(self.edges)
+        self.kid_bytes = self._keys.kid_bytes
 
         # Parallel row columns (signed 32-bit ints on CPython/Linux).
         self.tag = array("i")
@@ -405,11 +417,22 @@ class ColumnarPhysicalStore:
         #: logical expression count per group at build time (local-id base)
         self.logical_counts: list[int] = []
 
-        #: per-group Sort enforcer kids, in global first-occurrence order
-        self.sorts_by_gid: dict[int, list[int]] = {}
         #: all (gid, kid) requirement states, first-occurrence order —
-        #: exactly the object path's enforcer-requirement dict
-        self.requirements: list[tuple[int, int]] = []
+        #: exactly the object path's enforcer-requirement dict.  The
+        #: vectorized build keeps the stream as int64 columns and the
+        #: tuple list (plus the per-group ``sorts_by_gid`` view) only
+        #: materializes on demand.
+        self._requirements: list[tuple[int, int]] | None = []
+        self._req_np = None
+        self._req_gid = None
+        self._req_kid = None
+        self._sorts_by_gid: dict[int, list[int]] | None = None
+        self._sort_counts: list[int] | None = None
+        #: fused build→DP handoff: per merge row (in row order) the
+        #: dense state ids of its two child requirements; vector builds
+        #: only (``None`` after a scalar build)
+        self._merge_sid0 = None
+        self._merge_sid1 = None
         self.root_kid: int | None = None
 
         #: operator caches for lazy per-row materialization
@@ -420,29 +443,102 @@ class ColumnarPhysicalStore:
         self._keyed_tags: tuple[int, ...] = (TAG_NLJ, TAG_HASH, TAG_MERGE)
 
     # ------------------------------------------------------------------
-    # kid interning
+    # kid interning (delegated to the shared hybrid key table)
     # ------------------------------------------------------------------
     def kid(self, seq: bytes) -> int:
-        k = self._kid_of.get(seq)
-        if k is None:
-            k = len(self.kid_bytes)
-            self._kid_of[seq] = k
-            self.kid_bytes.append(seq)
-        return k
+        return self._keys.kid(seq)
 
     def kid_of_columns(self, columns) -> int:
-        return self.kid(self.edges.seq_bytes(tuple(columns)))
+        return self._keys.kid(self.edges.seq_bytes(tuple(columns)))
 
     def columns_of(self, kid: int):
-        return self.edges.seq_columns(self.kid_bytes[kid])
+        return self._keys.columns_of(kid)
 
     def cut_kids(self, bits: int) -> tuple[int, int]:
-        pair = self._cut_kids.get(bits)
-        if pair is None:
-            left_seq, right_seq = self.edges.decode(bits)
-            pair = (self.kid(left_seq), self.kid(right_seq))
-            self._cut_kids[bits] = pair
-        return pair
+        return self._keys.cut_kids(bits)
+
+    # ------------------------------------------------------------------
+    # requirement states
+    # ------------------------------------------------------------------
+    @property
+    def requirements(self) -> list[tuple[int, int]]:
+        if self._requirements is None:
+            self._requirements = list(
+                zip(self._req_gid.tolist(), self._req_kid.tolist())
+            )
+        return self._requirements
+
+    @requirements.setter
+    def requirements(self, value) -> None:
+        self._requirements = value
+        self._req_np = self._req_gid = self._req_kid = None
+        self._sorts_by_gid = None
+        self._sort_counts = None
+        self._merge_sid0 = self._merge_sid1 = None
+
+    def set_requirement_arrays(self, np, req_gid, req_kid) -> None:
+        """Adopt the vectorized build's requirement stream (int64 gid/kid
+        columns, global first-occurrence order) without materializing the
+        tuple list."""
+        self._req_np = np
+        self._req_gid = req_gid
+        self._req_kid = req_kid
+        self._requirements = None
+        self._sorts_by_gid = None
+        self._sort_counts = None
+
+    def requirement_count(self) -> int:
+        if self._requirements is not None:
+            return len(self._requirements)
+        return len(self._req_gid)
+
+    def requirement_arrays(self, np):
+        """``(gid, kid)`` int64 requirement columns, first-occurrence
+        order — the vectorized build's columns when present, else built
+        from the tuple list."""
+        if self._req_gid is not None:
+            return self._req_gid, self._req_kid
+        reqs = self._requirements
+        gid = np.fromiter((r[0] for r in reqs), np.int64, len(reqs))
+        kid = np.fromiter((r[1] for r in reqs), np.int64, len(reqs))
+        return gid, kid
+
+    @property
+    def sorts_by_gid(self) -> dict[int, list[int]]:
+        """gid -> ``Sort`` enforcer kids in global requirement
+        first-occurrence order, materialized lazily from the stream."""
+        if self._sorts_by_gid is None:
+            by_gid: dict[int, list[int]] = {}
+            if self.config.enable_sort_enforcers:
+                for gid, kid in self.requirements:
+                    by_gid.setdefault(gid, []).append(kid)
+            self._sorts_by_gid = by_gid
+        return self._sorts_by_gid
+
+    def group_sorts(self, gid: int) -> list[int]:
+        """One group's enforcer kids without materializing the full map."""
+        if self._sorts_by_gid is not None:
+            return self._sorts_by_gid.get(gid, [])
+        if not self.config.enable_sort_enforcers:
+            return []
+        if self._req_gid is not None:
+            return self._req_kid[self._req_gid == gid].tolist()
+        return [kid for g, kid in self._requirements if g == gid]
+
+    def _group_sort_counts(self) -> list[int]:
+        if self._sort_counts is None:
+            n = len(self.group_start) - 1
+            counts = [0] * n
+            if self.config.enable_sort_enforcers:
+                if self._req_np is not None:
+                    counts = self._req_np.bincount(
+                        self._req_gid, minlength=n
+                    ).tolist()
+                else:
+                    for gid, _kid in self.requirements:
+                        counts[gid] += 1
+            self._sort_counts = counts
+        return self._sort_counts
 
     # ------------------------------------------------------------------
     # inspection
@@ -452,7 +548,9 @@ class ColumnarPhysicalStore:
         return len(self.tag)
 
     def sort_count(self) -> int:
-        return sum(len(kids) for kids in self.sorts_by_gid.values())
+        if not self.config.enable_sort_enforcers:
+            return 0
+        return self.requirement_count()
 
     def physical_count(self) -> int:
         return self.row_count + self.sort_count()
@@ -462,8 +560,7 @@ class ColumnarPhysicalStore:
 
     def group_physical_count(self, gid: int) -> int:
         start, end = self.group_rows(gid)
-        sorts = self.sorts_by_gid.get(gid)
-        return (end - start) + (len(sorts) if sorts else 0)
+        return (end - start) + self._group_sort_counts()[gid]
 
     def row_local_id(self, row: int) -> int:
         g = self.gid[row]
@@ -606,11 +703,9 @@ class ColumnarPhysicalStore:
                 GroupExpr(self.row_op(row), self.row_children(row), gid, local)
             )
             local += 1
-        sorts = self.sorts_by_gid.get(gid)
-        if sorts:
-            for kid in sorts:
-                append(GroupExpr(Sort(self.columns_of(kid)), (gid,), gid, local))
-                local += 1
+        for kid in self.group_sorts(gid):
+            append(GroupExpr(Sort(self.columns_of(kid)), (gid,), gid, local))
+            local += 1
 
 
 def build_columnar_store(
@@ -623,9 +718,13 @@ def build_columnar_store(
 ) -> ColumnarPhysicalStore:
     """Populate a :class:`ColumnarPhysicalStore` by batched implementation.
 
-    One pass over the logical memo, group by group; each group's operator
-    block is accumulated in small per-group buffers and appended to the
-    flat columns in one ``extend`` per column.  Raises
+    With a vectorizing kernel backend (:func:`repro.kernel.active_numpy`)
+    and a complete batched-explored logical store, the join rows of every
+    group are emitted in one whole-bucket array pass
+    (:func:`_emit_rows_vectorized`); otherwise — and for leaf/tower groups
+    always — each group's operator block is accumulated in small
+    per-group buffers and appended to the flat columns in one ``extend``
+    per column (:func:`_emit_rows_scalar`, the reference loop).  Raises
     :class:`ColumnarUnsupported` for memos the columnar path cannot
     represent (no alias universe / too many relations or key columns) —
     before any state is attached, so the caller can fall back cleanly.
@@ -637,15 +736,133 @@ def build_columnar_store(
         raise ColumnarUnsupported("memo has no alias universe")
 
     store = ColumnarPhysicalStore(memo, graph, catalog, config, root_order)
-    edges = store.edges
-    from_mask = edges.from_mask
-    to_mask = edges.to_mask
-    cut_kids = store.cut_kids
 
     keyed_kinds, cross_kinds = join_physical_kinds(config)
     keyed_tags = tuple(_JOIN_KIND_TAGS[kind] for kind in keyed_kinds)
     cross_tags = tuple(_JOIN_KIND_TAGS[kind] for kind in cross_kinds)
     store._keyed_tags = keyed_tags
+
+    logical_store = memo.columnar_logical
+    np = active_numpy()
+    req_arrays = None
+    if (
+        np is not None
+        and logical_store is not None
+        and logical_store.complete
+        and not config.enable_index_nl_join
+        and store.tag.itemsize == 4
+    ):
+        req_arrays = _emit_rows_vectorized(
+            np, store, logical_store, keyed_kinds, keyed_tags, cross_tags, scope
+        )
+
+    # ------------------------------------------------------------------
+    # requirement registration, in the object path's exact order: the
+    # interleaved merge stream first, then the enforcer scan's non-join
+    # requirements (stream aggregates, in group order), then ORDER BY.
+    # ------------------------------------------------------------------
+    if req_arrays is None:
+        merge_reqs = _emit_rows_scalar(
+            store, logical_store, keyed_kinds, keyed_tags, cross_tags, scope
+        )
+        seen: dict[tuple[int, int], None] = {}
+        record = seen.setdefault
+        for req in merge_reqs:
+            record(req)
+        _record_tail_requirements(store, record)
+        store.requirements = list(seen)
+    else:
+        req_gid, req_kid = req_arrays
+        codes = np.sort((req_gid << np.int64(32)) | req_kid)
+        extra: dict[tuple[int, int], None] = {}
+
+        def record(pair):
+            code = (pair[0] << 32) | pair[1]
+            i = int(np.searchsorted(codes, code))
+            if i < len(codes) and int(codes[i]) == code:
+                return  # already in the merge stream
+            extra.setdefault(pair, None)
+
+        _record_tail_requirements(store, record)
+        if extra:
+            req_gid = np.concatenate(
+                [
+                    req_gid,
+                    np.fromiter((g for g, _k in extra), np.int64, len(extra)),
+                ]
+            )
+            req_kid = np.concatenate(
+                [
+                    req_kid,
+                    np.fromiter((k for _g, k in extra), np.int64, len(extra)),
+                ]
+            )
+        store.set_requirement_arrays(np, req_gid, req_kid)
+
+    store.complete = True
+    return store
+
+
+def _emit_leaf_rows(store, gid, g_tag, g_c0, g_c1, g_a, g_b) -> None:
+    """Scan rows of one base-relation group (scalar, both build paths)."""
+    for ordinal, scan in enumerate(store.group_ops(gid)):
+        order = scan.delivered_order()
+        g_tag.append(TAG_INDEX_SCAN if order else TAG_TABLE_SCAN)
+        g_c0.append(-1)
+        g_c1.append(-1)
+        g_a.append(ordinal)
+        g_b.append(store.kid_of_columns(order) if order else -1)
+
+
+def _emit_tower_rows(store, gid, child, g_tag, g_c0, g_c1, g_a, g_b) -> None:
+    """Unary-operator rows of one tower group (scalar, both build paths)."""
+    for ordinal, phys in enumerate(store.group_ops(gid)):
+        tag = _UNARY_TAGS.get(type(phys).__name__)
+        if tag is None:  # pragma: no cover - defensive
+            raise ColumnarUnsupported(f"no columnar tag for operator {phys.name}")
+        order = phys.delivered_order()
+        g_tag.append(tag)
+        g_c0.append(child)
+        g_c1.append(-1)
+        g_a.append(ordinal)
+        g_b.append(store.kid_of_columns(order) if order else -1)
+
+
+def _record_tail_requirements(store, record) -> None:
+    """The enforcer scan's non-merge requirements, in the object path's
+    order: stream-aggregate GROUP BYs (group order, and stream aggregates
+    live only in unary tower groups, so the scan skips relation-set
+    groups — the bulk of the rows — entirely), then ORDER BY."""
+    memo = store.memo
+    tag_col, c0_col, b_col = store.tag, store.c0, store.b
+    for group in memo.groups:
+        if group.key[0] == "rels":
+            continue
+        start, end = store.group_rows(group.gid)
+        for row in range(start, end):
+            if tag_col[row] == TAG_STREAMAGG and b_col[row] >= 0:
+                record((c0_col[row], b_col[row]))
+    if store.root_order:
+        store.root_kid = store.kid_of_columns(store.root_order)
+        if memo.root_group_id is not None:
+            record((memo.root_group_id, store.root_kid))
+
+
+def _emit_rows_scalar(
+    store, logical_store, keyed_kinds, keyed_tags, cross_tags, scope
+) -> list[tuple[int, int]]:
+    """The reference per-group emission loop (any backend, any config).
+
+    Returns the merge-requirement stream: (gid, kid) interleaved
+    left/right in emission order — the object path's inline requirement
+    collection.
+    """
+    memo = store.memo
+    config = store.config
+    edges = store.edges
+    from_mask = edges.from_mask
+    to_mask = edges.to_mask
+    cut_kids = store.cut_kids
     n_keyed = len(keyed_tags)
     n_cross = len(cross_tags)
     enable_inlj = config.enable_index_nl_join
@@ -656,8 +873,6 @@ def build_columnar_store(
     a_col, b_col = store.a, store.b
     group_start = store.group_start
     logical_counts = store.logical_counts
-    #: merge-requirement stream, (gid, kid) interleaved left/right in
-    #: emission order — the object path's inline requirement collection
     merge_reqs: list[tuple[int, int]] = []
 
     # Per-group staging buffers, flushed with one extend per column.
@@ -667,7 +882,6 @@ def build_columnar_store(
     g_a: list[int] = []
     g_b: list[int] = []
 
-    logical_store = memo.columnar_logical
     checkpoint = scope.checkpoint if scope is not None else None
     for group in groups:
         fault_point("implement.columnar", store)
@@ -728,27 +942,11 @@ def build_columnar_store(
                     g_a.extend((-1,) * n_cross)
                     g_b.extend((-1,) * n_cross)
         elif isinstance(first, LogicalGet):
-            for ordinal, scan in enumerate(store.group_ops(gid)):
-                order = scan.delivered_order()
-                g_tag.append(TAG_INDEX_SCAN if order else TAG_TABLE_SCAN)
-                g_c0.append(-1)
-                g_c1.append(-1)
-                g_a.append(ordinal)
-                g_b.append(store.kid_of_columns(order) if order else -1)
+            _emit_leaf_rows(store, gid, g_tag, g_c0, g_c1, g_a, g_b)
         else:
-            child = exprs[0].children[0]
-            for ordinal, phys in enumerate(store.group_ops(gid)):
-                tag = _UNARY_TAGS.get(type(phys).__name__)
-                if tag is None:  # pragma: no cover - defensive
-                    raise ColumnarUnsupported(
-                        f"no columnar tag for operator {phys.name}"
-                    )
-                order = phys.delivered_order()
-                g_tag.append(tag)
-                g_c0.append(child)
-                g_c1.append(-1)
-                g_a.append(ordinal)
-                g_b.append(store.kid_of_columns(order) if order else -1)
+            _emit_tower_rows(
+                store, gid, exprs[0].children[0], g_tag, g_c0, g_c1, g_a, g_b
+            )
         tag_col.extend(g_tag)
         gid_col.extend((gid,) * len(g_tag))
         c0_col.extend(g_c0)
@@ -756,34 +954,316 @@ def build_columnar_store(
         a_col.extend(g_a)
         b_col.extend(g_b)
     group_start.append(len(tag_col))
+    return merge_reqs
 
-    # ------------------------------------------------------------------
-    # requirement registration, in the object path's exact order: the
-    # interleaved merge stream first, then the enforcer scan's non-join
-    # requirements (stream aggregates, in group order), then ORDER BY.
-    # Stream aggregates live only in unary tower groups, so the scan
-    # skips relation-set groups (the bulk of the rows) entirely.
-    # ------------------------------------------------------------------
-    seen: dict[tuple[int, int], None] = {}
-    record = seen.setdefault
-    for req in merge_reqs:
-        record(req)
+
+#: per-group emission kinds of the vectorized build plan
+_VEC, _LEAF, _TOWER, _EMPTY = 0, 1, 2, 3
+
+_WORD_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _emit_rows_vectorized(
+    np, store, logical_store, keyed_kinds, keyed_tags, cross_tags, scope
+):
+    """Whole-bucket join emission over the columnar logical store.
+
+    Computes every join group's rows as one array pipeline — the ordered
+    orientation stream positionally from the ``sl``/``sr`` split columns,
+    cut bitmasks through per-gid FROM/TO word tables, kids by interning
+    the decoded cut-key universe into a lex-sorted matrix the store's key
+    table adopts — then walks the groups once in gid order, splicing
+    vector block slices between the scalar leaf/tower emissions.
+
+    Returns the deduplicated merge-requirement stream as ``(gid, kid)``
+    int64 columns in first-occurrence order, or ``None`` when this memo
+    needs the scalar loop (an object-explored join group, or an
+    astronomically-unlikely hash collision while interning).
+    """
+    memo = store.memo
+    groups = memo.groups
+    edges = store.edges
+    E = edges.edge_count
+    checkpoint = scope.checkpoint if scope is not None else None
+
+    # One classification pass in gid order.  An object-explored join
+    # group (no split range) would interleave its merge requirements into
+    # the middle of the vectorized stream, so its presence sends the
+    # whole build down the scalar path.
+    plan: list[tuple[int, int, int]] = []  # (kind, logical_count, payload)
+    join_gids: list[int] = []
+    join_ranges: list[tuple[int, int]] = []
     for group in groups:
-        if group.key[0] == "rels":
+        gid = group.gid
+        rng = logical_store.split_rows(gid)
+        if rng is not None:
+            n_logical = logical_store.logical_join_count(gid)
+            if n_logical:
+                plan.append((_VEC, n_logical, -1))
+                join_gids.append(gid)
+                join_ranges.append(rng)
+            else:
+                plan.append((_EMPTY, n_logical, -1))
             continue
-        start, end = store.group_rows(group.gid)
-        for row in range(start, end):
-            if tag_col[row] == TAG_STREAMAGG and b_col[row] >= 0:
-                record((c0_col[row], b_col[row]))
-    if store.root_order:
-        store.root_kid = store.kid_of_columns(store.root_order)
-        if memo.root_group_id is not None:
-            record((memo.root_group_id, store.root_kid))
-    store.requirements = list(seen)
+        exprs = group.logical_exprs()
+        n_logical = len(group._exprs)
+        if not exprs:
+            plan.append((_EMPTY, n_logical, -1))
+            continue
+        first = exprs[0].op
+        if type(first) is LogicalJoin:
+            return None
+        if isinstance(first, LogicalGet):
+            plan.append((_LEAF, n_logical, -1))
+        else:
+            plan.append((_TOWER, n_logical, exprs[0].children[0]))
 
-    if config.enable_sort_enforcers:
-        sorts_by_gid = store.sorts_by_gid
-        for req_gid, kid in store.requirements:
-            sorts_by_gid.setdefault(req_gid, []).append(kid)
-    store.complete = True
-    return store
+    # ------------------------------------------------------------------
+    # ordered-pair stream: both orientations of every split interleaved
+    # in bucket order, gathered group-major, each setup-seeded initial
+    # orientation rolled to the front of its block — positionally
+    # identical to ColumnarLogicalStore.ordered_pairs per group.
+    # ------------------------------------------------------------------
+    sl_np = np.frombuffer(logical_store.sl, dtype=np.int32).astype(np.int64)
+    sr_np = np.frombuffer(logical_store.sr, dtype=np.int32).astype(np.int64)
+    if join_ranges:
+        split_idx = np.concatenate(
+            [np.arange(s, e, dtype=np.int64) for s, e in join_ranges]
+        )
+    else:
+        split_idx = np.zeros(0, np.int64)
+    gl = sl_np[split_idx]
+    gr = sr_np[split_idx]
+    S = len(split_idx)
+    P = 2 * S
+    pl = np.empty(P, np.int64)
+    pr = np.empty(P, np.int64)
+    pl[0::2] = gl
+    pr[0::2] = gr
+    pl[1::2] = gr
+    pr[1::2] = gl
+    pair_counts = np.zeros(len(join_gids), np.int64)
+    for i, (s, e) in enumerate(join_ranges):
+        pair_counts[i] = 2 * (e - s)
+    pair_start = np.zeros(len(join_gids) + 1, np.int64)
+    np.cumsum(pair_counts, out=pair_start[1:])
+    initial = logical_store.initial_by_gid
+    if initial:
+        pos_of_gid = {gid: i for i, gid in enumerate(join_gids)}
+        for gid, (il, ir) in initial.items():
+            i = pos_of_gid.get(gid)
+            if i is None:
+                continue
+            s = int(pair_start[i])
+            e = int(pair_start[i + 1])
+            hits = np.nonzero((pl[s:e] == il) & (pr[s:e] == ir))[0]
+            if not len(hits):  # pragma: no cover - build_logical_store checks
+                return None
+            j = int(hits[0])
+            if j:
+                pl[s : s + j + 1] = np.roll(pl[s : s + j + 1], 1)
+                pr[s : s + j + 1] = np.roll(pr[s : s + j + 1], 1)
+    if checkpoint is not None:
+        checkpoint("implement.columnar", P)
+
+    # ------------------------------------------------------------------
+    # cut bitmasks: per-gid FROM/TO unions over the per-alias oriented
+    # edge masks, packed into uint64 word rows
+    # ------------------------------------------------------------------
+    n_alias = edges.universe.size
+    W = max(1, (E + 63) // 64)
+    from_words = np.zeros((n_alias, W), np.uint64)
+    to_words = np.zeros((n_alias, W), np.uint64)
+    for i in range(n_alias):
+        fb = edges.from_bits[i]
+        tb = edges.to_bits[i]
+        for w in range(W):
+            from_words[i, w] = (fb >> (64 * w)) & _WORD_MASK
+            to_words[i, w] = (tb >> (64 * w)) & _WORD_MASK
+    mask_arr = np.fromiter(
+        (group.mask or 0 for group in groups), np.int64, len(groups)
+    )
+    from_by_gid = union_words_by_mask(np, from_words, mask_arr, n_alias)
+    to_by_gid = union_words_by_mask(np, to_words, mask_arr, n_alias)
+    cut_words = from_by_gid[pl] & to_by_gid[pr]
+    keyed = (cut_words != 0).any(axis=1)
+
+    # ------------------------------------------------------------------
+    # kids: intern the distinct cuts, decode each once, intern the
+    # decoded key universe into a lex-sorted matrix (row = kid = lex
+    # rank) and hand it to the store's key table
+    # ------------------------------------------------------------------
+    n_keyed = len(keyed_tags)
+    n_cross = len(cross_tags)
+    kc = int(keyed.sum())
+    lk_pair = np.full(P, -1, np.int64)
+    rk_pair = np.full(P, -1, np.int64)
+    if kc:
+        keyed_cuts = cut_words[keyed]
+        try:
+            cut_ids, cut_rep = intern_rows(np, keyed_cuts)
+        except HashCollision:  # pragma: no cover - astronomically rare
+            return None
+        uniq_cuts = keyed_cuts[cut_rep]
+        lcol_lut = np.frombuffer(edges.left_col, dtype=np.uint8)
+        rcol_lut = np.frombuffer(edges.right_col, dtype=np.uint8)
+        left_chunks, right_chunks, chunk_maxlens = decode_bit_rows(
+            np,
+            uniq_cuts,
+            E,
+            lcol_lut,
+            rcol_lut,
+            on_chunk=(
+                (lambda: checkpoint("implement.columnar", 0))
+                if checkpoint is not None
+                else None
+            ),
+        )
+        maxlen = max(chunk_maxlens, default=1)
+
+        def padded(mat, width):
+            if mat.shape[1] == width:
+                return mat
+            out = np.zeros((mat.shape[0], width), np.uint8)
+            out[:, : mat.shape[1]] = mat
+            return out
+
+        stacked = np.concatenate(
+            [padded(m, maxlen) for m in left_chunks]
+            + [padded(m, maxlen) for m in right_chunks],
+            axis=0,
+        )
+        # One lexsort interns and ranks the whole key universe at once:
+        # distinct rows in lex order (row = kid = lex rank) plus every
+        # stacked row's kid — exact, no hash-collision retry needed.
+        kid_mat, kid_of_row = lex_unique_rows(np, stacked)
+        kid_lengths = (kid_mat != 0).sum(axis=1).astype(np.int64)
+        store._keys.preload(kid_mat, kid_lengths)
+        U = len(uniq_cuts)
+        lk_pair[keyed] = kid_of_row[:U][cut_ids]
+        rk_pair[keyed] = kid_of_row[U:][cut_ids]
+    if checkpoint is not None:
+        checkpoint("implement.columnar", kc)
+
+    # ------------------------------------------------------------------
+    # merge-requirement stream: (gid, kid) interleaved left/right per
+    # keyed pair in emission order, deduplicated to first occurrences
+    # ------------------------------------------------------------------
+    if "merge" in keyed_kinds and kc:
+        mcodes = np.empty(2 * kc, np.int64)
+        mcodes[0::2] = (pl[keyed] << np.int64(32)) | lk_pair[keyed]
+        mcodes[1::2] = (pr[keyed] << np.int64(32)) | rk_pair[keyed]
+        uniq_sorted, first, inverse = np.unique(
+            mcodes, return_index=True, return_inverse=True
+        )
+        forder = np.argsort(first, kind="stable")
+        uniq_codes = uniq_sorted[forder]
+        req_gid = (uniq_codes >> np.int64(32)).astype(np.int64)
+        req_kid = (uniq_codes & np.int64(0xFFFFFFFF)).astype(np.int64)
+        # Fused implement→DP handoff: each merge row's child states as
+        # dense state ids (positions in the first-occurrence stream),
+        # one pair per keyed ordered pair in emission order.  The
+        # best-plan DP consumes these directly instead of re-deriving
+        # them by binary search over the requirement codes.
+        perm = np.empty(len(forder), np.int64)
+        perm[forder] = np.arange(len(forder), dtype=np.int64)
+        sid_stream = perm[inverse]
+        store._merge_sid0 = sid_stream[0::2].copy()
+        store._merge_sid1 = sid_stream[1::2].copy()
+    else:
+        req_gid = np.zeros(0, np.int64)
+        req_kid = np.zeros(0, np.int64)
+
+    # ------------------------------------------------------------------
+    # row expansion: each keyed pair becomes the enabled-join-rule tag
+    # pattern, each keyless pair the cross pattern
+    # ------------------------------------------------------------------
+    cnt = np.where(keyed, n_keyed, n_cross).astype(np.int64)
+    row_start = np.zeros(P + 1, np.int64)
+    np.cumsum(cnt, out=row_start[1:])
+    total = int(row_start[-1])
+    rep = np.repeat(np.arange(P, dtype=np.int64), cnt)
+    off = np.arange(total, dtype=np.int64) - np.repeat(row_start[:-1], cnt)
+    pat_len = max(n_keyed, n_cross, 1)
+    keyed_pat = np.zeros(pat_len, np.int64)
+    keyed_pat[:n_keyed] = keyed_tags
+    cross_pat = np.zeros(pat_len, np.int64)
+    cross_pat[:n_cross] = cross_tags
+    keyed_rep = keyed[rep]
+    tag32 = np.where(keyed_rep, keyed_pat[off], cross_pat[off]).astype(np.int32)
+    c032 = pl[rep].astype(np.int32)
+    c132 = pr[rep].astype(np.int32)
+    a32 = np.where(keyed_rep, lk_pair[rep], -1).astype(np.int32)
+    b32 = np.where(keyed_rep, rk_pair[rep], -1).astype(np.int32)
+    group_row_counts = row_start[pair_start[1:]] - row_start[pair_start[:-1]]
+    gid32 = np.repeat(
+        np.asarray(join_gids, dtype=np.int64), group_row_counts
+    ).astype(np.int32)
+
+    # ------------------------------------------------------------------
+    # final assembly: one walk in gid order, splicing vector block
+    # slices between the scalar leaf/tower emissions
+    # ------------------------------------------------------------------
+    tag_col, gid_col = store.tag, store.gid
+    c0_col, c1_col = store.c0, store.c1
+    a_col, b_col = store.a, store.b
+    group_start = store.group_start
+    logical_counts = store.logical_counts
+    g_tag: list[int] = []
+    g_c0: list[int] = []
+    g_c1: list[int] = []
+    g_a: list[int] = []
+    g_b: list[int] = []
+    vec_i = 0
+    # Contiguous runs of vector groups splice as ONE slice per column:
+    # the vector rows are laid out group-major in gid order, so a run of
+    # _VEC (and row-less _EMPTY) groups occupies one contiguous span.
+    # ``pend0:pend1`` is the span not yet copied into the columns.
+    pend0 = pend1 = 0
+
+    def _flush_vec():
+        nonlocal pend0
+        if pend1 > pend0:
+            # memoryview splice: no intermediate bytes copy
+            tag_col.frombytes(tag32[pend0:pend1].data.cast("B"))
+            gid_col.frombytes(gid32[pend0:pend1].data.cast("B"))
+            c0_col.frombytes(c032[pend0:pend1].data.cast("B"))
+            c1_col.frombytes(c132[pend0:pend1].data.cast("B"))
+            a_col.frombytes(a32[pend0:pend1].data.cast("B"))
+            b_col.frombytes(b32[pend0:pend1].data.cast("B"))
+        pend0 = pend1
+
+    for (kind, n_logical, payload), group in zip(plan, groups):
+        fault_point("implement.columnar", store)
+        if checkpoint is not None:
+            checkpoint("implement.columnar", len(g_tag))
+        group_start.append(len(tag_col) + (pend1 - pend0))
+        logical_counts.append(n_logical)
+        if kind == _VEC:
+            assert int(row_start[pair_start[vec_i]]) == pend1
+            pend1 = int(row_start[pair_start[vec_i + 1]])
+            vec_i += 1
+            continue
+        if kind == _EMPTY:
+            continue
+        _flush_vec()
+        g_tag.clear()
+        g_c0.clear()
+        g_c1.clear()
+        g_a.clear()
+        g_b.clear()
+        if kind == _LEAF:
+            _emit_leaf_rows(store, group.gid, g_tag, g_c0, g_c1, g_a, g_b)
+        else:
+            _emit_tower_rows(
+                store, group.gid, payload, g_tag, g_c0, g_c1, g_a, g_b
+            )
+        tag_col.extend(g_tag)
+        gid_col.extend((group.gid,) * len(g_tag))
+        c0_col.extend(g_c0)
+        c1_col.extend(g_c1)
+        a_col.extend(g_a)
+        b_col.extend(g_b)
+    _flush_vec()
+    group_start.append(len(tag_col))
+    return req_gid, req_kid

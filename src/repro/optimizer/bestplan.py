@@ -19,13 +19,19 @@ checks by exhaustive enumeration on small queries.
 from __future__ import annotations
 
 import math
-import os
-from bisect import bisect_left
 from dataclasses import dataclass
 
 from repro.algebra.physical import PhysicalOperator, Sort
 from repro.algebra.properties import SortOrder, order_satisfies
 from repro.errors import OptimizerError
+from repro.kernel import active_numpy, native_available, selected_backend
+from repro.kernel import native as _native
+from repro.kernel.vector import (
+    lex_rank_rows,
+    prefix_interval_ends,
+    prefix_intervals,
+    range_min_pairs,
+)
 from repro.memo.columnar import (
     TAG_HASH,
     TAG_INDEX_SCAN,
@@ -369,15 +375,31 @@ def find_best_plan(
 # ======================================================================
 # the layered columnar DP
 # ======================================================================
-def _numpy_or_none():
-    """numpy, unless absent or disabled via REPRO_COLUMNAR_NUMPY=0."""
-    if os.environ.get("REPRO_COLUMNAR_NUMPY", "").strip() == "0":
-        return None
-    try:
-        import numpy
-    except ImportError:  # pragma: no cover - numpy is available here
-        return None
-    return numpy
+def _interval_ends(np, sorted_mat, lengths, pad_width, ranks):
+    """Backend-dispatched prefix-interval ends for the required ranks.
+
+    Native backend: the jitted full-table sweep, indexed at ``ranks``.
+    Otherwise the selective masked-word compare when the required kids
+    span few distinct lengths (each distinct length costs whole-array
+    word compares), falling back to the full LCP sweep when the
+    requirement set is dense — on clique-style queries nearly every kid
+    in the table is required, at every length, and one ``(K, width)``
+    byte sweep beats per-length word passes."""
+    if selected_backend() == "native" and native_available():  # pragma: no cover
+        full = _native.prefix_intervals(np, sorted_mat, lengths, pad_width)
+        return full[ranks]
+    if len(ranks):
+        lens = np.asarray(lengths, np.int64)
+        distinct = np.unique(lens[ranks])
+        words = (pad_width + 7) // 8
+        if len(distinct) * words * 8 > pad_width + len(distinct):
+            return prefix_intervals(np, sorted_mat, lengths, pad_width)[ranks]
+    return prefix_interval_ends(np, sorted_mat, lengths, pad_width, ranks)
+
+
+#: placeholder for state winners the vectorized layers never resolved —
+#: assembly recomputes them lazily, on the winning path only
+_UNRESOLVED = object()
 
 
 class ColumnarBestPlanSearch:
@@ -409,12 +431,17 @@ class ColumnarBestPlanSearch:
     """
 
     def __init__(
-        self, store: ColumnarPhysicalStore, cost_model: CostModel, scope=None
+        self,
+        store: ColumnarPhysicalStore,
+        cost_model: CostModel,
+        scope=None,
+        prune_dominated: bool = True,
     ):
         self.store = store
         self.memo = store.memo
         self.cost_model = cost_model
         self.scope = scope
+        self.prune_dominated = prune_dominated
         groups = self.memo.groups
         G = len(groups)
         self._card = card = [0.0] * G
@@ -428,18 +455,42 @@ class ColumnarBestPlanSearch:
 
         self._best0 = [_INFINITY] * G
         self._best0_row = [-1] * G
+        self._enforcers = store.config.enable_sort_enforcers
 
-        #: state table: one slot per collected (group, required kid)
-        self._state_index = {
-            state: sid for sid, state in enumerate(store.requirements)
+        #: state table: one slot per collected (group, required kid).
+        #: On the vector backend states live in int64 gid/kid columns
+        #: (lookup = binary search over packed codes); the pure backend
+        #: keeps the historical dict index.
+        np = self._np = active_numpy()
+        S = store.requirement_count()
+        if np is not None:
+            rg, rk = store.requirement_arrays(np)
+            self._req_gid_arr = rg
+            self._req_kid_arr = rk
+            codes = (rg << np.int64(32)) | rk
+            self._state_order = np.argsort(codes)
+            self._sorted_state_codes = codes[self._state_order]
+            self._state_cost = np.full(S, _INFINITY, dtype=np.float64)
+            self._state_index = None
+            self._reqs_by_gid = None
+        else:
+            self._state_index = {
+                state: sid for sid, state in enumerate(store.requirements)
+            }
+            self._state_cost = [_INFINITY] * S
+            self._reqs_by_gid = {}
+            for sid, (gid, kid) in enumerate(store.requirements):
+                self._reqs_by_gid.setdefault(gid, []).append((sid, kid))
+        #: winner per resolved state: row index, or ("sort", kid), or
+        #: None (infeasible).  Sparse: the vectorized layers resolve
+        #: costs for every state but winners only lazily at assembly.
+        self._state_winner: dict = {}
+        self.stats = {
+            "states": S,
+            "pruned_empty": 0,
+            "pruned_dedup": 0,
+            "pruned": 0,
         }
-        S = len(store.requirements)
-        self._state_cost = [_INFINITY] * S
-        #: winner per state: row index, or ("sort", position), or None
-        self._state_winner: list = [None] * S
-        self._reqs_by_gid: dict[int, list[tuple[int, int]]] = {}
-        for sid, (gid, kid) in enumerate(store.requirements):
-            self._reqs_by_gid.setdefault(gid, []).append((sid, kid))
 
         #: group layers: leaves and towers run scalar; join groups run
         #: per popcount layer (vectorized when numpy is present)
@@ -458,9 +509,30 @@ class ColumnarBestPlanSearch:
                 self._tower_gids.append(group.gid)
         self._join_layers = [join_layers[pc] for pc in sorted(join_layers)]
 
+        #: (sid, kid) lists for every scalar-processed group, collected
+        #: in one pass over the requirement columns (the vector backend
+        #: has no per-gid dict; a scan per leaf/tower group would cost
+        #: O(S) each).  Join groups ride along only when the store is
+        #: empty and the whole sweep falls back to scalar.
+        if np is not None:
+            scalar_gids = list(self._leaf_gids) + list(self._tower_gids)
+            if not store.row_count:
+                for layer in self._join_layers:
+                    scalar_gids.extend(layer)
+            is_scalar = np.zeros(G, dtype=bool)
+            if scalar_gids:
+                is_scalar[np.asarray(scalar_gids, dtype=np.int64)] = True
+            reqs: dict[int, list] = {}
+            if S:
+                for s in np.flatnonzero(is_scalar[rg]).tolist():
+                    reqs.setdefault(int(rg[s]), []).append((s, int(rk[s])))
+            self._scalar_reqs = reqs
+        else:
+            self._scalar_reqs = None
+
     # ------------------------------------------------------------------
     def run(self) -> "ColumnarBestPlanSearch":
-        np = _numpy_or_none()
+        np = self._np
         checkpoint = self.scope.checkpoint if self.scope is not None else None
         if checkpoint is not None:
             checkpoint("bestplan.layer", len(self._leaf_gids))
@@ -479,7 +551,31 @@ class ColumnarBestPlanSearch:
             checkpoint("bestplan.layer", len(self._tower_gids))
         for gid in self._tower_gids:
             self._process_group_scalar(gid)
+        self.stats["pruned"] = (
+            self.stats["pruned_empty"] + self.stats["pruned_dedup"]
+        )
         return self
+
+    # ------------------------------------------------------------------
+    # state lookup (dict on the pure backend, binary search on numpy)
+    # ------------------------------------------------------------------
+    def _sid_of(self, gid: int, kid: int) -> int:
+        index = self._state_index
+        if index is not None:
+            return index[(gid, kid)]
+        code = (gid << 32) | kid
+        i = int(self._sorted_state_codes.searchsorted(code))
+        if i >= len(self._sorted_state_codes) or int(
+            self._sorted_state_codes[i]
+        ) != code:
+            raise KeyError((gid, kid))
+        return int(self._state_order[i])
+
+    def _group_reqs(self, gid: int):
+        """One group's ``(sid, required kid)`` states, or ``None``."""
+        if self._reqs_by_gid is not None:
+            return self._reqs_by_gid.get(gid)
+        return self._scalar_reqs.get(gid)
 
     # ------------------------------------------------------------------
     # shared scalar machinery (leaves, towers, and the no-numpy fallback)
@@ -533,15 +629,14 @@ class ColumnarBestPlanSearch:
             total += self._best0[store.c0[row]]
             total += self._best0[store.c1[row]]
         elif tag == TAG_MERGE:
-            index = self._state_index
             cost = self._state_cost
-            total += cost[index[(store.c0[row], store.a[row])]]
-            total += cost[index[(store.c1[row], store.b[row])]]
+            total += cost[self._sid_of(store.c0[row], store.a[row])]
+            total += cost[self._sid_of(store.c1[row], store.b[row])]
         elif tag in (TAG_TABLE_SCAN, TAG_INDEX_SCAN):
             pass
         elif tag == TAG_STREAMAGG and store.b[row] >= 0:
             total += self._state_cost[
-                self._state_index[(store.c0[row], store.b[row])]
+                self._sid_of(store.c0[row], store.b[row])
             ]
         else:
             total += self._best0[store.c0[row]]
@@ -557,29 +652,31 @@ class ColumnarBestPlanSearch:
 
     def _process_group_scalar(self, gid: int) -> None:
         store = self.store
+        kid_bytes = store.kid_bytes
         start, end = store.group_rows(gid)
         best = _INFINITY
         best_row = -1
-        ordered: list[tuple[int, int, float]] = []
+        ordered: list[tuple[bytes, int, float]] = []
         for row in range(start, end):
             total = self._row_total(row)
             dkid = self._delivered_kid(row)
             if dkid >= 0:
-                ordered.append((dkid, row, total))
+                # Resolve the delivered order to bytes once per row, not
+                # once per (requirement, row) pair below.
+                ordered.append((kid_bytes[dkid], row, total))
             if total < best:
                 best = total
                 best_row = row
         self._best0[gid] = best
         self._best0_row[gid] = best_row
-        reqs = self._reqs_by_gid.get(gid)
+        reqs = self._group_reqs(gid)
         if reqs:
-            kid_bytes = self.store.kid_bytes
             for sid, rkid in reqs:
                 rb = kid_bytes[rkid]
                 rbest = _INFINITY
                 rrow = -1
-                for dkid, row, total in ordered:
-                    if kid_bytes[dkid].startswith(rb) and total < rbest:
+                for dbytes, row, total in ordered:
+                    if dbytes.startswith(rb) and total < rbest:
                         rbest = total
                         rrow = row
                 self._resolve_state(gid, sid, rkid, rbest, rrow)
@@ -600,7 +697,7 @@ class ColumnarBestPlanSearch:
         """
         winner = cand_row if cand_row >= 0 else None
         best = cand_best
-        if gid in self.store.sorts_by_gid:
+        if self._enforcers:
             inner = self._best0[gid]
             if inner < _INFINITY:
                 total = self._sort_local(gid) + inner
@@ -613,6 +710,91 @@ class ColumnarBestPlanSearch:
     # ------------------------------------------------------------------
     # the vectorized join layers
     # ------------------------------------------------------------------
+    def _kid_rank_tables(self, np):
+        """Lexicographic kid ranks over the store's key table:
+        ``(lexrank, sorted_mat, sorted_lengths, pad_width)`` with
+        ``lexrank[kid]`` the kid's byte-lex rank and ``sorted_mat`` the
+        0-padded kid matrix in rank order — the kids satisfying
+        (extending) a required kid are exactly the rank interval
+        ``[lexrank[rkid], end)`` with ``end`` from
+        :func:`_interval_ends` (evaluated for required ranks only).
+
+        Built from the key table's backing directly: the preloaded
+        matrix (already 0-padded) is adopted wholesale; overflow kids —
+        a handful of GROUP BY / ORDER BY sequences, or everything on a
+        scalar-built store — are appended row by row."""
+        keys = self.store._keys
+        pre = keys._preloaded
+        overflow = keys._overflow
+        K = pre + len(overflow)
+        if K == 0:
+            return (
+                np.zeros(0, np.int64),
+                np.zeros((0, 1), np.uint8),
+                np.zeros(0, np.int64),
+                1,
+            )
+        width = keys._width
+        if pre and len(overflow) <= 32 and all(
+            len(s) <= width for s in overflow
+        ):
+            # Vector-built store: the preloaded block is already
+            # lex-sorted (kid id == lex rank), so the handful of
+            # overflow kids (GROUP BY / ORDER BY tails) merge in by
+            # binary insertion — no 500k-row re-sort.
+            mat = np.frombuffer(keys._mat_flat, np.uint8).reshape(pre, width)
+            pre_len = np.asarray(keys._lengths, np.int64)
+            if not overflow:
+                rank = np.arange(pre, dtype=np.int64)
+                return rank, mat, pre_len, width
+            flat = keys._mat_flat
+            over = sorted(
+                range(len(overflow)),
+                key=lambda i: overflow[i].ljust(width, b"\x00"),
+            )
+            ins = []
+            for i in over:
+                probe = overflow[i].ljust(width, b"\x00")
+                lo, hi = 0, pre
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if flat[mid * width : (mid + 1) * width] < probe:
+                        lo = mid + 1
+                    else:
+                        hi = mid
+                ins.append(lo)
+            ins_arr = np.asarray(ins, np.int64)
+            over_mat = np.zeros((len(over), width), np.uint8)
+            over_len = np.zeros(len(over), np.int64)
+            for j, i in enumerate(over):
+                seq = overflow[i]
+                if seq:
+                    over_mat[j, : len(seq)] = np.frombuffer(seq, np.uint8)
+                over_len[j] = len(seq)
+            merged = np.insert(mat, ins_arr, over_mat, axis=0)
+            merged_len = np.insert(pre_len, ins_arr, over_len)
+            rank = np.empty(K, np.int64)
+            rank[:pre] = np.arange(pre) + np.searchsorted(
+                ins_arr, np.arange(pre), side="right"
+            )
+            for j, i in enumerate(over):
+                rank[pre + i] = int(ins_arr[j]) + j
+            return rank, merged, merged_len, width
+        width = max(width, max((len(s) for s in overflow), default=0), 1)
+        mat = np.zeros((K, width), np.uint8)
+        lengths = np.zeros(K, np.int64)
+        if pre:
+            mat[:pre, : keys._width] = np.frombuffer(
+                keys._mat_flat, np.uint8
+            ).reshape(pre, keys._width)
+            lengths[:pre] = np.asarray(keys._lengths, np.int64)
+        for i, seq in enumerate(overflow):
+            if seq:
+                mat[pre + i, : len(seq)] = np.frombuffer(seq, np.uint8)
+            lengths[pre + i] = len(seq)
+        order, rank = lex_rank_rows(np, mat)
+        return rank, mat[order], lengths[order], width
+
     def _run_join_layers_numpy(self, np) -> None:
         store = self.store
         intc = np.intc
@@ -646,25 +828,31 @@ class ColumnarBestPlanSearch:
         for row in np.nonzero(tag == TAG_INLJ)[0]:
             local[row] = self._local_cost(int(row))
 
-        # Merge rows' child states, resolved to dense state ids.
-        S = len(store.requirements)
-        state_cost = np.full(S, inf, dtype=np.float64)
+        # Merge rows' child states, resolved to dense state ids against
+        # the store's requirement columns (no python tuple walk).
+        S = store.requirement_count()
+        state_cost = self._state_cost
         mpos = np.nonzero(tag == TAG_MERGE)[0]
         if S and mpos.size:
-            state_codes = np.fromiter(
-                ((g << 32) | k for g, k in store.requirements),
-                dtype=np.int64,
-                count=S,
-            )
-            order = np.argsort(state_codes)
-            sorted_codes = state_codes[order]
+            ms0 = store._merge_sid0
+            if ms0 is not None and len(ms0) == mpos.size:
+                # Fused handoff from the vectorized build: merge rows
+                # appear one per keyed pair in pair order, so the
+                # build's state-id stream aligns with row order.
+                sid0 = ms0
+                sid1 = store._merge_sid1
+            else:
+                order = self._state_order
+                sorted_codes = self._sorted_state_codes
 
-            def to_sid(gids, kids):
-                codes = (gids.astype(np.int64) << 32) | kids.astype(np.int64)
-                return order[sorted_codes.searchsorted(codes)]
+                def to_sid(gids, kids):
+                    codes = (gids.astype(np.int64) << 32) | kids.astype(
+                        np.int64
+                    )
+                    return order[sorted_codes.searchsorted(codes)]
 
-            sid0 = to_sid(c0[mpos], a[mpos])
-            sid1 = to_sid(c1[mpos], b[mpos])
+                sid0 = to_sid(c0[mpos], a[mpos])
+                sid1 = to_sid(c1[mpos], b[mpos])
             sid0_row = np.full(len(tag), -1, dtype=np.int64)
             sid1_row = np.full(len(tag), -1, dtype=np.int64)
             sid0_row[mpos] = sid0
@@ -674,32 +862,43 @@ class ColumnarBestPlanSearch:
 
         # Requirement satisfaction as lexicographic kid-rank intervals:
         # delivered satisfies required iff its bytes extend the required
-        # bytes, i.e. its kid's lex rank falls in [rank(rb), rank(rb+ff)).
-        kid_bytes = store.kid_bytes
-        lex_sorted = sorted(range(len(kid_bytes)), key=kid_bytes.__getitem__)
-        lexrank = np.zeros(len(kid_bytes), dtype=np.int64)
-        for rank, kid in enumerate(lex_sorted):
-            lexrank[kid] = rank
-        sorted_bytes = [kid_bytes[kid] for kid in lex_sorted]
-        req_bounds: dict[int, tuple[int, int]] = {}
-        for _gid, rkid in store.requirements:
-            if rkid not in req_bounds:
-                rb = kid_bytes[rkid]
-                req_bounds[rkid] = (
-                    bisect_left(sorted_bytes, rb),
-                    bisect_left(sorted_bytes, rb + b"\xff"),
-                )
+        # bytes, i.e. its kid's lex rank falls in the required kid's
+        # prefix interval — computed once, for every state at once.
+        req_gid_arr = self._req_gid_arr
+        req_kid_arr = self._req_kid_arr
+        lexrank, kid_mat, kid_len, kid_width = self._kid_rank_tables(np)
+        if S:
+            req_lo = lexrank[req_kid_arr]
+            req_hi = _interval_ends(np, kid_mat, kid_len, kid_width, req_lo)
+        K1 = len(lexrank) + 1
+
+        # math.log2 per group (not np.log2: last-ulp identity with the
+        # scalar enforcer formula), vectorized lookup per state.
+        if self._enforcers:
+            sort_local_g = np.fromiter(
+                (self._sort_local(g) for g in range(len(card))),
+                dtype=np.float64,
+                count=len(card),
+            )
 
         best0 = np.full(len(card), inf, dtype=np.float64)
         for gid in self._leaf_gids:  # already processed scalar
             best0[gid] = self._best0[gid]
-        for sid in range(S):  # leaf ordered states resolved scalar
-            state_cost[sid] = self._state_cost[sid]
+
+        # Layer membership per state, so each layer resolves all its
+        # ordered states in one vectorized pass.
+        layer_of_gid = np.full(len(card), -1, dtype=np.int64)
+        for li, layer in enumerate(self._join_layers):
+            layer_of_gid[np.asarray(layer, dtype=np.int64)] = li
+        state_layer = (
+            layer_of_gid[req_gid_arr] if S else np.zeros(0, np.int64)
+        )
 
         group_start = store.group_start
-        reqs_by_gid = self._reqs_by_gid
+        prune = self.prune_dominated
+        stats = self.stats
         checkpoint = self.scope.checkpoint if self.scope is not None else None
-        for layer in self._join_layers:
+        for li, layer in enumerate(self._join_layers):
             fault_point("bestplan.layer", self)
             if checkpoint is not None:
                 checkpoint("bestplan.layer", len(layer))
@@ -742,38 +941,63 @@ class ColumnarBestPlanSearch:
                     self._best0[gid] = float(seg_min)
                     self._best0_row[gid] = int(rows[winners[i]])
 
-                reqs = reqs_by_gid.get(gid)
-                if not reqs:
-                    continue
-                off = seg_starts[i]
-                seg_tot = tot[off : off + (e - s)]
-                seg_merge = np.nonzero(t[off : off + (e - s)] == TAG_MERGE)[0]
-                if seg_merge.size:
-                    cand_tot = seg_tot[seg_merge]
-                    ranks = lexrank[a[s + seg_merge]]
-                    # Stable sort: equal delivered orders keep insertion
-                    # order, preserving the object search's tie-breaks.
-                    corder = np.argsort(ranks, kind="stable")
-                    sorted_ranks = ranks[corder]
-                else:
-                    cand_tot = corder = sorted_ranks = None
-                for sid, rkid in reqs:
-                    rbest = inf
-                    rrow = -1
-                    if cand_tot is not None:
-                        lo, hi = req_bounds[rkid]
-                        i0 = sorted_ranks.searchsorted(lo, "left")
-                        i1 = sorted_ranks.searchsorted(hi, "left")
-                        if i0 < i1:
-                            sel = corder[i0:i1]
-                            tvals = cand_tot[sel]
-                            seg_min = tvals.min()
-                            if seg_min < inf:
-                                first = int(sel[tvals == seg_min].min())
-                                rbest = float(seg_min)
-                                rrow = int(s + seg_merge[first])
-                    self._resolve_state(gid, sid, rkid, rbest, rrow)
-                    state_cost[sid] = self._state_cost[sid]
+            # All of this layer's ordered states at once.  Per state the
+            # satisfying candidates occupy one contiguous run of the
+            # layer's merge rows sorted by (group, delivered lex rank);
+            # two searchsorted calls bound the run and a segmented range
+            # minimum resolves it.  Winners stay lazy: assembly
+            # recomputes the winning row for the handful of states on
+            # the chosen plan's path.
+            lsids = np.nonzero(state_layer == li)[0]
+            if not lsids.size:
+                continue
+            mmask = t == TAG_MERGE
+            mrows = rows[mmask]
+            sgid = req_gid_arr[lsids]
+            if mrows.size:
+                ckey = gid_[mrows].astype(np.int64) * K1 + lexrank[a[mrows]]
+                lo_key = sgid * K1 + req_lo[lsids]
+                hi_key = sgid * K1 + req_hi[lsids]
+                if len(card) * K1 < 1 << 32:
+                    # (gid, lexrank) packs into 32 bits for every space
+                    # the EdgeCatalog admits; uint32 quicksort runs
+                    # ~1.6x faster than int64.
+                    ckey = ckey.astype(np.uint32)
+                    lo_key = lo_key.astype(np.uint32)
+                    hi_key = hi_key.astype(np.uint32)
+                corder = np.argsort(ckey)
+                sorted_ckey = ckey[corder]
+                sorted_tot = tot[mmask][corder]
+                i0 = sorted_ckey.searchsorted(lo_key)
+                i1 = sorted_ckey.searchsorted(hi_key)
+            else:
+                sorted_tot = np.zeros(0, dtype=np.float64)
+                i0 = i1 = np.zeros(len(lsids), dtype=np.int64)
+            if prune:
+                # Dominated-state pruning: states with no satisfying
+                # candidate resolve straight to the enforcer bound, and
+                # states sharing one candidate interval share its
+                # minimum — dedup before the range scan.
+                M = len(sorted_tot) + 1
+                packed = i0 * M + i1
+                uniq, inv = np.unique(packed, return_inverse=True)
+                cand_min = range_min_pairs(
+                    np, sorted_tot, uniq // M, uniq % M
+                )[inv]
+                stats["pruned_empty"] += int((i0 >= i1).sum())
+                stats["pruned_dedup"] += int(len(packed) - len(uniq))
+            else:
+                cand_min = range_min_pairs(np, sorted_tot, i0, i1)
+            if self._enforcers:
+                inner_best = best0[sgid]
+                bound = sort_local_g[sgid] + inner_best
+                take = (inner_best < inf) & (
+                    (cand_min == inf) | (bound < cand_min)
+                )
+                resolved = np.where(take, bound, cand_min)
+            else:
+                resolved = cand_min
+            state_cost[lsids] = resolved
 
     # ------------------------------------------------------------------
     # plan assembly (winning path only)
@@ -790,21 +1014,49 @@ class ColumnarBestPlanSearch:
                     "columnar best-plan search was built for root order "
                     f"{self.store.root_order!r}, not {required!r}"
                 )
-            sid = self._state_index[(root, self.store.root_kid)]
+            sid = self._sid_of(root, self.store.root_kid)
             cost = self._state_cost[sid]
             if cost >= _INFINITY:
                 raise OptimizerError(
                     "no physical plan satisfies the root requirement "
                     "(are implementations/enforcers enabled?)"
                 )
-            return self._assemble(root, self.store.root_kid), cost
+            return self._assemble(root, self.store.root_kid), float(cost)
         cost = self._best0[root]
         if cost >= _INFINITY:
             raise OptimizerError(
                 "no physical plan satisfies the root requirement "
                 "(are implementations/enforcers enabled?)"
             )
-        return self._assemble(root, None), cost
+        return self._assemble(root, None), float(cost)
+
+    def _lazy_winner(self, gid: int, sid: int, rkid: int):
+        """Recompute one state's winner from the resolved DP tables —
+        the vectorized layers only record state *costs*; the winning
+        candidate row (or enforcer) is re-derived here with the scalar
+        pass's exact comparison order, for winning-path states only."""
+        store = self.store
+        kid_bytes = store.kid_bytes
+        rb = kid_bytes[rkid]
+        start, end = store.group_rows(gid)
+        rbest = _INFINITY
+        rrow = -1
+        for row in range(start, end):
+            dkid = self._delivered_kid(row)
+            if dkid >= 0 and kid_bytes[dkid].startswith(rb):
+                total = self._row_total(row)
+                if total < rbest:
+                    rbest = total
+                    rrow = row
+        winner = rrow if rrow >= 0 else None
+        if self._enforcers:
+            inner = self._best0[gid]
+            if inner < _INFINITY:
+                total = self._sort_local(gid) + inner
+                if winner is None or total < rbest:
+                    winner = ("sort", rkid)
+        self._state_winner[sid] = winner
+        return winner
 
     def _assemble(self, gid: int, rkid: int | None) -> PlanNode:
         store = self.store
@@ -813,7 +1065,10 @@ class ColumnarBestPlanSearch:
             if row < 0:  # pragma: no cover - guarded by cost checks
                 raise OptimizerError(f"group {gid} has no feasible plan")
             return self._plan_from_row(row)
-        winner = self._state_winner[self._state_index[(gid, rkid)]]
+        sid = self._sid_of(gid, rkid)
+        winner = self._state_winner.get(sid, _UNRESOLVED)
+        if winner is _UNRESOLVED:
+            winner = self._lazy_winner(gid, sid, rkid)
         if winner is None:  # pragma: no cover - guarded by cost checks
             raise OptimizerError(f"group {gid} has no feasible ordered plan")
         if isinstance(winner, tuple):
@@ -824,7 +1079,7 @@ class ColumnarBestPlanSearch:
             kid_bytes = store.kid_bytes
             position, skid = next(
                 (p, k)
-                for p, k in enumerate(store.sorts_by_gid[gid])
+                for p, k in enumerate(store.group_sorts(gid))
                 if kid_bytes[k].startswith(rb)
             )
             inner = self._assemble(gid, None)
@@ -869,9 +1124,11 @@ def find_best_plan_columnar(
     cost_model: CostModel,
     required_order: SortOrder = (),
     scope=None,
+    prune_dominated: bool = True,
 ) -> tuple[PlanNode, float]:
     """The optimizer's chosen plan from a columnar memo — same plan, same
     cost as :func:`find_best_plan` over the materialized memo."""
-    return ColumnarBestPlanSearch(store, cost_model, scope=scope).run().best_plan(
-        required_order
+    search = ColumnarBestPlanSearch(
+        store, cost_model, scope=scope, prune_dominated=prune_dominated
     )
+    return search.run().best_plan(required_order)

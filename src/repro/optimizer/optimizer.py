@@ -16,10 +16,11 @@ from repro.errors import OptimizerError
 from repro.memo.memo import Memo
 from repro.obs.trace import active_tracer, phase as obs_phase
 from repro.optimizer.annotate import annotate_cardinalities
+from repro.kernel import selected_backend
 from repro.optimizer.bestplan import (
     BestPlanSearch,
+    ColumnarBestPlanSearch,
     find_best_plan,
-    find_best_plan_columnar,
 )
 from repro.optimizer.cardinality import CardinalityEstimator
 from repro.optimizer.cost import CostModel, CostParameters
@@ -115,6 +116,17 @@ class OptimizerOptions:
     pruning_factor: float | None = None
     columnar: bool | None = None
     batched_exploration: bool | None = None
+    #: phase order: the default (None / True) annotates cardinalities
+    #: right after exploration, then runs one fused implement+best-plan
+    #: pass (a "fused" span with "implement" and "bestplan" sub-spans —
+    #: implementation never reads cardinalities, so the reordering is
+    #: observationally identical); False keeps the historical
+    #: explore -> implement -> annotate -> bestplan order.
+    fused: bool | None = None
+    #: dominated-state pruning in the columnar DP (identical/empty
+    #: candidate intervals collapse before the range scan); chosen
+    #: plans and costs are identical either way.
+    prune_dominated: bool = True
 
 
 @dataclass
@@ -141,6 +153,12 @@ class OptimizationResult:
     engine: str = "columnar"
     #: why the fast path was not taken, when auto-selection fell back
     fallback_reason: str | None = None
+    #: which kernel backend served the vectorized primitives:
+    #: "numpy", "native", or "pure"
+    kernel: str = "pure"
+    #: columnar best-plan DP statistics (state and pruned-state counts);
+    #: ``None`` on the object path
+    dp_stats: dict | None = None
     #: :class:`repro.resilience.degrade.ResilienceReport` when the run
     #: went through a budgeted ``Session.optimize``; ``None`` otherwise
     resilience: object | None = None
@@ -245,6 +263,7 @@ class Optimizer:
     ) -> OptimizationResult:
         opts = self.options
         traced = active_tracer() is not None
+        fused = opts.fused is not False
 
         with obs_phase("explore") as span:
             explorer = self._make_explorer()
@@ -254,65 +273,37 @@ class Optimizer:
                 span.add("logical_exprs", memo.logical_expression_count())
         timings["explore"] = span.elapsed_s
 
-        # Implementation: the columnar (struct-of-arrays) path by
-        # default — batched operator blocks, no GroupExpr objects — with
-        # the object path as the forced/fallback alternative.  Both
-        # produce the identical memo facade.
-        with obs_phase("implement") as span:
-            store = None
-            fallback_reason: str | None = None
-            if opts.columnar is not False:
-                try:
-                    store = implement_memo_columnar(
-                        memo,
-                        graph,
-                        self.catalog,
-                        opts.implementation,
-                        root_order=query.order_by,
-                        scope=scope,
-                    )
-                except ColumnarUnsupported as exc:
-                    if opts.columnar is True:
-                        raise OptimizerError(
-                            "columnar optimization was requested but this "
-                            "memo does not support it"
-                        ) from None
-                    fallback_reason = str(exc)
-            if store is None:
-                if fallback_reason is None and opts.columnar is False:
-                    fallback_reason = "columnar disabled by options"
-                implement_memo(
-                    memo,
-                    self.catalog,
-                    opts.implementation,
-                    root_order=query.order_by,
-                    scope=scope,
-                )
-            if traced:
-                span.add("physical_exprs", memo.physical_expression_count())
-        timings["implement"] = span.elapsed_s
-
-        with obs_phase("annotate") as span:
-            estimator = CardinalityEstimator(self.catalog, query, ledger=ledger)
-            annotate_cardinalities(memo, graph, estimator)
-            if traced and estimator.feedback_hits:
-                span.add("feedback_substituted", estimator.feedback_hits)
-        timings["annotate"] = span.elapsed_s
-
         cost_model = CostModel(self.catalog, opts.cost_params)
 
-        with obs_phase("bestplan") as span:
-            search = None
-            if store is not None:
-                best_plan, best_cost = find_best_plan_columnar(
-                    store, cost_model, required_order=query.order_by, scope=scope
+        if fused:
+            # Fused order: annotate first (it reads only the logical
+            # side, which exploration finished), then implementation and
+            # the best-plan DP back to back under one span — the two
+            # halves of the single-pass exact hot path, with the
+            # columnar store handing its requirement stream and merge
+            # state ids straight to the DP.
+            estimator = self._annotate_phase(query, memo, graph, timings, ledger)
+            with obs_phase("fused") as fspan:
+                store, fallback_reason = self._implement_phase(
+                    query, memo, graph, timings, scope, traced
                 )
-            else:
-                search = BestPlanSearch(memo, cost_model, scope=scope)
-                best_plan, best_cost = _extract_best(
-                    search, memo, required_order=query.order_by
+                search, dp_stats, best_plan, best_cost = self._bestplan_phase(
+                    query, memo, store, cost_model, timings, scope, traced
                 )
-        timings["bestplan"] = span.elapsed_s
+            timings["fused"] = fspan.elapsed_s
+        else:
+            store, fallback_reason = self._implement_phase(
+                query, memo, graph, timings, scope, traced
+            )
+            estimator = self._annotate_phase(query, memo, graph, timings, ledger)
+            search, dp_stats, best_plan, best_cost = self._bestplan_phase(
+                query, memo, store, cost_model, timings, scope, traced
+            )
+
+        kernel = selected_backend()
+        timings["kernel"] = kernel
+        if dp_stats is not None:
+            timings["pruned_states"] = dp_stats["pruned"]
 
         if opts.pruning_factor is not None:
             with obs_phase("prune") as span:
@@ -346,7 +337,88 @@ class Optimizer:
             timings=timings,
             engine="columnar" if store is not None else "object",
             fallback_reason=fallback_reason,
+            kernel=kernel,
+            dp_stats=dp_stats,
         )
+
+    # ------------------------------------------------------------------
+    def _implement_phase(self, query, memo, graph, timings, scope, traced):
+        """Implementation: the columnar (struct-of-arrays) path by
+        default — batched operator blocks, no GroupExpr objects — with
+        the object path as the forced/fallback alternative.  Both
+        produce the identical memo facade."""
+        opts = self.options
+        with obs_phase("implement") as span:
+            store = None
+            fallback_reason: str | None = None
+            if opts.columnar is not False:
+                try:
+                    store = implement_memo_columnar(
+                        memo,
+                        graph,
+                        self.catalog,
+                        opts.implementation,
+                        root_order=query.order_by,
+                        scope=scope,
+                    )
+                except ColumnarUnsupported as exc:
+                    if opts.columnar is True:
+                        raise OptimizerError(
+                            "columnar optimization was requested but this "
+                            "memo does not support it"
+                        ) from None
+                    fallback_reason = str(exc)
+            if store is None:
+                if fallback_reason is None and opts.columnar is False:
+                    fallback_reason = "columnar disabled by options"
+                implement_memo(
+                    memo,
+                    self.catalog,
+                    opts.implementation,
+                    root_order=query.order_by,
+                    scope=scope,
+                )
+            if traced:
+                span.add("physical_exprs", memo.physical_expression_count())
+        timings["implement"] = span.elapsed_s
+        return store, fallback_reason
+
+    def _annotate_phase(self, query, memo, graph, timings, ledger):
+        traced = active_tracer() is not None
+        with obs_phase("annotate") as span:
+            estimator = CardinalityEstimator(self.catalog, query, ledger=ledger)
+            annotate_cardinalities(memo, graph, estimator)
+            if traced and estimator.feedback_hits:
+                span.add("feedback_substituted", estimator.feedback_hits)
+        timings["annotate"] = span.elapsed_s
+        return estimator
+
+    def _bestplan_phase(
+        self, query, memo, store, cost_model, timings, scope, traced
+    ):
+        opts = self.options
+        with obs_phase("bestplan") as span:
+            search = None
+            dp_stats = None
+            if store is not None:
+                dp = ColumnarBestPlanSearch(
+                    store,
+                    cost_model,
+                    scope=scope,
+                    prune_dominated=opts.prune_dominated,
+                )
+                best_plan, best_cost = dp.run().best_plan(query.order_by)
+                dp_stats = dict(dp.stats)
+                if traced:
+                    span.add("states", dp_stats["states"])
+                    span.add("pruned_states", dp_stats["pruned"])
+            else:
+                search = BestPlanSearch(memo, cost_model, scope=scope)
+                best_plan, best_cost = _extract_best(
+                    search, memo, required_order=query.order_by
+                )
+        timings["bestplan"] = span.elapsed_s
+        return search, dp_stats, best_plan, best_cost
 
     # ------------------------------------------------------------------
     def _make_explorer(self):

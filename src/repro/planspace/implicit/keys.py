@@ -130,6 +130,10 @@ class _KidBytes:
     def __getitem__(self, kid: int) -> bytes:
         return self._table.bytes_of(kid)
 
+    def __len__(self) -> int:
+        table = self._table
+        return table._preloaded + len(table._overflow)
+
 
 class OrderIndex:
     """Sorted (delivered order -> total count) index for one group."""

@@ -32,65 +32,20 @@ pass.
 from __future__ import annotations
 
 from repro.errors import PlanSpaceError
+from repro.kernel.vector import (
+    HashCollision as _HashCollision,
+    byte_words as _byte_words,
+    decode_bit_rows,
+    intern_rows as _intern_rows,
+    lex_rank_rows,
+    prefix_intervals,
+)
 from repro.optimizer.rules import join_rule_arity, scan_implementations
 
 __all__ = ["turbo_rels_pass"]
 
 #: turbo needs the full 2^n FROM/TO tables in word form
 _MAX_UNIVERSE_BITS = 18
-_DECODE_CHUNK = 1 << 18
-
-_MIX = 0x9E3779B97F4A7C15
-_MIX2 = 0xFF51AFD7ED558CCD
-
-
-class _HashCollision(Exception):
-    """A mix-hash collision (astronomically rare): retry unvectorized."""
-
-
-def _intern_rows(np, words):
-    """Exact row interning: ``(ids, representative row indices)``.
-
-    ``ids`` are arbitrary dense ints; representatives are the first
-    occurrence of each distinct row.  Rows are compared to their
-    representative afterwards, so a hash collision cannot corrupt the
-    result — it raises instead.
-    """
-    n, w = words.shape
-
-    def avalanche(x):
-        # splitmix64 finalizer: full bit diffusion per word, so sparse
-        # single-bit cut masks cannot cancel across the combine step
-        x = x ^ (x >> np.uint64(30))
-        x = x * np.uint64(0xBF58476D1CE4E5B9)
-        x = x ^ (x >> np.uint64(27))
-        x = x * np.uint64(0x94D049BB133111EB)
-        return x ^ (x >> np.uint64(31))
-
-    h = np.zeros(n, np.uint64)
-    for i in range(w):
-        seed = np.uint64(((i + 1) * _MIX2) & 0xFFFFFFFFFFFFFFFF)
-        h = (h * np.uint64(_MIX)) ^ avalanche(words[:, i] + seed)
-    _uniq, ids = np.unique(h, return_inverse=True)
-    ids = ids.reshape(-1)
-    count = len(_uniq)
-    rep = np.empty(count, np.int64)
-    rep[ids[::-1]] = np.arange(n - 1, -1, -1)
-    if not (words == words[rep[ids]]).all():
-        raise _HashCollision
-    return ids, rep
-
-
-def _byte_words(np, mat):
-    """View a 0-padded (n, width) uint8 matrix as big-endian uint64 words
-    — numeric word order equals byte-lexicographic row order."""
-    width = mat.shape[1]
-    padded_width = (width + 7) // 8 * 8
-    if padded_width != width:
-        out = np.zeros((mat.shape[0], padded_width), np.uint8)
-        out[:, :width] = mat
-        mat = out
-    return np.ascontiguousarray(mat).view(">u8").astype(np.uint64)
 
 
 def turbo_rels_pass(state, extra_pairs: list[tuple[int, bytes]]) -> bool:
@@ -194,30 +149,18 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
     # decode each unique cut into its padded left/right column rows
     lcol_lut = np.frombuffer(edges.left_col, dtype=np.uint8)
     rcol_lut = np.frombuffer(edges.right_col, dtype=np.uint8)
-    left_chunks, right_chunks, chunk_maxlens = [], [], []
-    for lo in range(0, U, _DECODE_CHUNK):
-        if checkpoint is not None:
-            checkpoint("implicit.count")
-        chunk = u_ebits[lo : lo + _DECODE_CHUNK]
-        if E:
-            bits = np.unpackbits(
-                chunk.view(np.uint8), axis=1, bitorder="little"
-            )[:, :E]
-        else:
-            bits = np.zeros((len(chunk), 0), np.uint8)
-        rows, poss = np.nonzero(bits)
-        lengths = np.bincount(rows, minlength=len(chunk))
-        maxlen = max(int(lengths.max()) if lengths.size else 0, 1)
-        starts = np.zeros(len(chunk), np.int64)
-        np.cumsum(lengths[:-1], out=starts[1:])
-        offs = np.arange(len(rows)) - np.repeat(starts, lengths)
-        lmat = np.zeros((len(chunk), maxlen), np.uint8)
-        rmat = np.zeros((len(chunk), maxlen), np.uint8)
-        lmat[rows, offs] = lcol_lut[poss]
-        rmat[rows, offs] = rcol_lut[poss]
-        left_chunks.append(lmat)
-        right_chunks.append(rmat)
-        chunk_maxlens.append(maxlen)
+    left_chunks, right_chunks, chunk_maxlens = decode_bit_rows(
+        np,
+        u_ebits,
+        E,
+        lcol_lut,
+        rcol_lut,
+        on_chunk=(
+            (lambda: checkpoint("implicit.count"))
+            if checkpoint is not None
+            else None
+        ),
+    )
 
     # ------------------------------------------------------------------
     # the kid universe: cut keys, extra requirements, leaf deliveries
@@ -268,10 +211,7 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
 
     # lexicographic kid ranks: big-endian word lexsort == byte order, and
     # 0-padding sorts a key directly before its extensions
-    kid_words = _byte_words(np, kid_mat_raw)
-    order = np.lexsort(kid_words.T[::-1])
-    rank_of_raw = np.empty(K, np.int64)
-    rank_of_raw[order] = np.arange(K)
+    order, rank_of_raw = lex_rank_rows(np, kid_mat_raw)
     kid_mat = kid_mat_raw[order]
     kid_ids = rank_of_raw[raw_ids]  # every input row -> lex-ranked kid
     kid_lengths = (kid_mat != 0).sum(axis=1).astype(np.int64)
@@ -284,22 +224,7 @@ def _turbo_rels_pass(np, state, extra_pairs) -> None:
 
     # prefix intervals: hi_rank[k] = first kid after k that does not
     # extend k — one LCP sweep + monotonic stack over the sorted rows
-    hi_rank = np.full(K, K, np.int64)
-    if K > 1:
-        diff = kid_mat[1:] != kid_mat[:-1]
-        lcp_list = np.where(diff.any(axis=1), diff.argmax(axis=1), maxlen).tolist()
-        len_list = kid_lengths.tolist()
-        pending: list[int] = []
-        for k in range(1, K):
-            boundary = lcp_list[k - 1]
-            while pending and len_list[pending[-1]] > boundary:
-                hi_rank[pending.pop()] = k
-            if len_list[k - 1] > boundary:
-                hi_rank[k - 1] = k
-            else:
-                pending.append(k - 1)
-        # kids still pending extend to the end of the table; the last row
-        # trivially ends at K (already the fill value)
+    hi_rank = prefix_intervals(np, kid_mat, kid_lengths, maxlen)
 
     # per-split kid roles (valid where has_keys)
     lk_lr = lkid_of_eb[eb_ids[:M]]

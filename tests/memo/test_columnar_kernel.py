@@ -1,0 +1,94 @@
+"""Kernel-backend equivalence of the columnar physical store.
+
+The pure and numpy emission paths may intern kids in different orders
+(the vectorized build preloads a lex-sorted kid universe; the scalar
+build interns first-occurrence), so raw kid ids are *not* comparable
+across backends.  What must agree is everything observable: the row
+structure (tag/gid/children), the kid *byte strings* each row's payload
+denotes, the requirement stream under the same mapping — and, through
+the facade, the full memo render.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Session
+from repro.memo.columnar import TAG_HASH, TAG_INLJ, TAG_MERGE, TAG_NLJ
+from repro.optimizer.optimizer import OptimizerOptions
+from repro.workloads.synthetic import clique_query, cycle_query, star_query
+
+BACKENDS = ["pure", "numpy"]
+
+WORKLOADS = {
+    "star6": lambda: star_query(6, rows=5, seed=0),
+    "clique5": lambda: clique_query(5, rows=5, seed=0),
+    "cycle6": lambda: cycle_query(6, rows=5, seed=0),
+}
+
+_JOIN_TAGS = (TAG_NLJ, TAG_HASH, TAG_MERGE)
+
+
+def _store_fingerprint(result):
+    """Backend-independent view of a columnar store: kid payloads are
+    resolved to their byte strings."""
+    store = result.memo.columnar
+    assert store is not None
+    kid_bytes = store._keys.kid_bytes
+    rows = []
+    for row in range(store.row_count):
+        tag = store.tag[row]
+        a, b = store.a[row], store.b[row]
+        if tag in _JOIN_TAGS:
+            # a/b are the merge-key kids of the cut (-1 on cross joins).
+            a = kid_bytes[a] if a >= 0 else None
+            b = kid_bytes[b] if b >= 0 else None
+        elif tag != TAG_INLJ and b >= 0:
+            # scans/unaries: b is the delivered-order kid (-1 if none);
+            # INLJ's b is an ordinal, comparable raw.
+            b = kid_bytes[b]
+        rows.append(
+            (tag, store.gid[row], store.c0[row], store.c1[row], a, b)
+        )
+    reqs = [(gid, kid_bytes[kid]) for gid, kid in store.requirements]
+    return {
+        "rows": rows,
+        "reqs": reqs,
+        "group_start": list(store.group_start),
+        "logical_counts": list(store.logical_counts),
+    }
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL", request.param)
+    return request.param
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_store_identical_across_backends(name, monkeypatch):
+    workload = WORKLOADS[name]()
+    prints = {}
+    results = {}
+    for backend in BACKENDS:
+        monkeypatch.setenv("REPRO_KERNEL", backend)
+        result = Session(
+            workload.database, options=OptimizerOptions(columnar=True)
+        ).optimize(workload.sql)
+        assert result.kernel == backend
+        prints[backend] = _store_fingerprint(result)
+        results[backend] = result
+    assert prints["pure"] == prints["numpy"]
+    assert results["pure"].best_cost == results["numpy"].best_cost
+    assert (
+        results["pure"].memo.render() == results["numpy"].memo.render()
+    )
+
+
+def test_backend_reported_on_result(backend):
+    workload = WORKLOADS["star6"]()
+    result = Session(
+        workload.database, options=OptimizerOptions(columnar=True)
+    ).optimize(workload.sql)
+    assert result.kernel == backend
+    assert result.timings["kernel"] == backend

@@ -42,7 +42,11 @@ class TestTraceCommand:
         payload = json.loads(text)
         assert payload["trace"]["name"] == "optimize"
         names = [c["name"] for c in payload["trace"]["children"]]
-        assert "bestplan" in names
+        assert "fused" in names
+        fused = next(
+            c for c in payload["trace"]["children"] if c["name"] == "fused"
+        )
+        assert "bestplan" in [c["name"] for c in fused["children"]]
         assert payload["metrics"]["counters"]["checkpoint.polls"] > 0
 
     def test_sampled_rejects_deadline(self):
@@ -182,6 +186,8 @@ class TestOptimizeVerbose:
         code, text = run_cli("optimize", "Q3", "-v")
         assert code == 0
         assert "engine: columnar" in text
+        assert "kernel: " in text
+        assert "pruned_states=" in text
         assert "timings:" in text and "bestplan" in text
 
     def test_resilient_verbose_lists_attempts(self):

@@ -177,6 +177,82 @@ def test_batched_exploration_matrix(shape, n, cross, numpy_off, monkeypatch):
     assert on.memo.render() == off.memo.render()
 
 
+@pytest.mark.parametrize(
+    "shape,n,cross",
+    [("cycle", 5, False), ("clique", 5, False), ("star", 6, True)],
+)
+@pytest.mark.parametrize("numpy_off", [False, True])
+def test_fused_pass_matrix(shape, n, cross, numpy_off, monkeypatch):
+    """The single-pass implement+DP (``fused``, the default) against the
+    historical phase order (``fused=False``) — crossed with batched
+    exploration and the numpy kill-switch — same best plan, same cost,
+    same memo render."""
+    if numpy_off:
+        monkeypatch.setenv("REPRO_COLUMNAR_NUMPY", "0")
+    workload = SHAPES[shape](n, rows=5, seed=0)
+    results = {}
+    for fused in (True, False):
+        for batched in (True, False):
+            results[fused, batched] = Session(
+                workload.database,
+                options=OptimizerOptions(
+                    allow_cross_products=cross,
+                    fused=fused,
+                    batched_exploration=batched,
+                ),
+            ).optimize(workload.sql)
+    baseline = results[True, True]
+    for key, result in results.items():
+        assert result.best_cost == baseline.best_cost, key
+        assert result.best_plan.render() == baseline.best_plan.render(), key
+        assert result.memo.render() == baseline.memo.render(), key
+
+
+@pytest.mark.parametrize("density", [0.0, 0.4, 1.0])
+@pytest.mark.parametrize("seed", [1, 2])
+def test_fused_and_pruning_random_topologies(density, seed):
+    """Random connected topologies: fused/unfused and dominated-state
+    pruning on/off all land on the identical plan and cost."""
+    from repro.workloads.synthetic import random_query
+
+    workload = random_query(7, edge_density=density, seed=seed, rows=5)
+    results = {}
+    for fused in (True, False):
+        for prune in (True, False):
+            results[fused, prune] = Session(
+                workload.database,
+                options=OptimizerOptions(fused=fused, prune_dominated=prune),
+            ).optimize(workload.sql)
+    baseline = results[True, True]
+    for key, result in results.items():
+        assert result.best_cost == baseline.best_cost, key
+        assert result.best_plan.render() == baseline.best_plan.render(), key
+
+
+@pytest.mark.parametrize(
+    "shape,n,cross", [("clique", 6, False), ("star", 7, False)]
+)
+def test_dominated_state_pruning_equivalence(shape, n, cross):
+    """Pruning dominated DP states changes how much work the layer
+    resolution does (the stats prove it fired) but never the answer."""
+    workload = SHAPES[shape](n, rows=5, seed=0)
+    results = {}
+    for prune in (True, False):
+        results[prune] = Session(
+            workload.database,
+            options=OptimizerOptions(
+                allow_cross_products=cross, prune_dominated=prune
+            ),
+        ).optimize(workload.sql)
+    on, off = results[True], results[False]
+    assert on.best_cost == off.best_cost
+    assert on.best_plan.render() == off.best_plan.render()
+    assert on.memo.render() == off.memo.render()
+    assert on.dp_stats is not None
+    assert on.dp_stats["pruned"] >= 0
+    assert off.dp_stats["pruned"] == 0
+
+
 def test_batched_exploration_counts_do_not_materialize():
     """Logical counting on a batched memo must not rebuild GroupExprs."""
     workload = SHAPES["cycle"](6, rows=5, seed=0)
