@@ -20,3 +20,4 @@ bench:
 	PYTHONPATH=src python benchmarks/bench_robustness.py --merge
 	PYTHONPATH=src python benchmarks/bench_observability.py --merge
 	PYTHONPATH=src python benchmarks/bench_feedback.py --merge
+	PYTHONPATH=src python benchmarks/bench_serving.py --merge

@@ -1,0 +1,167 @@
+"""Plan-serving throughput benchmark: cold vs warm, across client counts.
+
+For each workload cell and each client count (1/8/64 by default), fires
+``--requests`` literal-variant statements of one template at a
+:class:`repro.serving.PlanServer` twice:
+
+* **cold** — a fresh server with an empty cache, every distinct literal
+  optimized from scratch (requests cycle over ``--variants`` literals,
+  so most requests still warm-hit within the run; the *first* touch of
+  each variant pays full price);
+* **warm** — the same server again, cache fully populated: every
+  request is a plan-tier hit.
+
+Records carry QPS and p50/p99 latency per (clients, phase), written to
+``BENCH_serving.json``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+    PYTHONPATH=src python benchmarks/bench_serving.py --merge
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.serving import PlanServer
+from repro.workloads.synthetic import clique_query, star_query
+
+WORKLOADS = {"star": star_query, "clique": clique_query}
+DEFAULT_CELLS = ("star8", "clique8")
+DEFAULT_CLIENTS = (1, 8, 64)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(q * (len(sorted_values) - 1) + 0.5))
+    return sorted_values[index]
+
+
+def _variants(sql: str, count: int) -> list[str]:
+    """Literal variants of one template: the aggregate-free synthetic
+    statements end in an equality join predicate, so appending a range
+    predicate on the first table parameterizes them."""
+    return [f"{sql} AND t0.val < {1000 + i}" for i in range(count)]
+
+
+def _drive(server: PlanServer, statements: list[str], requests: int) -> dict:
+    latencies: list[float] = []
+    started = time.perf_counter()
+    futures = []
+    for i in range(requests):
+        sql = statements[i % len(statements)]
+        submitted = time.perf_counter()
+        futures.append((submitted, server.submit(sql)))
+    for submitted, future in futures:
+        future.result()
+        latencies.append(time.perf_counter() - submitted)
+    elapsed = time.perf_counter() - started
+    latencies.sort()
+    return {
+        "elapsed_s": round(elapsed, 4),
+        "qps": round(requests / elapsed, 1) if elapsed > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1000.0, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1000.0, 3),
+    }
+
+
+def bench_cell(
+    shape: str, n: int, clients: list[int], requests: int, variants: int
+) -> list[dict]:
+    workload = WORKLOADS[shape](n, rows=5, seed=0, aggregate=False)
+    statements = _variants(workload.sql, variants)
+    records = []
+    for workers in clients:
+        with PlanServer(workload.database, workers=workers) as server:
+            cold = _drive(server, statements, requests)
+            warm = _drive(server, statements, requests)
+            stats = server.stats()
+        for phase, numbers in (("cold", cold), ("warm", warm)):
+            records.append(
+                {
+                    "workload": shape,
+                    "n": n,
+                    "clients": workers,
+                    "phase": phase,
+                    "requests": requests,
+                    "variants": variants,
+                    **numbers,
+                }
+            )
+        records[-1]["cache"] = {
+            k: stats["cache"][k]
+            for k in ("plan.hits", "plan.misses", "template.hits")
+        }
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--cells",
+        nargs="+",
+        default=list(DEFAULT_CELLS),
+        help="workload cells as <shape><n>, e.g. star8 clique8",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_CLIENTS),
+        help="client counts to sweep (default: 1 8 64)",
+    )
+    parser.add_argument("--requests", type=int, default=96)
+    parser.add_argument(
+        "--variants",
+        type=int,
+        default=8,
+        help="distinct literal variants of the template per cell",
+    )
+    parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="update matching cells of an existing output file instead of "
+        "rewriting it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_serving.json",
+    )
+    args = parser.parse_args(argv)
+
+    records = []
+    for cell in args.cells:
+        shape = cell.rstrip("0123456789")
+        n = int(cell[len(shape):])
+        if shape not in WORKLOADS:
+            raise SystemExit(f"unknown workload shape {shape!r}")
+        for record in bench_cell(
+            shape, n, args.clients, args.requests, args.variants
+        ):
+            records.append(record)
+            print(
+                f"{cell:>9} clients={record['clients']:<3} "
+                f"{record['phase']:<4} {record['qps']:>9,.1f} qps  "
+                f"p50 {record['p50_ms']:>8.2f}ms  "
+                f"p99 {record['p99_ms']:>8.2f}ms",
+                flush=True,
+            )
+
+    if args.merge and args.output.exists():
+        key = lambda r: (r["workload"], r["n"], r["clients"], r["phase"])
+        merged = {key(r): r for r in json.loads(args.output.read_text())}
+        merged.update({key(r): r for r in records})
+        records = list(merged.values())
+    args.output.write_text(json.dumps(records, indent=2) + "\n")
+    print(f"wrote {args.output} ({len(records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

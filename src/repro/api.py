@@ -36,6 +36,12 @@ from repro.optimizer.optimizer import (
 from repro.optimizer.plan import PlanNode
 from repro.planspace.implicit import ImplicitPlanSpace
 from repro.planspace.space import PlanSpace
+from repro.serving.cache import CacheInfo, CacheKey, TemplateArtifacts
+from repro.serving.fingerprint import (
+    catalog_signature,
+    fingerprint_sql,
+    options_signature,
+)
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
 from repro.storage.database import Database
@@ -125,11 +131,25 @@ class Session:
         database: Database,
         options: OptimizerOptions | None = None,
         check_orders: bool = False,
+        plan_cache=None,
     ):
         self.database = database
         self.catalog = database.catalog
         self.options = options if options is not None else OptimizerOptions()
         self.executor = PlanExecutor(database, check_orders=check_orders)
+        #: optional :class:`repro.serving.PlanCache`: when set, every
+        #: exhaustive ``optimize`` call is cache-aware — final plans are
+        #: served for exact-match requests, and per-template artifacts
+        #: skip exploration on cost-relevant misses.  The cache is
+        #: thread-safe and meant to be *shared* across the sessions of a
+        #: :class:`repro.serving.PlanServer`.
+        self.plan_cache = plan_cache
+        # cache-identity memos: the catalog is immutable for the life of
+        # a session (feedback flows through the ledger, not the stats),
+        # so its signature is computed once; options signatures vary only
+        # by per-call prune_factor.
+        self._catalog_sig: str | None = None
+        self._options_sigs: dict = {}
         #: the session's metrics registry: fresh (empty) per session,
         #: fed by traced calls (``optimize(..., trace=True)``,
         #: ``explain(analyze=True)``); ``metrics.reset()`` clears it
@@ -218,8 +238,34 @@ class Session:
         the observed assignment.  It stays ``None`` when the ledger
         covers nothing of this query.  ``feedback=None`` (the default)
         is byte-identical to the historical path.
+
+        With a ``plan_cache`` attached (exhaustive only), the call is
+        cache-aware: an exact-match request (same template, same literal
+        vector, same catalog/config identity, same feedback epoch) is
+        served the cached final plan without optimizing at all
+        (``result.cache.tier == "plan"``); a plan-tier miss still reuses
+        the template's cached artifacts to skip exploration
+        (``"template"``); a cold call runs the full pipeline and
+        populates both tiers (``"miss"``).  Feedback-costed entries are
+        invalidated — re-costed, never served stale — once the ledger's
+        stats epoch moves past the q-error threshold.
         """
         ledger = self._resolve_feedback(feedback, method)
+        cache = self.plan_cache if method == "exhaustive" else None
+        fp = key = artifacts = None
+        if cache is not None:
+            fp = fingerprint_sql(sql)
+            key = self._cache_identity(fp, prune_factor)
+            entry = cache.lookup_plan(
+                key,
+                fp.params,
+                ledger is not None,
+                epoch=ledger.stats_epoch if ledger is not None else None,
+                metrics=self.metrics,
+            )
+            if entry is not None:
+                return self._serve_cached_plan(entry, fp, trace)
+            artifacts = cache.lookup_template(key, metrics=self.metrics)
         if trace:
             tracer = Tracer()
             with tracing(tracer):
@@ -235,6 +281,7 @@ class Session:
                         max_memory_mb=max_memory_mb,
                         observed=True,
                         ledger=ledger,
+                        artifacts=artifacts,
                         **kwargs,
                     )
             result.trace = tracer.root
@@ -250,11 +297,89 @@ class Session:
                 max_expressions=max_expressions,
                 max_memory_mb=max_memory_mb,
                 ledger=ledger,
+                artifacts=artifacts,
                 **kwargs,
             )
         if ledger is not None:
             self._attach_feedback_report(sql, result, ledger)
+        if cache is not None:
+            self._cache_admit(cache, key, fp, result, ledger, artifacts)
         return result
+
+    # ------------------------------------------------------------------
+    # plan-cache plumbing
+    # ------------------------------------------------------------------
+    def _cache_identity(self, fp, prune_factor=None) -> CacheKey:
+        """The template-level cache key for this session's environment."""
+        if self._catalog_sig is None:
+            self._catalog_sig = catalog_signature(self.catalog)
+        config = self._options_sigs.get(prune_factor)
+        if config is None:
+            config = options_signature(self.options, prune_factor)
+            self._options_sigs[prune_factor] = config
+        return CacheKey(
+            template=fp.template, catalog=self._catalog_sig, config=config
+        )
+
+    def _serve_cached_plan(self, entry, fp, trace: bool):
+        """Serve a plan-tier hit: a shallow copy of the cached result
+        (same memo, byte-identical plan) tagged with ``result.cache``.
+        Under tracing the span tree is ``optimize`` → ``cache.hit`` —
+        the shape tests assert to prove no optimization phase ran."""
+        info = CacheInfo(
+            tier="plan",
+            fingerprint=fp.digest,
+            template_age_s=entry.age_s(),
+            hits=entry.hits,
+        )
+        result = replace(entry.result, cache=info)
+        if trace:
+            tracer = Tracer()
+            with tracing(tracer):
+                with tracer.span("optimize"):
+                    with obs_phase("cache.hit") as span:
+                        span.add("hits", entry.hits)
+            result.trace = tracer.root
+            self._record_result_metrics(result)
+        return result
+
+    def _cache_admit(self, cache, key, fp, result, ledger, artifacts) -> None:
+        """Populate the cache from a finished optimization and tag the
+        result with how the call interacted with the cache.
+
+        Only exact results are admitted: a degraded (sampled/heuristic)
+        plan is a deadline artefact, not the template's plan, and must
+        not be served to unhurried callers.  The stored copy drops the
+        per-call trace and cache tag.
+        """
+        resilience = getattr(result, "resilience", None)
+        exact = resilience is None or resilience.tier == "exact"
+        if exact and getattr(result, "memo", None) is not None:
+            stored = replace(result, trace=None, cache=None)
+            cache.store_plan(
+                key,
+                fp.params,
+                stored,
+                ledger is not None,
+                epoch=ledger.stats_epoch if ledger is not None else None,
+            )
+            captured = TemplateArtifacts.capture(result)
+            if captured is not None:
+                cache.store_template(key, captured)
+        timings = getattr(result, "timings", None) or {}
+        replayed = timings.get("explore_source") == "cached"
+        if artifacts is not None and replayed:
+            info = CacheInfo(
+                tier="template",
+                fingerprint=fp.digest,
+                template_age_s=artifacts.age_s(),
+            )
+        else:
+            info = CacheInfo(tier="miss", fingerprint=fp.digest)
+        try:
+            result.cache = info
+        except AttributeError:
+            pass  # degraded result flavours without the field stay untagged
 
     def _resolve_feedback(self, feedback, method: str):
         """Normalize ``optimize``'s ``feedback`` argument to a ledger.
@@ -346,13 +471,15 @@ class Session:
         max_memory_mb: float | None = None,
         observed: bool = False,
         ledger=None,
+        artifacts=None,
         **kwargs,
     ):
         """The untraced dispatch behind :meth:`optimize`.  ``observed``
         threads a metrics-observing (budget-free) scope through paths
         that would otherwise run scope-less; ``ledger`` (already
         resolved by :meth:`_resolve_feedback`) feedback-recosts the
-        exhaustive paths."""
+        exhaustive paths; ``artifacts`` (cached template artifacts)
+        short-circuits their exploration phase."""
         obs_scope = None
         if observed:
             from repro.resilience.budget import BudgetScope
@@ -399,9 +526,10 @@ class Session:
                     on_budget=on_budget,
                     observer=self.metrics if observed else None,
                     ledger=ledger,
+                    artifacts=artifacts,
                 )
             return Optimizer(self.catalog, options).optimize_sql(
-                sql, scope=obs_scope, ledger=ledger
+                sql, scope=obs_scope, ledger=ledger, artifacts=artifacts
             )
         if method == "sampled":
             if prune_factor is not None:
@@ -483,8 +611,23 @@ class Session:
         )
 
     def count_plans(self, sql: str, implicit: bool = True) -> int:
-        """``N`` for a query; implicit (fast) by default."""
+        """``N`` for a query; implicit (fast) by default.
+
+        With a ``plan_cache`` attached, the implicit count is cached at
+        the template tier: ``N`` depends on the join-graph structure
+        only, never on literal values, so every literal variant of one
+        template shares the answer.
+        """
         if implicit:
+            cache = self.plan_cache
+            if cache is not None:
+                fp = fingerprint_sql(sql)
+                key = self._cache_identity(fp)
+                count = cache.implicit_count(key, metrics=self.metrics)
+                if count is None:
+                    count = self.implicit_plan_space(sql).count()
+                    cache.store_implicit_count(key, count)
+                return count
             return self.implicit_plan_space(sql).count()
         return self.plan_space(sql).count()
 

@@ -241,6 +241,45 @@ def build_parser() -> argparse.ArgumentParser:
         "text",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="load-drive the plan-serving front end: a thread-pool of "
+        "clients firing queries through the fingerprint plan cache, "
+        "reporting QPS, latency percentiles and cache counters",
+    )
+    serve.add_argument(
+        "--queries",
+        default="Q3,Q5",
+        help="comma-separated TPC-H query names or SQL, cycled across "
+        "requests (default: Q3,Q5)",
+    )
+    serve.add_argument(
+        "--clients", type=int, default=8, help="worker threads (default: 8)"
+    )
+    serve.add_argument(
+        "--requests",
+        type=int,
+        default=64,
+        help="total requests to serve (default: 64)",
+    )
+    serve.add_argument(
+        "--deadline-s",
+        type=float,
+        default=None,
+        help="per-request optimization deadline (degrades, never stalls)",
+    )
+    serve.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="serve uncached (every request optimizes from scratch; the "
+        "cold baseline)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the server stats as JSON instead of a rendered summary",
+    )
+
     distribution = sub.add_parser(
         "distribution",
         help="cost-distribution analytics over a uniform plan sample "
@@ -852,12 +891,72 @@ def _cmd_corpus_verify(args, out) -> int:
     return 0 if verification.passed else 1
 
 
+def _cmd_serve(args, out) -> int:
+    import json as _json
+    import time as _time
+
+    from repro.serving import PlanServer
+
+    session = _session(args)  # builds the shared database + options
+    statements = [_resolve_sql(q.strip()) for q in args.queries.split(",")]
+    with PlanServer(
+        session.database,
+        options=session.options,
+        workers=args.clients,
+        cache=False if args.no_cache else None,
+        deadline_s=args.deadline_s,
+    ) as server:
+        started = _time.perf_counter()
+        futures = [
+            server.submit(statements[i % len(statements)])
+            for i in range(args.requests)
+        ]
+        tiers: dict[str, int] = {}
+        for future in futures:
+            result = future.result()
+            info = getattr(result, "cache", None)
+            tier = info.tier if info is not None else "uncached"
+            tiers[tier] = tiers.get(tier, 0) + 1
+        elapsed = _time.perf_counter() - started
+        stats = server.stats()
+    stats["elapsed_s"] = elapsed
+    stats["qps"] = args.requests / elapsed if elapsed > 0 else 0.0
+    stats["tiers"] = tiers
+    if args.json:
+        out.write(_json.dumps(stats, indent=2, sort_keys=True) + "\n")
+        return 0
+    out.write(
+        f"served {stats['requests']} requests on {stats['workers']} workers "
+        f"in {elapsed:.3f}s ({stats['qps']:,.1f} qps)\n"
+    )
+    out.write(
+        f"latency: p50 {stats['latency_p50_ms']:.2f}ms  "
+        f"p99 {stats['latency_p99_ms']:.2f}ms\n"
+    )
+    out.write(
+        "tiers: "
+        + "  ".join(f"{tier} {count}" for tier, count in sorted(tiers.items()))
+        + "\n"
+    )
+    cache = stats.get("cache")
+    if cache is not None:
+        out.write(
+            f"cache: {cache['plan.hits']} plan hits / "
+            f"{cache['template.hits']} template hits / "
+            f"{cache['plan.misses']} misses  "
+            f"(evictions {cache['plan.evictions']}, "
+            f"invalidations {cache['plan.invalidations']})\n"
+        )
+    return 0
+
+
 _COMMANDS = {
     "count": _cmd_count,
     "optimize": _cmd_optimize,
     "trace": _cmd_trace,
     "accuracy": _cmd_accuracy,
     "metrics": _cmd_metrics,
+    "serve": _cmd_serve,
     "distribution": _cmd_distribution,
     "explain": _cmd_explain,
     "unrank": _cmd_unrank,

@@ -95,6 +95,7 @@ __all__ = [
     "ColumnarUnsupported",
     "build_columnar_store",
     "build_logical_store",
+    "replay_logical_store",
 ]
 
 # Physical row op-codes.  Joins use the contiguous NLJ/HASH/MERGE band so
@@ -201,6 +202,10 @@ class ColumnarLogicalStore:
         self.initial_by_gid: dict[int, tuple[int, int]] = {}
         #: the enumeration universe the blocks were emitted over
         self.subset_masks: list[int] = []
+        #: subset mask -> gid at build time (every mask of the universe,
+        #: leaves included) — the determinism witness template replay
+        #: (:func:`replay_logical_store`) verifies against
+        self.gid_by_mask: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -369,6 +374,78 @@ def build_logical_store(
         sl.extend(block_l)
         sr.extend(block_r)
         range_by_gid[gid] = (start, len(sl))
+    store.gid_by_mask = dict(gid_of)
+    store.complete = True
+    return store
+
+
+def replay_logical_store(
+    memo, graph, allow_cross_products: bool, template
+) -> ColumnarLogicalStore:
+    """Rebuild an explored logical store from cached template arrays.
+
+    ``template`` is a detached snapshot of a prior, completed
+    :class:`ColumnarLogicalStore` for the *same query template* (same
+    join graph shape, any literal values) — any object exposing
+    ``universe_order``, ``allow_cross_products``, ``subset_masks``,
+    ``sl``/``sr``, ``range_by_gid``, ``initial_by_gid`` and
+    ``gid_by_mask`` (see ``repro.serving.cache.TemplateArtifacts``).
+    Group creation in :func:`build_logical_store` is deterministic
+    (setup seeds groups in a fixed order, then subsets are created in
+    enumeration-universe order), so replaying the creation over a
+    freshly seeded memo reproduces identical group ids and the cached
+    child-gid columns can be shared read-only — no enumeration, no
+    split computation.
+
+    Every assumption is verified cheaply (gid assignment, setup-seeded
+    initial joins, cross-product mode); any drift raises
+    :class:`ColumnarUnsupported` with the memo untouched beyond group
+    creation, so the caller falls back to normal exploration.
+    """
+    if memo.universe is None:
+        raise ColumnarUnsupported("memo has no alias universe")
+    if template.allow_cross_products != allow_cross_products:
+        raise ColumnarUnsupported("template cached under a different join mode")
+    if tuple(memo.universe.order) != tuple(template.universe_order):
+        raise ColumnarUnsupported("template cached under a different universe")
+    store = ColumnarLogicalStore(memo, graph, allow_cross_products)
+    get_group = memo.get_or_create_rels_group
+    range_by_gid = template.range_by_gid
+    initial_by_gid = template.initial_by_gid
+    gid_by_mask = template.gid_by_mask
+    for subset in template.subset_masks:
+        group = get_group(subset)
+        gid = group.gid
+        if gid_by_mask.get(subset) != gid:
+            raise ColumnarUnsupported("replayed group ids drifted from template")
+        if not subset & (subset - 1):
+            continue
+        prefix = group._exprs
+        init = initial_by_gid.get(gid)
+        if group._pending is not None or len(prefix) > (0 if init is None else 1):
+            raise ColumnarUnsupported(
+                "template replay requires a freshly seeded memo"
+            )
+        if init is not None:
+            if (
+                not prefix
+                or type(prefix[0].op) is not LogicalJoin
+                or prefix[0].children != init
+            ):
+                raise ColumnarUnsupported(
+                    "setup-seeded joins drifted from template"
+                )
+        elif prefix:
+            raise ColumnarUnsupported("setup-seeded joins drifted from template")
+        if gid not in range_by_gid:
+            raise ColumnarUnsupported("template split ranges drifted")
+    # Share the immutable columns/tables; the store only ever reads them.
+    store.sl = template.sl
+    store.sr = template.sr
+    store._range_by_gid = range_by_gid
+    store.initial_by_gid = initial_by_gid
+    store.subset_masks = template.subset_masks
+    store.gid_by_mask = gid_by_mask
     store.complete = True
     return store
 
@@ -376,7 +453,15 @@ def build_logical_store(
 class ColumnarPhysicalStore:
     """Array-backed physical expressions of one memo."""
 
-    def __init__(self, memo, graph, catalog, config: ImplementationConfig, root_order):
+    def __init__(
+        self,
+        memo,
+        graph,
+        catalog,
+        config: ImplementationConfig,
+        root_order,
+        edges=None,
+    ):
         self.memo = memo
         self.graph = graph
         self.catalog = catalog
@@ -393,10 +478,16 @@ class ColumnarPhysicalStore:
         from repro.planspace.implicit.keys import KeyTable
         from repro.errors import PlanSpaceError
 
-        try:
-            self.edges = EdgeCatalog(graph)
-        except PlanSpaceError as exc:  # >24 relations / >254 key columns
-            raise ColumnarUnsupported(str(exc)) from None
+        # A cache-supplied edge catalog (template replay) skips the
+        # per-query equality analysis; it must already be bound to this
+        # request's graph (see EdgeCatalog.clone).
+        if edges is not None and edges.graph is graph:
+            self.edges = edges
+        else:
+            try:
+                self.edges = EdgeCatalog(graph)
+            except PlanSpaceError as exc:  # >24 relations / >254 key columns
+                raise ColumnarUnsupported(str(exc)) from None
 
         #: interned sort-order ids (kids) over packed key byte strings —
         #: the implicit engine's hybrid table: dict-backed for scalar
@@ -715,6 +806,7 @@ def build_columnar_store(
     config: ImplementationConfig,
     root_order=(),
     scope=None,
+    edges=None,
 ) -> ColumnarPhysicalStore:
     """Populate a :class:`ColumnarPhysicalStore` by batched implementation.
 
@@ -735,7 +827,7 @@ def build_columnar_store(
     if memo.universe is None:
         raise ColumnarUnsupported("memo has no alias universe")
 
-    store = ColumnarPhysicalStore(memo, graph, catalog, config, root_order)
+    store = ColumnarPhysicalStore(memo, graph, catalog, config, root_order, edges)
 
     keyed_kinds, cross_kinds = join_physical_kinds(config)
     keyed_tags = tuple(_JOIN_KIND_TAGS[kind] for kind in keyed_kinds)

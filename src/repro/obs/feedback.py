@@ -48,6 +48,7 @@ from repro.obs.analyze import ExecutionStats
 
 __all__ = [
     "CardinalityLedger",
+    "EPOCH_Q_THRESHOLD",
     "FeedbackReport",
     "LedgerBinding",
     "LedgerEntry",
@@ -63,6 +64,15 @@ EWMA_ALPHA = 0.5
 
 #: per-entry cap on retained q-error history (most recent last).
 Q_ERROR_HISTORY = 64
+
+#: q-error threshold past which an observation counts as a *bound-stats
+#: change*: the ledger's ``stats_epoch`` is bumped when a new entry
+#: arrives whose estimate was off by at least this factor, or when an
+#: existing entry's EWMA substitute moves by at least this factor.
+#: Plan caches key feedback-costed entries on the epoch, so crossing the
+#: threshold invalidates cached plans (re-cost on next serve) while
+#: steady-state re-observations — the EWMA converging — do not.
+EPOCH_Q_THRESHOLD = 2.0
 
 
 def _q_error(est_rows: float, actual_rows: float) -> float | None:
@@ -177,6 +187,11 @@ class CardinalityLedger:
     def __init__(self):
         #: universe (sorted alias tuple) -> mask -> entry
         self._spaces: dict[tuple[str, ...], dict[int, LedgerEntry]] = {}
+        #: monotone counter of *significant* observations (q-error or
+        #: EWMA shift >= :data:`EPOCH_Q_THRESHOLD`); plan caches record
+        #: the epoch a feedback-costed plan was produced under and
+        #: invalidate when it moves (see :mod:`repro.serving.cache`)
+        self.stats_epoch = 0
 
     # ------------------------------------------------------------------
     # feeding
@@ -188,10 +203,19 @@ class CardinalityLedger:
         actual_rows: float,
         est_rows: float,
     ) -> LedgerEntry:
-        """Fold one observation for ``mask`` under ``universe``."""
+        """Fold one observation for ``mask`` under ``universe``.
+
+        Bumps :attr:`stats_epoch` when the observation is *significant*
+        — a first observation whose estimate was off by at least
+        :data:`EPOCH_Q_THRESHOLD`, or a re-observation moving the EWMA
+        substitute by at least that factor — so epoch-keyed plan caches
+        drop entries whose bound stats drifted, while converged
+        re-observations leave them valid.
+        """
         universe = tuple(universe)
         space = self._spaces.setdefault(universe, {})
         entry = space.get(mask)
+        ewma_before = None
         if entry is None:
             entry = LedgerEntry(
                 mask=mask,
@@ -204,7 +228,15 @@ class CardinalityLedger:
                 last_est_rows=est_rows,
             )
             space[mask] = entry
+        else:
+            ewma_before = entry.ewma_rows
         entry.fold(actual_rows, est_rows)
+        if ewma_before is None:
+            shift = entry.last_q_error
+        else:
+            shift = _q_error(ewma_before, entry.ewma_rows)
+        if shift is not None and shift >= EPOCH_Q_THRESHOLD:
+            self.stats_epoch += 1
         return entry
 
     def record_execution(
@@ -274,6 +306,7 @@ class CardinalityLedger:
         return {
             "version": 1,
             "ewma_alpha": EWMA_ALPHA,
+            "stats_epoch": self.stats_epoch,
             "spaces": [
                 {
                     "universe": list(universe),
@@ -294,6 +327,7 @@ class CardinalityLedger:
                 f"unsupported cardinality ledger version {version!r}"
             )
         ledger = cls()
+        ledger.stats_epoch = int(data.get("stats_epoch", 0))
         for space in data.get("spaces", ()):
             universe = tuple(space["universe"])
             entries = ledger._spaces.setdefault(universe, {})

@@ -4,13 +4,15 @@ A :class:`Span` is one timed phase — name, elapsed seconds, a small
 counter dict, and nested children — and a :class:`Tracer` collects a
 tree of them over one operation (``optimize`` → ``parse`` / ``bind`` /
 ``setup`` / ``explore`` / ...).  Tracers are *ambient*: activating one
-(:func:`tracing`) installs it in a module-level slot, and instrumented
-code asks for it through :func:`phase`, the same pattern
-:mod:`repro.resilience.faults` uses for its injector.  With no tracer
-active, :func:`phase` returns a :class:`PhaseTimer` — a slotted
-two-``perf_counter`` stopwatch, the same cost the optimizer's historical
-``timings`` dict already paid per phase — so the disabled path adds one
-module-global read per phase and nothing per expression.
+(:func:`tracing`) installs it in a per-context slot (a
+:class:`~contextvars.ContextVar`, so concurrent sessions on sibling
+threads keep disjoint span trees), and instrumented code asks for it
+through :func:`phase`, the same pattern :mod:`repro.resilience.faults`
+uses for its injector.  With no tracer active, :func:`phase` returns a
+:class:`PhaseTimer` — a slotted two-``perf_counter`` stopwatch, the same
+cost the optimizer's historical ``timings`` dict already paid per phase
+— so the disabled path adds one context-variable read per phase and
+nothing per expression.
 
 The span *durations* and the optimizer's ``timings`` dict come from the
 same measurement (phases read ``elapsed_s`` off the span they just
@@ -28,6 +30,7 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
+from contextvars import ContextVar
 from typing import Iterator
 
 __all__ = [
@@ -246,29 +249,35 @@ class Tracer:
 
 
 #: the ambient tracer; ``None`` (the default) keeps the fast path bare.
-_ACTIVE: Tracer | None = None
+#: A :class:`~contextvars.ContextVar`, not a module global: concurrent
+#: sessions on sibling threads (the plan-serving front end) each see
+#: their own slot, so traced optimizations never interleave spans into
+#: each other's trees.  Threads start from a fresh context, hence the
+#: default applies per thread; the disabled path stays one
+#: ``ContextVar.get`` per *phase*.
+_ACTIVE: ContextVar[Tracer | None] = ContextVar("repro_active_tracer", default=None)
 
 
 def active_tracer() -> Tracer | None:
-    return _ACTIVE
+    return _ACTIVE.get()
 
 
 @contextmanager
 def tracing(tracer: Tracer) -> Iterator[Tracer]:
     """Install ``tracer`` as the ambient tracer for the block.
 
-    Nested activation is rejected: one operation owns one span tree
-    (the resilient ladder and the sampled tier already nest *spans*
-    within a single tracer).
+    Nested activation (within one thread/context) is rejected: one
+    operation owns one span tree (the resilient ladder and the sampled
+    tier already nest *spans* within a single tracer).  Activations on
+    different threads are independent — each context has its own slot.
     """
-    global _ACTIVE
-    if _ACTIVE is not None:
+    if _ACTIVE.get() is not None:
         raise RuntimeError("a tracer is already active")
-    _ACTIVE = tracer
+    token = _ACTIVE.set(tracer)
     try:
         yield tracer
     finally:
-        _ACTIVE = None
+        _ACTIVE.reset(token)
 
 
 def phase(name: str):
@@ -276,7 +285,7 @@ def phase(name: str):
     :class:`PhaseTimer` otherwise.  Either way the object exposes
     ``elapsed_s`` (after exit) and ``add`` — instrumented code does not
     branch on whether tracing is on."""
-    tracer = _ACTIVE
+    tracer = _ACTIVE.get()
     if tracer is None:
         return PhaseTimer(name)
     return tracer.span(name)

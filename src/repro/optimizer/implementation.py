@@ -52,6 +52,7 @@ def implement_memo_columnar(
     config: ImplementationConfig | None = None,
     root_order: tuple[ColumnId, ...] = (),
     scope=None,
+    edges=None,
 ) -> ColumnarPhysicalStore:
     """Batched implementation onto the struct-of-arrays physical store.
 
@@ -68,7 +69,7 @@ def implement_memo_columnar(
         config = ImplementationConfig()
     try:
         store = build_columnar_store(
-            memo, graph, catalog, config, root_order, scope=scope
+            memo, graph, catalog, config, root_order, scope=scope, edges=edges
         )
     except PlanSpaceError as exc:
         # EdgeCatalog capacity limits (>24 relations, >254 distinct key

@@ -8,7 +8,6 @@ extraction — and hands the finished memo to the plan-space toolkit.
 from __future__ import annotations
 
 import enum
-import gc
 from dataclasses import dataclass, field
 
 from repro.catalog.catalog import Catalog
@@ -42,6 +41,7 @@ from repro.optimizer.pruning import prune_memo
 from repro.optimizer.setup import build_initial_memo
 from repro.sql.binder import Binder, BoundQuery
 from repro.sql.parser import parse
+from repro.util.gcguard import paused_gc
 
 __all__ = [
     "ExplorationStrategy",
@@ -170,6 +170,10 @@ class OptimizationResult:
     #: under an execution-feedback ledger (``Session.optimize(sql,
     #: feedback=...)``); ``None`` otherwise
     feedback: object | None = None
+    #: :class:`repro.serving.cache.CacheInfo` when the call went through
+    #: a plan-cache-enabled session (hit tier, template age); ``None``
+    #: otherwise
+    cache: object | None = None
 
     def explain(self) -> str:
         """EXPLAIN-style description of the chosen plan."""
@@ -188,16 +192,18 @@ class Optimizer:
         self.options = options if options is not None else OptimizerOptions()
 
     # ------------------------------------------------------------------
-    def optimize_sql(self, sql: str, scope=None, ledger=None) -> OptimizationResult:
+    def optimize_sql(
+        self, sql: str, scope=None, ledger=None, artifacts=None
+    ) -> OptimizationResult:
         """Parse, bind, and optimize one SELECT statement."""
         with obs_phase("parse"):
             statement = parse(sql)
         with obs_phase("bind"):
             bound = Binder(self.catalog).bind(statement)
-        return self.optimize(bound, scope=scope, ledger=ledger)
+        return self.optimize(bound, scope=scope, ledger=ledger, artifacts=artifacts)
 
     def optimize(
-        self, query: BoundQuery, scope=None, ledger=None
+        self, query: BoundQuery, scope=None, ledger=None, artifacts=None
     ) -> OptimizationResult:
         """Optimize a bound query: returns the memo and the best plan.
 
@@ -214,22 +220,29 @@ class Optimizer:
         estimate.  ``None`` (the default) is byte-identical to the
         historical path.
 
+        ``artifacts`` is an optional
+        :class:`~repro.serving.cache.TemplateArtifacts` bundle captured
+        from a prior optimization of the same query template: the
+        explore phase replays the cached logical store instead of
+        enumerating (span ``explore.cached``), and implementation
+        reuses the cached edge catalog.  A bundle that fails its
+        consistency checks is ignored and the normal phases run.
+
         The cycle collector is paused for the duration: optimization
         allocates hundreds of thousands of short-lived tuples and memo
         expressions but no reference cycles (children are group *ids*),
-        so generational GC passes only add pauses.
+        so generational GC passes only add pauses.  The pause is
+        ref-counted (:func:`repro.util.gcguard.paused_gc`) so
+        overlapping optimizations on sibling threads do not re-enable
+        the collector for each other mid-flight.
         """
-        gc_was_enabled = gc.isenabled()
-        if gc_was_enabled:
-            gc.disable()
-        try:
-            return self._optimize(query, scope=scope, ledger=ledger)
-        finally:
-            if gc_was_enabled:
-                gc.enable()
+        with paused_gc():
+            return self._optimize(
+                query, scope=scope, ledger=ledger, artifacts=artifacts
+            )
 
     def _optimize(
-        self, query: BoundQuery, scope=None, ledger=None
+        self, query: BoundQuery, scope=None, ledger=None, artifacts=None
     ) -> OptimizationResult:
         opts = self.options
         timings: dict[str, float] = {}
@@ -246,11 +259,64 @@ class Optimizer:
         # this is a backstop for corruption between attach and return.
         try:
             return self._optimize_phases(
-                query, memo, graph, timings, scope=scope, ledger=ledger
+                query,
+                memo,
+                graph,
+                timings,
+                scope=scope,
+                ledger=ledger,
+                artifacts=artifacts,
             )
         except BaseException:
             _detach_stale_stores(memo)
             raise
+
+    def _explore_phase(self, memo, graph, timings, scope, traced, artifacts):
+        """Exploration: replay cached template artifacts when available
+        (span ``explore.cached``, no enumeration), otherwise run the
+        configured explorer.  A replay that fails its consistency checks
+        falls through to normal exploration — the memo is untouched
+        beyond group creation either way."""
+        opts = self.options
+        replayed = False
+        if (
+            artifacts is not None
+            and getattr(artifacts, "logical", None) is not None
+            and opts.exploration is ExplorationStrategy.ENUMERATION
+            and opts.batched_exploration is not False
+        ):
+            from repro.memo.columnar import (
+                ColumnarUnsupported as _Unsupported,
+                replay_logical_store,
+            )
+
+            with obs_phase("explore.cached") as span:
+                try:
+                    store = replay_logical_store(
+                        memo, graph, opts.allow_cross_products, artifacts.logical
+                    )
+                except _Unsupported:
+                    store = None
+                else:
+                    store.attach()
+                    replayed = True
+                if traced and replayed:
+                    span.add("groups", len(memo.groups))
+                    span.add("logical_exprs", memo.logical_expression_count())
+            if replayed:
+                timings["explore"] = span.elapsed_s
+                # Non-float sentinel: rendered by no timing report, read
+                # by the serving layer to label the cache tier honestly.
+                timings["explore_source"] = "cached"
+                return True
+        with obs_phase("explore") as span:
+            explorer = self._make_explorer()
+            explorer.explore(memo, graph, opts.allow_cross_products, scope=scope)
+            if traced:
+                span.add("groups", len(memo.groups))
+                span.add("logical_exprs", memo.logical_expression_count())
+        timings["explore"] = span.elapsed_s
+        return False
 
     def _optimize_phases(
         self,
@@ -260,18 +326,17 @@ class Optimizer:
         timings,
         scope=None,
         ledger=None,
+        artifacts=None,
     ) -> OptimizationResult:
         opts = self.options
         traced = active_tracer() is not None
         fused = opts.fused is not False
 
-        with obs_phase("explore") as span:
-            explorer = self._make_explorer()
-            explorer.explore(memo, graph, opts.allow_cross_products, scope=scope)
-            if traced:
-                span.add("groups", len(memo.groups))
-                span.add("logical_exprs", memo.logical_expression_count())
-        timings["explore"] = span.elapsed_s
+        replayed = self._explore_phase(
+            memo, graph, timings, scope, traced, artifacts
+        )
+        if not replayed:
+            artifacts = None  # stale bundle: do not reuse its edges either
 
         cost_model = CostModel(self.catalog, opts.cost_params)
 
@@ -285,7 +350,7 @@ class Optimizer:
             estimator = self._annotate_phase(query, memo, graph, timings, ledger)
             with obs_phase("fused") as fspan:
                 store, fallback_reason = self._implement_phase(
-                    query, memo, graph, timings, scope, traced
+                    query, memo, graph, timings, scope, traced, artifacts
                 )
                 search, dp_stats, best_plan, best_cost = self._bestplan_phase(
                     query, memo, store, cost_model, timings, scope, traced
@@ -293,7 +358,7 @@ class Optimizer:
             timings["fused"] = fspan.elapsed_s
         else:
             store, fallback_reason = self._implement_phase(
-                query, memo, graph, timings, scope, traced
+                query, memo, graph, timings, scope, traced, artifacts
             )
             estimator = self._annotate_phase(query, memo, graph, timings, ledger)
             search, dp_stats, best_plan, best_cost = self._bestplan_phase(
@@ -342,12 +407,17 @@ class Optimizer:
         )
 
     # ------------------------------------------------------------------
-    def _implement_phase(self, query, memo, graph, timings, scope, traced):
+    def _implement_phase(
+        self, query, memo, graph, timings, scope, traced, artifacts=None
+    ):
         """Implementation: the columnar (struct-of-arrays) path by
         default — batched operator blocks, no GroupExpr objects — with
         the object path as the forced/fallback alternative.  Both
         produce the identical memo facade."""
         opts = self.options
+        edges = None
+        if artifacts is not None:
+            edges = artifacts.take_edges(graph)
         with obs_phase("implement") as span:
             store = None
             fallback_reason: str | None = None
@@ -360,6 +430,7 @@ class Optimizer:
                         opts.implementation,
                         root_order=query.order_by,
                         scope=scope,
+                        edges=edges,
                     )
                 except ColumnarUnsupported as exc:
                     if opts.columnar is True:

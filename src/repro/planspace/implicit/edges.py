@@ -94,6 +94,39 @@ class EdgeCatalog:
         self._to_cache: dict[int, int] = {0: 0}
 
     # ------------------------------------------------------------------
+    def clone(self, graph: JoinGraph | None = None) -> "EdgeCatalog":
+        """A private copy bound to ``graph`` (default: the original).
+
+        The heavy, immutable parts — the sorted oriented-edge records
+        packed into ``left_col``/``right_col`` and ``edge_count`` — are
+        shared; the memoized caches (``col_ids``/``columns`` grow via
+        check-then-insert in :meth:`col_id`, ``_from_cache``/``_to_cache``
+        fill lazily) are copied, so the clone can be mutated freely on
+        another thread.  Used by the plan cache's template tier: a
+        structurally identical re-bound query supplies its own ``graph``
+        and skips the per-query equality analysis.  The caller is
+        responsible for structural identity (same template, same
+        catalog); the universe order is still asserted.
+        """
+        twin = object.__new__(EdgeCatalog)
+        twin.graph = graph if graph is not None else self.graph
+        twin.universe = twin.graph.universe
+        if tuple(twin.universe.order) != tuple(self.universe.order):
+            raise PlanSpaceError(
+                "edge catalog cloned onto a different alias universe"
+            )
+        twin.col_ids = dict(self.col_ids)
+        twin.columns = list(self.columns)
+        twin.edge_count = self.edge_count
+        twin.left_col = self.left_col
+        twin.right_col = self.right_col
+        twin.from_bits = list(self.from_bits)
+        twin.to_bits = list(self.to_bits)
+        twin._from_cache = dict(self._from_cache)
+        twin._to_cache = dict(self._to_cache)
+        return twin
+
+    # ------------------------------------------------------------------
     def col_id(self, column: ColumnId) -> int:
         """Intern ``column`` to its 1-based byte id."""
         cid = self.col_ids.get(column)

@@ -175,6 +175,7 @@ def optimize_resilient(
     policy: DegradationPolicy | None = None,
     observer=None,
     ledger=None,
+    artifacts=None,
 ):
     """Optimize under ``budget``; degrade through the tiers as needed.
 
@@ -190,6 +191,10 @@ def optimize_resilient(
     ``ledger`` (a :class:`~repro.obs.feedback.CardinalityLedger`)
     feedback-recosts the exact tier; the sampled and heuristic tiers
     ignore it (their estimators are rebuilt from catalog statistics).
+    ``artifacts`` (a :class:`~repro.serving.cache.TemplateArtifacts`
+    bundle) likewise feeds the exact tier only — the sampled and
+    heuristic tiers never run exploration, so a cached logical template
+    buys them nothing.
     """
     # Deferred imports: this module is reachable from repro.resilience,
     # which the optimizer stack imports for fault_point.
@@ -242,7 +247,7 @@ def optimize_resilient(
     try:
         with obs_phase("tier.exact"):
             result = Optimizer(catalog, options).optimize(
-                query, scope=scope, ledger=ledger
+                query, scope=scope, ledger=ledger, artifacts=artifacts
             )
     except Exception as exc:
         outcome = _classify(exc)

@@ -1,0 +1,29 @@
+"""Plan serving: fingerprint cache, template artifacts, concurrent front end.
+
+See :mod:`repro.serving.fingerprint` (literal-normalizing cache
+identity), :mod:`repro.serving.cache` (the two-tier plan/template
+cache) and :mod:`repro.serving.server` (the thread-pool front end) —
+and ``README.md`` in this directory for the contracts tying them
+together.
+"""
+
+from repro.serving.cache import CacheInfo, CacheKey, PlanCache, TemplateArtifacts
+from repro.serving.fingerprint import (
+    QueryFingerprint,
+    catalog_signature,
+    fingerprint_sql,
+    options_signature,
+)
+from repro.serving.server import PlanServer
+
+__all__ = [
+    "CacheInfo",
+    "CacheKey",
+    "PlanCache",
+    "PlanServer",
+    "QueryFingerprint",
+    "TemplateArtifacts",
+    "catalog_signature",
+    "fingerprint_sql",
+    "options_signature",
+]

@@ -262,3 +262,76 @@ class TestDisabledPath:
     def test_no_ambient_tracer_outside_traced_call(self, session):
         session.optimize(Q3, trace=True)
         assert active_tracer() is None
+
+
+class TestThreadIsolation:
+    """The ambient tracer is a contextvar: concurrent traced calls on
+    different threads build disjoint span trees (the module-global
+    version made one thread's spans land in the other's tree, or raised
+    "a tracer is already active")."""
+
+    def test_two_threads_trace_concurrently_and_disjointly(self):
+        import threading
+
+        barrier = threading.Barrier(2)
+        trees = {}
+        errors = []
+
+        def traced(name):
+            tracer = Tracer()
+            try:
+                with tracing(tracer):
+                    barrier.wait(5)
+                    with tracer.span(name):
+                        with phase(f"{name}.child") as span:
+                            span.add("work", 1)
+                trees[name] = tracer.root
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=traced, args=(name,))
+            for name in ("left", "right")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(10)
+        assert not errors
+        for name in ("left", "right"):
+            root = trees[name]
+            assert root.name == name
+            # Exactly this thread's child — nothing leaked across.
+            assert [c.name for c in root.children] == [f"{name}.child"]
+        assert active_tracer() is None
+
+    def test_two_sessions_optimize_traced_in_parallel(self, session):
+        import threading
+
+        reference = session.optimize(Q3, trace=True)
+        expected = sorted(s.name for s in _iter_spans(reference.trace))
+
+        barrier = threading.Barrier(2)
+        traces = {}
+        errors = []
+
+        def run(i):
+            worker = Session(session.database)
+            try:
+                barrier.wait(5)
+                traces[i] = worker.optimize(Q3, trace=True).trace
+            except Exception as exc:  # pragma: no cover - diagnostic
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(60)
+        assert not errors
+        left, right = traces[0], traces[1]
+        assert left is not right
+        # Each tree is complete and uncontaminated: the same span names
+        # as a serial traced run, no more, no fewer.
+        assert sorted(s.name for s in _iter_spans(left)) == expected
+        assert sorted(s.name for s in _iter_spans(right)) == expected

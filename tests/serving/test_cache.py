@@ -1,0 +1,136 @@
+"""PlanCache unit contracts: LRU determinism, epoch invalidation,
+template-tier merging, counters."""
+
+import pytest
+
+from repro.obs import Metrics
+from repro.serving.cache import CacheKey, PlanCache, TemplateArtifacts
+
+K = CacheKey(template="SELECT ?", catalog="cat0", config="cfg0")
+K2 = CacheKey(template="SELECT ?, ?", catalog="cat0", config="cfg0")
+
+
+def p(v: str):
+    return (("integer", v),)
+
+
+class TestPlanTier:
+    def test_roundtrip_and_params_distinguish(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "plan-1", False)
+        hit = cache.lookup_plan(K, p("1"), False)
+        assert hit is not None and hit.result == "plan-1"
+        assert cache.lookup_plan(K, p("2"), False) is None
+        assert cache.lookup_plan(K2, p("1"), False) is None
+
+    def test_feedback_flag_is_part_of_the_key(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "static", False)
+        assert cache.lookup_plan(K, p("1"), True, epoch=0) is None
+        cache.store_plan(K, p("1"), "costed", True, epoch=0)
+        assert cache.lookup_plan(K, p("1"), False).result == "static"
+        assert cache.lookup_plan(K, p("1"), True, epoch=0).result == "costed"
+
+    def test_lru_eviction_is_deterministic(self):
+        cache = PlanCache(max_plans=2)
+        cache.store_plan(K, p("1"), "r1", False)
+        cache.store_plan(K, p("2"), "r2", False)
+        # Touch r1: r2 becomes the least recently used entry.
+        assert cache.lookup_plan(K, p("1"), False) is not None
+        cache.store_plan(K, p("3"), "r3", False)
+        assert cache.lookup_plan(K, p("2"), False) is None
+        assert cache.lookup_plan(K, p("1"), False) is not None
+        assert cache.lookup_plan(K, p("3"), False) is not None
+        assert cache.stats()["plan.evictions"] == 1
+        assert cache.stats()["plan.size"] == 2
+
+    def test_hit_counts_accumulate(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "r1", False)
+        for expected in (1, 2, 3):
+            assert cache.lookup_plan(K, p("1"), False).hits == expected
+
+
+class TestEpochInvalidation:
+    def test_moved_epoch_invalidates_instead_of_serving(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "r1", True, epoch=0)
+        assert cache.lookup_plan(K, p("1"), True, epoch=1) is None
+        stats = cache.stats()
+        assert stats["plan.invalidations"] == 1
+        assert stats["plan.size"] == 0
+        # The entry is gone, not hidden: same-epoch lookups miss too.
+        assert cache.lookup_plan(K, p("1"), True, epoch=0) is None
+
+    def test_same_epoch_serves(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "r1", True, epoch=3)
+        assert cache.lookup_plan(K, p("1"), True, epoch=3).result == "r1"
+
+    def test_eager_invalidate_epoch_spares_static_entries(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "static", False)
+        cache.store_plan(K, p("2"), "old", True, epoch=0)
+        cache.store_plan(K, p("3"), "fresh", True, epoch=5)
+        assert cache.invalidate_epoch(5) == 1
+        assert cache.lookup_plan(K, p("1"), False) is not None
+        assert cache.lookup_plan(K, p("2"), True, epoch=5) is None
+        assert cache.lookup_plan(K, p("3"), True, epoch=5) is not None
+
+
+class TestTemplateTier:
+    def test_store_merges_gaps_without_resetting(self):
+        cache = PlanCache()
+        first = TemplateArtifacts(implicit_count=42)
+        cache.store_template(K, first)
+        cache.store_template(K, TemplateArtifacts(logical="L", edges="E"))
+        merged = cache.lookup_template(K)
+        assert merged is first  # identity kept: age/replays survive
+        assert merged.logical == "L"
+        assert merged.edges == "E"
+        assert merged.implicit_count == 42
+
+    def test_lru_eviction(self):
+        cache = PlanCache(max_templates=1)
+        cache.store_template(K, TemplateArtifacts(implicit_count=1))
+        cache.store_template(K2, TemplateArtifacts(implicit_count=2))
+        assert cache.lookup_template(K) is None
+        assert cache.lookup_template(K2) is not None
+        assert cache.stats()["template.evictions"] == 1
+
+    def test_implicit_count_roundtrip(self):
+        cache = PlanCache()
+        assert cache.implicit_count(K) is None
+        cache.store_implicit_count(K, 60416)
+        assert cache.implicit_count(K) == 60416
+        # Filling the count does not clobber other artifact slots.
+        cache.store_template(K, TemplateArtifacts(logical="L"))
+        cache.store_implicit_count(K, 60416)
+        assert cache.lookup_template(K).logical == "L"
+
+
+class TestCountersAndMetrics:
+    def test_counters_mirror_into_metrics(self):
+        cache = PlanCache()
+        metrics = Metrics()
+        cache.lookup_plan(K, p("1"), False, metrics=metrics)
+        cache.store_plan(K, p("1"), "r1", False)
+        cache.lookup_plan(K, p("1"), False, metrics=metrics)
+        snapshot = metrics.snapshot()["counters"]
+        assert snapshot["plancache.plan.misses"] == 1
+        assert snapshot["plancache.plan.hits"] == 1
+
+    def test_clear_and_len(self):
+        cache = PlanCache()
+        cache.store_plan(K, p("1"), "r1", False)
+        cache.store_template(K, TemplateArtifacts(implicit_count=1))
+        assert len(cache) == 1
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.lookup_template(K) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(max_plans=0)
+        with pytest.raises(ValueError):
+            PlanCache(max_templates=0)

@@ -1,0 +1,115 @@
+"""Cached plans must not silently outlive the feedback that priced them.
+
+The scenario: a misestimated three-way join (the optimizer's estimate is
+off by orders of magnitude), a plan cached under feedback costing, then
+new observations that move the picture again.  Serving the old plan
+would silently ignore ``feedback=`` — the bug class this suite pins
+down."""
+
+import pytest
+
+from repro.api import Session
+from repro.obs.feedback import EPOCH_Q_THRESHOLD
+from repro.serving import PlanCache
+
+SQL = (
+    "SELECT * FROM customer c, orders o, lineitem l "
+    "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+    "AND o.o_totalprice < {lit}"
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return Session.tpch(seed=0).database
+
+
+def misestimate(session, universe, mask, actual):
+    """Feed one grossly wrong observation (q-error far past threshold)."""
+    session.ledger.observe(universe, mask, actual_rows=actual, est_rows=1.0)
+
+
+class TestEpochBumping:
+    def test_threshold_gates_the_epoch(self, database):
+        session = Session(database)
+        universe = ("a", "b")
+        epoch = session.ledger.stats_epoch
+        # Accurate first observation: no bump.
+        session.ledger.observe(universe, 0b11, actual_rows=100.0, est_rows=90.0)
+        assert session.ledger.stats_epoch == epoch
+        # Misestimate past the q-error threshold: bump.
+        session.ledger.observe(universe, 0b01, actual_rows=100.0, est_rows=1.0)
+        assert session.ledger.stats_epoch == epoch + 1
+        # Converged re-observation of the same subplan: no further bump.
+        before = session.ledger.stats_epoch
+        session.ledger.observe(universe, 0b01, actual_rows=100.0, est_rows=100.0)
+        assert session.ledger.stats_epoch == before
+        assert EPOCH_Q_THRESHOLD == 2.0
+
+
+class TestFeedbackServing:
+    def test_stale_feedback_plan_is_recosted_not_served(self, database):
+        session = Session(database, plan_cache=PlanCache())
+        sql = SQL.format(lit="1000.0")
+        cold = session.optimize(sql)
+        universe = cold.graph.universe.order
+        # The ledger was empty, so the cold run was costed statically.
+        assert cold.cache.tier == "miss"
+
+        # Feed a gross misestimate covering the lineitem+orders subplan.
+        li = universe.index("l")
+        oi = universe.index("o")
+        mask = (1 << li) | (1 << oi)
+        misestimate(session, universe, mask, actual=500000.0)
+        epoch_one = session.ledger.stats_epoch
+        assert epoch_one > 0
+
+        costed = session.optimize(sql, feedback=True)
+        assert costed.cache.tier in ("template", "miss")
+        assert costed.estimator.feedback_hits > 0  # the ledger was used
+
+        served = session.optimize(sql, feedback=True)
+        assert served.cache.tier == "plan"
+        assert served.explain() == costed.explain()
+
+        # The world changes again: a *new* subplan comes back grossly
+        # misestimated, the epoch moves, and the cached plan must die.
+        ci = universe.index("c")
+        mask_co = (1 << ci) | (1 << oi)
+        misestimate(session, universe, mask_co, actual=300000.0)
+        assert session.ledger.stats_epoch > epoch_one
+        recosted = session.optimize(sql, feedback=True)
+        assert recosted.cache.tier != "plan"
+        assert recosted.estimator.feedback_hits > 0
+        assert session.plan_cache.stats()["plan.invalidations"] >= 1
+
+        # And the re-costed plan becomes the new cached entry.
+        assert session.optimize(sql, feedback=True).cache.tier == "plan"
+
+    def test_feedback_and_static_entries_never_alias(self, database):
+        session = Session(database, plan_cache=PlanCache())
+        sql = SQL.format(lit="1000.0")
+        universe = Session(database).optimize(sql).graph.universe.order
+        misestimate(session, universe, 0b111, actual=123456.0)
+
+        static = session.optimize(sql)
+        assert static.cache.tier == "miss"
+        costed = session.optimize(sql, feedback=True)
+        # The feedback-costed request must not be served the static
+        # entry: the keys differ on the feedback flag.
+        assert costed.cache.tier != "plan"
+        # Each flavour then hits its own entry.
+        assert session.optimize(sql).cache.tier == "plan"
+        assert session.optimize(sql, feedback=True).cache.tier == "plan"
+
+    def test_epoch_survives_ledger_roundtrip(self, tmp_path, database):
+        session = Session(database)
+        universe = ("a", "b")
+        session.ledger.observe(universe, 0b01, actual_rows=100.0, est_rows=1.0)
+        assert session.ledger.stats_epoch == 1
+        path = tmp_path / "ledger.json"
+        session.ledger.save(path)
+        from repro.obs.feedback import CardinalityLedger
+
+        loaded = CardinalityLedger.load(path)
+        assert loaded.stats_epoch == 1

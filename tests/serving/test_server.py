@@ -1,0 +1,166 @@
+"""End-to-end serving: cold-vs-warm identity, explore-skipping span
+shapes, and the concurrent hammer."""
+
+import pytest
+
+from repro.api import Session
+from repro.serving import PlanCache, PlanServer
+
+SQL = (
+    "SELECT * FROM customer c, orders o, lineitem l "
+    "WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey "
+    "AND o.o_totalprice < {lit}"
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return Session.tpch(seed=0).database
+
+
+def cached_session(database):
+    return Session(database, plan_cache=PlanCache())
+
+
+def span_names(span):
+    names = [span.name]
+    for child in span.children:
+        names.extend(span_names(child))
+    return names
+
+
+class TestColdVersusWarm:
+    def test_warm_hit_is_byte_identical(self, database):
+        session = cached_session(database)
+        sql = SQL.format(lit="1000.0")
+        cold = session.optimize(sql)
+        warm = session.optimize(sql)
+        assert cold.cache.tier == "miss"
+        assert warm.cache.tier == "plan"
+        assert warm.explain() == cold.explain()
+        assert warm.best_cost == cold.best_cost
+        assert warm.cache.hits == 1
+        assert warm.cache.template_age_s >= 0.0
+
+    def test_plan_hit_trace_shape_proves_no_optimization(self, database):
+        session = cached_session(database)
+        sql = SQL.format(lit="1000.0")
+        session.optimize(sql)
+        warm = session.optimize(sql, trace=True)
+        assert warm.cache.tier == "plan"
+        assert warm.trace.name == "optimize"
+        assert [c.name for c in warm.trace.children] == ["cache.hit"]
+
+    def test_template_hit_skips_exploration(self, database):
+        session = cached_session(database)
+        session.optimize(SQL.format(lit="1000.0"))
+        variant = session.optimize(SQL.format(lit="77777.0"), trace=True)
+        assert variant.cache.tier == "template"
+        names = span_names(variant.trace)
+        assert "explore.cached" in names
+        assert "explore" not in names  # enumeration never ran
+        assert variant.timings["explore_source"] == "cached"
+
+    def test_template_hit_matches_uncached_plan(self, database):
+        cached = cached_session(database)
+        cached.optimize(SQL.format(lit="1000.0"))
+        variant = cached.optimize(SQL.format(lit="77777.0"))
+        reference = Session(database).optimize(SQL.format(lit="77777.0"))
+        assert variant.cache.tier == "template"
+        assert variant.explain() == reference.explain()
+        assert variant.best_cost == reference.best_cost
+
+    def test_distinct_literals_are_distinct_plan_entries(self, database):
+        # No parameter sniffing: x < 1000 and x < 77777 have different
+        # selectivities and must never share a final plan entry.
+        session = cached_session(database)
+        session.optimize(SQL.format(lit="1000.0"))
+        session.optimize(SQL.format(lit="77777.0"))
+        stats = session.plan_cache.stats()
+        assert stats["plan.size"] == 2
+        assert stats["plan.hits"] == 0
+
+
+class TestSessionIntegration:
+    def test_prune_factor_splits_the_config_identity(self, database):
+        session = cached_session(database)
+        sql = SQL.format(lit="1000.0")
+        session.optimize(sql)
+        pruned = session.optimize(sql, prune_factor=1.5)
+        assert pruned.cache.tier != "plan"  # different config signature
+        assert session.optimize(sql, prune_factor=1.5).cache.tier == "plan"
+
+    def test_implicit_count_cached_per_template(self, database):
+        session = cached_session(database)
+        n1 = session.count_plans(SQL.format(lit="1000.0"))
+        hits_before = session.plan_cache.stats()["template.hits"]
+        n2 = session.count_plans(SQL.format(lit="2.0"))
+        assert n1 == n2  # N is literal-independent
+        assert session.plan_cache.stats()["template.hits"] == hits_before + 1
+
+    def test_sessions_share_one_cache(self, database):
+        cache = PlanCache()
+        sql = SQL.format(lit="1000.0")
+        Session(database, plan_cache=cache).optimize(sql)
+        other = Session(database, plan_cache=cache).optimize(sql)
+        assert other.cache.tier == "plan"
+
+    def test_no_cache_means_no_tagging(self, database):
+        result = Session(database).optimize(SQL.format(lit="1000.0"))
+        assert result.cache is None
+
+
+class TestPlanServer:
+    def test_hammer_64_clients_under_deadline(self, database):
+        literals = [f"{1000.0 * (i + 1):.1f}" for i in range(8)]
+        statements = [SQL.format(lit=lit) for lit in literals]
+        reference = {
+            sql: Session(database).optimize(sql).explain() for sql in statements
+        }
+        with PlanServer(database, workers=64, deadline_s=30.0) as server:
+            futures = [
+                server.submit(statements[i % len(statements)]) for i in range(64)
+            ]
+            results = [f.result(timeout=120) for f in futures]
+            stats = server.stats()
+        assert stats["errors"] == 0
+        assert stats["requests"] == 64
+        for i, result in enumerate(results):
+            sql = statements[i % len(statements)]
+            # Every request got its own literal's plan — a cross-request
+            # leak would serve a neighbouring template instance's plan.
+            assert result.explain() == reference[sql], f"request {i}"
+            assert result.cache is not None
+        tiers = {r.cache.tier for r in results}
+        assert "plan" in tiers  # the warm majority
+        cache_stats = stats["cache"]
+        assert cache_stats["plan.hits"] > 0
+        assert cache_stats["plan.hits"] + cache_stats["plan.misses"] >= 64
+
+    def test_deadline_rides_the_resilience_ladder(self, database):
+        with PlanServer(database, workers=2, deadline_s=30.0) as server:
+            sql = SQL.format(lit="1000.0")
+            cold = server.optimize(sql)
+            assert cold.resilience is not None
+            assert cold.resilience.tier == "exact"
+            warm = server.optimize(sql)
+            assert warm.cache.tier == "plan"
+
+    def test_uncached_server(self, database):
+        with PlanServer(database, workers=2, cache=False) as server:
+            result = server.optimize(SQL.format(lit="1000.0"))
+            assert result.cache is None
+            assert server.stats().get("cache") is None
+
+    def test_map_preserves_order(self, database):
+        statements = [SQL.format(lit=f"{v}.0") for v in (1000, 2000, 1000)]
+        with PlanServer(database, workers=4) as server:
+            results = server.map(statements)
+        assert len(results) == 3
+        assert results[0].explain() == results[2].explain()
+
+    def test_closed_server_rejects_work(self, database):
+        server = PlanServer(database, workers=1)
+        server.close()
+        with pytest.raises(RuntimeError):
+            server.submit("SELECT * FROM orders o")
